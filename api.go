@@ -1,0 +1,415 @@
+// Package repro is a reproduction of Tan, Yan, Feng & Sha, "Reducing The
+// De-linearization of Data Placement to Improve Deduplication Performance"
+// (SC 2012): the DeFrag selective-rewrite deduplicator, the DDFS-Like and
+// SiLo-Like baselines it is evaluated against, two further baselines from
+// the paper's related-work space (Sparse Indexing, iDedup), and the
+// simulated storage substrate they all run on.
+//
+// The public API has three layers:
+//
+//   - Store (this file): open a deduplicating store with one of the five
+//     engines, back up streams, restore them, compact, check, export, and
+//     read storage statistics.
+//   - BackupStats / RestoreStats (stats.go): the per-operation measurements,
+//     including the paper's three headline metrics.
+//   - Experiments (experiments.go): runners that regenerate every figure of
+//     the paper's evaluation section as a table.
+//
+// All performance numbers are simulated-disk time (see internal/disk); the
+// data path is real — with Options.StoreData, chunk bytes round-trip through
+// the store bit-exactly.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/ddfs"
+	"repro/internal/engine/idedup"
+	"repro/internal/engine/silo"
+	"repro/internal/engine/sparse"
+	"repro/internal/fsck"
+	"repro/internal/gc"
+	"repro/internal/restore"
+	"repro/internal/trace"
+)
+
+// EngineKind selects a deduplication engine.
+type EngineKind int
+
+const (
+	// DeFrag is the paper's contribution: DDFS-style exact dedup plus
+	// SPL-driven selective rewriting of fragmenting duplicates.
+	DeFrag EngineKind = iota
+	// DDFSLike is the Zhu et al. FAST'08 baseline (summary vector +
+	// stream-informed layout + locality-preserved caching).
+	DDFSLike
+	// SiLoLike is the Xia et al. ATC'11 baseline (similarity + locality,
+	// near-exact, no full index).
+	SiLoLike
+	// SparseIndex is the Lillibridge et al. FAST'09 scheme the paper names
+	// alongside DDFS (§II-B): hook sampling + champion manifests,
+	// near-exact, no full index. Provided as an additional baseline beyond
+	// the paper's own comparison set.
+	SparseIndex
+	// IDedup is an iDedup-style engine (Srinivasan et al. FAST'12, the
+	// paper's citation [3]): selective inline dedup that removes only
+	// duplicate runs of at least Options.MinRun physically contiguous
+	// chunks, bounding restore fragmentation by construction.
+	IDedup
+)
+
+// String returns the engine's name as used throughout the paper tables.
+func (k EngineKind) String() string {
+	switch k {
+	case DeFrag:
+		return "defrag"
+	case DDFSLike:
+		return "ddfs-like"
+	case SiLoLike:
+		return "silo-like"
+	case SparseIndex:
+		return "sparse-index"
+	case IDedup:
+		return "idedup"
+	}
+	return "unknown"
+}
+
+// ParseEngineKind converts a name ("defrag", "ddfs-like"/"ddfs",
+// "silo-like"/"silo", "sparse-index"/"sparse") to an EngineKind.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "defrag":
+		return DeFrag, nil
+	case "ddfs", "ddfs-like":
+		return DDFSLike, nil
+	case "silo", "silo-like":
+		return SiLoLike, nil
+	case "sparse", "sparse-index":
+		return SparseIndex, nil
+	case "idedup":
+		return IDedup, nil
+	}
+	return 0, fmt.Errorf("repro: unknown engine %q", s)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Engine selects the deduplication approach (default DeFrag).
+	Engine EngineKind
+	// Alpha is DeFrag's SPL threshold; ignored by other engines.
+	// 0 disables rewriting; the paper evaluates 0.1 (the default used when
+	// Alpha is negative is 0.1; an explicit 0 is honoured).
+	Alpha float64
+	// ExpectedBytes sizes caches, Bloom filter and index for the total
+	// data the store will ingest across all backups. Default 1 GiB.
+	ExpectedBytes int64
+	// StoreData keeps real chunk bytes on the simulated device so restores
+	// return (and can verify) actual content. Costs RAM proportional to
+	// the deduplicated size; leave false for large timing experiments.
+	StoreData bool
+	// TrackEfficiency attaches the exact ground-truth oracle so
+	// BackupStats.Efficiency is populated.
+	TrackEfficiency bool
+	// MinRun is IDedup's duplicate-run threshold in chunks; ignored by
+	// other engines. 0 uses the engine default (8).
+	MinRun int
+	// Workers > 1 parallelizes the chunk-fingerprinting stage of every
+	// backup across goroutines. Purely a wall-clock optimization of the
+	// pipeline; all results and simulated timings are identical.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExpectedBytes <= 0 {
+		o.ExpectedBytes = 1 << 30
+	}
+	if o.Alpha < 0 {
+		o.Alpha = 0.1
+	}
+	return o
+}
+
+// Store is a deduplicating backup store over a simulated disk.
+type Store struct {
+	opts   Options
+	eng    engine.Engine
+	oracle *cindex.Oracle
+
+	backups []*Backup
+	logical int64
+}
+
+// Backup is one ingested stream: its recipe (needed to restore) plus the
+// measured statistics.
+type Backup struct {
+	Label  string
+	Stats  BackupStats
+	recipe *chunk.Recipe
+}
+
+// Fragments returns the number of placement fragments of the backup —
+// the N of the paper's Eq. 1.
+func (b *Backup) Fragments() int { return b.recipe.Fragments() }
+
+// Chunks returns the number of chunk references in the backup's recipe.
+func (b *Backup) Chunks() int { return b.recipe.Len() }
+
+// WriteRecipe serializes the backup's recipe (see internal/trace format).
+func (b *Backup) WriteRecipe(w io.Writer) error { return trace.Save(w, b.recipe) }
+
+// Open creates a store with the selected engine.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{opts: opts}
+	var err error
+	switch opts.Engine {
+	case DeFrag:
+		cfg := core.DefaultConfig(opts.ExpectedBytes)
+		cfg.Cost.Workers = opts.Workers
+		cfg.Alpha = opts.Alpha
+		cfg.StoreData = opts.StoreData
+		var e *core.Engine
+		if e, err = core.New(cfg); err == nil {
+			s.eng = e
+			if opts.TrackEfficiency {
+				s.oracle = cindex.NewOracle()
+				e.SetOracle(s.oracle)
+			}
+		}
+	case DDFSLike:
+		cfg := ddfs.DefaultConfig(opts.ExpectedBytes)
+		cfg.Cost.Workers = opts.Workers
+		cfg.StoreData = opts.StoreData
+		var e *ddfs.Engine
+		if e, err = ddfs.New(cfg); err == nil {
+			s.eng = e
+			if opts.TrackEfficiency {
+				s.oracle = cindex.NewOracle()
+				e.SetOracle(s.oracle)
+			}
+		}
+	case SiLoLike:
+		cfg := silo.DefaultConfig(opts.ExpectedBytes)
+		cfg.Cost.Workers = opts.Workers
+		cfg.StoreData = opts.StoreData
+		var e *silo.Engine
+		if e, err = silo.New(cfg); err == nil {
+			s.eng = e
+			if opts.TrackEfficiency {
+				s.oracle = cindex.NewOracle()
+				e.SetOracle(s.oracle)
+			}
+		}
+	case SparseIndex:
+		cfg := sparse.DefaultConfig(opts.ExpectedBytes)
+		cfg.Cost.Workers = opts.Workers
+		cfg.StoreData = opts.StoreData
+		var e *sparse.Engine
+		if e, err = sparse.New(cfg); err == nil {
+			s.eng = e
+			if opts.TrackEfficiency {
+				s.oracle = cindex.NewOracle()
+				e.SetOracle(s.oracle)
+			}
+		}
+	case IDedup:
+		cfg := idedup.DefaultConfig(opts.ExpectedBytes)
+		cfg.Cost.Workers = opts.Workers
+		cfg.StoreData = opts.StoreData
+		if opts.MinRun > 0 {
+			cfg.MinRun = opts.MinRun
+		}
+		var e *idedup.Engine
+		if e, err = idedup.New(cfg); err == nil {
+			s.eng = e
+			if opts.TrackEfficiency {
+				s.oracle = cindex.NewOracle()
+				e.SetOracle(s.oracle)
+			}
+		}
+	default:
+		err = fmt.Errorf("repro: unknown engine kind %d", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Engine returns the engine's name.
+func (s *Store) Engine() string { return s.eng.Name() }
+
+// Backup ingests one full-backup stream under label and returns the
+// recorded backup.
+func (s *Store) Backup(label string, r io.Reader) (*Backup, error) {
+	rec, st, err := s.eng.Backup(label, r)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
+	s.backups = append(s.backups, b)
+	s.logical += st.LogicalBytes
+	return b, nil
+}
+
+// Backups returns all backups ingested so far, in order.
+func (s *Store) Backups() []*Backup { return s.backups }
+
+// Forget drops a backup from the retained set. Its chunks stay on disk
+// until a later Compact finds them unreferenced (dedup stores cannot free
+// shared chunks eagerly — that is what retention-aware garbage collection
+// is for). Returns false if no backup has the label.
+func (s *Store) Forget(label string) bool {
+	for i, b := range s.backups {
+		if b.Label == label {
+			s.backups = append(s.backups[:i], s.backups[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Restore reconstructs backup b, writing the stream to w (nil w measures
+// without materializing). verify recomputes chunk fingerprints and requires
+// Options.StoreData.
+func (s *Store) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
+	cfg := restore.DefaultConfig()
+	cfg.Verify = verify
+	st, err := restore.Run(s.eng.Containers(), b.recipe, cfg, w)
+	if err != nil {
+		return RestoreStats{}, err
+	}
+	return fromRestoreStats(st), nil
+}
+
+// RestoreFAA reconstructs backup b with the forward-assembly-area
+// algorithm instead of the LRU container cache: memory is bounded by
+// areaBytes and every container is read at most once per assembly window,
+// regardless of how badly fragmentation interleaves the recipe.
+func (s *Store) RestoreFAA(b *Backup, w io.Writer, areaBytes int64, verify bool) (RestoreStats, error) {
+	st, err := restore.RunFAA(s.eng.Containers(), b.recipe, restore.FAAConfig{AreaBytes: areaBytes, Verify: verify}, w)
+	if err != nil {
+		return RestoreStats{}, err
+	}
+	return fromRestoreStats(st), nil
+}
+
+// SimulatedTime returns total simulated time consumed by the store so far.
+func (s *Store) SimulatedTime() time.Duration { return s.eng.Clock().Now() }
+
+// StoreStats summarizes storage consumption.
+type StoreStats struct {
+	LogicalBytes     int64   // bytes ingested across all backups
+	StoredBytes      int64   // physical chunk-data bytes after dedup
+	Containers       int     // sealed containers
+	Utilization      float64 // live fraction of stored bytes (rewrites create garbage)
+	CompressionRatio float64 // logical / stored
+}
+
+// CompactStats summarizes one garbage-collection pass (see Compact).
+type CompactStats struct {
+	ContainersScanned   int
+	ContainersCollected int
+	ChunksMoved         int64
+	BytesMoved          int64
+	BytesReclaimed      int64
+	RecipeRefsPatched   int64
+}
+
+// Compact garbage-collects containers whose live-data fraction is below
+// threshold: superseded chunk copies (DeFrag rewrites leave the old copy
+// behind) are dropped, live chunks are copied into fresh containers, the
+// index is repointed, and every retained backup's recipe is patched so
+// restores keep working. Engines without an exposed chunk index (SiLo-Like)
+// do not support compaction.
+//
+// This is an extension beyond the paper (its future-work cleanup path);
+// the I/O it performs is charged to the simulated clock like any other
+// operation.
+func (s *Store) Compact(threshold float64) (CompactStats, error) {
+	type indexed interface{ Index() *cindex.Index }
+	eng, ok := s.eng.(indexed)
+	if !ok {
+		return CompactStats{}, fmt.Errorf("repro: engine %s does not support compaction", s.eng.Name())
+	}
+	recipes := make([]*chunk.Recipe, len(s.backups))
+	for i, b := range s.backups {
+		recipes[i] = b.recipe
+	}
+	res, err := gc.Collect(s.eng.Containers(), eng.Index(), recipes, threshold)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	return CompactStats{
+		ContainersScanned:   res.ContainersScanned,
+		ContainersCollected: res.ContainersCollected,
+		ChunksMoved:         res.ChunksMoved,
+		BytesMoved:          res.BytesMoved,
+		BytesReclaimed:      res.BytesReclaimed,
+		RecipeRefsPatched:   res.RecipeRefsPatched,
+	}, nil
+}
+
+// CheckReport summarizes a store consistency check (see Check).
+type CheckReport struct {
+	Containers   int
+	MetaEntries  int64
+	IndexEntries int
+	RecipeRefs   int64
+	HashedChunks int64
+	Problems     []string
+}
+
+// OK reports whether the check found no problems.
+func (r CheckReport) OK() bool { return len(r.Problems) == 0 }
+
+// Check validates the store's internal consistency: container metadata
+// well-formedness, index entries (for engines that keep a full index),
+// and every backup's recipe references. verifyData additionally re-hashes
+// all referenced chunk content and requires Options.StoreData. Check
+// charges no simulated time.
+func (s *Store) Check(verifyData bool) (CheckReport, error) {
+	var index *cindex.Index
+	if eng, ok := s.eng.(interface{ Index() *cindex.Index }); ok {
+		index = eng.Index()
+	}
+	recipes := make([]*chunk.Recipe, len(s.backups))
+	for i, b := range s.backups {
+		recipes[i] = b.recipe
+	}
+	rep, err := fsck.Check(s.eng.Containers(), index, recipes, verifyData)
+	if err != nil {
+		return CheckReport{}, err
+	}
+	return CheckReport{
+		Containers:   rep.Containers,
+		MetaEntries:  rep.MetaEntries,
+		IndexEntries: rep.IndexEntries,
+		RecipeRefs:   rep.RecipeRefs,
+		HashedChunks: rep.HashedChunks,
+		Problems:     rep.Problems,
+	}, nil
+}
+
+// Stats returns current storage statistics.
+func (s *Store) Stats() StoreStats {
+	stored := s.eng.Containers().StoredBytes()
+	cr := 0.0
+	if stored > 0 {
+		cr = float64(s.logical) / float64(stored)
+	}
+	return StoreStats{
+		LogicalBytes:     s.logical,
+		StoredBytes:      stored,
+		Containers:       s.eng.Containers().NumContainers(),
+		Utilization:      s.eng.Containers().Utilization(),
+		CompressionRatio: cr,
+	}
+}

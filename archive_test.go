@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStoreExportOpenArchive(t *testing.T) {
+	s, err := Open(Options{Engine: DeFrag, Alpha: 0.1, StoreData: true, ExpectedBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data1 := randStream(2<<20, 101)
+	data2 := append(append([]byte{}, data1[:1<<20]...), randStream(1<<20, 102)...)
+	s.Backup("mon", bytes.NewReader(data1))
+	s.Backup("tue", bytes.NewReader(data2))
+
+	dir := t.TempDir()
+	if err := s.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backups := a.Backups()
+	if len(backups) != 2 || backups[0].Label != "mon" || backups[1].Label != "tue" {
+		t.Fatalf("archive backups: %+v", backups)
+	}
+	var out bytes.Buffer
+	if _, err := a.Restore(backups[1], &out, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data2) {
+		t.Fatal("archived restore differs from original")
+	}
+	rep, err := a.Check(true)
+	if err != nil || !rep.OK() {
+		t.Fatalf("archive check: %v %v", err, rep.Problems)
+	}
+	// Placement accessors still work on archived backups.
+	if backups[0].Fragments() == 0 || backups[0].Layout().Chunks == 0 {
+		t.Fatal("archived backup placement accessors")
+	}
+}
+
+func TestOpenArchiveMissingDir(t *testing.T) {
+	if _, err := OpenArchive(t.TempDir() + "/nope"); err == nil {
+		t.Fatal("missing archive must error")
+	}
+}

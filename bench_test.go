@@ -1,0 +1,229 @@
+package repro
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// section. Each benchmark regenerates the figure at the default reproduction
+// scale and reports the figure's headline values as benchmark metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// prints the rows EXPERIMENTS.md records. The figures run on simulated-disk
+// time; wall time here reflects the cost of the simulation itself (chunking
+// and hashing the synthetic streams), not the modeled system.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// benchCfg is the scale benchmarks run at: the default reproduction scale
+// (paper generation/backup counts, ~48 MB generations), so the numbers
+// printed here are exactly the ones EXPERIMENTS.md records. The full suite
+// takes a few minutes of wall time.
+func benchCfg() ExperimentConfig {
+	return DefaultExperimentConfig()
+}
+
+func reportSummary(b *testing.B, res *FigureResult, keys ...string) {
+	b.Helper()
+	for _, k := range keys {
+		v, ok := res.Summary[k]
+		if !ok {
+			b.Fatalf("summary key %q missing", k)
+		}
+		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkFig2_DDFSThroughputDecay regenerates paper Fig. 2: DDFS-Like
+// throughput over 20 single-user generations (paper: 213 → 110 MB/s).
+func BenchmarkFig2_DDFSThroughputDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFigure2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "ddfs_peak_MBps", "ddfs_last_MBps", "decline_ratio")
+	}
+}
+
+// BenchmarkFig3_SiLoEfficiencyDecay regenerates paper Fig. 3: SiLo-Like
+// deduplication efficiency over 20 generations (paper: ~1.0 declining).
+func BenchmarkFig3_SiLoEfficiencyDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFigure3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "silo_eff_first", "silo_eff_last3")
+	}
+}
+
+// BenchmarkFig4And5_Comparison regenerates paper Figs. 4 and 5 in one pass:
+// the 66-backup, 5-user comparison of throughput (Fig. 4: DeFrag ≈ SiLo ≫
+// DDFS) and efficiency (Fig. 5: SiLo leaves 12% unremoved, DeFrag 4%).
+func BenchmarkFig4And5_Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := RunComparison(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, c.Figure4, "ddfs_last5_MBps", "silo_last5_MBps", "defrag_last5_MBps")
+		reportSummary(b, c.Figure5, "silo_unremoved_last5", "defrag_unremoved_last5")
+	}
+}
+
+// BenchmarkFig6_ReadPerformance regenerates paper Fig. 6: restore bandwidth
+// of DeFrag vs DDFS-Like across generations 1–20.
+func BenchmarkFig6_ReadPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFigure6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "ddfs_read_last3_MBps", "defrag_read_last3_MBps", "defrag_over_ddfs")
+	}
+}
+
+// BenchmarkEq1_FragmentReadCost verifies the paper's Eq. 1 cost model:
+// F(read) = N·T_seek + size/W_seq.
+func BenchmarkEq1_FragmentReadCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunEquation1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "contiguous_ms", "scattered128_ms")
+	}
+}
+
+// BenchmarkAblation_AlphaSweep quantifies the α trade-off the paper
+// describes in §III-B (locality improvement vs sacrificed compression).
+func BenchmarkAblation_AlphaSweep(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 12
+	for i := 0; i < b.N; i++ {
+		res, err := RunAlphaSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "alpha0_read_MBps", "alpha0_compression")
+	}
+}
+
+// BenchmarkAblation_LPCCapacity measures sensitivity to the
+// locality-preserved cache size.
+func BenchmarkAblation_LPCCapacity(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCacheAblation(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_SegmentSize measures sensitivity to segment geometry
+// (the SPL granularity).
+func BenchmarkAblation_SegmentSize(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSegmentAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ContainerSize measures sensitivity to container
+// capacity (prefetch/restore granularity).
+func BenchmarkAblation_ContainerSize(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := RunContainerAblation(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchIngest measures the wall-clock cost of the simulation pipeline
+// itself (chunk + hash + dedup bookkeeping) per logical byte.
+func benchIngest(b *testing.B, kind EngineKind) {
+	data := make([]byte, 16<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := Open(Options{Engine: kind, ExpectedBytes: int64(len(data)) * 2, Alpha: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Backup("bench", bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngest_DeFrag(b *testing.B)   { benchIngest(b, DeFrag) }
+func BenchmarkIngest_DDFSLike(b *testing.B) { benchIngest(b, DDFSLike) }
+func BenchmarkIngest_SiLoLike(b *testing.B) { benchIngest(b, SiLoLike) }
+
+// BenchmarkAblation_RewritePolicy compares the paper's segment-granularity
+// SPL against the CBR-style container granularity.
+func BenchmarkAblation_RewritePolicy(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 10
+	for i := 0; i < b.N; i++ {
+		res, err := RunPolicyAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "spl_read_MBps", "container_read_MBps")
+	}
+}
+
+// BenchmarkAblation_RestoreStrategy compares the LRU container cache with
+// the forward assembly area across memory budgets.
+func BenchmarkAblation_RestoreStrategy(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := RunRestoreAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLayoutAnalysis regenerates the placement-profile table (stack
+// distances and predicted cache hit rates) for DDFS vs DeFrag.
+func BenchmarkLayoutAnalysis(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 10
+	for i := 0; i < b.N; i++ {
+		res, err := RunLayoutAnalysis(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "ddfs_final_hitrate", "defrag_final_hitrate")
+	}
+}
+
+// BenchmarkExtendedComparison runs all five engines over one generation
+// schedule (the "beyond the paper" table in EXPERIMENTS.md).
+func BenchmarkExtendedComparison(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Generations = 10
+	for i := 0; i < b.N; i++ {
+		res, err := RunExtendedComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSummary(b, res, "defrag_read_MBps", "ddfs-like_read_MBps")
+	}
+}
+
+func BenchmarkIngest_SparseIndex(b *testing.B) { benchIngest(b, SparseIndex) }
+func BenchmarkIngest_IDedup(b *testing.B)      { benchIngest(b, IDedup) }

@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckCleanStoreAllEngines(t *testing.T) {
+	eachEngine(t, func(t *testing.T, kind EngineKind) {
+		s, err := Open(Options{Engine: kind, StoreData: true, ExpectedBytes: 32 << 20, Alpha: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randStream(2<<20, int64(kind)*3+1)
+		s.Backup("a", bytes.NewReader(data))
+		s.Backup("b", bytes.NewReader(data))
+		rep, err := s.Check(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("clean %s store flagged: %v", kind, rep.Problems)
+		}
+		if rep.RecipeRefs == 0 || rep.MetaEntries == 0 || rep.HashedChunks == 0 {
+			t.Fatalf("report counts: %+v", rep)
+		}
+	})
+}
+
+func TestCheckAfterCompact(t *testing.T) {
+	s, _ := Open(Options{Engine: DeFrag, Alpha: 0.3, StoreData: true, ExpectedBytes: 64 << 20})
+	data1 := randStream(3<<20, 51)
+	// Build overlapping streams so rewrites (and thus garbage) occur.
+	data2 := append(append([]byte{}, data1[:1<<20]...), randStream(2<<20, 52)...)
+	s.Backup("a", bytes.NewReader(data1))
+	s.Backup("b", bytes.NewReader(data2))
+	if _, err := s.Compact(0.9); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Check(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-compact store flagged: %v", rep.Problems)
+	}
+}
+
+func TestCheckVerifyRequiresStoreData(t *testing.T) {
+	s, _ := Open(Options{Engine: DeFrag, ExpectedBytes: 16 << 20})
+	s.Backup("a", bytes.NewReader(randStream(1<<20, 53)))
+	if _, err := s.Check(true); err == nil {
+		t.Fatal("verifyData without StoreData must error")
+	}
+	rep, err := s.Check(false)
+	if err != nil || !rep.OK() {
+		t.Fatalf("metadata-only check: %v %v", err, rep.Problems)
+	}
+}

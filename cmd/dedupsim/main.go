@@ -1,0 +1,181 @@
+// Command dedupsim runs one deduplication engine over a synthetic
+// multi-generation backup workload and reports per-generation backup,
+// storage, and (optionally) restore measurements.
+//
+// Usage:
+//
+//	dedupsim [-engine defrag|ddfs|silo|sparse|idedup] [-gens N] [-alpha α] [flags]
+//
+// Examples:
+//
+//	dedupsim -engine ddfs -gens 20             # watch the disk bottleneck emerge
+//	dedupsim -engine defrag -alpha 0.2 -restore
+//	dedupsim -engine defrag -verify            # end-to-end content verification
+//	dedupsim -catalog /tmp/catalog             # save recipes for later analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "defrag", "engine: defrag, ddfs, silo, sparse, idedup")
+		gens       = flag.Int("gens", 10, "backup generations to ingest")
+		files      = flag.Int("files", 64, "files in the synthetic file system")
+		fileKB     = flag.Int64("filekb", 768, "mean file size in KiB")
+		alpha      = flag.Float64("alpha", 0.1, "DeFrag SPL threshold α")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		doRestore  = flag.Bool("restore", false, "restore every generation and report read performance")
+		verify     = flag.Bool("verify", false, "store real bytes and verify restored content (implies -restore)")
+		catalog    = flag.String("catalog", "", "directory to write recipe catalogs into")
+		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = serial)")
+		check      = flag.Bool("check", false, "run a consistency check (fsck) at the end")
+		export     = flag.String("export", "", "directory to export the store archive into")
+	)
+	flag.Parse()
+	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *check, *export}); err != nil {
+		fmt.Fprintln(os.Stderr, "dedupsim:", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	engineName string
+	gens       int
+	files      int
+	fileKB     int64
+	alpha      float64
+	seed       int64
+	doRestore  bool
+	verify     bool
+	catalog    string
+	workers    int
+	check      bool
+	export     string
+}
+
+func run(p params) error {
+	engineName, gens, files, fileKB := p.engineName, p.gens, p.files, p.fileKB
+	alpha, seed, doRestore, verify, catalog := p.alpha, p.seed, p.doRestore, p.verify, p.catalog
+	kind, err := repro.ParseEngineKind(engineName)
+	if err != nil {
+		return err
+	}
+	wcfg := workload.DefaultConfig(seed)
+	wcfg.NumFiles = files
+	wcfg.MeanFileSize = fileKB << 10
+
+	store, err := repro.Open(repro.Options{
+		Engine:          kind,
+		Alpha:           alpha,
+		ExpectedBytes:   int64(gens) * int64(files) * (fileKB << 10),
+		StoreData:       verify,
+		TrackEfficiency: true,
+		Workers:         p.workers,
+	})
+	if err != nil {
+		return err
+	}
+	sched, err := workload.NewSingle(wcfg)
+	if err != nil {
+		return err
+	}
+
+	cols := []string{"gen", "logical_MB", "tput_MBps", "unique_MB", "deduped_MB", "rewritten_MB", "efficiency"}
+	if doRestore || verify {
+		cols = append(cols, "read_MBps", "fragments")
+	}
+	tb := metrics.NewTable(cols...)
+
+	for g := 0; g < gens; g++ {
+		bk := sched.Next()
+		b, err := store.Backup(bk.Label, bk.Stream)
+		if err != nil {
+			return err
+		}
+		row := []string{
+			fmt.Sprint(g + 1),
+			metrics.MB(b.Stats.LogicalBytes),
+			metrics.F1(b.Stats.ThroughputMBps()),
+			metrics.MB(b.Stats.UniqueBytes),
+			metrics.MB(b.Stats.DedupedBytes),
+			metrics.MB(b.Stats.RewrittenBytes),
+			metrics.F3(b.Stats.Efficiency()),
+		}
+		if doRestore || verify {
+			rst, err := store.Restore(b, nil, verify)
+			if err != nil {
+				return err
+			}
+			row = append(row, metrics.F1(rst.ThroughputMBps()), fmt.Sprint(rst.Fragments))
+		}
+		tb.AddRow(row...)
+		if catalog != "" {
+			if err := saveCatalog(catalog, b); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("engine: %s  alpha: %.2f  generations: %d\n\n", store.Engine(), alpha, gens)
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	st := store.Stats()
+	fmt.Printf("\nstorage: %.1f MB logical -> %.1f MB stored in %d containers "+
+		"(compression %.2fx, utilization %.1f%%), simulated time %.2fs\n",
+		float64(st.LogicalBytes)/1e6, float64(st.StoredBytes)/1e6, st.Containers,
+		st.CompressionRatio, st.Utilization*100, store.SimulatedTime().Seconds())
+	if verify {
+		fmt.Println("content verification: all restored chunks matched their fingerprints")
+	}
+	if p.check {
+		rep, err := store.Check(verify)
+		if err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return fmt.Errorf("fsck found %d problems, first: %s", len(rep.Problems), rep.Problems[0])
+		}
+		fmt.Printf("fsck: OK (%d containers, %d recipe refs, %d chunks re-hashed)\n",
+			rep.Containers, rep.RecipeRefs, rep.HashedChunks)
+	}
+	if p.export != "" {
+		if err := store.Export(p.export); err != nil {
+			return err
+		}
+		fmt.Printf("archive exported to %s\n", p.export)
+	}
+	return nil
+}
+
+func saveCatalog(dir string, b *repro.Backup) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(dir, sanitize(b.Label)+".recipe")
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return b.WriteRecipe(f)
+}
+
+func sanitize(s string) string {
+	out := []rune(s)
+	for i, r := range out {
+		if r == '/' || r == '\\' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,176 @@
+// Command defragbench regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	defragbench [-fig all|2|3|4|5|6|eq1|alpha|ablations] [flags]
+//
+// Examples:
+//
+//	defragbench -fig 2                 # DDFS throughput decay (paper Fig. 2)
+//	defragbench -fig 4 -backups 30     # shorter throughput comparison
+//	defragbench -fig alpha             # the α trade-off sweep
+//	defragbench -fig all -files 32     # everything, at reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate: all, 2, 3, 4, 5, 6, eq1, extended, layout, alpha, ablations (comma-separated)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		gens    = flag.Int("gens", 20, "generations for single-user experiments (Figs. 2, 3, 6)")
+		backups = flag.Int("backups", 66, "backups for multi-user experiments (Figs. 4, 5)")
+		users   = flag.Int("users", 5, "users for multi-user experiments")
+		files   = flag.Int("files", 64, "files per user (scale knob, ~0.75 MB each)")
+		alpha   = flag.Float64("alpha", 0.1, "DeFrag SPL threshold α")
+		csvDir  = flag.String("csvdir", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := repro.DefaultExperimentConfig()
+	cfg.Seed = *seed
+	cfg.Generations = *gens
+	cfg.Backups = *backups
+	cfg.Users = *users
+	cfg.FilesPerUser = *files
+	cfg.Alpha = *alpha
+
+	if err := dispatch(*fig, cfg, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "defragbench:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(fig string, cfg repro.ExperimentConfig, csvDir string) error {
+	want := map[string]bool{}
+	for _, f := range strings.Split(fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	show := func(res *repro.FigureResult, err error) error {
+		if err != nil {
+			return err
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+		printSummary(res)
+		if csvDir != "" {
+			if err := writeCSV(csvDir, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if all || want["eq1"] {
+		if err := show(repro.RunEquation1()); err != nil {
+			return err
+		}
+	}
+	if all || want["2"] {
+		if err := show(repro.RunFigure2(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || want["3"] {
+		if err := show(repro.RunFigure3(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || want["4"] || want["5"] {
+		c, err := repro.RunComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if all || want["4"] {
+			if err := show(c.Figure4, nil); err != nil {
+				return err
+			}
+		}
+		if all || want["5"] {
+			if err := show(c.Figure5, nil); err != nil {
+				return err
+			}
+		}
+	}
+	if all || want["6"] {
+		if err := show(repro.RunFigure6(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || want["extended"] {
+		if err := show(repro.RunExtendedComparison(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || want["layout"] {
+		if err := show(repro.RunLayoutAnalysis(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || want["alpha"] {
+		if err := show(repro.RunAlphaSweep(cfg, nil)); err != nil {
+			return err
+		}
+	}
+	if all || want["ablations"] {
+		if err := show(repro.RunCacheAblation(cfg, nil)); err != nil {
+			return err
+		}
+		if err := show(repro.RunSegmentAblation(cfg)); err != nil {
+			return err
+		}
+		if err := show(repro.RunContainerAblation(cfg, nil)); err != nil {
+			return err
+		}
+		if err := show(repro.RunRestoreAblation(cfg)); err != nil {
+			return err
+		}
+		if err := show(repro.RunPolicyAblation(cfg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSV stores the figure as <csvdir>/<slug>.csv.
+func writeCSV(dir string, res *repro.FigureResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.ToLower(strings.NewReplacer(" ", "_", ":", "", "—", "-").Replace(res.Figure))
+	f, err := os.Create(filepath.Join(dir, slug+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteCSV(f)
+}
+
+func printSummary(res *repro.FigureResult) {
+	if len(res.Summary) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(res.Summary))
+	for k := range res.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("summary:")
+	for _, k := range keys {
+		fmt.Printf("  %-28s %.3f\n", k, res.Summary[k])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"io"
+	"testing"
+)
+
+// failAfter yields n pseudo-random bytes then fails — injecting a mid-stream
+// read error into every engine's backup path.
+type failAfter struct {
+	n    int
+	seed uint64
+}
+
+func (f *failAfter) Read(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	k := len(p)
+	if k > f.n {
+		k = f.n
+	}
+	s := f.seed
+	for i := 0; i < k; i++ {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		p[i] = byte(s)
+	}
+	f.seed = s
+	f.n -= k
+	return k, nil
+}
+
+func TestBackupStreamErrorPropagatesAllEngines(t *testing.T) {
+	eachEngine(t, func(t *testing.T, kind EngineKind) {
+		s, err := Open(Options{Engine: kind, ExpectedBytes: 32 << 20, Alpha: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Backup("boom", &failAfter{n: 3 << 20, seed: 1}); err != io.ErrUnexpectedEOF {
+			t.Fatalf("backup error = %v, want ErrUnexpectedEOF", err)
+		}
+		// A failed backup must not be registered.
+		if len(s.Backups()) != 0 {
+			t.Fatal("failed backup registered")
+		}
+		// A second failing stream must also surface its error.
+		if _, err := s.Backup("ok", &failAfter{n: 1 << 20, seed: 2}); err == nil {
+			t.Fatal("second failing stream should also error")
+		}
+		b, err := s.Backup("fine", readerOf(randStream(1<<20, 3)))
+		if err != nil {
+			t.Fatalf("backup after failures: %v", err)
+		}
+		if _, err := s.Restore(b, nil, false); err != nil {
+			t.Fatalf("restore after failures: %v", err)
+		}
+	})
+}
+
+func readerOf(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

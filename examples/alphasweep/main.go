@@ -1,0 +1,34 @@
+// Alphasweep: explore the paper's α knob (§III-B). The Spatial Locality
+// Level threshold trades compression for locality: α = 0 is exact dedup
+// (maximum compression, maximum fragmentation); α = 1 rewrites every
+// cross-segment duplicate that is not a chunk-for-chunk superset match.
+//
+//	go run ./examples/alphasweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultExperimentConfig()
+	cfg.Generations = 12
+	cfg.FilesPerUser = 32 // keep the sweep quick
+
+	res, err := repro.RunAlphaSweep(cfg, []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Reading the table:")
+	fmt.Println("  - read_MBps rises with α: rewriting restores spatial locality.")
+	fmt.Println("  - compression falls with α: rewritten duplicates cost storage.")
+	fmt.Println("  - the paper picks α = 0.1 as the sweet spot (little compression")
+	fmt.Println("    sacrificed, most of the locality recovered).")
+}

@@ -1,0 +1,77 @@
+// Quickstart: open a DeFrag store, back up three generations of a synthetic
+// file system, restore the latest with content verification, and print the
+// storage picture.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A DeFrag store with the paper's α = 0.1 that keeps real chunk bytes,
+	// so restores return actual content.
+	store, err := repro.Open(repro.Options{
+		Engine:          repro.DeFrag,
+		Alpha:           0.1,
+		ExpectedBytes:   256 << 20,
+		StoreData:       true,
+		TrackEfficiency: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three generations of a small mutating file system. Any io.Reader
+	// works as a backup source; the workload generator provides realistic
+	// multi-generation redundancy.
+	wcfg := workload.DefaultConfig(7)
+	wcfg.NumFiles = 16
+	sched, err := workload.NewSingle(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var last *repro.Backup
+	var lastData []byte
+	for g := 0; g < 3; g++ {
+		b := sched.Next()
+		data, err := io.ReadAll(b.Stream) // captured only to verify below
+		if err != nil {
+			log.Fatal(err)
+		}
+		bk, err := store.Backup(b.Label, bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("backup %-7s %6.1f MB at %6.1f MB/s  (new %5.1f MB, removed %5.1f MB, rewritten %4.1f MB)\n",
+			bk.Label,
+			float64(bk.Stats.LogicalBytes)/1e6, bk.Stats.ThroughputMBps(),
+			float64(bk.Stats.UniqueBytes)/1e6, float64(bk.Stats.DedupedBytes)/1e6,
+			float64(bk.Stats.RewrittenBytes)/1e6)
+		last, lastData = bk, data
+	}
+
+	// Restore the latest generation and verify every byte.
+	var out bytes.Buffer
+	rst, err := store.Restore(last, &out, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), lastData) {
+		log.Fatal("restored stream differs from the original")
+	}
+	fmt.Printf("\nrestore %-7s %6.1f MB at %6.1f MB/s across %d fragments — content verified\n",
+		rst.Label, float64(rst.Bytes)/1e6, rst.ThroughputMBps(), rst.Fragments)
+
+	st := store.Stats()
+	fmt.Printf("storage: %.1f MB logical -> %.1f MB stored (compression %.2fx, %d containers)\n",
+		float64(st.LogicalBytes)/1e6, float64(st.StoredBytes)/1e6, st.CompressionRatio, st.Containers)
+}

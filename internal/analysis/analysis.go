@@ -1,0 +1,152 @@
+// Package analysis quantifies the de-linearization of data placement — the
+// paper's central concept — for a backup recipe.
+//
+// Given the ordered chunk references of one stream, it derives:
+//
+//   - Fragments: maximal physically-contiguous runs (Eq. 1's N);
+//   - container switch counts and distinct-container footprints;
+//   - the LRU stack-distance profile of the container reference sequence,
+//     from which the hit rate of *any* container-granular LRU cache (the
+//     locality-preserved cache, the restore cache) can be predicted without
+//     re-running the engine.
+//
+// The stack-distance profile is the formal version of the paper's
+// "weakening spatial locality": as placement de-linearizes across backup
+// generations, the profile's mass shifts to larger distances, and every
+// fixed-size cache's hit rate falls accordingly.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/chunk"
+)
+
+// Layout is the placement profile of one recipe.
+type Layout struct {
+	Chunks    int
+	Bytes     int64
+	Fragments int // Eq. 1's N: physically contiguous runs
+
+	ContainersTouched int // distinct containers referenced
+	ContainerSwitches int // positions where the container differs from the previous chunk's
+	MeanRunBytes      float64
+
+	// StackDistances[d] counts container references whose LRU stack
+	// distance is d (0 = same container as an earlier reference with no
+	// distinct containers in between, i.e. a guaranteed hit in any cache).
+	// ColdMisses counts first-ever references (infinite distance).
+	StackDistances []int
+	ColdMisses     int
+}
+
+// Analyze computes the layout profile of a recipe.
+func Analyze(r *chunk.Recipe) *Layout {
+	l := &Layout{
+		Chunks:    r.Len(),
+		Bytes:     r.Bytes(),
+		Fragments: r.Fragments(),
+	}
+	if r.Len() == 0 {
+		return l
+	}
+
+	// Container switch/run statistics.
+	seen := make(map[uint32]struct{})
+	last := r.Refs[0].Loc.Container
+	seen[last] = struct{}{}
+	for i := 1; i < len(r.Refs); i++ {
+		c := r.Refs[i].Loc.Container
+		if c != last {
+			l.ContainerSwitches++
+			last = c
+		}
+		seen[c] = struct{}{}
+	}
+	l.ContainersTouched = len(seen)
+	l.MeanRunBytes = float64(l.Bytes) / float64(l.Fragments)
+
+	// LRU stack distances over the per-switch container sequence. Distance
+	// is computed per *container run* (consecutive same-container chunks
+	// are one reference): that is exactly how a container-granular cache
+	// sees the stream.
+	var stack []uint32 // most recent first
+	ref := func(c uint32) {
+		for i, x := range stack {
+			if x == c {
+				// distance = number of distinct containers since last use.
+				l.bump(i)
+				copy(stack[1:], stack[:i])
+				stack[0] = c
+				return
+			}
+		}
+		l.ColdMisses++
+		stack = append([]uint32{c}, stack...)
+	}
+	last = r.Refs[0].Loc.Container
+	ref(last)
+	for i := 1; i < len(r.Refs); i++ {
+		c := r.Refs[i].Loc.Container
+		if c != last {
+			ref(c)
+			last = c
+		}
+	}
+	return l
+}
+
+func (l *Layout) bump(d int) {
+	for len(l.StackDistances) <= d {
+		l.StackDistances = append(l.StackDistances, 0)
+	}
+	l.StackDistances[d]++
+}
+
+// References returns the number of container-run references the stack
+// profile covers (cold misses included).
+func (l *Layout) References() int {
+	n := l.ColdMisses
+	for _, c := range l.StackDistances {
+		n += c
+	}
+	return n
+}
+
+// PredictedHitRate returns the hit rate an LRU cache of the given container
+// capacity would achieve over this recipe's container reference sequence:
+// references at stack distance < capacity hit; deeper ones and cold misses
+// miss. This is Mattson's classic inclusion property — one pass predicts
+// every capacity.
+func (l *Layout) PredictedHitRate(capacity int) float64 {
+	total := l.References()
+	if total == 0 || capacity <= 0 {
+		return 0
+	}
+	hits := 0
+	for d, c := range l.StackDistances {
+		if d < capacity {
+			hits += c
+		}
+	}
+	return float64(hits) / float64(total)
+}
+
+// MeanStackDistance returns the mean finite stack distance (cold misses
+// excluded), the scalar "locality temperature" of the recipe.
+func (l *Layout) MeanStackDistance() float64 {
+	var sum, n int
+	for d, c := range l.StackDistances {
+		sum += d * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+func (l *Layout) String() string {
+	return fmt.Sprintf("%d chunks (%.1f MB) in %d fragments over %d containers; mean run %.0f B; mean stack distance %.1f",
+		l.Chunks, float64(l.Bytes)/1e6, l.Fragments, l.ContainersTouched, l.MeanRunBytes, l.MeanStackDistance())
+}

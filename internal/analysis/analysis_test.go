@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/engine/ddfs"
+	"repro/internal/enginetest"
+)
+
+// mkRecipe builds a recipe whose chunks live in the given container
+// sequence, each chunk 100 bytes, placed contiguously within runs.
+func mkRecipe(containers ...uint32) *chunk.Recipe {
+	r := &chunk.Recipe{Label: "t"}
+	off := map[uint32]int64{}
+	for i, c := range containers {
+		base := int64(c) * 1_000_000
+		r.Append(chunk.Fingerprint{byte(i)}, 100, chunk.Location{
+			Container: c, Offset: base + off[c], Size: 100,
+		})
+		off[c] += 100
+	}
+	return r
+}
+
+func TestEmptyRecipe(t *testing.T) {
+	l := Analyze(&chunk.Recipe{})
+	if l.Chunks != 0 || l.References() != 0 || l.PredictedHitRate(4) != 0 {
+		t.Fatalf("empty layout: %+v", l)
+	}
+}
+
+func TestContiguousRecipe(t *testing.T) {
+	l := Analyze(mkRecipe(0, 0, 0, 0))
+	if l.Fragments != 1 || l.ContainerSwitches != 0 || l.ContainersTouched != 1 {
+		t.Fatalf("layout: %+v", l)
+	}
+	if l.ColdMisses != 1 || len(l.StackDistances) != 0 {
+		t.Fatalf("one cold reference expected: %+v", l)
+	}
+}
+
+func TestAlternatingContainers(t *testing.T) {
+	// A,B,A,B,A,B: every non-cold reference has stack distance 1.
+	l := Analyze(mkRecipe(1, 2, 1, 2, 1, 2))
+	if l.ColdMisses != 2 {
+		t.Fatalf("cold misses = %d", l.ColdMisses)
+	}
+	if len(l.StackDistances) < 2 || l.StackDistances[1] != 4 {
+		t.Fatalf("distances: %v", l.StackDistances)
+	}
+	// Capacity 2 catches them all; capacity 1 none.
+	if got := l.PredictedHitRate(2); got != 4.0/6.0 {
+		t.Fatalf("hit rate(2) = %v", got)
+	}
+	if got := l.PredictedHitRate(1); got != 0 {
+		t.Fatalf("hit rate(1) = %v", got)
+	}
+}
+
+func TestHitRateMonotoneInCapacity(t *testing.T) {
+	l := Analyze(mkRecipe(1, 2, 3, 1, 4, 2, 5, 3, 1, 2, 6, 4))
+	prev := -1.0
+	for capN := 1; capN <= 8; capN++ {
+		hr := l.PredictedHitRate(capN)
+		if hr < prev {
+			t.Fatalf("hit rate not monotone at capacity %d: %v < %v", capN, hr, prev)
+		}
+		prev = hr
+	}
+}
+
+func TestRunsCollapseToOneReference(t *testing.T) {
+	// AAA BBB AAA: three references (A cold, B cold, A at distance 1).
+	l := Analyze(mkRecipe(7, 7, 7, 8, 8, 8, 7, 7, 7))
+	if l.References() != 3 || l.ColdMisses != 2 {
+		t.Fatalf("refs=%d cold=%d", l.References(), l.ColdMisses)
+	}
+	if l.MeanStackDistance() != 1 {
+		t.Fatalf("mean distance = %v", l.MeanStackDistance())
+	}
+	if l.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestDelinearizationGrowsAcrossGenerations(t *testing.T) {
+	// The package's purpose: the DDFS layout profile must deteriorate with
+	// generations, and DeFrag's must deteriorate less.
+	wcfg := enginetest.SmallConfig(81)
+	dd, _ := ddfs.New(ddfs.DefaultConfig(enginetest.ExpectedBytes(wcfg, 10)))
+	de, _ := core.New(core.DefaultConfig(enginetest.ExpectedBytes(wcfg, 10)))
+	gd := enginetest.RunGenerations(t, dd, wcfg, 10)
+	ge := enginetest.RunGenerations(t, de, wcfg, 10)
+
+	ddEarly := Analyze(gd[1].Recipe)
+	ddLate := Analyze(gd[9].Recipe)
+	deLate := Analyze(ge[9].Recipe)
+
+	if ddLate.MeanStackDistance() <= ddEarly.MeanStackDistance() {
+		t.Fatalf("DDFS stack distance should grow: %.2f -> %.2f",
+			ddEarly.MeanStackDistance(), ddLate.MeanStackDistance())
+	}
+	if ddLate.PredictedHitRate(4) >= ddEarly.PredictedHitRate(4) {
+		t.Fatalf("DDFS predicted hit rate should fall: %.3f -> %.3f",
+			ddEarly.PredictedHitRate(4), ddLate.PredictedHitRate(4))
+	}
+	if deLate.PredictedHitRate(4) <= ddLate.PredictedHitRate(4) {
+		t.Fatalf("DeFrag layout should predict better caching than DDFS at gen 10: %.3f vs %.3f",
+			deLate.PredictedHitRate(4), ddLate.PredictedHitRate(4))
+	}
+}

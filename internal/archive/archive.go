@@ -1,0 +1,255 @@
+// Package archive persists a deduplicated store to a directory and loads it
+// back — the piece that turns the in-memory research store into something a
+// backup survives: container data and metadata, plus every backup's recipe,
+// round-trip through ordinary files.
+//
+// Layout of an archive directory:
+//
+//	manifest.json            — geometry, flags, container table, backup list
+//	containers/NNNNNN.meta   — per-container chunk metadata (binary)
+//	containers/NNNNNN.data   — per-container data section (only with data)
+//	recipes/NNN.recipe       — per-backup recipe (internal/trace format)
+//
+// Import replays the container log through a fresh store with the same
+// geometry; because container layout is a deterministic function of the
+// write sequence, every chunk lands at its original device offset and the
+// saved recipes remain valid verbatim.
+package archive
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chunk"
+	"repro/internal/container"
+	"repro/internal/disk"
+	"repro/internal/trace"
+)
+
+// Manifest is the archive's JSON header.
+type Manifest struct {
+	Version    int              `json:"version"`
+	DataCap    int64            `json:"data_cap"`
+	MaxChunks  int              `json:"max_chunks"`
+	StoresData bool             `json:"stores_data"`
+	Containers []ContainerEntry `json:"containers"`
+	Backups    []BackupEntry    `json:"backups"`
+}
+
+// ContainerEntry records one sealed container.
+type ContainerEntry struct {
+	ID       uint32 `json:"id"`
+	DataFill int64  `json:"data_fill"`
+	Chunks   int    `json:"chunks"`
+}
+
+// BackupEntry records one stored backup.
+type BackupEntry struct {
+	Label  string `json:"label"`
+	Recipe string `json:"recipe"` // file name under recipes/
+}
+
+const manifestVersion = 1
+
+// Export writes the store and recipes into dir (created if absent).
+func Export(dir string, store *container.Store, recipes []*chunk.Recipe) error {
+	for _, sub := range []string{"", "containers", "recipes"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	cfg := store.Config()
+	man := Manifest{
+		Version:    manifestVersion,
+		DataCap:    cfg.DataCap,
+		MaxChunks:  cfg.MaxChunks,
+		StoresData: store.Device().StoresData(),
+	}
+
+	for id := 0; id < store.NumContainers(); id++ {
+		cid := uint32(id)
+		metas := store.PeekMeta(cid)
+		var fill int64
+		for _, m := range metas {
+			fill += int64(m.Size)
+		}
+		man.Containers = append(man.Containers, ContainerEntry{ID: cid, DataFill: fill, Chunks: len(metas)})
+		if err := writeMeta(containerPath(dir, cid, "meta"), metas); err != nil {
+			return err
+		}
+		if man.StoresData {
+			if err := os.WriteFile(containerPath(dir, cid, "data"), store.PeekData(cid), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+
+	for i, rec := range recipes {
+		name := fmt.Sprintf("%03d.recipe", i)
+		f, err := os.Create(filepath.Join(dir, "recipes", name))
+		if err != nil {
+			return err
+		}
+		if err := trace.Save(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		man.Backups = append(man.Backups, BackupEntry{Label: rec.Label, Recipe: name})
+	}
+
+	blob, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644)
+}
+
+// Import loads an archive, rebuilding a store (over a fresh simulated
+// device and clock) whose chunk placement matches the original exactly, and
+// the backup recipes. The returned recipes reference valid locations in the
+// returned store.
+func Import(dir string) (*container.Store, []*chunk.Recipe, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, nil, fmt.Errorf("archive: bad manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, nil, fmt.Errorf("archive: unsupported version %d", man.Version)
+	}
+
+	var clk disk.Clock
+	dev := disk.NewDevice(disk.DefaultModel(), &clk, man.StoresData)
+	store, err := container.NewStore(dev, container.Config{DataCap: man.DataCap, MaxChunks: man.MaxChunks})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for _, ce := range man.Containers {
+		metas, err := readMeta(containerPath(dir, ce.ID, "meta"))
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(metas) != ce.Chunks {
+			return nil, nil, fmt.Errorf("archive: container %d has %d chunks, manifest says %d", ce.ID, len(metas), ce.Chunks)
+		}
+		var data []byte
+		if man.StoresData {
+			if data, err = os.ReadFile(containerPath(dir, ce.ID, "data")); err != nil {
+				return nil, nil, err
+			}
+			if int64(len(data)) != ce.DataFill {
+				return nil, nil, fmt.Errorf("archive: container %d data is %d bytes, manifest says %d", ce.ID, len(data), ce.DataFill)
+			}
+		}
+		var off int64
+		for _, m := range metas {
+			c := chunk.Meta(m.FP, m.Size)
+			if data != nil {
+				c.Data = data[off : off+int64(m.Size)]
+			}
+			loc := store.Write(c, m.Segment)
+			if loc.Offset != m.Offset {
+				return nil, nil, fmt.Errorf("archive: container %d replay misplaced chunk: %d != %d", ce.ID, loc.Offset, m.Offset)
+			}
+			off += int64(m.Size)
+		}
+		// Containers seal at their original boundaries.
+		store.Flush()
+	}
+
+	var recipes []*chunk.Recipe
+	for _, be := range man.Backups {
+		f, err := os.Open(filepath.Join(dir, "recipes", be.Recipe))
+		if err != nil {
+			return nil, nil, err
+		}
+		rec, err := trace.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("archive: recipe %s: %w", be.Recipe, err)
+		}
+		recipes = append(recipes, rec)
+	}
+	return store, recipes, nil
+}
+
+func containerPath(dir string, id uint32, ext string) string {
+	return filepath.Join(dir, "containers", fmt.Sprintf("%06d.%s", id, ext))
+}
+
+// writeMeta serializes container metadata:
+// count u32, then per entry fp[32] | size u32 | segment u64 | offset i64.
+func writeMeta(path string, metas []container.Meta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(metas))); err != nil {
+		f.Close()
+		return err
+	}
+	for _, m := range metas {
+		if _, err := bw.Write(m.FP[:]); err != nil {
+			f.Close()
+			return err
+		}
+		for _, v := range []any{m.Size, m.Segment, m.Offset} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readMeta(path string) ([]container.Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxChunksPerContainer = 1 << 24
+	if count > maxChunksPerContainer {
+		return nil, fmt.Errorf("archive: implausible chunk count %d in %s", count, path)
+	}
+	metas := make([]container.Meta, count)
+	for i := range metas {
+		m := &metas[i]
+		if _, err := io.ReadFull(br, m.FP[:]); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &m.Size); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &m.Segment); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &m.Offset); err != nil {
+			return nil, err
+		}
+	}
+	return metas, nil
+}

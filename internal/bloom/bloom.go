@@ -1,0 +1,111 @@
+// Package bloom implements the Bloom filter used as DDFS's "summary vector":
+// a compact in-RAM structure that answers "definitely new" for most new
+// chunks, so only chunks that might be duplicates pay for an on-disk index
+// lookup.
+//
+// Keys are chunk fingerprints. Because a fingerprint is already a uniform
+// SHA-256 digest, the k probe positions are derived with double hashing from
+// two 64-bit halves of the digest (Kirsch–Mitzenmacher), which is as good as
+// k independent hash functions.
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/chunk"
+)
+
+// Filter is a standard m-bit, k-hash Bloom filter. Not safe for concurrent
+// mutation.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of probes
+	n    uint64 // number of inserted keys (for saturation reporting)
+}
+
+// New creates a filter with capacity for expectedKeys at the given target
+// false-positive rate. Panics on non-positive arguments — sizing is a
+// programming decision, not runtime input.
+func New(expectedKeys int, fpRate float64) *Filter {
+	if expectedKeys <= 0 || fpRate <= 0 || fpRate >= 1 {
+		panic("bloom: need expectedKeys > 0 and 0 < fpRate < 1")
+	}
+	// Optimal sizing: m = -n ln p / (ln 2)^2 ; k = m/n ln 2.
+	n := float64(expectedKeys)
+	m := math.Ceil(-n * math.Log(fpRate) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / n * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	mbits := uint64(m)
+	if mbits < 64 {
+		mbits = 64
+	}
+	return &Filter{bits: make([]uint64, (mbits+63)/64), m: mbits, k: k}
+}
+
+// probes derives the k bit positions for a fingerprint.
+func (f *Filter) probe(fp chunk.Fingerprint, i int) uint64 {
+	h1 := binary.BigEndian.Uint64(fp[0:8])
+	h2 := binary.BigEndian.Uint64(fp[8:16]) | 1 // ensure odd stride
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// Add inserts a fingerprint.
+func (f *Filter) Add(fp chunk.Fingerprint) {
+	for i := 0; i < f.k; i++ {
+		p := f.probe(fp, i)
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+	f.n++
+}
+
+// MayContain reports whether fp may have been added. False means definitely
+// not added; true may be a false positive.
+func (f *Filter) MayContain(fp chunk.Fingerprint) bool {
+	for i := 0; i < f.k; i++ {
+		p := f.probe(fp, i)
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// K returns the number of probes per key.
+func (f *Filter) K() int { return f.k }
+
+// EstimatedFPRate returns the expected false-positive probability at the
+// current fill: (1 - e^(-kn/m))^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// FillRatio returns the fraction of set bits, a direct saturation measure.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

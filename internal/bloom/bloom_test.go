@@ -1,0 +1,160 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+)
+
+func fpOf(i uint64) chunk.Fingerprint {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return chunk.Of(b[:])
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{0, 0.01}, {10, 0}, {10, 1}, {-1, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%v) should panic", c.n, c.p)
+				}
+			}()
+			New(c.n, c.p)
+		}()
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10_000, 0.01)
+	for i := uint64(0); i < 10_000; i++ {
+		f.Add(fpOf(i))
+	}
+	for i := uint64(0); i < 10_000; i++ {
+		if !f.MayContain(fpOf(i)) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+	if f.Count() != 10_000 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 50_000
+	f := New(n, 0.01)
+	for i := uint64(0); i < n; i++ {
+		f.Add(fpOf(i))
+	}
+	var fps int
+	const probes = 50_000
+	for i := uint64(n); i < n+probes; i++ {
+		if f.MayContain(fpOf(i)) {
+			fps++
+		}
+	}
+	rate := float64(fps) / probes
+	if rate > 0.03 {
+		t.Fatalf("observed FP rate %.4f far above target 0.01", rate)
+	}
+	est := f.EstimatedFPRate()
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("EstimatedFPRate = %v out of plausible band", est)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(100, 0.01)
+	if f.MayContain(fpOf(1)) {
+		t.Fatal("empty filter must contain nothing")
+	}
+	if f.EstimatedFPRate() != 0 {
+		t.Fatal("empty filter FP rate must be 0")
+	}
+	if f.FillRatio() != 0 {
+		t.Fatal("empty filter fill must be 0")
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := New(1000, 0.01)
+	prev := f.FillRatio()
+	for i := uint64(0); i < 1000; i += 100 {
+		for j := i; j < i+100; j++ {
+			f.Add(fpOf(j))
+		}
+		cur := f.FillRatio()
+		if cur < prev {
+			t.Fatal("fill ratio must be monotone under Add")
+		}
+		prev = cur
+	}
+	// At design capacity the optimal filter is ~50% full.
+	if prev < 0.3 || prev > 0.7 {
+		t.Fatalf("fill ratio at capacity = %.2f, want ~0.5", prev)
+	}
+}
+
+func TestSizingMonotonicity(t *testing.T) {
+	small := New(1000, 0.01)
+	big := New(100_000, 0.01)
+	if big.Bits() <= small.Bits() {
+		t.Fatal("more keys must mean more bits")
+	}
+	loose := New(1000, 0.1)
+	tight := New(1000, 0.001)
+	if tight.Bits() <= loose.Bits() {
+		t.Fatal("tighter FP rate must mean more bits")
+	}
+	if small.K() < 1 {
+		t.Fatal("K must be at least 1")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 3: 2, 0xFF: 8, ^uint64(0): 64}
+	for x, want := range cases {
+		if got := popcount(x); got != want {
+			t.Errorf("popcount(%x) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// Property: anything added is always found (no false negatives), regardless
+// of key material.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := New(5000, 0.02)
+	fn := func(data []byte) bool {
+		fp := chunk.Of(data)
+		f.Add(fp)
+		return f.MayContain(fp)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1_000_000, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(fpOf(uint64(i)))
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(1_000_000, 0.01)
+	for i := uint64(0); i < 100_000; i++ {
+		f.Add(fpOf(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(fpOf(uint64(i % 200_000)))
+	}
+}

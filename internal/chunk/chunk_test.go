@@ -1,0 +1,191 @@
+package chunk
+
+import (
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfMatchesSHA256(t *testing.T) {
+	data := []byte("the quick brown fox")
+	want := sha256.Sum256(data)
+	if got := Of(data); got != Fingerprint(want) {
+		t.Fatalf("Of() = %s, want %x", got, want)
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	fp := Of([]byte("x"))
+	s := fp.String()
+	if len(s) != 64 {
+		t.Fatalf("String() length = %d, want 64", len(s))
+	}
+	if fp.Short() != s[:12] {
+		t.Fatalf("Short() = %q, want prefix %q", fp.Short(), s[:12])
+	}
+}
+
+func TestFingerprintIsZero(t *testing.T) {
+	var zero Fingerprint
+	if !zero.IsZero() {
+		t.Fatal("zero fingerprint should report IsZero")
+	}
+	if Of(nil).IsZero() {
+		t.Fatal("SHA-256 of empty input must not be the zero fingerprint")
+	}
+}
+
+func TestUint64Deterministic(t *testing.T) {
+	fp := Of([]byte("abc"))
+	if fp.Uint64() != fp.Uint64() {
+		t.Fatal("Uint64 must be deterministic")
+	}
+	if fp.Uint64() == Of([]byte("abd")).Uint64() {
+		t.Fatal("distinct contents should (overwhelmingly) differ in Uint64")
+	}
+}
+
+func TestNewChunk(t *testing.T) {
+	data := []byte("hello chunk")
+	c := New(data)
+	if c.Size != uint32(len(data)) {
+		t.Fatalf("Size = %d, want %d", c.Size, len(data))
+	}
+	if c.FP != Of(data) {
+		t.Fatal("fingerprint mismatch")
+	}
+	if &c.Data[0] != &data[0] {
+		t.Fatal("New must retain the caller's slice, not copy")
+	}
+}
+
+func TestMetaChunk(t *testing.T) {
+	fp := Of([]byte("m"))
+	c := Meta(fp, 4096)
+	if c.Data != nil {
+		t.Fatal("Meta chunk must carry no data")
+	}
+	if c.Size != 4096 || c.FP != fp {
+		t.Fatalf("Meta fields wrong: %+v", c)
+	}
+}
+
+func TestLocationValid(t *testing.T) {
+	if (Location{}).Valid() {
+		t.Fatal("zero location must be invalid")
+	}
+	if !(Location{Size: 1}).Valid() {
+		t.Fatal("sized location must be valid")
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	l := Location{Container: 7, Segment: 3, Offset: 128, Size: 64}
+	if got := l.String(); got != "c0007/s3@128+64" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRecipeAppendAndBytes(t *testing.T) {
+	var r Recipe
+	r.Append(Of([]byte("a")), 10, Location{Offset: 0, Size: 10})
+	r.Append(Of([]byte("b")), 20, Location{Offset: 10, Size: 20})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Bytes() != 30 {
+		t.Fatalf("Bytes = %d, want 30", r.Bytes())
+	}
+}
+
+func TestRecipeFragmentsEmpty(t *testing.T) {
+	var r Recipe
+	if r.Fragments() != 0 {
+		t.Fatal("empty recipe has zero fragments")
+	}
+}
+
+func TestRecipeFragmentsContiguous(t *testing.T) {
+	var r Recipe
+	off := int64(0)
+	for i := 0; i < 10; i++ {
+		r.Append(Fingerprint{byte(i)}, 100, Location{Offset: off, Size: 100})
+		off += 100
+	}
+	if got := r.Fragments(); got != 1 {
+		t.Fatalf("contiguous recipe Fragments = %d, want 1", got)
+	}
+}
+
+func TestRecipeFragmentsScattered(t *testing.T) {
+	var r Recipe
+	// Each chunk placed with a gap: every reference is its own fragment.
+	for i := 0; i < 5; i++ {
+		r.Append(Fingerprint{byte(i)}, 100, Location{Offset: int64(i) * 1000, Size: 100})
+	}
+	if got := r.Fragments(); got != 5 {
+		t.Fatalf("scattered recipe Fragments = %d, want 5", got)
+	}
+}
+
+func TestRecipeFragmentsMixed(t *testing.T) {
+	var r Recipe
+	// Two contiguous runs separated by a jump: 2 fragments.
+	r.Append(Fingerprint{1}, 50, Location{Offset: 0, Size: 50})
+	r.Append(Fingerprint{2}, 50, Location{Offset: 50, Size: 50})
+	r.Append(Fingerprint{3}, 50, Location{Offset: 5000, Size: 50})
+	r.Append(Fingerprint{4}, 50, Location{Offset: 5050, Size: 50})
+	if got := r.Fragments(); got != 2 {
+		t.Fatalf("Fragments = %d, want 2", got)
+	}
+}
+
+func TestContainersTouched(t *testing.T) {
+	var r Recipe
+	r.Append(Fingerprint{1}, 1, Location{Container: 0, Size: 1})
+	r.Append(Fingerprint{2}, 1, Location{Container: 0, Size: 1})
+	r.Append(Fingerprint{3}, 1, Location{Container: 9, Size: 1})
+	if got := r.ContainersTouched(); got != 2 {
+		t.Fatalf("ContainersTouched = %d, want 2", got)
+	}
+}
+
+// Property: fingerprinting is a pure function and collision-free over the
+// generated sample (quick generates distinct random slices with overwhelming
+// probability; equal inputs must produce equal outputs).
+func TestFingerprintProperties(t *testing.T) {
+	pure := func(data []byte) bool {
+		return Of(data) == Of(append([]byte(nil), data...))
+	}
+	if err := quick.Check(pure, nil); err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(a, b []byte) bool {
+		if string(a) == string(b) {
+			return Of(a) == Of(b)
+		}
+		return Of(a) != Of(b)
+	}
+	if err := quick.Check(distinct, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fragments is bounded by [1, Len] for non-empty recipes and a
+// recipe laid out contiguously always reports exactly 1.
+func TestFragmentsBoundsProperty(t *testing.T) {
+	f := func(offsets []int16) bool {
+		var r Recipe
+		for i, o := range offsets {
+			r.Append(Fingerprint{byte(i)}, 8, Location{Offset: int64(o), Size: 8})
+		}
+		got := r.Fragments()
+		if len(offsets) == 0 {
+			return got == 0
+		}
+		return got >= 1 && got <= len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

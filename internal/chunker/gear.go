@@ -1,0 +1,117 @@
+package chunker
+
+import "io"
+
+// gearTable is the 256-entry random table driving the gear rolling hash.
+// Entries are fixed (generated once from a splitmix64 sequence, seed 1) so
+// chunk boundaries are stable across runs and machines.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	// splitmix64
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range t {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// Gear is a FastCDC-style content-defined chunker: a gear hash
+// (h = h<<1 + table[byte]) with normalized chunking — a stricter boundary
+// mask before the target size and a looser one after, which tightens the
+// chunk-size distribution around Target without sacrificing shift tolerance.
+type Gear struct {
+	b          *buffered
+	p          Params
+	maskStrict uint64 // used before Target: ~4x fewer boundaries
+	maskLoose  uint64 // used after Target: ~4x more boundaries
+}
+
+// NewGear returns a gear chunker over r. Params must validate.
+func NewGear(r io.Reader, p Params) (*Gear, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	bits := uint(0)
+	for s := p.Target; s > 1; s >>= 1 {
+		bits++
+	}
+	// Normalization: 2 extra mask bits below target, 2 fewer above.
+	strictBits, looseBits := bits+2, bits-2
+	if looseBits < 1 {
+		looseBits = 1
+	}
+	if strictBits > 63 {
+		strictBits = 63
+	}
+	g := &Gear{
+		b:          newBuffered(r, 4*p.Max),
+		p:          p,
+		maskStrict: (uint64(1)<<strictBits - 1) << (64 - strictBits),
+		maskLoose:  (uint64(1)<<looseBits - 1) << (64 - looseBits),
+	}
+	return g, nil
+}
+
+// Next returns the next chunk or io.EOF.
+func (g *Gear) Next() ([]byte, error) {
+	avail := g.b.fill(g.p.Max)
+	if g.b.err != nil {
+		return nil, g.b.err
+	}
+	if avail == 0 {
+		return nil, io.EOF
+	}
+	if avail <= g.p.Min {
+		return g.b.take(avail), nil
+	}
+	data := g.b.buf[g.b.off : g.b.off+min(avail, g.p.Max)]
+	cut := g.cutpoint(data)
+	return g.b.take(cut), nil
+}
+
+// cutpoint finds the content-defined boundary in data (len > Min).
+func (g *Gear) cutpoint(data []byte) int {
+	var h uint64
+	n := len(data)
+	normal := g.p.Target
+	if normal > n {
+		normal = n
+	}
+	// Phase 1: below target — strict mask.
+	i := g.p.Min
+	// Warm the hash over the window before Min so boundaries do not depend
+	// on where Min falls; the gear hash has an effective window of 64 bytes
+	// (bits shift out), so warming 64 bytes suffices.
+	warm := g.p.Min - 64
+	if warm < 0 {
+		warm = 0
+	}
+	for j := warm; j < i; j++ {
+		h = h<<1 + gearTable[data[j]]
+	}
+	for ; i < normal; i++ {
+		h = h<<1 + gearTable[data[i]]
+		if h&g.maskStrict == 0 {
+			return i + 1
+		}
+	}
+	// Phase 2: past target — loose mask.
+	for ; i < n; i++ {
+		h = h<<1 + gearTable[data[i]]
+		if h&g.maskLoose == 0 {
+			return i + 1
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package cindex
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+	"repro/internal/disk"
+)
+
+func fpOf(i uint64) chunk.Fingerprint {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return chunk.Of(b[:])
+}
+
+func newTestIndex(t *testing.T, cfg Config) (*Index, *disk.Clock) {
+	t.Helper()
+	var clk disk.Clock
+	dev := disk.NewDevice(disk.DefaultModel(), &clk, false)
+	ix, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Reset()
+	return ix, &clk
+}
+
+func smallCfg() Config {
+	return Config{PageSize: 4096, NumBuckets: 64, CachePages: 4, FlushBatch: 16}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	var clk disk.Clock
+	dev := disk.NewDevice(disk.DefaultModel(), &clk, false)
+	for _, cfg := range []Config{{}, {PageSize: 1}, {PageSize: 1, NumBuckets: 1}} {
+		if _, err := New(dev, cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestDefaultConfigScales(t *testing.T) {
+	small := DefaultConfig(1000)
+	big := DefaultConfig(10_000_000)
+	if big.NumBuckets <= small.NumBuckets {
+		t.Fatal("buckets must grow with population")
+	}
+	if small.CachePages < 4 {
+		t.Fatal("cache floor")
+	}
+	if DefaultConfig(0).NumBuckets < 1 {
+		t.Fatal("degenerate population")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	ix, _ := newTestIndex(t, smallCfg())
+	loc := chunk.Location{Container: 3, Segment: 9, Offset: 100, Size: 42}
+	ix.Insert(fpOf(1), loc)
+	got, ok := ix.Lookup(fpOf(1))
+	if !ok || got != loc {
+		t.Fatalf("Lookup = %v,%v", got, ok)
+	}
+	if _, ok := ix.Lookup(fpOf(2)); ok {
+		t.Fatal("absent key found")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestUpdateRepoints(t *testing.T) {
+	ix, _ := newTestIndex(t, smallCfg())
+	ix.Insert(fpOf(1), chunk.Location{Container: 1, Offset: 10, Size: 5})
+	newLoc := chunk.Location{Container: 7, Offset: 999, Size: 5}
+	ix.Update(fpOf(1), newLoc)
+	if got, _ := ix.Peek(fpOf(1)); got != newLoc {
+		t.Fatalf("Peek after update = %v", got)
+	}
+}
+
+func TestLookupChargesOnMissOnly(t *testing.T) {
+	ix, clk := newTestIndex(t, smallCfg())
+	fp := fpOf(42)
+	ix.Insert(fp, chunk.Location{Size: 1})
+	t0 := clk.Now()
+	ix.Lookup(fp) // cold: page read
+	t1 := clk.Now()
+	if t1 == t0 {
+		t.Fatal("cold lookup must charge a page read")
+	}
+	ix.Lookup(fp) // warm: same bucket now cached
+	if clk.Now() != t1 {
+		t.Fatal("warm lookup must be free")
+	}
+	st := ix.Stats()
+	if st.PageReads != 1 || st.PageHits != 1 || st.Lookups != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPeekIsFree(t *testing.T) {
+	ix, clk := newTestIndex(t, smallCfg())
+	ix.Insert(fpOf(1), chunk.Location{Size: 1})
+	before := clk.Now()
+	if _, ok := ix.Peek(fpOf(1)); !ok {
+		t.Fatal("Peek miss")
+	}
+	if clk.Now() != before {
+		t.Fatal("Peek must not charge time")
+	}
+}
+
+func TestCacheEvictionCausesRereads(t *testing.T) {
+	cfg := smallCfg() // 4 cache pages, 64 buckets
+	ix, _ := newTestIndex(t, cfg)
+	// Touch many distinct buckets: with only 4 cache pages most lookups
+	// must pay disk reads.
+	for i := uint64(0); i < 200; i++ {
+		ix.Lookup(fpOf(i))
+	}
+	st := ix.Stats()
+	if st.PageReads < 100 {
+		t.Fatalf("expected mostly page reads with tiny cache, got %+v", st)
+	}
+	if ix.CacheHitRate() > 0.5 {
+		t.Fatalf("hit rate %v implausibly high", ix.CacheHitRate())
+	}
+}
+
+func TestNotFoundCounted(t *testing.T) {
+	ix, _ := newTestIndex(t, smallCfg())
+	ix.Lookup(fpOf(1))
+	if ix.Stats().NotFound != 1 {
+		t.Fatal("NotFound must count")
+	}
+}
+
+func TestFlushBatching(t *testing.T) {
+	ix, clk := newTestIndex(t, smallCfg()) // FlushBatch 16
+	for i := uint64(0); i < 15; i++ {
+		ix.Insert(fpOf(i), chunk.Location{Size: 1})
+	}
+	if ix.Stats().Flushes != 0 {
+		t.Fatal("no flush before batch full")
+	}
+	ix.Insert(fpOf(15), chunk.Location{Size: 1})
+	if ix.Stats().Flushes != 1 {
+		t.Fatal("batch full must flush")
+	}
+	before := clk.Now()
+	ix.Flush() // nothing pending
+	if clk.Now() != before || ix.Stats().Flushes != 1 {
+		t.Fatal("empty Flush must be free")
+	}
+	ix.Insert(fpOf(16), chunk.Location{Size: 1})
+	ix.Flush()
+	if ix.Stats().Flushes != 2 {
+		t.Fatal("explicit flush of pending entries")
+	}
+}
+
+func TestCacheHitRateEmpty(t *testing.T) {
+	ix, _ := newTestIndex(t, smallCfg())
+	if ix.CacheHitRate() != 0 {
+		t.Fatal("no lookups → rate 0")
+	}
+}
+
+// Property: the index agrees with a plain map under random insert/update/
+// lookup sequences.
+func TestIndexModelProperty(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{PageSize: 4096, NumBuckets: 16, CachePages: 2, FlushBatch: 8})
+	model := map[chunk.Fingerprint]chunk.Location{}
+	fn := func(key uint8, container uint8, lookupOnly bool) bool {
+		fp := fpOf(uint64(key))
+		if lookupOnly {
+			got, ok := ix.Lookup(fp)
+			want, wok := model[fp]
+			return ok == wok && got == want
+		}
+		loc := chunk.Location{Container: uint32(container), Size: 1}
+		model[fp] = loc
+		ix.Insert(fp, loc)
+		return ix.Len() == len(model)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleBasics(t *testing.T) {
+	o := NewOracle()
+	if o.Observe(fpOf(1), 100) {
+		t.Fatal("first occurrence is not redundant")
+	}
+	if !o.Observe(fpOf(1), 100) {
+		t.Fatal("second occurrence is redundant")
+	}
+	if o.Observe(fpOf(2), 50) {
+		t.Fatal("new chunk not redundant")
+	}
+	if o.TotalBytes() != 250 || o.RedundantBytes() != 100 || o.Unique() != 2 {
+		t.Fatalf("oracle counters: total=%d red=%d uniq=%d", o.TotalBytes(), o.RedundantBytes(), o.Unique())
+	}
+	if !o.Seen(fpOf(2)) || o.Seen(fpOf(3)) {
+		t.Fatal("Seen wrong")
+	}
+}
+
+func TestOracleCompressionRatio(t *testing.T) {
+	o := NewOracle()
+	if o.CompressionRatio() != 1 {
+		t.Fatal("empty oracle ratio must be 1")
+	}
+	o.Observe(fpOf(1), 100)
+	o.Observe(fpOf(1), 100)
+	o.Observe(fpOf(1), 100)
+	if got := o.CompressionRatio(); got != 3 {
+		t.Fatalf("ratio = %v, want 3", got)
+	}
+}
+
+// Property: redundantBytes + uniqueBytes == totalBytes always.
+func TestOracleConservationProperty(t *testing.T) {
+	o := NewOracle()
+	uniqueBytes := int64(0)
+	fn := func(key uint8, szRaw uint8) bool {
+		size := uint32(szRaw) + 1
+		fp := fpOf(uint64(key))
+		if !o.Observe(fp, size) {
+			uniqueBytes += int64(size)
+		}
+		return o.TotalBytes() == o.RedundantBytes()+uniqueBytes
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var clk disk.Clock
+	dev := disk.NewDevice(disk.DefaultModel(), &clk, false)
+	ix, err := New(dev, DefaultConfig(1_000_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 100_000; i++ {
+		ix.Insert(fpOf(i), chunk.Location{Size: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(fpOf(uint64(i % 200_000)))
+	}
+}

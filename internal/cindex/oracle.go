@@ -1,0 +1,55 @@
+package cindex
+
+import "repro/internal/chunk"
+
+// Oracle is the exact, in-RAM fingerprint set used as measurement ground
+// truth. It answers "has this chunk ever been stored (by anyone)?" with no
+// simulated-time cost and no false positives/negatives, which defines the
+// paper's "redundant data actually existing in the dataset".
+type Oracle struct {
+	seen map[chunk.Fingerprint]struct{}
+
+	totalBytes     int64 // all observed bytes
+	redundantBytes int64 // bytes whose fingerprint had been seen before
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{seen: make(map[chunk.Fingerprint]struct{}, 1024)}
+}
+
+// Observe records one chunk occurrence and reports whether it was redundant
+// (seen before).
+func (o *Oracle) Observe(fp chunk.Fingerprint, size uint32) bool {
+	o.totalBytes += int64(size)
+	if _, dup := o.seen[fp]; dup {
+		o.redundantBytes += int64(size)
+		return true
+	}
+	o.seen[fp] = struct{}{}
+	return false
+}
+
+// Seen reports whether fp has been observed, without recording anything.
+func (o *Oracle) Seen(fp chunk.Fingerprint) bool {
+	_, ok := o.seen[fp]
+	return ok
+}
+
+// Unique returns the number of distinct fingerprints observed.
+func (o *Oracle) Unique() int { return len(o.seen) }
+
+// TotalBytes returns all bytes observed.
+func (o *Oracle) TotalBytes() int64 { return o.totalBytes }
+
+// RedundantBytes returns the bytes that were exact re-occurrences.
+func (o *Oracle) RedundantBytes() int64 { return o.redundantBytes }
+
+// CompressionRatio returns total/unique bytes observed so far (>= 1).
+func (o *Oracle) CompressionRatio() float64 {
+	uniq := o.totalBytes - o.redundantBytes
+	if uniq == 0 {
+		return 1
+	}
+	return float64(o.totalBytes) / float64(uniq)
+}

@@ -1,0 +1,299 @@
+// Package container implements the stream-informed container log that backs
+// every dedup engine in this repository (the layout DDFS calls "stream
+// informed segment layout"): new unique chunks are buffered into a
+// fixed-capacity open container and flushed to the simulated disk
+// sequentially, so chunks that arrive together are stored together.
+//
+// On-disk layout of one container:
+//
+//	[ metadata section: MetaCap bytes ][ data section: <= DataCap bytes ]
+//
+// The metadata section (chunk fingerprints, sizes, segment IDs) is what
+// DDFS's locality-preserved cache prefetches: one seek pulls in descriptors
+// for every chunk that was written near a duplicate, which is exactly the
+// spatial locality the paper studies.
+//
+// The store is the sole writer of its device, so chunk offsets are assigned
+// at write time (container start is known when the container opens) and the
+// deferred flush lands exactly there.
+package container
+
+import (
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/disk"
+)
+
+// Config sizes the container geometry.
+type Config struct {
+	DataCap   int64 // data section capacity in bytes (default 4 MiB)
+	MaxChunks int   // maximum chunks per container (bounds the metadata section)
+}
+
+// DefaultConfig returns the DDFS-style geometry: 4 MiB containers.
+func DefaultConfig() Config {
+	return Config{DataCap: 4 << 20, MaxChunks: 2048}
+}
+
+// metaEntrySize is the on-disk size of one metadata entry:
+// fingerprint (32) + size (4) + segment id (8) = 44 bytes.
+const metaEntrySize = 44
+
+// MetaCap returns the on-disk size of the metadata section.
+func (c Config) MetaCap() int64 { return int64(c.MaxChunks) * metaEntrySize }
+
+func (c Config) validate() error {
+	if c.DataCap <= 0 || c.MaxChunks <= 0 {
+		return fmt.Errorf("container: non-positive geometry %+v", c)
+	}
+	return nil
+}
+
+// Meta describes one chunk stored in a container. It is what a metadata
+// read returns (and what the locality-preserved cache holds).
+type Meta struct {
+	FP      chunk.Fingerprint
+	Size    uint32
+	Segment uint64 // on-disk segment the chunk was written as part of
+	Offset  int64  // absolute device offset of the chunk data
+}
+
+// Info is the shadow directory entry for one sealed container.
+type Info struct {
+	ID       uint32
+	Start    int64 // device offset of the metadata section
+	DataFill int64 // bytes of chunk data in the data section
+	Entries  []Meta
+}
+
+// DataStart returns the device offset of the container's data section.
+func (i *Info) DataStart(cfg Config) int64 { return i.Start + cfg.MetaCap() }
+
+// Store is the container log over one simulated device.
+type Store struct {
+	cfg Config
+	dev *disk.Device
+
+	// open container state
+	openID    uint32
+	openStart int64
+	openFill  int64
+	openMeta  []Meta
+	openData  []byte // buffered only when the device stores data
+	hasOpen   bool
+
+	sealed []Info // shadow directory of flushed containers, indexed by ID
+
+	// liveBytes tracks, per container, the bytes still referenced by the
+	// newest index mappings; the DeFrag rewrite path decrements it to report
+	// container utilization (garbage from superseded copies).
+	liveBytes []int64
+}
+
+// NewStore creates a container store writing to dev. The store must be the
+// only writer of dev.
+func NewStore(dev *disk.Device, cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Store{cfg: cfg, dev: dev}, nil
+}
+
+// Config returns the store geometry.
+func (s *Store) Config() Config { return s.cfg }
+
+// Device returns the underlying device (read-only use by restore paths).
+func (s *Store) Device() *disk.Device { return s.dev }
+
+// NumContainers returns the count of sealed containers.
+func (s *Store) NumContainers() int { return len(s.sealed) }
+
+// open starts a new container at the current device frontier.
+func (s *Store) open() {
+	s.openID = uint32(len(s.sealed))
+	s.openStart = s.dev.Size()
+	s.openFill = 0
+	s.openMeta = s.openMeta[:0]
+	if s.dev.StoresData() {
+		s.openData = s.openData[:0]
+	}
+	s.hasOpen = true
+}
+
+// Write appends one chunk to the open container (opening or sealing
+// containers as needed) and returns its permanent location. segID tags the
+// chunk with the on-disk segment it belongs to.
+func (s *Store) Write(c chunk.Chunk, segID uint64) chunk.Location {
+	if c.Size == 0 {
+		panic("container: zero-size chunk")
+	}
+	if !s.hasOpen {
+		s.open()
+	}
+	if s.openFill+int64(c.Size) > s.cfg.DataCap || len(s.openMeta) >= s.cfg.MaxChunks {
+		s.Flush()
+		s.open()
+	}
+	off := s.openStart + s.cfg.MetaCap() + s.openFill
+	s.openMeta = append(s.openMeta, Meta{FP: c.FP, Size: c.Size, Segment: segID, Offset: off})
+	if s.dev.StoresData() {
+		if c.Data != nil {
+			s.openData = append(s.openData, c.Data...)
+		} else {
+			s.openData = append(s.openData, make([]byte, c.Size)...)
+		}
+	}
+	s.openFill += int64(c.Size)
+	return chunk.Location{Container: s.openID, Segment: segID, Offset: off, Size: c.Size}
+}
+
+// Flush seals the open container, writing its metadata section and data
+// section to the device. A store with no open container (or an empty one)
+// flushes to nothing. Callers flush at end of stream; Write flushes
+// automatically when a container fills.
+func (s *Store) Flush() {
+	if !s.hasOpen || len(s.openMeta) == 0 {
+		s.hasOpen = false
+		return
+	}
+	if got := s.dev.Size(); got != s.openStart {
+		panic(fmt.Sprintf("container: device frontier %d moved past container start %d (foreign writer?)", got, s.openStart))
+	}
+	// Metadata section, padded to fixed capacity so data offsets hold.
+	if s.dev.StoresData() {
+		s.dev.Append(encodeMeta(s.openMeta, s.cfg.MetaCap()))
+		s.dev.Append(s.openData)
+	} else {
+		s.dev.AppendHole(s.cfg.MetaCap())
+		s.dev.AppendHole(s.openFill)
+	}
+	info := Info{
+		ID:       s.openID,
+		Start:    s.openStart,
+		DataFill: s.openFill,
+		Entries:  append([]Meta(nil), s.openMeta...),
+	}
+	s.sealed = append(s.sealed, info)
+	s.liveBytes = append(s.liveBytes, s.openFill)
+	s.hasOpen = false
+}
+
+// encodeMeta serializes entries into a MetaCap-sized section.
+func encodeMeta(entries []Meta, capBytes int64) []byte {
+	buf := make([]byte, capBytes)
+	o := 0
+	for _, e := range entries {
+		copy(buf[o:], e.FP[:])
+		o += 32
+		buf[o] = byte(e.Size)
+		buf[o+1] = byte(e.Size >> 8)
+		buf[o+2] = byte(e.Size >> 16)
+		buf[o+3] = byte(e.Size >> 24)
+		o += 4
+		for i := 0; i < 8; i++ {
+			buf[o+i] = byte(e.Segment >> (8 * i))
+		}
+		o += 8
+	}
+	return buf
+}
+
+// ReadMeta performs a metadata-section read of container id: it charges one
+// disk access of MetaCap bytes and returns the chunk descriptors. This is
+// the operation behind DDFS's locality-preserved-cache prefetch.
+func (s *Store) ReadMeta(id uint32) []Meta {
+	info := s.info(id)
+	s.dev.AccountRead(info.Start, s.cfg.MetaCap())
+	return info.Entries
+}
+
+// PeekMeta returns container metadata without charging any disk time. It is
+// simulation bookkeeping (used by ground-truth oracles and tests), never by
+// an engine's timed path.
+func (s *Store) PeekMeta(id uint32) []Meta { return s.info(id).Entries }
+
+// PeekData returns the container's data section without charging disk time
+// (checker/diagnostic use). Zero-filled on hole devices.
+func (s *Store) PeekData(id uint32) []byte {
+	info := s.info(id)
+	buf := make([]byte, info.DataFill)
+	if s.dev.StoresData() {
+		s.dev.PeekAt(buf, info.DataStart(s.cfg))
+	}
+	return buf
+}
+
+// ReadData reads the full data section of container id (the restore path's
+// unit of caching), charging one disk access. It returns the raw data bytes
+// when the device stores data, else a zero slice of the correct length.
+func (s *Store) ReadData(id uint32) []byte {
+	info := s.info(id)
+	buf := make([]byte, info.DataFill)
+	s.dev.ReadAt(buf, info.DataStart(s.cfg))
+	return buf
+}
+
+// ReadChunk reads one chunk at loc, charging one disk access of the chunk's
+// size. Used by chunk-at-a-time restore (the un-cached baseline).
+func (s *Store) ReadChunk(loc chunk.Location) []byte {
+	buf := make([]byte, loc.Size)
+	s.dev.ReadAt(buf, loc.Offset)
+	return buf
+}
+
+// Extract returns chunk data for loc out of a data-section buffer obtained
+// from ReadData of loc.Container.
+func (s *Store) Extract(data []byte, loc chunk.Location) []byte {
+	info := s.info(loc.Container)
+	rel := loc.Offset - info.DataStart(s.cfg)
+	if rel < 0 || rel+int64(loc.Size) > int64(len(data)) {
+		panic(fmt.Sprintf("container: location %v outside container %d data", loc, loc.Container))
+	}
+	return data[rel : rel+int64(loc.Size)]
+}
+
+func (s *Store) info(id uint32) *Info {
+	if int(id) >= len(s.sealed) {
+		panic(fmt.Sprintf("container: id %d not sealed (have %d)", id, len(s.sealed)))
+	}
+	return &s.sealed[id]
+}
+
+// Sealed reports whether container id has been sealed.
+func (s *Store) Sealed(id uint32) bool { return int(id) < len(s.sealed) }
+
+// MarkDead records that n bytes in container id are superseded (a rewritten
+// chunk's old copy). Utilization reporting uses this.
+func (s *Store) MarkDead(id uint32, n int64) {
+	if int(id) < len(s.liveBytes) {
+		s.liveBytes[id] -= n
+		if s.liveBytes[id] < 0 {
+			s.liveBytes[id] = 0
+		}
+	}
+}
+
+// Utilization returns the fraction of stored data bytes still live across
+// all sealed containers (1.0 when nothing was superseded).
+func (s *Store) Utilization() float64 {
+	var live, total int64
+	for i := range s.sealed {
+		live += s.liveBytes[i]
+		total += s.sealed[i].DataFill
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(live) / float64(total)
+}
+
+// StoredBytes returns the total data bytes across sealed containers
+// (physical, post-dedup storage consumption, excluding metadata).
+func (s *Store) StoredBytes() int64 {
+	var n int64
+	for i := range s.sealed {
+		n += s.sealed[i].DataFill
+	}
+	return n
+}

@@ -1,0 +1,300 @@
+package container
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+	"repro/internal/disk"
+)
+
+func newTestStore(t *testing.T, storeData bool, cfg Config) (*Store, *disk.Clock) {
+	t.Helper()
+	var clk disk.Clock
+	dev := disk.NewDevice(disk.DefaultModel(), &clk, storeData)
+	s, err := NewStore(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &clk
+}
+
+func smallConfig() Config { return Config{DataCap: 1024, MaxChunks: 8} }
+
+func TestNewStoreRejectsBadConfig(t *testing.T) {
+	var clk disk.Clock
+	dev := disk.NewDevice(disk.DefaultModel(), &clk, false)
+	for _, cfg := range []Config{{}, {DataCap: 1}, {MaxChunks: 1}} {
+		if _, err := NewStore(dev, cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s, _ := newTestStore(t, true, DefaultConfig())
+	data := []byte("some chunk content")
+	loc := s.Write(chunk.New(data), 1)
+	s.Flush()
+	got := s.ReadChunk(loc)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+}
+
+func TestZeroSizeChunkPanics(t *testing.T) {
+	s, _ := newTestStore(t, false, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.Write(chunk.Chunk{}, 0)
+}
+
+func TestAutoSealOnDataCap(t *testing.T) {
+	s, _ := newTestStore(t, false, smallConfig())
+	// 1024-byte cap: three 400-byte chunks force a seal after two.
+	for i := 0; i < 3; i++ {
+		s.Write(chunk.Meta(chunk.Of([]byte{byte(i)}), 400), 0)
+	}
+	if s.NumContainers() != 1 {
+		t.Fatalf("NumContainers = %d, want 1 sealed", s.NumContainers())
+	}
+	s.Flush()
+	if s.NumContainers() != 2 {
+		t.Fatalf("after flush NumContainers = %d, want 2", s.NumContainers())
+	}
+}
+
+func TestAutoSealOnMaxChunks(t *testing.T) {
+	s, _ := newTestStore(t, false, Config{DataCap: 1 << 30, MaxChunks: 4})
+	for i := 0; i < 9; i++ {
+		s.Write(chunk.Meta(chunk.Of([]byte{byte(i)}), 10), 0)
+	}
+	s.Flush()
+	if s.NumContainers() != 3 {
+		t.Fatalf("NumContainers = %d, want 3 (4+4+1 chunks)", s.NumContainers())
+	}
+}
+
+func TestLocationsMatchFlushedLayout(t *testing.T) {
+	s, _ := newTestStore(t, true, smallConfig())
+	var locs []chunk.Location
+	var datas [][]byte
+	for i := 0; i < 20; i++ {
+		d := bytes.Repeat([]byte{byte('a' + i)}, 100+i)
+		locs = append(locs, s.Write(chunk.New(d), uint64(i)))
+		datas = append(datas, d)
+	}
+	s.Flush()
+	for i, loc := range locs {
+		if got := s.ReadChunk(loc); !bytes.Equal(got, datas[i]) {
+			t.Fatalf("chunk %d: read %q, want %q", i, got, datas[i])
+		}
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	s, _ := newTestStore(t, false, smallConfig())
+	fp := chunk.Of([]byte("x"))
+	loc := s.Write(chunk.Meta(fp, 123), 77)
+	s.Flush()
+	entries := s.ReadMeta(loc.Container)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.FP != fp || e.Size != 123 || e.Segment != 77 || e.Offset != loc.Offset {
+		t.Fatalf("meta entry %+v does not match location %v", e, loc)
+	}
+}
+
+func TestReadMetaChargesDisk(t *testing.T) {
+	s, clk := newTestStore(t, false, smallConfig())
+	loc := s.Write(chunk.Meta(chunk.Of([]byte("x")), 10), 0)
+	s.Flush()
+	before := clk.Now()
+	s.ReadMeta(loc.Container)
+	if clk.Now() <= before {
+		t.Fatal("ReadMeta must charge disk time")
+	}
+	before = clk.Now()
+	s.PeekMeta(loc.Container)
+	if clk.Now() != before {
+		t.Fatal("PeekMeta must be free")
+	}
+}
+
+func TestReadDataAndExtract(t *testing.T) {
+	s, _ := newTestStore(t, true, smallConfig())
+	d1, d2 := []byte("first-chunk"), []byte("second-chunk")
+	l1 := s.Write(chunk.New(d1), 0)
+	l2 := s.Write(chunk.New(d2), 0)
+	s.Flush()
+	data := s.ReadData(l1.Container)
+	if int64(len(data)) != int64(len(d1)+len(d2)) {
+		t.Fatalf("data section length = %d", len(data))
+	}
+	if !bytes.Equal(s.Extract(data, l1), d1) || !bytes.Equal(s.Extract(data, l2), d2) {
+		t.Fatal("Extract mismatch")
+	}
+}
+
+func TestExtractOutOfRangePanics(t *testing.T) {
+	s, _ := newTestStore(t, true, smallConfig())
+	l := s.Write(chunk.New([]byte("abc")), 0)
+	s.Flush()
+	data := s.ReadData(l.Container)
+	bad := l
+	bad.Offset += 1000
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.Extract(data, bad)
+}
+
+func TestInfoUnsealedPanics(t *testing.T) {
+	s, _ := newTestStore(t, false, smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.ReadMeta(0)
+}
+
+func TestSealed(t *testing.T) {
+	s, _ := newTestStore(t, false, smallConfig())
+	if s.Sealed(0) {
+		t.Fatal("nothing sealed yet")
+	}
+	s.Write(chunk.Meta(chunk.Of([]byte("x")), 10), 0)
+	if s.Sealed(0) {
+		t.Fatal("open container is not sealed")
+	}
+	s.Flush()
+	if !s.Sealed(0) {
+		t.Fatal("container 0 should be sealed")
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	s, clk := newTestStore(t, false, smallConfig())
+	s.Flush()
+	s.Flush()
+	if s.NumContainers() != 0 || clk.Now() != 0 {
+		t.Fatal("empty flush must write nothing")
+	}
+}
+
+func TestUtilizationAndMarkDead(t *testing.T) {
+	s, _ := newTestStore(t, false, smallConfig())
+	s.Write(chunk.Meta(chunk.Of([]byte("a")), 100), 0)
+	s.Write(chunk.Meta(chunk.Of([]byte("b")), 100), 0)
+	s.Flush()
+	if u := s.Utilization(); u != 1.0 {
+		t.Fatalf("fresh utilization = %v", u)
+	}
+	s.MarkDead(0, 100)
+	if u := s.Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	s.MarkDead(0, 1000) // clamps at zero
+	if u := s.Utilization(); u != 0 {
+		t.Fatalf("utilization = %v, want 0", u)
+	}
+	if s.StoredBytes() != 200 {
+		t.Fatalf("StoredBytes = %d", s.StoredBytes())
+	}
+}
+
+func TestUtilizationEmptyStore(t *testing.T) {
+	s, _ := newTestStore(t, false, smallConfig())
+	if s.Utilization() != 1 {
+		t.Fatal("empty store utilization must be 1")
+	}
+}
+
+func TestSequentialFlushIsMostlySeekFree(t *testing.T) {
+	s, _ := newTestStore(t, false, DefaultConfig())
+	for i := 0; i < 5000; i++ {
+		s.Write(chunk.Meta(chunk.Of([]byte{byte(i), byte(i >> 8)}), 8192), 0)
+	}
+	s.Flush()
+	if seeks := s.Device().Stats().Seeks; seeks > 1 {
+		t.Fatalf("pure sequential ingest should need 1 seek, got %d", seeks)
+	}
+}
+
+// Property: for any sequence of chunk sizes, every returned location is
+// within its container's data section, locations never overlap, and offsets
+// are strictly increasing.
+func TestLocationDisjointnessProperty(t *testing.T) {
+	cfg := Config{DataCap: 4096, MaxChunks: 16}
+	s, _ := newTestStore(t, false, cfg)
+	var lastEnd int64 = -1
+	i := 0
+	fn := func(szRaw uint16) bool {
+		sz := uint32(szRaw%2000) + 1
+		i++
+		loc := s.Write(chunk.Meta(chunk.Of([]byte(fmt.Sprint(i))), sz), uint64(i))
+		if loc.Offset <= lastEnd-1 {
+			return false
+		}
+		lastEnd = loc.Offset + int64(loc.Size)
+		return loc.Size == sz
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	// All sealed entries round-trip through shadow metadata.
+	total := 0
+	for id := 0; id < s.NumContainers(); id++ {
+		for _, e := range s.PeekMeta(uint32(id)) {
+			total++
+			if e.Size == 0 {
+				t.Fatal("zero size entry")
+			}
+		}
+	}
+	if total != i {
+		t.Fatalf("entries %d != writes %d", total, i)
+	}
+}
+
+// Property: with a data-storing device, arbitrary chunk contents round-trip
+// bit-exactly through seal + ReadData/Extract.
+func TestDataIntegrityProperty(t *testing.T) {
+	s, _ := newTestStore(t, true, Config{DataCap: 8192, MaxChunks: 32})
+	type written struct {
+		loc  chunk.Location
+		data []byte
+	}
+	var all []written
+	fn := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		if len(data) > 4000 {
+			data = data[:4000]
+		}
+		cp := append([]byte(nil), data...)
+		all = append(all, written{s.Write(chunk.New(cp), 0), cp})
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	for k, w := range all {
+		if got := s.ReadChunk(w.loc); !bytes.Equal(got, w.data) {
+			t.Fatalf("chunk %d mismatch", k)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package core implements DeFrag, the paper's contribution (§III):
+// reducing the de-linearization of data placement by selectively *not*
+// deduplicating redundant chunks whose placement would fragment the stream.
+//
+// DeFrag runs on top of the DDFS duplicate-identification machinery
+// (engine.Resolver) but splits each segment's processing into phases:
+//
+//  1. Identify — resolve every chunk of the incoming segment Seg_m to
+//     (duplicate, stored location) or (new), paying the same lookup costs
+//     DDFS pays.
+//
+//  2. Measure — group the duplicates by the on-disk segment Seg_k holding
+//     them and compute the Spatial Locality Level (paper Eq. 2):
+//
+//     SPL(m,k) = |Seg_m ∩ Seg_k| / |Seg_m|
+//
+//  3. Place — for each k with SPL(m,k) < α, the shared chunks are NOT
+//     removed: they are rewritten to disk in stream order together with
+//     Seg_m's new unique chunks, and the chunk index is repointed at the
+//     new (linearized) copies. Chunks in high-SPL groups are deduplicated
+//     as usual.
+//
+// The α knob trades sacrificed compression for preserved spatial locality
+// (the paper evaluates α = 0.1). α = 0 degenerates to exact DDFS behaviour;
+// α just above 1 rewrites every cross-segment duplicate (no dedup across
+// segments that are not chunk-for-chunk supersets).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/chunk"
+	"repro/internal/chunker"
+	"repro/internal/cindex"
+	"repro/internal/container"
+	"repro/internal/disk"
+	"repro/internal/engine"
+	"repro/internal/segment"
+)
+
+// RewritePolicy selects how DeFrag decides which duplicates to rewrite.
+type RewritePolicy int
+
+const (
+	// PolicySPL is the paper's policy: group duplicates by the on-disk
+	// *segment* holding them and rewrite groups with SPL(m,k) < α.
+	PolicySPL RewritePolicy = iota
+	// PolicyContainer is a CBR-style alternative (after Kaczmarczyk et
+	// al., SYSTOR'12 — the paper's citation [5]): group duplicates by the
+	// on-disk *container* and rewrite groups whose share of the incoming
+	// segment is below α. Containers are the prefetch and restore
+	// granularity, so this judges locality at exactly the unit the caches
+	// operate on; the trade-off against segment granularity is measured by
+	// RunPolicyAblation.
+	PolicyContainer
+)
+
+func (p RewritePolicy) String() string {
+	switch p {
+	case PolicySPL:
+		return "spl"
+	case PolicyContainer:
+		return "container"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a DeFrag engine.
+type Config struct {
+	Alpha          float64       // SPL threshold α (paper default 0.1)
+	Policy         RewritePolicy // rewrite grouping policy (default PolicySPL)
+	Chunker        chunker.Kind
+	ChunkParams    chunker.Params
+	SegParams      segment.Params
+	ContainerCfg   container.Config
+	IndexCfg       cindex.Config
+	DiskModel      disk.Model
+	Cost           engine.CostModel
+	LPCContainers  int
+	ExpectedChunks int
+	StoreData      bool
+}
+
+// DefaultConfig mirrors ddfs.DefaultConfig with the paper's α = 0.1.
+func DefaultConfig(expectedLogicalBytes int64) Config {
+	cp := chunker.DefaultParams()
+	expChunks := int(expectedLogicalBytes/int64(cp.Target)) + 1
+	ccfg := container.DefaultConfig()
+	expContainers := int(expectedLogicalBytes/ccfg.DataCap) + 1
+	lpc := expContainers / 20
+	if lpc < 4 {
+		lpc = 4
+	}
+	return Config{
+		Alpha:          0.1,
+		Chunker:        chunker.KindGear,
+		ChunkParams:    cp,
+		SegParams:      segment.DefaultParams(),
+		ContainerCfg:   ccfg,
+		IndexCfg:       cindex.DefaultConfig(expChunks),
+		DiskModel:      disk.DefaultModel(),
+		Cost:           engine.DefaultCostModel(),
+		LPCContainers:  lpc,
+		ExpectedChunks: expChunks,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: α must be in [0,1], got %v", c.Alpha)
+	}
+	return nil
+}
+
+// Engine is the DeFrag deduplicator.
+type Engine struct {
+	cfg      Config
+	clock    *disk.Clock
+	store    *container.Store
+	resolver *engine.Resolver
+
+	oracle *cindex.Oracle
+	segSeq uint64
+}
+
+// New builds a DeFrag engine over a fresh clock.
+func New(cfg Config) (*Engine, error) {
+	return NewWithClock(cfg, &disk.Clock{})
+}
+
+// NewWithClock builds the engine over a caller-supplied clock.
+func NewWithClock(cfg Config, clock *disk.Clock) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	store, err := container.NewStore(disk.NewDevice(cfg.DiskModel, clock, cfg.StoreData), cfg.ContainerCfg)
+	if err != nil {
+		return nil, err
+	}
+	index, err := cindex.New(disk.NewDevice(cfg.DiskModel, clock, false), cfg.IndexCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		clock:    clock,
+		store:    store,
+		resolver: engine.NewResolver(index, store, cfg.LPCContainers, cfg.ExpectedChunks),
+	}, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "defrag" }
+
+// Containers implements engine.Engine.
+func (e *Engine) Containers() *container.Store { return e.store }
+
+// Clock implements engine.Engine.
+func (e *Engine) Clock() *disk.Clock { return e.clock }
+
+// Alpha returns the configured SPL threshold.
+func (e *Engine) Alpha() float64 { return e.cfg.Alpha }
+
+// Policy returns the configured rewrite-grouping policy.
+func (e *Engine) Policy() RewritePolicy { return e.cfg.Policy }
+
+// Index exposes the chunk index (tests, diagnostics).
+func (e *Engine) Index() *cindex.Index { return e.resolver.Index() }
+
+// SetOracle attaches the ground-truth oracle (see ddfs.Engine.SetOracle).
+func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
+
+// Backup implements engine.Engine.
+func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+	stats := engine.BackupStats{Label: label}
+	recipe := &chunk.Recipe{Label: label}
+	start := e.clock.Now()
+
+	logical, chunks, segs, err := engine.Pipeline(
+		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
+		e.clock, e.cfg.Cost, e.cfg.StoreData,
+		func(seg *segment.Segment) error {
+			e.processSegment(seg, recipe, &stats)
+			return nil
+		})
+	if err != nil {
+		return nil, stats, err
+	}
+	e.store.Flush()
+	e.resolver.FlushIndex()
+
+	stats.LogicalBytes = logical
+	stats.Chunks = chunks
+	stats.Segments = segs
+	stats.Duration = e.clock.Now() - start
+	return recipe, stats, nil
+}
+
+// resolution is the phase-1 outcome for one chunk of the incoming segment.
+type resolution struct {
+	loc chunk.Location
+	dup bool
+}
+
+// processSegment runs the three DeFrag phases over one segment.
+func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
+	e.segSeq++
+	segID := e.segSeq
+	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
+
+	// Phase 1: identify every chunk (no writes yet — rewrites must land in
+	// stream order together with the new unique chunks).
+	res := make([]resolution, len(seg.Chunks))
+	for i, c := range seg.Chunks {
+		loc, dup := e.resolver.Resolve(c, stats)
+		res[i] = resolution{loc: loc, dup: dup}
+	}
+
+	// Phase 2: spatial-locality measurement. Group duplicates by the
+	// configured placement unit and mark low-SPL groups for rewriting.
+	groupOf := func(r *resolution) uint64 {
+		if e.cfg.Policy == PolicyContainer {
+			return uint64(r.loc.Container) + 1 // +1 keeps container 0 distinct from "no group"
+		}
+		return r.loc.Segment
+	}
+	shared := make(map[uint64]int) // placement group → shared chunk count
+	for i := range res {
+		if res[i].dup {
+			shared[groupOf(&res[i])]++
+		}
+	}
+	total := len(seg.Chunks)
+	rewriteSeg := make(map[uint64]bool, len(shared))
+	for k, n := range shared {
+		if k == 0 {
+			continue // location with no group tag (defensive)
+		}
+		spl := float64(n) / float64(total)
+		if spl < e.cfg.Alpha {
+			rewriteSeg[k] = true
+		}
+	}
+
+	// Phase 3: place chunks in stream order. Duplicates resolving to
+	// low-SPL segments are rewritten (and the index repointed); the rest
+	// are removed by reference.
+	var removedInSeg int64
+	writtenHere := make(map[chunk.Fingerprint]chunk.Location)
+	for i, c := range seg.Chunks {
+		r := res[i]
+		switch {
+		case r.dup && !rewriteSeg[groupOf(&r)]:
+			stats.DedupedBytes += int64(c.Size)
+			stats.DedupedChunks++
+			removedInSeg += int64(c.Size)
+			recipe.Append(c.FP, c.Size, r.loc)
+
+		case r.dup: // low-SPL duplicate: rewrite for locality
+			if loc, again := writtenHere[c.FP]; again {
+				// Already rewritten earlier in this very segment; the new
+				// copy is perfectly local — reference it.
+				stats.DedupedBytes += int64(c.Size)
+				stats.DedupedChunks++
+				removedInSeg += int64(c.Size)
+				recipe.Append(c.FP, c.Size, loc)
+				break
+			}
+			loc := e.store.Write(c, segID)
+			e.resolver.Repoint(c.FP, loc)
+			e.store.MarkDead(r.loc.Container, int64(r.loc.Size))
+			writtenHere[c.FP] = loc
+			stats.RewrittenBytes += int64(c.Size)
+			stats.RewrittenChunks++
+			recipe.Append(c.FP, c.Size, loc)
+
+		default: // new unique chunk
+			if loc, again := writtenHere[c.FP]; again {
+				stats.DedupedBytes += int64(c.Size)
+				stats.DedupedChunks++
+				removedInSeg += int64(c.Size)
+				recipe.Append(c.FP, c.Size, loc)
+				break
+			}
+			loc := e.store.Write(c, segID)
+			e.resolver.RegisterNew(c.FP, loc)
+			writtenHere[c.FP] = loc
+			stats.UniqueBytes += int64(c.Size)
+			stats.UniqueChunks++
+			recipe.Append(c.FP, c.Size, loc)
+		}
+	}
+
+	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+}
+
+var _ engine.Engine = (*Engine)(nil)

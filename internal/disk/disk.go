@@ -1,0 +1,228 @@
+// Package disk provides the simulated storage substrate that all
+// performance results in this reproduction are measured against.
+//
+// The paper's three headline metrics — deduplication throughput,
+// deduplication efficiency, and data read performance — are disk-bound
+// quantities on the authors' testbed. We reproduce them with an analytic
+// timing model rather than real hardware:
+//
+//   - a Device is a log-structured, byte-addressable store with a tracked
+//     head position; any access that is not contiguous with the current
+//     position costs one seek (Model.Seek), and every byte moves at the
+//     sequential bandwidth (Model.ReadBW / Model.WriteBW). This is exactly
+//     the cost structure of the paper's Eq. 1,
+//     F(read) = N·T_seek + size/W_seq.
+//   - a Clock accumulates simulated time across all devices and the CPU
+//     cost model, so throughput = bytes / clock time.
+//
+// Devices can store real bytes (correctness tests, examples) or run
+// metadata-only (large experiments), with identical time accounting.
+package disk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model holds the physical parameters of a simulated disk.
+type Model struct {
+	Seek    time.Duration // cost of one discontiguous access (seek + rotational latency)
+	ReadBW  float64       // sequential read bandwidth, bytes/second
+	WriteBW float64       // sequential write bandwidth, bytes/second
+}
+
+// DefaultModel returns parameters representative of the paper era's backup
+// storage (a small striped array of 7.2k rpm disks): 4 ms per random access
+// and ~350/300 MB/s sequential read/write. EXPERIMENTS.md documents how these
+// calibrate the absolute throughput numbers.
+func DefaultModel() Model {
+	return Model{
+		Seek:    4 * time.Millisecond,
+		ReadBW:  350e6,
+		WriteBW: 300e6,
+	}
+}
+
+// ReadTime returns the transfer time for n sequential bytes.
+func (m Model) ReadTime(n int64) time.Duration {
+	return time.Duration(float64(n) / m.ReadBW * float64(time.Second))
+}
+
+// WriteTime returns the transfer time for n sequential bytes.
+func (m Model) WriteTime(n int64) time.Duration {
+	return time.Duration(float64(n) / m.WriteBW * float64(time.Second))
+}
+
+// Clock accumulates simulated time. One Clock is shared by every device and
+// cost source participating in an experiment.
+type Clock struct{ t time.Duration }
+
+// Advance adds d to the clock. Negative d panics: simulated time is monotone.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("disk: clock cannot go backwards")
+	}
+	c.t += d
+}
+
+// Now returns the accumulated simulated time.
+func (c *Clock) Now() time.Duration { return c.t }
+
+// Seconds returns the accumulated time in seconds.
+func (c *Clock) Seconds() float64 { return c.t.Seconds() }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.t = 0 }
+
+// Stats are cumulative per-device counters.
+type Stats struct {
+	Seeks        int64
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("seeks=%d reads=%d(%dB) writes=%d(%dB)",
+		s.Seeks, s.Reads, s.BytesRead, s.Writes, s.BytesWritten)
+}
+
+// Device is a simulated log-structured disk. Writes append at the frontier;
+// reads address any previously written range. The head position is tracked:
+// contiguous accesses are free of seeks, discontiguous ones pay Model.Seek.
+//
+// If constructed with NewDevice(model, clock, true), the device stores real
+// bytes and ReadAt returns them; otherwise only sizes and offsets are
+// tracked ("hole" mode) and ReadAt fills zeros.
+type Device struct {
+	model    Model
+	clock    *Clock
+	pos      int64 // current head position
+	frontier int64 // append point (device size so far)
+	data     []byte
+	stores   bool
+	stats    Stats
+}
+
+// NewDevice creates a device over model and clock. storeData selects whether
+// real bytes are retained.
+func NewDevice(model Model, clock *Clock, storeData bool) *Device {
+	if clock == nil {
+		panic("disk: nil clock")
+	}
+	// The head starts parked away from the log (pos -1), so the first access
+	// of any fresh device pays one seek, matching the paper's Eq. 1 where
+	// even a fully contiguous read costs 1·T_seek.
+	return &Device{model: model, clock: clock, stores: storeData, pos: -1}
+}
+
+// StoresData reports whether the device retains real bytes.
+func (d *Device) StoresData() bool { return d.stores }
+
+// Size returns the number of bytes written so far (the append frontier).
+func (d *Device) Size() int64 { return d.frontier }
+
+// Stats returns the cumulative counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Model returns the device's timing model.
+func (d *Device) Model() Model { return d.model }
+
+// Clock returns the shared clock this device charges time to.
+func (d *Device) Clock() *Clock { return d.clock }
+
+// seekTo charges a seek if the head is not already at off.
+func (d *Device) seekTo(off int64) {
+	if d.pos != off {
+		d.stats.Seeks++
+		d.clock.Advance(d.model.Seek)
+		d.pos = off
+	}
+}
+
+// Append writes p at the frontier and returns its offset.
+func (d *Device) Append(p []byte) int64 {
+	off := d.appendCommon(int64(len(p)))
+	if d.stores {
+		d.data = append(d.data, p...)
+	}
+	return off
+}
+
+// AppendHole accounts an n-byte append without storing data (metadata-only
+// mode; also valid on a storing device, where the range reads back as
+// zeros). Returns the offset.
+func (d *Device) AppendHole(n int64) int64 {
+	if n < 0 {
+		panic("disk: negative append")
+	}
+	off := d.appendCommon(n)
+	if d.stores {
+		d.data = append(d.data, make([]byte, n)...)
+	}
+	return off
+}
+
+func (d *Device) appendCommon(n int64) int64 {
+	off := d.frontier
+	d.seekTo(off)
+	d.clock.Advance(d.model.WriteTime(n))
+	d.frontier += n
+	d.pos = off + n
+	d.stats.Writes++
+	d.stats.BytesWritten += n
+	return off
+}
+
+// ReadAt reads len(p) bytes from off into p, charging seek and transfer
+// time. Reading beyond the frontier panics — it indicates a logic bug in a
+// caller, never valid input.
+func (d *Device) ReadAt(p []byte, off int64) {
+	n := int64(len(p))
+	d.accountRead(off, n)
+	if d.stores {
+		copy(p, d.data[off:off+n])
+	} else {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+}
+
+// PeekAt copies stored bytes into p without charging time or moving the
+// head. For checkers and diagnostics only; zero-fills on hole devices.
+func (d *Device) PeekAt(p []byte, off int64) {
+	n := int64(len(p))
+	if off < 0 || n < 0 || off+n > d.frontier {
+		panic(fmt.Sprintf("disk: peek [%d,%d) beyond frontier %d", off, off+n, d.frontier))
+	}
+	if d.stores {
+		copy(p, d.data[off:off+n])
+	} else {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+}
+
+// AccountRead charges the time of an n-byte read at off without returning
+// data. It is the metadata-only read path.
+func (d *Device) AccountRead(off, n int64) {
+	d.accountRead(off, n)
+}
+
+func (d *Device) accountRead(off, n int64) {
+	if off < 0 || n < 0 || off+n > d.frontier {
+		panic(fmt.Sprintf("disk: read [%d,%d) beyond frontier %d", off, off+n, d.frontier))
+	}
+	d.seekTo(off)
+	d.clock.Advance(d.model.ReadTime(n))
+	d.pos = off + n
+	d.stats.Reads++
+	d.stats.BytesRead += n
+}
+
+// Position returns the current head position (exported for tests and the
+// restore path's contiguity reasoning).
+func (d *Device) Position() int64 { return d.pos }

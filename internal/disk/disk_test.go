@@ -1,0 +1,259 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testModel() Model {
+	return Model{Seek: 10 * time.Millisecond, ReadBW: 100e6, WriteBW: 100e6}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	if c.Now() != 1500*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	if c.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", c.Seconds())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestClockMonotonePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance must panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestNewDeviceNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDevice(testModel(), nil, false)
+}
+
+func TestAppendSequentialCostsOneSeek(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, false)
+	d.Append(make([]byte, 1000))
+	d.Append(make([]byte, 1000))
+	d.Append(make([]byte, 1000))
+	st := d.Stats()
+	if st.Seeks != 1 {
+		t.Fatalf("sequential appends should seek once, got %d", st.Seeks)
+	}
+	if st.BytesWritten != 3000 || st.Writes != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want := 10*time.Millisecond + testModel().WriteTime(3000)
+	if c.Now() != want {
+		t.Fatalf("clock = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestReadBackData(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, true)
+	off1 := d.Append([]byte("hello"))
+	off2 := d.Append([]byte("world"))
+	buf := make([]byte, 5)
+	d.ReadAt(buf, off2)
+	if string(buf) != "world" {
+		t.Fatalf("read %q", buf)
+	}
+	d.ReadAt(buf, off1)
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestHoleModeReadsZeros(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, false)
+	off := d.Append([]byte("xxxx"))
+	buf := []byte{1, 2, 3, 4}
+	d.ReadAt(buf, off)
+	if !bytes.Equal(buf, make([]byte, 4)) {
+		t.Fatalf("hole mode must read zeros, got %v", buf)
+	}
+}
+
+func TestAppendHoleOnStoringDevice(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, true)
+	d.AppendHole(8)
+	off := d.Append([]byte("ab"))
+	buf := make([]byte, 2)
+	d.ReadAt(buf, off)
+	if string(buf) != "ab" {
+		t.Fatal("data after hole corrupted")
+	}
+}
+
+func TestSeekAccounting(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, false)
+	d.AppendHole(10_000)
+	c.Reset()
+	// Read three discontiguous ranges: 3 seeks.
+	d.AccountRead(0, 100)
+	d.AccountRead(5000, 100)
+	d.AccountRead(1000, 100)
+	if s := d.Stats().Seeks - 1; s != 3 { // minus the initial append seek
+		t.Fatalf("seeks = %d, want 3", s)
+	}
+	// Contiguous follow-up read: no new seek.
+	before := d.Stats().Seeks
+	d.AccountRead(1100, 100)
+	if d.Stats().Seeks != before {
+		t.Fatal("contiguous read must not seek")
+	}
+}
+
+func TestEquation1(t *testing.T) {
+	// Paper Eq. 1: reading a file stored as N scattered fragments costs
+	// N*T_seek + size/W_seq; stored contiguously it costs 1*T_seek + size/W_seq.
+	m := testModel()
+	var c Clock
+	d := NewDevice(m, &c, false)
+	const frag = 100_000
+	const n = 10
+	d.AppendHole(frag * (2*n + 1))
+	c.Reset()
+
+	// Scattered: fragments at every other slot.
+	for i := 0; i < n; i++ {
+		d.AccountRead(int64(2*i*frag), frag)
+	}
+	scattered := c.Now()
+	want := time.Duration(n)*m.Seek + m.ReadTime(n*frag)
+	if scattered != want {
+		t.Fatalf("scattered read = %v, want %v", scattered, want)
+	}
+
+	// Contiguous.
+	c.Reset()
+	d.pos = -1 // force initial seek
+	d.AccountRead(0, n*frag)
+	contiguous := c.Now()
+	wantC := m.Seek + m.ReadTime(n*frag)
+	if contiguous != wantC {
+		t.Fatalf("contiguous read = %v, want %v", contiguous, wantC)
+	}
+	if scattered-m.ReadTime(n*frag) != time.Duration(n)*(m.Seek) {
+		t.Fatal("seek component must be N*Tseek")
+	}
+}
+
+func TestReadBeyondFrontierPanics(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, false)
+	d.AppendHole(100)
+	for _, r := range [][2]int64{{50, 100}, {-1, 10}, {0, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("read [%d,+%d) should panic", r[0], r[1])
+				}
+			}()
+			d.AccountRead(r[0], r[1])
+		}()
+	}
+}
+
+func TestNegativeAppendPanics(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	d.AppendHole(-1)
+}
+
+func TestModelTimes(t *testing.T) {
+	m := Model{Seek: time.Millisecond, ReadBW: 1e6, WriteBW: 2e6}
+	if m.ReadTime(1e6) != time.Second {
+		t.Fatalf("ReadTime = %v", m.ReadTime(1e6))
+	}
+	if m.WriteTime(1e6) != 500*time.Millisecond {
+		t.Fatalf("WriteTime = %v", m.WriteTime(1e6))
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := DefaultModel()
+	if m.Seek <= 0 || m.ReadBW <= 0 || m.WriteBW <= 0 {
+		t.Fatalf("default model not positive: %+v", m)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Seeks: 1, Reads: 2, Writes: 3, BytesRead: 4, BytesWritten: 5}
+	if s.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+// Property: device data integrity — whatever is appended reads back intact
+// regardless of interleaving, and offsets are strictly increasing.
+func TestAppendReadProperty(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, true)
+	var frontier int64
+	fn := func(data []byte) bool {
+		off := d.Append(data)
+		if off != frontier {
+			return false
+		}
+		frontier += int64(len(data))
+		got := make([]byte, len(data))
+		d.ReadAt(got, off)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time accounting matches first principles for any access pattern:
+// clock total = seeks*Seek + bytesRead/ReadBW + bytesWritten/WriteBW.
+func TestTimeAccountingProperty(t *testing.T) {
+	m := testModel()
+	var c Clock
+	d := NewDevice(m, &c, false)
+	d.AppendHole(1 << 20)
+	fn := func(off uint32, n uint16) bool {
+		o := int64(off) % (1 << 20)
+		sz := int64(n)
+		if o+sz > 1<<20 {
+			sz = 1<<20 - o
+		}
+		d.AccountRead(o, sz)
+		st := d.Stats()
+		want := time.Duration(st.Seeks)*m.Seek + m.ReadTime(st.BytesRead) + m.WriteTime(st.BytesWritten)
+		diff := c.Now() - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Duration(st.Reads+st.Writes+2) // rounding slack: <1ns per op
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package ddfs implements the "DDFS-Like" engine: the deduplication
+// approach of Zhu et al. (FAST'08) as the paper summarizes it, built from
+// three RAM-side mechanisms in front of the on-disk full chunk index:
+//
+//  1. Summary vector — a Bloom filter over all stored fingerprints; most new
+//     chunks are declared unique without touching disk.
+//  2. Stream-informed layout — new chunks are packed into containers in
+//     arrival order (internal/container).
+//  3. Locality-preserved caching (LPC) — when a duplicate is found via the
+//     on-disk index, the metadata of its whole container is prefetched into
+//     a RAM cache, so the duplicates that follow it in the stream (spatial
+//     locality!) are resolved for free.
+//
+// The engine's throughput therefore degrades exactly the way the paper's
+// Fig. 2 shows: as earlier generations scatter a stream's duplicate chunks
+// over many containers, each prefetched container yields fewer future hits,
+// and the per-chunk probability of paying an index lookup + metadata
+// prefetch (two seeks) climbs.
+//
+// The lookup machinery itself lives in engine.Resolver, shared with DeFrag.
+package ddfs
+
+import (
+	"io"
+
+	"repro/internal/chunk"
+	"repro/internal/chunker"
+	"repro/internal/cindex"
+	"repro/internal/container"
+	"repro/internal/disk"
+	"repro/internal/engine"
+	"repro/internal/segment"
+)
+
+// Config parameterizes a DDFS-Like engine.
+type Config struct {
+	Chunker        chunker.Kind
+	ChunkParams    chunker.Params
+	SegParams      segment.Params
+	ContainerCfg   container.Config
+	IndexCfg       cindex.Config
+	DiskModel      disk.Model
+	Cost           engine.CostModel
+	LPCContainers  int  // locality-preserved cache capacity, in containers
+	ExpectedChunks int  // Bloom filter sizing
+	StoreData      bool // retain real chunk bytes (correctness mode)
+}
+
+// DefaultConfig sizes an engine for roughly expectedLogicalBytes of total
+// ingested data across all generations. The LPC and index page cache are
+// deliberately small relative to the data (see DESIGN.md §5): the
+// experiments reproduce a regime where RAM covers only a sliver of the
+// chunk population.
+func DefaultConfig(expectedLogicalBytes int64) Config {
+	cp := chunker.DefaultParams()
+	expChunks := int(expectedLogicalBytes/int64(cp.Target)) + 1
+	ccfg := container.DefaultConfig()
+	expContainers := int(expectedLogicalBytes/ccfg.DataCap) + 1
+	lpc := expContainers / 20
+	if lpc < 4 {
+		lpc = 4
+	}
+	return Config{
+		Chunker:        chunker.KindGear,
+		ChunkParams:    cp,
+		SegParams:      segment.DefaultParams(),
+		ContainerCfg:   ccfg,
+		IndexCfg:       cindex.DefaultConfig(expChunks),
+		DiskModel:      disk.DefaultModel(),
+		Cost:           engine.DefaultCostModel(),
+		LPCContainers:  lpc,
+		ExpectedChunks: expChunks,
+	}
+}
+
+// Engine is the DDFS-Like deduplicator.
+type Engine struct {
+	cfg      Config
+	clock    *disk.Clock
+	store    *container.Store
+	resolver *engine.Resolver
+
+	oracle *cindex.Oracle // optional ground-truth observer
+	segSeq uint64         // global on-disk segment counter
+}
+
+// New builds a DDFS-Like engine with its own devices over a fresh clock.
+func New(cfg Config) (*Engine, error) {
+	return NewWithClock(cfg, &disk.Clock{})
+}
+
+// NewWithClock builds the engine over a caller-supplied clock (used when an
+// experiment wants several engines to share a timeline; engines never share
+// devices).
+func NewWithClock(cfg Config, clock *disk.Clock) (*Engine, error) {
+	store, err := container.NewStore(disk.NewDevice(cfg.DiskModel, clock, cfg.StoreData), cfg.ContainerCfg)
+	if err != nil {
+		return nil, err
+	}
+	index, err := cindex.New(disk.NewDevice(cfg.DiskModel, clock, false), cfg.IndexCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		clock:    clock,
+		store:    store,
+		resolver: engine.NewResolver(index, store, cfg.LPCContainers, cfg.ExpectedChunks),
+	}, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "ddfs-like" }
+
+// Containers implements engine.Engine.
+func (e *Engine) Containers() *container.Store { return e.store }
+
+// Clock implements engine.Engine.
+func (e *Engine) Clock() *disk.Clock { return e.clock }
+
+// Index exposes the chunk index (tests, diagnostics).
+func (e *Engine) Index() *cindex.Index { return e.resolver.Index() }
+
+// SetOracle attaches a ground-truth oracle; subsequent backups fill the
+// Oracle* fields of their BackupStats. The oracle must observe every stream
+// an experiment ingests, so share one oracle across an engine's lifetime.
+func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
+
+// Backup implements engine.Engine.
+func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+	stats := engine.BackupStats{Label: label}
+	recipe := &chunk.Recipe{Label: label}
+	start := e.clock.Now()
+
+	logical, chunks, segs, err := engine.Pipeline(
+		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
+		e.clock, e.cfg.Cost, e.cfg.StoreData,
+		func(seg *segment.Segment) error {
+			e.processSegment(seg, recipe, &stats)
+			return nil
+		})
+	if err != nil {
+		return nil, stats, err
+	}
+	e.store.Flush()
+	e.resolver.FlushIndex()
+
+	stats.LogicalBytes = logical
+	stats.Chunks = chunks
+	stats.Segments = segs
+	stats.Duration = e.clock.Now() - start
+	return recipe, stats, nil
+}
+
+// processSegment deduplicates one segment chunk by chunk.
+func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
+	e.segSeq++
+	segID := e.segSeq
+	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
+	var removedInSeg int64
+	for _, c := range seg.Chunks {
+		loc, dup := e.resolver.Resolve(c, stats)
+		if dup {
+			stats.DedupedBytes += int64(c.Size)
+			stats.DedupedChunks++
+			removedInSeg += int64(c.Size)
+		} else {
+			loc = e.store.Write(c, segID)
+			e.resolver.RegisterNew(c.FP, loc)
+			stats.UniqueBytes += int64(c.Size)
+			stats.UniqueChunks++
+		}
+		recipe.Append(c.FP, c.Size, loc)
+	}
+	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+}
+
+var _ engine.Engine = (*Engine)(nil)

@@ -1,0 +1,169 @@
+package ddfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cindex"
+	"repro/internal/enginetest"
+)
+
+func testConfig(storeData bool) Config {
+	cfg := DefaultConfig(64 << 20)
+	cfg.StoreData = storeData
+	return cfg
+}
+
+func randStream(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestAllUniqueBackup(t *testing.T) {
+	e, err := New(testConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randStream(4<<20, 1)
+	_, st, err := e.Backup("g0", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginetest.CheckConservation(t, st)
+	if st.DedupedBytes != 0 {
+		t.Fatalf("random stream must not dedupe, got %d", st.DedupedBytes)
+	}
+	if st.UniqueBytes != int64(len(data)) {
+		t.Fatalf("UniqueBytes = %d, want %d", st.UniqueBytes, len(data))
+	}
+	// Summary vector: almost no index lookups for new data (only Bloom
+	// false positives).
+	if st.IndexLookups > st.Chunks/50 {
+		t.Fatalf("too many index lookups for unique data: %d of %d chunks", st.IndexLookups, st.Chunks)
+	}
+}
+
+func TestIdenticalSecondBackupFullyDedupes(t *testing.T) {
+	e, _ := New(testConfig(false))
+	data := randStream(4<<20, 2)
+	_, st1, err := e.Backup("g0", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, st2, err := e.Backup("g1", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.DedupedBytes != st1.LogicalBytes {
+		t.Fatalf("identical re-backup should fully dedupe: %d of %d", st2.DedupedBytes, st1.LogicalBytes)
+	}
+	if st2.UniqueBytes != 0 {
+		t.Fatalf("UniqueBytes = %d on identical data", st2.UniqueBytes)
+	}
+	// Locality-preserved caching: one index lookup + prefetch per
+	// container, not per chunk.
+	if st2.IndexLookups > int64(e.Containers().NumContainers()+4) {
+		t.Fatalf("LPC failed: %d index lookups for %d containers",
+			st2.IndexLookups, e.Containers().NumContainers())
+	}
+	if rec.Len() == 0 || rec.Bytes() != int64(len(data)) {
+		t.Fatalf("recipe wrong: %d refs, %d bytes", rec.Len(), rec.Bytes())
+	}
+}
+
+func TestSecondBackupIsFasterThanFirst(t *testing.T) {
+	e, _ := New(testConfig(false))
+	data := randStream(8<<20, 3)
+	_, st1, _ := e.Backup("g0", bytes.NewReader(data))
+	_, st2, _ := e.Backup("g1", bytes.NewReader(data))
+	if st2.ThroughputMBps() <= st1.ThroughputMBps() {
+		t.Fatalf("dedup of identical data should beat first write: %.1f <= %.1f",
+			st2.ThroughputMBps(), st1.ThroughputMBps())
+	}
+}
+
+func TestGenerationsConserveAndRestore(t *testing.T) {
+	cfg := testConfig(true)
+	e, _ := New(cfg)
+	gens := enginetest.RunGenerations(t, e, enginetest.SmallConfig(7), 5)
+	enginetest.VerifyRestores(t, e, gens)
+}
+
+func TestThroughputDegradesWithGenerations(t *testing.T) {
+	// The Fig. 2 dynamic at test scale: average throughput over the last
+	// three generations is below the average of generations 1-3.
+	wcfg := enginetest.SmallConfig(11)
+	e, _ := New(DefaultConfig(enginetest.ExpectedBytes(wcfg, 14)))
+	gens := enginetest.RunGenerations(t, e, wcfg, 14)
+	early := (gens[1].Stats.ThroughputMBps() + gens[2].Stats.ThroughputMBps() + gens[3].Stats.ThroughputMBps()) / 3
+	late := (gens[11].Stats.ThroughputMBps() + gens[12].Stats.ThroughputMBps() + gens[13].Stats.ThroughputMBps()) / 3
+	if late >= early {
+		t.Fatalf("throughput should degrade: early %.1f, late %.1f MB/s", early, late)
+	}
+}
+
+func TestFragmentationGrowsWithGenerations(t *testing.T) {
+	wcfg := enginetest.SmallConfig(13)
+	e, _ := New(DefaultConfig(enginetest.ExpectedBytes(wcfg, 10)))
+	gens := enginetest.RunGenerations(t, e, wcfg, 10)
+	if first, last := gens[0].Recipe.Fragments(), gens[9].Recipe.Fragments(); last <= first*2 {
+		t.Fatalf("de-linearization should grow fragments: gen0 %d, gen9 %d", first, last)
+	}
+}
+
+func TestOracleAgreesWithExactDedup(t *testing.T) {
+	// DDFS is exact: its removed bytes must equal the oracle's redundancy.
+	e, _ := New(testConfig(false))
+	e.SetOracle(cindex.NewOracle())
+	gens := enginetest.RunGenerations(t, e, enginetest.SmallConfig(17), 4)
+	for g, gr := range gens {
+		if gr.Stats.DedupedBytes != gr.Stats.OracleRedundantBytes {
+			t.Fatalf("gen %d: exact dedup removed %d != oracle %d",
+				g, gr.Stats.DedupedBytes, gr.Stats.OracleRedundantBytes)
+		}
+		if g > 0 && gr.Stats.Efficiency() != 1 {
+			t.Fatalf("gen %d: exact engine efficiency = %v, want 1", g, gr.Stats.Efficiency())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		e, _ := New(testConfig(false))
+		gens := enginetest.RunGenerations(t, e, enginetest.SmallConfig(19), 3)
+		last := gens[2].Stats
+		return last.UniqueBytes, int64(last.Duration)
+	}
+	u1, d1 := run()
+	u2, d2 := run()
+	if u1 != u2 || d1 != d2 {
+		t.Fatalf("engine not deterministic: (%d,%d) vs (%d,%d)", u1, d1, u2, d2)
+	}
+}
+
+func TestNameAndAccessors(t *testing.T) {
+	e, _ := New(testConfig(false))
+	if e.Name() != "ddfs-like" {
+		t.Fatal("name")
+	}
+	if e.Containers() == nil || e.Clock() == nil || e.Index() == nil {
+		t.Fatal("nil accessors")
+	}
+}
+
+func TestDefaultConfigScaling(t *testing.T) {
+	small := DefaultConfig(16 << 20)
+	big := DefaultConfig(16 << 30)
+	if big.LPCContainers <= small.LPCContainers {
+		t.Fatal("LPC must scale with corpus size")
+	}
+	if big.ExpectedChunks <= small.ExpectedChunks {
+		t.Fatal("bloom sizing must scale")
+	}
+	if small.LPCContainers < 4 {
+		t.Fatal("LPC floor")
+	}
+}

@@ -1,0 +1,191 @@
+// Package engine defines the interface shared by the deduplication engines
+// (DDFS-Like, SiLo-Like, Sparse-Indexing, iDedup, DeFrag) plus the common
+// backup pipeline:
+// stream → CDC chunks → fingerprints → content-defined segments → the
+// engine's per-segment dedup logic.
+//
+// Time accounting: the pipeline charges CPU cost (chunking + SHA-256 at
+// CostModel.CPUBandwidth) and each engine charges its own disk costs through
+// the shared disk.Clock. A backup's throughput is logical bytes divided by
+// the clock delta across the backup.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/chunker"
+	"repro/internal/container"
+	"repro/internal/disk"
+	"repro/internal/segment"
+)
+
+// CostModel holds the CPU-side cost parameters.
+type CostModel struct {
+	// CPUBandwidth is the modeled pipeline rate (bytes/second) of chunking
+	// plus fingerprinting plus in-RAM bookkeeping.
+	CPUBandwidth float64
+	// Workers > 1 fans the fingerprinting stage out across goroutines
+	// (see ParallelPipeline). This accelerates the simulation's own wall
+	// clock; the modeled CPU charge is unchanged — a system that also
+	// parallelizes its modeled CPU raises CPUBandwidth to match.
+	Workers int
+}
+
+// DefaultCostModel returns 750 MB/s, calibrated so that a first-generation
+// (all-unique) backup under DDFS lands at the paper's ~213 MB/s:
+// 1/(1/750 + 1/300 write) ≈ 214 MB/s. See EXPERIMENTS.md.
+func DefaultCostModel() CostModel { return CostModel{CPUBandwidth: 750e6} }
+
+// ChargeCPU advances the clock by the CPU time for n bytes.
+func (m CostModel) ChargeCPU(clock *disk.Clock, n int64) {
+	clock.Advance(time.Duration(float64(n) / m.CPUBandwidth * float64(time.Second)))
+}
+
+// BackupStats summarizes one backup generation through one engine.
+type BackupStats struct {
+	Label        string
+	LogicalBytes int64 // bytes of the incoming stream
+	Chunks       int64
+	Segments     int64
+
+	UniqueBytes     int64 // new unique chunk bytes written
+	UniqueChunks    int64
+	DedupedBytes    int64 // redundant bytes removed (referenced, not written)
+	DedupedChunks   int64
+	RewrittenBytes  int64 // redundant bytes deliberately written anyway
+	RewrittenChunks int64
+	MissedDupBytes  int64 // redundant bytes the engine failed to detect (SiLo)
+
+	Duration time.Duration // simulated time consumed by this backup
+
+	// Ground-truth fields, filled only when the engine was given an oracle
+	// (engines expose SetOracle). The oracle is measurement apparatus — it
+	// charges no simulated time and influences no engine decision.
+	OracleRedundantBytes  int64 // bytes whose fingerprint was stored before (exact)
+	PartialRedundantBytes int64 // oracle-redundant bytes within partially-redundant segments
+	RemovedInPartialBytes int64 // bytes the engine actually removed within those segments
+
+	// Mechanism counters (engine-specific ones stay zero elsewhere).
+	IndexLookups   int64 // charged full-index lookups
+	MetaPrefetches int64 // container-metadata prefetch reads (DDFS/DeFrag)
+	CacheHits      int64 // dup chunks resolved from the RAM locality cache
+	BlockReads     int64 // block-metadata reads (SiLo)
+	SHTHits        int64 // similar-segment detections (SiLo)
+}
+
+// ThroughputMBps returns the backup throughput in MB/s (10^6 bytes/s).
+func (s BackupStats) ThroughputMBps() float64 {
+	sec := s.Duration.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / sec / 1e6
+}
+
+// WrittenBytes returns the physical chunk-data bytes this backup added.
+func (s BackupStats) WrittenBytes() int64 { return s.UniqueBytes + s.RewrittenBytes }
+
+func (s BackupStats) String() string {
+	return fmt.Sprintf("%s: %.1f MB logical, %.1f MB/s, unique %.1f MB, deduped %.1f MB, rewritten %.1f MB",
+		s.Label, float64(s.LogicalBytes)/1e6, s.ThroughputMBps(),
+		float64(s.UniqueBytes)/1e6, float64(s.DedupedBytes)/1e6, float64(s.RewrittenBytes)/1e6)
+}
+
+// Efficiency returns the paper's Fig. 3/Fig. 5 deduplication-efficiency
+// metric for this backup: redundant bytes removed divided by redundant
+// bytes present, restricted to partially-redundant segments (see DESIGN.md).
+// It returns 1 when the restricted denominator is zero (nothing to miss) and
+// 0 when no oracle was attached.
+func (s BackupStats) Efficiency() float64 {
+	if s.OracleRedundantBytes == 0 {
+		return 0
+	}
+	if s.PartialRedundantBytes == 0 {
+		return 1
+	}
+	eff := float64(s.RemovedInPartialBytes) / float64(s.PartialRedundantBytes)
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// Engine is one deduplication approach.
+type Engine interface {
+	// Name identifies the engine ("ddfs-like", "silo-like", "defrag").
+	Name() string
+	// Backup deduplicates one full-backup stream, returning the recipe that
+	// restores it and per-backup statistics.
+	Backup(label string, r io.Reader) (*chunk.Recipe, BackupStats, error)
+	// Containers exposes the engine's container store for restores.
+	Containers() *container.Store
+	// Clock exposes the shared simulated clock.
+	Clock() *disk.Clock
+}
+
+// Pipeline runs the shared front half of a backup — chunking, hashing, CPU
+// charging, segmenting — and hands each completed segment to process. It
+// returns the logical byte count and chunk/segment counts. When
+// cost.Workers > 1 the fingerprinting stage runs on a worker pool
+// (ParallelPipeline); results are identical either way.
+//
+// keepData controls whether chunk bytes are retained into the segments
+// (true when the engine's container device stores data).
+func Pipeline(
+	r io.Reader,
+	kind chunker.Kind,
+	cp chunker.Params,
+	sp segment.Params,
+	clock *disk.Clock,
+	cost CostModel,
+	keepData bool,
+	process func(*segment.Segment) error,
+) (logicalBytes, chunks, segments int64, err error) {
+	if cost.Workers > 1 {
+		return ParallelPipeline(r, kind, cp, sp, clock, cost, keepData, cost.Workers, process)
+	}
+	ck, err := chunker.New(kind, r, cp)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sg, err := segment.New(sp)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	emit := func(seg *segment.Segment) error {
+		if seg == nil {
+			return nil
+		}
+		segments++
+		return process(seg)
+	}
+	for {
+		raw, cerr := ck.Next()
+		if cerr == io.EOF {
+			break
+		}
+		if cerr != nil {
+			return logicalBytes, chunks, segments, cerr
+		}
+		var c chunk.Chunk
+		if keepData {
+			c = chunk.New(append([]byte(nil), raw...))
+		} else {
+			c = chunk.New(raw)
+			c.Data = nil
+		}
+		cost.ChargeCPU(clock, int64(c.Size))
+		logicalBytes += int64(c.Size)
+		chunks++
+		if err := emit(sg.Add(c)); err != nil {
+			return logicalBytes, chunks, segments, err
+		}
+	}
+	if err := emit(sg.Finish()); err != nil {
+		return logicalBytes, chunks, segments, err
+	}
+	return logicalBytes, chunks, segments, nil
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/chunker"
+	"repro/internal/disk"
+	"repro/internal/segment"
+)
+
+// ParallelPipeline is Pipeline with the fingerprinting stage fanned out
+// across worker goroutines (the P-Dedupe idea the paper's venue literature
+// describes: chunking is sequential by nature, hashing is embarrassingly
+// parallel, dedup decisions must stay in stream order).
+//
+// Structure:
+//
+//	chunker (sequential) → [workers × SHA-256] → ordered merge →
+//	segmenter → process (sequential)
+//
+// The simulated-time accounting is identical to Pipeline — the CPU cost
+// model charges the same bytes; parallelism buys real wall-clock time for
+// the simulation itself, not simulated time (a real system would also
+// divide the modeled CPU term, which the CostModel caller can express by
+// raising CPUBandwidth). Results are bit-identical to Pipeline for the
+// same input.
+func ParallelPipeline(
+	r io.Reader,
+	kind chunker.Kind,
+	cp chunker.Params,
+	sp segment.Params,
+	clock *disk.Clock,
+	cost CostModel,
+	keepData bool,
+	workers int,
+	process func(*segment.Segment) error,
+) (logicalBytes, chunks, segments int64, err error) {
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		// One lane (or a single-core host): the worker machinery is pure
+		// overhead — run the serial pipeline.
+		serial := cost
+		serial.Workers = 0
+		return Pipeline(r, kind, cp, sp, clock, serial, keepData, process)
+	}
+	cost.Workers = 0 // the charge below is already per-chunk; avoid re-dispatch
+
+	ck, err := chunker.New(kind, r, cp)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sg, err := segment.New(sp)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Chunks are hashed in batches: SHA-256 of an 8 KiB chunk is far
+	// cheaper than a channel round trip, so per-chunk handoff would make
+	// the pool slower than the serial loop.
+	const batchChunks = 64
+	type job struct {
+		data []byte // concatenated chunk bytes
+		ends []int  // end offset of each chunk within data
+		out  chan []chunk.Chunk
+	}
+	// Bounded queue: the chunker stays ahead of the hashers without
+	// buffering the whole stream.
+	jobs := make(chan job, workers*2)
+	// Order-preserving handoff: each job carries its own result channel;
+	// the consumer reads jobs' channels in submission order.
+	pending := make(chan chan []chunk.Chunk, workers*2)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out := make([]chunk.Chunk, len(j.ends))
+				start := 0
+				for i, end := range j.ends {
+					c := chunk.New(j.data[start:end])
+					if !keepData {
+						c.Data = nil
+					}
+					out[i] = c
+					start = end
+				}
+				j.out <- out
+			}
+		}()
+	}
+
+	var chunkErr error
+	go func() {
+		defer close(jobs)
+		defer close(pending)
+		cur := job{out: make(chan []chunk.Chunk, 1)}
+		flush := func() {
+			if len(cur.ends) == 0 {
+				return
+			}
+			pending <- cur.out
+			jobs <- cur
+			cur = job{out: make(chan []chunk.Chunk, 1)}
+		}
+		for {
+			raw, cerr := ck.Next()
+			if cerr == io.EOF {
+				flush()
+				return
+			}
+			if cerr != nil {
+				flush()
+				chunkErr = cerr
+				return
+			}
+			// The chunker reuses its buffer; the job owns a copy.
+			cur.data = append(cur.data, raw...)
+			cur.ends = append(cur.ends, len(cur.data))
+			if len(cur.ends) >= batchChunks {
+				flush()
+			}
+		}
+	}()
+
+	emit := func(seg *segment.Segment) error {
+		if seg == nil {
+			return nil
+		}
+		segments++
+		return process(seg)
+	}
+	abort := func(err error) (int64, int64, int64, error) {
+		// Drain the producer so goroutines exit before returning.
+		go func() {
+			for range pending {
+			}
+		}()
+		wg.Wait()
+		return logicalBytes, chunks, segments, err
+	}
+	for out := range pending {
+		for _, c := range <-out {
+			cost.ChargeCPU(clock, int64(c.Size))
+			logicalBytes += int64(c.Size)
+			chunks++
+			if err := emit(sg.Add(c)); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	wg.Wait()
+	if chunkErr != nil {
+		return logicalBytes, chunks, segments, chunkErr
+	}
+	if err := emit(sg.Finish()); err != nil {
+		return logicalBytes, chunks, segments, err
+	}
+	return logicalBytes, chunks, segments, nil
+}

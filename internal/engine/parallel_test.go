@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/chunker"
+	"repro/internal/disk"
+	"repro/internal/segment"
+)
+
+// runPipeline collects everything a pipeline run produces, for equivalence
+// comparison.
+type pipelineTrace struct {
+	logical, chunks, segments int64
+	clock                     disk.Clock
+	fps                       []chunk.Fingerprint
+	segSizes                  []int64
+}
+
+func tracePipeline(t *testing.T, data []byte, workers int, keepData bool) *pipelineTrace {
+	t.Helper()
+	tr := &pipelineTrace{}
+	cost := DefaultCostModel()
+	cost.Workers = workers
+	var err error
+	tr.logical, tr.chunks, tr.segments, err = Pipeline(
+		bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
+		segment.DefaultParams(), &tr.clock, cost, keepData,
+		func(s *segment.Segment) error {
+			tr.segSizes = append(tr.segSizes, s.Bytes)
+			for _, c := range s.Chunks {
+				tr.fps = append(tr.fps, c.FP)
+				if keepData && c.Data == nil {
+					t.Fatal("keepData lost")
+				}
+				if !keepData && c.Data != nil {
+					t.Fatal("data should be dropped")
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// forceParallel raises GOMAXPROCS so the concurrent path actually runs
+// even on single-core hosts (the pipeline clamps workers to GOMAXPROCS).
+func forceParallel(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestParallelPipelineEquivalence(t *testing.T) {
+	forceParallel(t)
+	data := randBytes(6<<20, 1)
+	serial := tracePipeline(t, data, 0, false)
+	for _, workers := range []int{2, 4, 8} {
+		par := tracePipeline(t, data, workers, false)
+		if par.logical != serial.logical || par.chunks != serial.chunks || par.segments != serial.segments {
+			t.Fatalf("workers=%d counters differ: %+v vs %+v", workers, par, serial)
+		}
+		if par.clock.Now() != serial.clock.Now() {
+			t.Fatalf("workers=%d simulated time differs: %v vs %v", workers, par.clock.Now(), serial.clock.Now())
+		}
+		if len(par.fps) != len(serial.fps) {
+			t.Fatalf("workers=%d chunk count differs", workers)
+		}
+		for i := range par.fps {
+			if par.fps[i] != serial.fps[i] {
+				t.Fatalf("workers=%d chunk %d out of order", workers, i)
+			}
+		}
+		for i := range par.segSizes {
+			if par.segSizes[i] != serial.segSizes[i] {
+				t.Fatalf("workers=%d segment %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelPipelineKeepData(t *testing.T) {
+	forceParallel(t)
+	data := randBytes(2<<20, 2)
+	var rebuilt []byte
+	cost := DefaultCostModel()
+	cost.Workers = 4
+	var clk disk.Clock
+	_, _, _, err := Pipeline(
+		bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
+		segment.DefaultParams(), &clk, cost, true,
+		func(s *segment.Segment) error {
+			for _, c := range s.Chunks {
+				if chunk.Of(c.Data) != c.FP {
+					t.Fatal("fingerprint mismatch")
+				}
+				rebuilt = append(rebuilt, c.Data...)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt, data) {
+		t.Fatal("parallel pipeline corrupted the stream")
+	}
+}
+
+func TestParallelPipelineErrorPropagation(t *testing.T) {
+	forceParallel(t)
+	cost := DefaultCostModel()
+	cost.Workers = 4
+	var clk disk.Clock
+	_, _, _, err := Pipeline(
+		failReader{}, chunker.KindGear, chunker.DefaultParams(),
+		segment.DefaultParams(), &clk, cost, false,
+		func(*segment.Segment) error { return nil })
+	if err != io.ErrClosedPipe {
+		t.Fatalf("err = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestParallelPipelineProcessError(t *testing.T) {
+	forceParallel(t)
+	cost := DefaultCostModel()
+	cost.Workers = 4
+	var clk disk.Clock
+	sentinel := io.ErrShortWrite
+	_, _, _, err := Pipeline(
+		bytes.NewReader(randBytes(4<<20, 3)), chunker.KindGear, chunker.DefaultParams(),
+		segment.DefaultParams(), &clk, cost, false,
+		func(*segment.Segment) error { return sentinel })
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func BenchmarkPipelineSerial(b *testing.B) {
+	benchPipeline(b, 0)
+}
+
+func BenchmarkPipelineParallel4(b *testing.B) {
+	benchPipeline(b, 4)
+}
+
+func benchPipeline(b *testing.B, workers int) {
+	data := randBytes(16<<20, 7)
+	cost := DefaultCostModel()
+	cost.Workers = workers
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var clk disk.Clock
+		_, _, _, err := Pipeline(
+			bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
+			segment.DefaultParams(), &clk, cost, false,
+			func(*segment.Segment) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"repro/internal/bloom"
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/container"
+	"repro/internal/lru"
+)
+
+// Resolver is the DDFS duplicate-identification machinery — summary vector
+// (Bloom filter), on-disk full chunk index, and locality-preserved cache of
+// container metadata — shared by the DDFS-Like engine and by DeFrag (whose
+// §III-B design "works after finding out all the redundant data chunks and
+// the correlated locations", i.e. on top of exactly this machinery).
+type Resolver struct {
+	filter *bloom.Filter
+	index  *cindex.Index
+	store  *container.Store
+
+	lpc    *lru.Cache[uint32, []container.Meta]
+	lpcFPs map[chunk.Fingerprint]lpcEntry
+
+	// current holds the authoritative location of every chunk that Repoint
+	// has moved (DeFrag's rewrite path). Container metadata is immutable, so
+	// a cached container can serve stale locations for chunks whose newest
+	// copy is a rewritten one; DeFrag's whole benefit depends on resolving
+	// to the newest (linearized) copy, so this RAM-side current-location
+	// table is consulted before the LPC. It only ever holds rewritten
+	// chunks — it stays empty under plain DDFS.
+	current map[chunk.Fingerprint]chunk.Location
+}
+
+type lpcEntry struct {
+	loc chunk.Location
+	cid uint32
+}
+
+// NewResolver builds the machinery over an existing index and container
+// store. lpcContainers sizes the locality-preserved cache; expectedChunks
+// sizes the Bloom filter.
+func NewResolver(index *cindex.Index, store *container.Store, lpcContainers, expectedChunks int) *Resolver {
+	if lpcContainers < 1 {
+		lpcContainers = 1
+	}
+	if expectedChunks < 1 {
+		expectedChunks = 1
+	}
+	r := &Resolver{
+		filter:  bloom.New(expectedChunks, 0.01),
+		index:   index,
+		store:   store,
+		lpc:     lru.New[uint32, []container.Meta](lpcContainers),
+		lpcFPs:  make(map[chunk.Fingerprint]lpcEntry, 4096),
+		current: make(map[chunk.Fingerprint]chunk.Location),
+	}
+	r.lpc.OnEvict(func(cid uint32, metas []container.Meta) {
+		for _, m := range metas {
+			if ent, ok := r.lpcFPs[m.FP]; ok && ent.cid == cid {
+				delete(r.lpcFPs, m.FP)
+			}
+		}
+	})
+	return r
+}
+
+// Resolve decides whether c is a duplicate, charging the costs of the DDFS
+// lookup path (free RAM checks; on LPC miss with positive summary vector,
+// one index page read; on index hit, one container-metadata prefetch). It
+// returns the stored location when c is a duplicate.
+func (r *Resolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Location, bool) {
+	// 0. Current-location table (RAM, free): chunks whose newest copy is a
+	// DeFrag rewrite resolve to the linearized placement, never a stale
+	// container-metadata entry.
+	if loc, ok := r.current[c.FP]; ok {
+		stats.CacheHits++
+		return loc, true
+	}
+	// 1. Locality-preserved cache (RAM, free).
+	if ent, ok := r.lpcFPs[c.FP]; ok {
+		stats.CacheHits++
+		r.lpc.Get(ent.cid) // refresh recency of the containing container
+		return ent.loc, true
+	}
+	// 2. Summary vector (RAM, free). Negative → definitely new.
+	if !r.filter.MayContain(c.FP) {
+		return chunk.Location{}, false
+	}
+	// 3. Full index on disk (charged).
+	stats.IndexLookups++
+	loc, found := r.index.Lookup(c.FP)
+	if !found {
+		return chunk.Location{}, false // Bloom false positive
+	}
+	// 4. Locality-preserved caching: prefetch the whole container's
+	// metadata (charged) so the duplicates that follow in the stream
+	// resolve from RAM.
+	if r.store.Sealed(loc.Container) && !r.lpc.Contains(loc.Container) {
+		stats.MetaPrefetches++
+		r.insertLPC(loc.Container, r.store.ReadMeta(loc.Container))
+	}
+	return loc, true
+}
+
+func (r *Resolver) insertLPC(cid uint32, metas []container.Meta) {
+	r.lpc.Put(cid, metas)
+	for _, m := range metas {
+		r.lpcFPs[m.FP] = lpcEntry{
+			loc: chunk.Location{Container: cid, Segment: m.Segment, Offset: m.Offset, Size: m.Size},
+			cid: cid,
+		}
+	}
+}
+
+// RegisterNew records a newly written chunk in the index and summary vector.
+func (r *Resolver) RegisterNew(fp chunk.Fingerprint, loc chunk.Location) {
+	r.index.Insert(fp, loc)
+	r.filter.Add(fp)
+}
+
+// Repoint updates the index to a chunk's newest copy (the DeFrag rewrite
+// path) so future generations dedupe against the linearized placement.
+func (r *Resolver) Repoint(fp chunk.Fingerprint, loc chunk.Location) {
+	r.index.Update(fp, loc)
+	r.current[fp] = loc
+}
+
+// FlushIndex flushes buffered index writes (end of stream).
+func (r *Resolver) FlushIndex() { r.index.Flush() }
+
+// Index exposes the underlying chunk index.
+func (r *Resolver) Index() *cindex.Index { return r.index }

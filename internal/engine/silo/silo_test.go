@@ -1,0 +1,170 @@
+package silo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cindex"
+	"repro/internal/engine/ddfs"
+	"repro/internal/enginetest"
+)
+
+func testConfig(storeData bool) Config {
+	cfg := DefaultConfig(64 << 20)
+	cfg.StoreData = storeData
+	return cfg
+}
+
+func randStream(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestAllUniqueBackup(t *testing.T) {
+	e, err := New(testConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randStream(4<<20, 1)
+	_, st, err := e.Backup("g0", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginetest.CheckConservation(t, st)
+	if st.DedupedBytes != 0 || st.UniqueBytes != int64(len(data)) {
+		t.Fatalf("random stream stats wrong: %+v", st)
+	}
+}
+
+func TestIdenticalSecondBackupMostlyDedupes(t *testing.T) {
+	e, _ := New(testConfig(false))
+	data := randStream(6<<20, 2)
+	e.Backup("g0", bytes.NewReader(data))
+	_, st, err := e.Backup("g1", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-exact: identical segments have identical representatives, so
+	// everything should be found via similar-block fetches.
+	if frac := float64(st.DedupedBytes) / float64(st.LogicalBytes); frac < 0.95 {
+		t.Fatalf("identical re-backup deduped only %.1f%%", frac*100)
+	}
+	if st.SHTHits == 0 {
+		t.Fatal("similarity hash table never hit")
+	}
+	if st.IndexLookups != 0 {
+		t.Fatal("SiLo must never touch a full chunk index")
+	}
+}
+
+func TestBlockReadsCharged(t *testing.T) {
+	e, _ := New(testConfig(false))
+	data := randStream(6<<20, 3)
+	e.Backup("g0", bytes.NewReader(data))
+	before := e.Clock().Now()
+	_, st, _ := e.Backup("g1", bytes.NewReader(data))
+	if st.BlockReads == 0 {
+		t.Fatal("re-backup should read sealed block metadata")
+	}
+	if e.Clock().Now() == before {
+		t.Fatal("block reads must consume simulated time")
+	}
+}
+
+func TestNearExactMissesAreRewrittenNotLost(t *testing.T) {
+	// SiLo may fail to detect duplicates, but restores must still be exact:
+	// missed dups become new physical copies referenced by the recipe.
+	cfg := testConfig(true)
+	e, _ := New(cfg)
+	gens := enginetest.RunGenerations(t, e, enginetest.SmallConfig(5), 5)
+	enginetest.VerifyRestores(t, e, gens)
+}
+
+func TestEfficiencyBelowExactAndDecays(t *testing.T) {
+	wcfg := enginetest.SmallConfig(7)
+	e, _ := New(DefaultConfig(enginetest.ExpectedBytes(wcfg, 12)))
+	e.SetOracle(cindex.NewOracle())
+	gens := enginetest.RunGenerations(t, e, wcfg, 12)
+	// Some redundancy must go undetected at some generation (near-exact).
+	var missed int64
+	for _, gr := range gens {
+		missed += gr.Stats.MissedDupBytes
+	}
+	if missed == 0 {
+		t.Fatal("SiLo never missed a duplicate; near-exactness not exercised")
+	}
+	// Efficiency late in the run should be below the early generations'
+	// (paper Fig. 3 trend).
+	early := gens[1].Stats.Efficiency() + gens[2].Stats.Efficiency() + gens[3].Stats.Efficiency()
+	late := gens[9].Stats.Efficiency() + gens[10].Stats.Efficiency() + gens[11].Stats.Efficiency()
+	if late >= early {
+		t.Fatalf("efficiency should decay: early %.3f late %.3f", early/3, late/3)
+	}
+}
+
+func TestThroughputStaysAboveIndexBasedDecay(t *testing.T) {
+	// SiLo's selling point: throughput does not collapse with generations
+	// the way the full-index (DDFS) path does. Compare late-generation
+	// throughput of the two engines over the same workload.
+	wcfg := enginetest.SmallConfig(9)
+	expected := enginetest.ExpectedBytes(wcfg, 12)
+	si, _ := New(DefaultConfig(expected))
+	dd, _ := ddfs.New(ddfs.DefaultConfig(expected))
+	gs := enginetest.RunGenerations(t, si, wcfg, 12)
+	gd := enginetest.RunGenerations(t, dd, wcfg, 12)
+	siLate := gs[10].Stats.ThroughputMBps() + gs[11].Stats.ThroughputMBps()
+	ddLate := gd[10].Stats.ThroughputMBps() + gd[11].Stats.ThroughputMBps()
+	if siLate <= ddLate {
+		t.Fatalf("SiLo late throughput %.1f should beat DDFS %.1f", siLate/2, ddLate/2)
+	}
+}
+
+func TestSegmentsGroupedIntoBlocks(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.BlockSegments = 2
+	e, _ := New(cfg)
+	data := randStream(8<<20, 11)
+	_, st, _ := e.Backup("g0", bytes.NewReader(data))
+	wantBlocks := int(st.Segments+1) / 2
+	if got := len(e.blocks); got != wantBlocks {
+		t.Fatalf("blocks = %d, want %d for %d segments", got, wantBlocks, st.Segments)
+	}
+}
+
+func TestConfigClamps(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.BlockSegments = 0
+	cfg.BlockCache = 0
+	cfg.SigReps = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.BlockSegments != 1 || e.cfg.BlockCache != 1 || e.cfg.SigReps != 1 {
+		t.Fatalf("clamps failed: %+v", e.cfg)
+	}
+}
+
+func TestNameAndAccessors(t *testing.T) {
+	e, _ := New(testConfig(false))
+	if e.Name() != "silo-like" {
+		t.Fatal("name")
+	}
+	if e.Containers() == nil || e.Clock() == nil {
+		t.Fatal("nil accessors")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		e, _ := New(testConfig(false))
+		gens := enginetest.RunGenerations(t, e, enginetest.SmallConfig(13), 3)
+		return gens[2].Stats.UniqueBytes
+	}
+	if run() != run() {
+		t.Fatal("engine not deterministic")
+	}
+}

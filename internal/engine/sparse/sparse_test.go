@@ -1,0 +1,201 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/enginetest"
+)
+
+func testConfig(storeData bool) Config {
+	cfg := DefaultConfig(64 << 20)
+	cfg.StoreData = storeData
+	return cfg
+}
+
+func randStream(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestAllUniqueBackup(t *testing.T) {
+	e, err := New(testConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randStream(4<<20, 1)
+	_, st, err := e.Backup("g0", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginetest.CheckConservation(t, st)
+	if st.DedupedBytes != 0 || st.UniqueBytes != int64(len(data)) {
+		t.Fatalf("random stream stats wrong: %+v", st)
+	}
+	if st.IndexLookups != 0 {
+		t.Fatal("sparse indexing must never use a full chunk index")
+	}
+}
+
+func TestIdenticalSecondBackupMostlyDedupes(t *testing.T) {
+	e, _ := New(testConfig(false))
+	data := randStream(6<<20, 2)
+	e.Backup("g0", bytes.NewReader(data))
+	_, st, err := e.Backup("g1", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical segments share all hooks, so champion selection must find
+	// the right manifests.
+	if frac := float64(st.DedupedBytes) / float64(st.LogicalBytes); frac < 0.95 {
+		t.Fatalf("identical re-backup deduped only %.1f%%", frac*100)
+	}
+	if st.SHTHits == 0 {
+		t.Fatal("no champions selected")
+	}
+}
+
+func TestChampionLoadsCharged(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.ManifestCache = 1 // force reloads
+	e, _ := New(cfg)
+	data := randStream(6<<20, 3)
+	e.Backup("g0", bytes.NewReader(data))
+	before := e.Clock().Now()
+	_, st, _ := e.Backup("g1", bytes.NewReader(data))
+	if st.BlockReads == 0 {
+		t.Fatal("champion manifests should be read from disk")
+	}
+	if e.Clock().Now() == before {
+		t.Fatal("manifest reads must consume simulated time")
+	}
+}
+
+func TestRestoreCorrectness(t *testing.T) {
+	e, _ := New(testConfig(true))
+	gens := enginetest.RunGenerations(t, e, enginetest.SmallConfig(5), 5)
+	enginetest.VerifyRestores(t, e, gens)
+}
+
+func TestNearExactness(t *testing.T) {
+	// Sparse indexing bounds its per-segment work: at most MaxChampions
+	// manifest loads per segment, never a full-index lookup — and it must
+	// still find the bulk of the redundancy. (Whether anything is missed
+	// at all depends on scale; misses are asserted by the champion-budget
+	// stress test below.)
+	wcfg := enginetest.SmallConfig(7)
+	e, _ := New(DefaultConfig(enginetest.ExpectedBytes(wcfg, 12)))
+	e.SetOracle(cindex.NewOracle())
+	gens := enginetest.RunGenerations(t, e, wcfg, 12)
+	for g, gr := range gens {
+		if gr.Stats.IndexLookups != 0 {
+			t.Fatalf("gen %d used a full index", g)
+		}
+		if gr.Stats.SHTHits > gr.Stats.Segments*int64(e.cfg.MaxChampions) {
+			t.Fatalf("gen %d loaded %d champions for %d segments (cap %d each)",
+				g, gr.Stats.SHTHits, gr.Stats.Segments, e.cfg.MaxChampions)
+		}
+	}
+	last := gens[11].Stats
+	if last.OracleRedundantBytes > 0 {
+		frac := float64(last.DedupedBytes) / float64(last.OracleRedundantBytes)
+		if frac < 0.5 {
+			t.Fatalf("found only %.0f%% of redundancy at gen 12", frac*100)
+		}
+	}
+}
+
+func TestChampionBudgetCausesMisses(t *testing.T) {
+	// With a single champion per segment and one manifest per hook, a
+	// churning workload must eventually have duplicates outside the
+	// champion's reach — the near-exactness the FAST'09 paper trades away.
+	wcfg := enginetest.SmallConfig(17)
+	cfg := DefaultConfig(enginetest.ExpectedBytes(wcfg, 10))
+	cfg.MaxChampions = 1
+	cfg.MaxPerHook = 1
+	cfg.ManifestCache = 1
+	e, _ := New(cfg)
+	e.SetOracle(cindex.NewOracle())
+	gens := enginetest.RunGenerations(t, e, wcfg, 10)
+	var missed int64
+	for _, gr := range gens {
+		missed += gr.Stats.MissedDupBytes
+	}
+	if missed == 0 {
+		t.Fatal("champion budget of 1 should miss some duplicates")
+	}
+}
+
+func TestHookSampling(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.SampleBits = 4
+	e, _ := New(cfg)
+	hooks := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		fp := chunk.Of([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		if e.isHook(fp) {
+			hooks++
+		}
+	}
+	// Expect ~n/16 = 1250; accept a broad band.
+	if hooks < n/32 || hooks > n/8 {
+		t.Fatalf("hook rate %d/%d far from 1/16", hooks, n)
+	}
+}
+
+func TestMaxPerHookBounded(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.MaxPerHook = 2
+	e, _ := New(cfg)
+	data := randStream(4<<20, 9)
+	for g := 0; g < 5; g++ {
+		e.Backup("g", bytes.NewReader(data))
+	}
+	for hook, ids := range e.sparse {
+		if len(ids) > 2 {
+			t.Fatalf("hook %s holds %d manifests, cap 2", hook.Short(), len(ids))
+		}
+	}
+}
+
+func TestConfigClamps(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.SampleBits = -1
+	cfg.MaxChampions = 0
+	cfg.MaxPerHook = 0
+	cfg.ManifestCache = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.SampleBits != 0 || e.cfg.MaxChampions != 1 || e.cfg.MaxPerHook != 1 || e.cfg.ManifestCache != 1 {
+		t.Fatalf("clamps failed: %+v", e.cfg)
+	}
+}
+
+func TestNameAndAccessors(t *testing.T) {
+	e, _ := New(testConfig(false))
+	if e.Name() != "sparse-index" {
+		t.Fatal("name")
+	}
+	if e.Containers() == nil || e.Clock() == nil {
+		t.Fatal("nil accessors")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		e, _ := New(testConfig(false))
+		gens := enginetest.RunGenerations(t, e, enginetest.SmallConfig(13), 3)
+		return gens[2].Stats.UniqueBytes
+	}
+	if run() != run() {
+		t.Fatal("engine not deterministic")
+	}
+}

@@ -1,0 +1,161 @@
+// Package fsck checks the internal consistency of a deduplicating store:
+// the invariants that tie container metadata, the chunk index, and backup
+// recipes together. A production dedup system ships exactly this kind of
+// offline checker; here it doubles as a harness-level assertion that the
+// engines and the garbage collector never corrupt shared state.
+//
+// Invariants checked:
+//
+//  1. Container metadata is well-formed: entries sized > 0, offsets
+//     strictly increasing and inside the container's data section.
+//  2. Every index entry points into a sealed container, at an offset where
+//     the container's metadata records exactly that fingerprint and size.
+//  3. Every recipe reference resolves to a sealed container entry with a
+//     matching fingerprint and size.
+//  4. On data-storing devices, every chunk referenced by a recipe hashes to
+//     its fingerprint.
+//
+// All reads go through the shadow metadata (PeekMeta) and charge no
+// simulated time: fsck is measurement apparatus.
+package fsck
+
+import (
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/container"
+)
+
+// Report summarizes one check.
+type Report struct {
+	Containers   int
+	MetaEntries  int64
+	IndexEntries int // index entries validated (0 if no index given)
+	RecipeRefs   int64
+	HashedChunks int64 // content-verified chunks (data-storing device only)
+	Problems     []string
+}
+
+// OK reports whether no problems were found.
+func (r *Report) OK() bool { return len(r.Problems) == 0 }
+
+func (r *Report) addf(format string, args ...any) {
+	// Cap the problem list: a badly corrupted store should not OOM the
+	// checker's report.
+	if len(r.Problems) < 100 {
+		r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("%d problems", len(r.Problems))
+	}
+	return fmt.Sprintf("fsck: %s (%d containers, %d meta entries, %d index entries, %d recipe refs, %d chunks hashed)",
+		status, r.Containers, r.MetaEntries, r.IndexEntries, r.RecipeRefs, r.HashedChunks)
+}
+
+// entryKey locates one metadata entry.
+type entryKey struct {
+	container uint32
+	offset    int64
+}
+
+type entryVal struct {
+	fp   chunk.Fingerprint
+	size uint32
+}
+
+// Check validates the store, optionally an index (nil to skip), and a set
+// of recipes. verifyData additionally re-hashes every recipe-referenced
+// chunk (requires a data-storing device).
+func Check(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe, verifyData bool) (*Report, error) {
+	if verifyData && !store.Device().StoresData() {
+		return nil, fmt.Errorf("fsck: verifyData requires a data-storing device")
+	}
+	rep := &Report{Containers: store.NumContainers()}
+
+	// Pass 1: container metadata well-formedness; build the entry table.
+	entries := make(map[entryKey]entryVal, 4096)
+	cfg := store.Config()
+	for id := 0; id < store.NumContainers(); id++ {
+		cid := uint32(id)
+		metas := store.PeekMeta(cid)
+		var prevEnd int64 = -1
+		for i, m := range metas {
+			rep.MetaEntries++
+			if m.Size == 0 {
+				rep.addf("container %d entry %d: zero size", cid, i)
+				continue
+			}
+			if int64(i) >= int64(cfg.MaxChunks) {
+				rep.addf("container %d: more entries than MaxChunks", cid)
+			}
+			if prevEnd >= 0 && m.Offset < prevEnd {
+				rep.addf("container %d entry %d: offset %d overlaps previous end %d", cid, i, m.Offset, prevEnd)
+			}
+			prevEnd = m.Offset + int64(m.Size)
+			entries[entryKey{cid, m.Offset}] = entryVal{fp: m.FP, size: m.Size}
+		}
+	}
+
+	// Pass 2: index entries resolve to real copies.
+	if index != nil {
+		index.Range(func(fp chunk.Fingerprint, loc chunk.Location) bool {
+			rep.IndexEntries++
+			if !store.Sealed(loc.Container) {
+				rep.addf("index %s: unsealed container %d", fp.Short(), loc.Container)
+				return true
+			}
+			ev, ok := entries[entryKey{loc.Container, loc.Offset}]
+			if !ok {
+				rep.addf("index %s: no metadata entry at c%d@%d", fp.Short(), loc.Container, loc.Offset)
+				return true
+			}
+			if ev.fp != fp {
+				rep.addf("index %s: metadata records %s at c%d@%d", fp.Short(), ev.fp.Short(), loc.Container, loc.Offset)
+			}
+			if ev.size != loc.Size {
+				rep.addf("index %s: size %d != metadata %d", fp.Short(), loc.Size, ev.size)
+			}
+			return true
+		})
+	}
+
+	// Pass 3: recipe references resolve; optionally re-hash content.
+	for _, rec := range recipes {
+		var data []byte
+		lastContainer := uint32(0xFFFFFFFF)
+		for i := range rec.Refs {
+			ref := &rec.Refs[i]
+			rep.RecipeRefs++
+			if !store.Sealed(ref.Loc.Container) {
+				rep.addf("recipe %s ref %d: unsealed container %d", rec.Label, i, ref.Loc.Container)
+				continue
+			}
+			ev, ok := entries[entryKey{ref.Loc.Container, ref.Loc.Offset}]
+			if !ok {
+				rep.addf("recipe %s ref %d: no metadata entry at %v", rec.Label, i, ref.Loc)
+				continue
+			}
+			if ev.fp != ref.FP || ev.size != ref.Size {
+				rep.addf("recipe %s ref %d: metadata mismatch at %v", rec.Label, i, ref.Loc)
+				continue
+			}
+			if verifyData {
+				if ref.Loc.Container != lastContainer {
+					data = store.PeekData(ref.Loc.Container)
+					lastContainer = ref.Loc.Container
+				}
+				piece := store.Extract(data, ref.Loc)
+				if chunk.Of(piece) != ref.FP {
+					rep.addf("recipe %s ref %d: content hash mismatch", rec.Label, i)
+				}
+				rep.HashedChunks++
+			}
+		}
+	}
+	return rep, nil
+}

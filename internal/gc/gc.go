@@ -1,0 +1,170 @@
+// Package gc implements offline container compaction — the natural
+// companion to DeFrag that the paper leaves as future work: every rewrite
+// supersedes an old chunk copy, and with long retention the superseded
+// copies accumulate as garbage inside otherwise-live containers.
+//
+// Collect scans sealed containers, and for every container whose live
+// fraction falls below a threshold it copies the live chunks out to fresh
+// containers (in scan order, preserving what locality remains), repoints
+// the chunk index, and patches every retained recipe to reference the moved
+// copies. The old containers are then dead and their space reclaimable.
+//
+// Liveness has two sources, both of which must survive:
+//   - index-authoritative copies (future backups dedupe against them);
+//   - copies referenced by any retained recipe (restores must keep working).
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/container"
+)
+
+// Result summarizes one collection pass.
+type Result struct {
+	ContainersScanned   int
+	ContainersCollected int
+	ChunksMoved         int64
+	BytesMoved          int64
+	BytesReclaimed      int64 // data bytes of collected containers not moved (garbage)
+	RecipeRefsPatched   int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("collected %d/%d containers: moved %d chunks (%.1f MB), reclaimed %.1f MB, patched %d refs",
+		r.ContainersCollected, r.ContainersScanned, r.ChunksMoved,
+		float64(r.BytesMoved)/1e6, float64(r.BytesReclaimed)/1e6, r.RecipeRefsPatched)
+}
+
+// copyKey identifies one physical chunk copy.
+type copyKey struct {
+	container uint32
+	offset    int64
+}
+
+// Collect compacts containers whose live fraction is below threshold.
+// recipes are the retained backups; their references define liveness along
+// with the index, and they are patched in place when copies move. The
+// segment identity of moved chunks is preserved, so SPL grouping of future
+// backups still sees the same segments.
+//
+// Collect charges the store's simulated clock for the container reads and
+// the rewritten data (a real collector does this I/O), so experiments can
+// price GC too.
+func Collect(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe, threshold float64) (Result, error) {
+	if threshold < 0 || threshold > 1 {
+		return Result{}, fmt.Errorf("gc: threshold must be in [0,1], got %v", threshold)
+	}
+	var res Result
+	n := store.NumContainers()
+	res.ContainersScanned = n
+	if n == 0 {
+		return res, nil
+	}
+
+	// Liveness of specific copies: recipe references pin exact locations.
+	pinned := make(map[copyKey]struct{}, 1024)
+	for _, r := range recipes {
+		for i := range r.Refs {
+			loc := r.Refs[i].Loc
+			pinned[copyKey{loc.Container, loc.Offset}] = struct{}{}
+		}
+	}
+
+	// Decide which containers to collect. A copy is live if a recipe pins
+	// it or the index points at it; a container is collectable when its
+	// live data fraction is below threshold.
+	collect := make(map[uint32]bool)
+	liveOf := func(id uint32) (live int64, total int64) {
+		for _, m := range store.PeekMeta(id) {
+			total += int64(m.Size)
+			if _, ok := pinned[copyKey{id, m.Offset}]; ok {
+				live += int64(m.Size)
+				continue
+			}
+			if loc, ok := index.Peek(m.FP); ok && loc.Container == id && loc.Offset == m.Offset {
+				live += int64(m.Size)
+			}
+		}
+		return live, total
+	}
+	lastID := uint32(n - 1)
+	for id := uint32(0); id < uint32(n); id++ {
+		live, total := liveOf(id)
+		if total == 0 {
+			continue
+		}
+		if float64(live)/float64(total) < threshold {
+			collect[id] = true
+		}
+	}
+	if len(collect) == 0 {
+		return res, nil
+	}
+
+	// Move live chunks out of collected containers, in container order so
+	// surviving locality is preserved. Reading the container data section
+	// and writing the moved chunks both charge the clock.
+	moved := make(map[copyKey]chunk.Location, 1024)
+	for id := uint32(0); id <= lastID; id++ {
+		if !collect[id] {
+			continue
+		}
+		metas := store.PeekMeta(id)
+		var data []byte
+		if store.Device().StoresData() {
+			data = store.ReadData(id)
+		} else {
+			store.ReadData(id) // charge the read even in metadata-only mode
+		}
+		var movedBytes int64
+		for _, m := range metas {
+			key := copyKey{id, m.Offset}
+			_, isPinned := pinned[key]
+			idxLoc, inIndex := index.Peek(m.FP)
+			authoritative := inIndex && idxLoc.Container == id && idxLoc.Offset == m.Offset
+			if !isPinned && !authoritative {
+				continue // garbage: drop
+			}
+			var c chunk.Chunk
+			if data != nil {
+				old := chunk.Location{Container: id, Segment: m.Segment, Offset: m.Offset, Size: m.Size}
+				c = chunk.Chunk{FP: m.FP, Size: m.Size, Data: append([]byte(nil), store.Extract(data, old)...)}
+			} else {
+				c = chunk.Meta(m.FP, m.Size)
+			}
+			newLoc := store.Write(c, m.Segment)
+			moved[key] = newLoc
+			if authoritative {
+				index.Update(m.FP, newLoc)
+			}
+			res.ChunksMoved++
+			res.BytesMoved += int64(c.Size)
+			movedBytes += int64(c.Size)
+		}
+		// Everything else in this container is now reclaimable.
+		var total int64
+		for _, m := range metas {
+			total += int64(m.Size)
+		}
+		res.BytesReclaimed += total - movedBytes
+		store.MarkDead(id, total)
+		res.ContainersCollected++
+	}
+	store.Flush()
+	index.Flush()
+
+	// Patch retained recipes to the moved copies.
+	for _, r := range recipes {
+		for i := range r.Refs {
+			ref := &r.Refs[i]
+			if newLoc, ok := moved[copyKey{ref.Loc.Container, ref.Loc.Offset}]; ok {
+				ref.Loc = newLoc
+				res.RecipeRefsPatched++
+			}
+		}
+	}
+	return res, nil
+}

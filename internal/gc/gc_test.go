@@ -1,0 +1,176 @@
+package gc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/enginetest"
+	"repro/internal/restore"
+)
+
+// rig builds a store + index pair over one clock.
+func rig(t *testing.T, storeData bool) (*container.Store, *cindex.Index) {
+	t.Helper()
+	var clk disk.Clock
+	s, err := container.NewStore(disk.NewDevice(disk.DefaultModel(), &clk, storeData),
+		container.Config{DataCap: 2048, MaxChunks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := cindex.New(disk.NewDevice(disk.DefaultModel(), &clk, false), cindex.DefaultConfig(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ix
+}
+
+func put(s *container.Store, ix *cindex.Index, data []byte, seg uint64) (chunk.Fingerprint, chunk.Location) {
+	c := chunk.New(data)
+	loc := s.Write(c, seg)
+	ix.Insert(c.FP, loc)
+	return c.FP, loc
+}
+
+func TestThresholdValidation(t *testing.T) {
+	s, ix := rig(t, false)
+	for _, bad := range []float64{-0.1, 1.1} {
+		if _, err := Collect(s, ix, nil, bad); err == nil {
+			t.Errorf("threshold %v should fail", bad)
+		}
+	}
+}
+
+func TestEmptyStoreNoop(t *testing.T) {
+	s, ix := rig(t, false)
+	res, err := Collect(s, ix, nil, 0.5)
+	if err != nil || res.ContainersCollected != 0 {
+		t.Fatalf("empty collect: %v %+v", err, res)
+	}
+}
+
+func TestFullyLiveContainersUntouched(t *testing.T) {
+	s, ix := rig(t, false)
+	var rec chunk.Recipe
+	for i := 0; i < 10; i++ {
+		fp, loc := put(s, ix, bytes.Repeat([]byte{byte(i)}, 300), 1)
+		rec.Append(fp, 300, loc)
+	}
+	s.Flush()
+	res, err := Collect(s, ix, []*chunk.Recipe{&rec}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCollected != 0 || res.ChunksMoved != 0 {
+		t.Fatalf("fully live store must not be collected: %+v", res)
+	}
+}
+
+func TestGarbageCollected(t *testing.T) {
+	s, ix := rig(t, true)
+	// Container 0: two chunks; one will be superseded.
+	fpDead, _ := put(s, ix, bytes.Repeat([]byte{1}, 900), 1)
+	fpLive, locLive := put(s, ix, bytes.Repeat([]byte{2}, 900), 1)
+	s.Flush()
+	// Supersede fpDead with a copy in container 1 (a rewrite).
+	cDead := chunk.New(bytes.Repeat([]byte{1}, 900))
+	newLoc := s.Write(cDead, 2)
+	ix.Update(fpDead, newLoc)
+	put(s, ix, bytes.Repeat([]byte{3}, 900), 2)
+	s.Flush()
+
+	var rec chunk.Recipe
+	rec.Append(fpLive, 900, locLive) // pin the live copy in container 0
+
+	res, err := Collect(s, ix, []*chunk.Recipe{&rec}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCollected == 0 {
+		t.Fatalf("half-dead container should be collected: %+v", res)
+	}
+	if res.BytesReclaimed < 900 {
+		t.Fatalf("superseded copy not reclaimed: %+v", res)
+	}
+	// The pinned copy must have moved and the recipe must be patched.
+	if rec.Refs[0].Loc == locLive {
+		t.Fatal("recipe still references collected container")
+	}
+	if res.RecipeRefsPatched != 1 {
+		t.Fatalf("patched %d refs, want 1", res.RecipeRefsPatched)
+	}
+	// Index must point at a valid copy for the live chunk.
+	loc, ok := ix.Peek(fpLive)
+	if !ok || loc != rec.Refs[0].Loc {
+		t.Fatalf("index/recipe disagree after GC: %v vs %v", loc, rec.Refs[0].Loc)
+	}
+	// The moved copy's content must read back intact.
+	got := s.ReadChunk(rec.Refs[0].Loc)
+	if !bytes.Equal(got, bytes.Repeat([]byte{2}, 900)) {
+		t.Fatal("moved chunk corrupted")
+	}
+	if res.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestEndToEndWithDeFrag(t *testing.T) {
+	// A DeFrag engine accumulates garbage over generations; collecting at a
+	// threshold must leave every retained backup restorable bit-exactly.
+	cfg := core.DefaultConfig(128 << 20)
+	cfg.StoreData = true
+	eng, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := enginetest.RunGenerations(t, eng, enginetest.SmallConfig(31), 8)
+
+	var recipes []*chunk.Recipe
+	for _, g := range gens {
+		recipes = append(recipes, g.Recipe)
+	}
+	res, err := Collect(eng.Containers(), eng.Index(), recipes, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gc: %s", res)
+
+	rcfg := restore.DefaultConfig()
+	rcfg.Verify = true
+	for i, g := range gens {
+		if err := restore.VerifyAgainst(eng.Containers(), g.Recipe, rcfg, g.Data); err != nil {
+			t.Fatalf("generation %d after GC: %v", i, err)
+		}
+	}
+	// And the engine must keep working after GC: one more backup + restore.
+	more := enginetest.RunGenerations(t, eng, enginetest.SmallConfig(32), 1)
+	if err := restore.VerifyAgainst(eng.Containers(), more[0].Recipe, rcfg, more[0].Data); err != nil {
+		t.Fatalf("post-GC backup: %v", err)
+	}
+}
+
+func TestRetentionExpiryEnablesReclaim(t *testing.T) {
+	// Dropping old recipes from the retained set frees their exclusive
+	// copies: collecting with an empty retention set reclaims everything
+	// not index-authoritative.
+	cfg := core.DefaultConfig(64 << 20)
+	eng, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginetest.RunGenerations(t, eng, enginetest.SmallConfig(33), 6)
+	resAll, err := Collect(eng.Containers(), eng.Index(), nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAll.ContainersCollected == 0 {
+		t.Fatal("threshold 1.0 with no retention should collect containers")
+	}
+	if resAll.BytesReclaimed == 0 {
+		t.Fatal("no bytes reclaimed")
+	}
+}

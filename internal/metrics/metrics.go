@@ -1,0 +1,194 @@
+// Package metrics provides the small statistics and table-rendering
+// utilities used by the experiment harness: per-generation series, summary
+// statistics, and fixed-width text tables matching the rows the paper's
+// figures report.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a named sequence of measurements (one point per generation).
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one measurement.
+func (s *Series) Add(v float64) { s.Points = append(s.Points, v) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Points {
+		sum += v
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Min returns the minimum (+Inf for empty).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.Points {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (-Inf for empty).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.Points {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// First returns the first point (0 for empty).
+func (s *Series) First() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[0]
+}
+
+// Last returns the final point (0 for empty).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// TailMean returns the mean of the last n points (all points if n exceeds
+// the series).
+func (s *Series) TailMean(n int) float64 {
+	if n <= 0 || len(s.Points) == 0 {
+		return 0
+	}
+	if n > len(s.Points) {
+		n = len(s.Points)
+	}
+	var sum float64
+	for _, v := range s.Points[len(s.Points)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Points...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// DeclineRatio returns Last/First — below 1 indicates degradation across
+// the series (the shape metric for Figs. 2 and 3). Returns 1 for series
+// with fewer than two points or a zero first point.
+func (s *Series) DeclineRatio() float64 {
+	if len(s.Points) < 2 || s.Points[0] == 0 {
+		return 1
+	}
+	return s.Last() / s.First()
+}
+
+// Table renders rows of experiment output in aligned fixed-width columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return &Table{headers: headers} }
+
+// AddRow appends one row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MB formats a byte count in MB with one decimal.
+func MB(bytes int64) string { return fmt.Sprintf("%.1f", float64(bytes)/1e6) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F3 formats a float with three decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(vals ...float64) *Series {
+	s := NewSeries("s")
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Len() != 0 || s.Mean() != 0 || s.First() != 0 || s.Last() != 0 {
+		t.Fatal("empty series basics")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max")
+	}
+	if s.Percentile(50) != 0 || s.TailMean(3) != 0 {
+		t.Fatal("empty percentile/tailmean")
+	}
+	if s.DeclineRatio() != 1 {
+		t.Fatal("empty decline ratio must be 1")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := mkSeries(10, 20, 30, 40)
+	if s.Mean() != 25 || s.Min() != 10 || s.Max() != 40 {
+		t.Fatalf("stats: mean=%v min=%v max=%v", s.Mean(), s.Min(), s.Max())
+	}
+	if s.First() != 10 || s.Last() != 40 {
+		t.Fatal("first/last")
+	}
+	if s.TailMean(2) != 35 {
+		t.Fatalf("TailMean(2) = %v", s.TailMean(2))
+	}
+	if s.TailMean(100) != 25 {
+		t.Fatal("TailMean over-length must cover all")
+	}
+	if s.DeclineRatio() != 4 {
+		t.Fatalf("DeclineRatio = %v", s.DeclineRatio())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := mkSeries(5, 1, 3, 2, 4)
+	cases := map[float64]float64{0: 1, 20: 1, 50: 3, 100: 5, 150: 5, -5: 1}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestDeclineRatioZeroFirst(t *testing.T) {
+	if mkSeries(0, 5).DeclineRatio() != 1 {
+		t.Fatal("zero first point must not divide by zero")
+	}
+}
+
+// Property: mean is always within [min, max].
+func TestMeanBoundsProperty(t *testing.T) {
+	fn := func(vals []float64) bool {
+		finite := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				finite = append(finite, v)
+			}
+		}
+		if len(finite) == 0 {
+			return true
+		}
+		s := mkSeries(finite...)
+		const eps = 1e-6
+		return s.Mean() >= s.Min()-eps && s.Mean() <= s.Max()+eps
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("gen", "throughput", "eff")
+	tb.AddRow("1", "213.0", "1.000")
+	tb.AddRow("20", "110.0")         // short row pads
+	tb.AddRow("x", "y", "z", "drop") // long row truncates
+	if tb.NumRows() != 3 {
+		t.Fatal("row count")
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + rule + 3 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "gen") || !strings.Contains(lines[0], "throughput") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "213.0") {
+		t.Fatalf("row: %q", lines[2])
+	}
+	if strings.Contains(out, "drop") {
+		t.Fatal("extra cell should be dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if MB(1500000) != "1.5" {
+		t.Fatalf("MB = %q", MB(1500000))
+	}
+	if F1(3.14159) != "3.1" || F3(3.14159) != "3.142" {
+		t.Fatal("float formatters")
+	}
+}

@@ -1,0 +1,95 @@
+// Package minhash derives similarity signatures for segments, the mechanism
+// SiLo uses to find "similar segments" without a full chunk index: by the
+// min-wise hashing property, two segments that share a large fraction of
+// their chunks have the same minimum chunk fingerprint with probability
+// equal to their Jaccard similarity.
+package minhash
+
+import "repro/internal/chunk"
+
+// Representative returns the minimum fingerprint (by byte order) among the
+// chunks — SiLo's "representative fingerprint" of a segment. Zero
+// fingerprint if chunks is empty.
+func Representative(chunks []chunk.Chunk) chunk.Fingerprint {
+	var best chunk.Fingerprint
+	first := true
+	for i := range chunks {
+		if first || less(chunks[i].FP, best) {
+			best = chunks[i].FP
+			first = false
+		}
+	}
+	return best
+}
+
+// Signature returns the k smallest distinct fingerprints in ascending
+// order (a k-min-sketch). Fewer than k chunks yield a shorter signature.
+func Signature(chunks []chunk.Chunk, k int) []chunk.Fingerprint {
+	if k <= 0 || len(chunks) == 0 {
+		return nil
+	}
+	// Simple insertion into a small sorted slice: k is tiny (<= 8).
+	sig := make([]chunk.Fingerprint, 0, k)
+	for i := range chunks {
+		fp := chunk.Fingerprint(chunks[i].FP)
+		pos := len(sig)
+		dup := false
+		for j, s := range sig {
+			if s == fp {
+				dup = true
+				break
+			}
+			if less(fp, s) {
+				pos = j
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if pos == len(sig) {
+			if len(sig) < k {
+				sig = append(sig, fp)
+			}
+			continue
+		}
+		if len(sig) < k {
+			sig = append(sig, chunk.Fingerprint{})
+		}
+		copy(sig[pos+1:], sig[pos:len(sig)-1])
+		sig[pos] = fp
+	}
+	return sig
+}
+
+// Jaccard estimates the Jaccard similarity of two signatures produced with
+// the same k: the fraction of matching entries among the union's k smallest.
+func Jaccard(a, b []chunk.Fingerprint) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inA := make(map[chunk.Fingerprint]struct{}, len(a))
+	for _, fp := range a {
+		inA[fp] = struct{}{}
+	}
+	match := 0
+	for _, fp := range b {
+		if _, ok := inA[fp]; ok {
+			match++
+		}
+	}
+	denom := len(a)
+	if len(b) > denom {
+		denom = len(b)
+	}
+	return float64(match) / float64(denom)
+}
+
+func less(a, b chunk.Fingerprint) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

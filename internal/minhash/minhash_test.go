@@ -1,0 +1,190 @@
+package minhash
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+)
+
+func mkChunk(i uint64) chunk.Chunk {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return chunk.Meta(chunk.Of(b[:]), 1)
+}
+
+func mkChunks(ids ...uint64) []chunk.Chunk {
+	var out []chunk.Chunk
+	for _, i := range ids {
+		out = append(out, mkChunk(i))
+	}
+	return out
+}
+
+func TestRepresentativeEmpty(t *testing.T) {
+	if !Representative(nil).IsZero() {
+		t.Fatal("empty set must give zero representative")
+	}
+}
+
+func TestRepresentativeIsMin(t *testing.T) {
+	cs := mkChunks(5, 3, 9, 1, 7)
+	rep := Representative(cs)
+	for _, c := range cs {
+		if less(c.FP, rep) {
+			t.Fatal("representative is not the minimum")
+		}
+	}
+}
+
+func TestRepresentativeOrderInvariant(t *testing.T) {
+	a := mkChunks(1, 2, 3, 4, 5)
+	b := mkChunks(5, 4, 3, 2, 1)
+	if Representative(a) != Representative(b) {
+		t.Fatal("representative must be order-invariant")
+	}
+}
+
+func TestSignatureSortedDistinct(t *testing.T) {
+	cs := mkChunks(9, 1, 5, 1, 9, 3, 7, 5)
+	sig := Signature(cs, 4)
+	if len(sig) != 4 {
+		t.Fatalf("signature length %d", len(sig))
+	}
+	if !sort.SliceIsSorted(sig, func(i, j int) bool { return less(sig[i], sig[j]) }) {
+		t.Fatal("signature not ascending")
+	}
+	for i := 1; i < len(sig); i++ {
+		if sig[i] == sig[i-1] {
+			t.Fatal("signature has duplicates")
+		}
+	}
+	if sig[0] != Representative(cs) {
+		t.Fatal("signature[0] must equal the representative")
+	}
+}
+
+func TestSignatureShortInputs(t *testing.T) {
+	if Signature(nil, 4) != nil {
+		t.Fatal("empty input → nil signature")
+	}
+	if Signature(mkChunks(1), 0) != nil {
+		t.Fatal("k=0 → nil signature")
+	}
+	sig := Signature(mkChunks(1, 2), 8)
+	if len(sig) != 2 {
+		t.Fatalf("short input signature length %d, want 2", len(sig))
+	}
+}
+
+func TestJaccardBounds(t *testing.T) {
+	a := Signature(mkChunks(1, 2, 3, 4), 4)
+	if Jaccard(a, a) != 1 {
+		t.Fatal("self similarity must be 1")
+	}
+	b := Signature(mkChunks(100, 200, 300, 400), 4)
+	if Jaccard(a, b) != 0 {
+		t.Fatal("disjoint similarity must be 0")
+	}
+	if Jaccard(nil, a) != 0 || Jaccard(a, nil) != 0 {
+		t.Fatal("empty signature similarity must be 0")
+	}
+}
+
+func TestJaccardPartialOverlap(t *testing.T) {
+	a := Signature(mkChunks(1, 2, 3, 4), 4)
+	b := Signature(mkChunks(1, 2, 30, 40), 4)
+	j := Jaccard(a, b)
+	if j <= 0 || j >= 1 {
+		t.Fatalf("partial overlap similarity = %v, want in (0,1)", j)
+	}
+}
+
+// The min-hash property: segments sharing most chunks share the same
+// representative with high probability. With 90% overlap across 64 chunks,
+// agreement probability is ~0.9 per pair; across 100 trials the agreement
+// count must be well above half.
+func TestMinHashSimilarityProperty(t *testing.T) {
+	agree := 0
+	const trials = 100
+	for tr := 0; tr < trials; tr++ {
+		base := uint64(tr * 1000)
+		var a, b []chunk.Chunk
+		for i := uint64(0); i < 64; i++ {
+			a = append(a, mkChunk(base+i))
+			if i < 58 { // ~90% shared
+				b = append(b, mkChunk(base+i))
+			} else {
+				b = append(b, mkChunk(base+i+500))
+			}
+		}
+		if Representative(a) == Representative(b) {
+			agree++
+		}
+	}
+	if agree < trials/2 {
+		t.Fatalf("representative agreement %d/%d too low for 90%% overlap", agree, trials)
+	}
+}
+
+// Property: Signature(cs, k) equals the first k entries of the fully sorted
+// distinct fingerprint list.
+func TestSignatureMatchesSortProperty(t *testing.T) {
+	fn := func(idsRaw []uint8, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		var cs []chunk.Chunk
+		for _, id := range idsRaw {
+			cs = append(cs, mkChunk(uint64(id)))
+		}
+		got := Signature(cs, k)
+		// Reference: sort distinct fingerprints.
+		set := map[chunk.Fingerprint]struct{}{}
+		for _, c := range cs {
+			set[c.FP] = struct{}{}
+		}
+		var all []chunk.Fingerprint
+		for fp := range set {
+			all = append(all, fp)
+		}
+		sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		if len(got) != len(all) {
+			return false
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRepresentative(b *testing.B) {
+	cs := make([]chunk.Chunk, 256)
+	for i := range cs {
+		cs[i] = mkChunk(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Representative(cs)
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	cs := make([]chunk.Chunk, 256)
+	for i := range cs {
+		cs[i] = mkChunk(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Signature(cs, 3)
+	}
+}

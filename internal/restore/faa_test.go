@@ -1,0 +1,114 @@
+package restore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+func TestFAARoundTrip(t *testing.T) {
+	s := rig(t, true)
+	datas := mkDatas(20, 300)
+	rec := ingest(t, s, "faa", datas)
+	var want bytes.Buffer
+	for _, d := range datas {
+		want.Write(d)
+	}
+	var got bytes.Buffer
+	st, err := RunFAA(s, rec, FAAConfig{AreaBytes: 1500, Verify: true}, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("FAA restore differs from original")
+	}
+	if st.Chunks != 20 || st.Bytes != 20*300 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFAAReadsEachContainerOncePerWindow(t *testing.T) {
+	s := rig(t, false)
+	datas := mkDatas(60, 300)
+	seq := ingest(t, s, "base", datas)
+	// Interleave refs from distant containers.
+	frag := &chunk.Recipe{Label: "frag"}
+	n := len(seq.Refs)
+	for i := 0; i < n/2; i++ {
+		frag.Refs = append(frag.Refs, seq.Refs[i], seq.Refs[n/2+i])
+	}
+	// A window covering the whole recipe: each container read exactly once
+	// despite the pathological interleave.
+	st, err := RunFAA(s, frag, FAAConfig{AreaBytes: 1 << 30}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ContainerReads != int64(s.NumContainers()) {
+		t.Fatalf("whole-recipe window read %d containers, want %d", st.ContainerReads, s.NumContainers())
+	}
+	// The LRU cache with capacity 1 thrashes on the same recipe.
+	lru, err := Run(s, frag, Config{CacheContainers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lru.ContainerReads <= st.ContainerReads {
+		t.Fatalf("interleaved recipe: FAA %d reads should beat LRU-1 %d", st.ContainerReads, lru.ContainerReads)
+	}
+}
+
+func TestFAASmallWindowDegrades(t *testing.T) {
+	s := rig(t, false)
+	datas := mkDatas(60, 300)
+	seq := ingest(t, s, "base2", datas)
+	frag := &chunk.Recipe{Label: "frag2"}
+	n := len(seq.Refs)
+	for i := 0; i < n/2; i++ {
+		frag.Refs = append(frag.Refs, seq.Refs[i], seq.Refs[n/2+i])
+	}
+	big, _ := RunFAA(s, frag, FAAConfig{AreaBytes: 1 << 30}, nil)
+	small, _ := RunFAA(s, frag, FAAConfig{AreaBytes: 700}, nil)
+	if small.ContainerReads <= big.ContainerReads {
+		t.Fatalf("smaller area should re-read containers: %d <= %d", small.ContainerReads, big.ContainerReads)
+	}
+}
+
+func TestFAAVerifyRequiresDataDevice(t *testing.T) {
+	s := rig(t, false)
+	rec := ingest(t, s, "v", mkDatas(2, 100))
+	if _, err := RunFAA(s, rec, FAAConfig{AreaBytes: 1 << 20, Verify: true}, nil); err == nil {
+		t.Fatal("Verify on hole device must error")
+	}
+}
+
+func TestFAAUnsealedRejected(t *testing.T) {
+	s := rig(t, false)
+	rec := &chunk.Recipe{Label: "u"}
+	loc := s.Write(chunk.New([]byte("pending")), 0)
+	rec.Append(chunk.Of([]byte("pending")), 7, loc)
+	if _, err := RunFAA(s, rec, DefaultFAAConfig(), nil); err == nil {
+		t.Fatal("unsealed container must be rejected")
+	}
+}
+
+func TestFAAEmptyRecipeAndClamp(t *testing.T) {
+	s := rig(t, false)
+	st, err := RunFAA(s, &chunk.Recipe{Label: "e"}, FAAConfig{AreaBytes: 0}, nil)
+	if err != nil || st.Chunks != 0 {
+		t.Fatalf("empty FAA restore: %v %+v", err, st)
+	}
+}
+
+func TestFAAOversizedChunkStillRestores(t *testing.T) {
+	s := rig(t, true)
+	data := bytes.Repeat([]byte{9}, 2000)
+	rec := ingest(t, s, "big", [][]byte{data})
+	var out bytes.Buffer
+	// Area smaller than the chunk: the window must still admit one chunk.
+	if _, err := RunFAA(s, rec, FAAConfig{AreaBytes: 100, Verify: true}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("oversized chunk corrupted")
+	}
+}

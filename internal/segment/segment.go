@@ -1,0 +1,115 @@
+// Package segment groups a chunk stream into segments — the paper's
+// processing unit for reading and writing data chunks (§III-B): "multiple
+// contiguous chunks" of 0.5 MB to 2 MB, with boundaries "based on the chunk
+// content".
+//
+// Boundaries are content-defined the same way SiLo and Sparse Indexing draw
+// them: once the minimum size is reached, a segment ends after any chunk
+// whose fingerprint falls in a 1/divisor fraction of hash space; it is
+// force-ended at the maximum size. Content-defined segment boundaries are
+// what make SPL comparisons stable across backup generations — the same
+// region of a file re-segments identically even when neighbouring data
+// shifted.
+package segment
+
+import (
+	"fmt"
+
+	"repro/internal/chunk"
+)
+
+// Params configures a Segmenter.
+type Params struct {
+	MinBytes int64  // minimum segment size (paper: 0.5 MB)
+	MaxBytes int64  // maximum segment size (paper: 2 MB)
+	Divisor  uint64 // boundary probability 1/Divisor per chunk after MinBytes
+}
+
+// DefaultParams returns the paper's segment geometry — 0.5 MB to 2 MB,
+// content-defined — with the boundary divisor chosen so typical segments
+// land in the upper half of that band (~1.5 MB at 8 KiB average chunks).
+// Larger segments both match SiLo's preferred segment size and give the SPL
+// test a stable denominator.
+func DefaultParams() Params {
+	return Params{MinBytes: 512 << 10, MaxBytes: 2 << 20, Divisor: 160}
+}
+
+func (p Params) validate() error {
+	if p.MinBytes <= 0 || p.MaxBytes < p.MinBytes || p.Divisor == 0 {
+		return fmt.Errorf("segment: bad params %+v", p)
+	}
+	return nil
+}
+
+// Segment is a contiguous run of chunks from one stream.
+type Segment struct {
+	Chunks []chunk.Chunk
+	Bytes  int64
+}
+
+// Len returns the chunk count.
+func (s *Segment) Len() int { return len(s.Chunks) }
+
+// Segmenter accumulates chunks and emits completed segments.
+type Segmenter struct {
+	p   Params
+	cur Segment
+}
+
+// New creates a Segmenter.
+func New(p Params) (*Segmenter, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Segmenter{p: p}, nil
+}
+
+// Add appends one chunk. If the chunk completes a segment, the segment is
+// returned (and a new one started); otherwise Add returns nil. The returned
+// segment's slice is owned by the caller.
+func (s *Segmenter) Add(c chunk.Chunk) *Segment {
+	if c.Size == 0 {
+		panic("segment: zero-size chunk")
+	}
+	s.cur.Chunks = append(s.cur.Chunks, c)
+	s.cur.Bytes += int64(c.Size)
+	if s.cur.Bytes < s.p.MinBytes {
+		return nil
+	}
+	if s.cur.Bytes >= s.p.MaxBytes || c.FP.Uint64()%s.p.Divisor == 0 {
+		return s.emit()
+	}
+	return nil
+}
+
+// Finish flushes the trailing partial segment, or returns nil if empty.
+func (s *Segmenter) Finish() *Segment {
+	if len(s.cur.Chunks) == 0 {
+		return nil
+	}
+	return s.emit()
+}
+
+func (s *Segmenter) emit() *Segment {
+	done := s.cur
+	s.cur = Segment{}
+	return &done
+}
+
+// Split is a convenience that segments a complete chunk slice in one call.
+func Split(chunks []chunk.Chunk, p Params) ([]*Segment, error) {
+	sg, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Segment
+	for _, c := range chunks {
+		if seg := sg.Add(c); seg != nil {
+			out = append(out, seg)
+		}
+	}
+	if seg := sg.Finish(); seg != nil {
+		out = append(out, seg)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package segment
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+)
+
+func mkChunk(i uint64, size uint32) chunk.Chunk {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return chunk.Meta(chunk.Of(b[:]), size)
+}
+
+func TestParamsValidate(t *testing.T) {
+	if _, err := New(Params{}); err == nil {
+		t.Fatal("zero params must fail")
+	}
+	if _, err := New(Params{MinBytes: 10, MaxBytes: 5, Divisor: 2}); err == nil {
+		t.Fatal("max < min must fail")
+	}
+	if _, err := New(Params{MinBytes: 1, MaxBytes: 2, Divisor: 0}); err == nil {
+		t.Fatal("zero divisor must fail")
+	}
+	if _, err := New(DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroChunkPanics(t *testing.T) {
+	s, _ := New(DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.Add(chunk.Chunk{})
+}
+
+func TestSizeBounds(t *testing.T) {
+	p := Params{MinBytes: 1000, MaxBytes: 4000, Divisor: 4}
+	var chunks []chunk.Chunk
+	for i := uint64(0); i < 500; i++ {
+		chunks = append(chunks, mkChunk(i, 100))
+	}
+	segs, err := Split(chunks, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	for i, s := range segs {
+		if s.Bytes > p.MaxBytes {
+			t.Fatalf("segment %d bytes %d > max", i, s.Bytes)
+		}
+		if i < len(segs)-1 && s.Bytes < p.MinBytes {
+			t.Fatalf("non-final segment %d bytes %d < min", i, s.Bytes)
+		}
+	}
+}
+
+func TestMaxForcesBoundary(t *testing.T) {
+	// Divisor 1<<62 means content boundaries essentially never fire; only
+	// MaxBytes can end segments.
+	p := Params{MinBytes: 100, MaxBytes: 1000, Divisor: 1 << 62}
+	var chunks []chunk.Chunk
+	for i := uint64(0); i < 100; i++ {
+		chunks = append(chunks, mkChunk(i, 100))
+	}
+	segs, _ := Split(chunks, p)
+	for i, s := range segs[:len(segs)-1] {
+		if s.Bytes != 1000 {
+			t.Fatalf("segment %d bytes = %d, want exactly max", i, s.Bytes)
+		}
+	}
+}
+
+func TestFinishFlushesPartial(t *testing.T) {
+	s, _ := New(Params{MinBytes: 1000, MaxBytes: 4000, Divisor: 4})
+	if seg := s.Add(mkChunk(1, 10)); seg != nil {
+		t.Fatal("tiny chunk must not complete a segment")
+	}
+	seg := s.Finish()
+	if seg == nil || seg.Len() != 1 || seg.Bytes != 10 {
+		t.Fatalf("Finish = %+v", seg)
+	}
+	if s.Finish() != nil {
+		t.Fatal("second Finish must be nil")
+	}
+}
+
+func TestChunkOrderPreserved(t *testing.T) {
+	p := Params{MinBytes: 300, MaxBytes: 1000, Divisor: 4}
+	var chunks []chunk.Chunk
+	for i := uint64(0); i < 50; i++ {
+		chunks = append(chunks, mkChunk(i, 100))
+	}
+	segs, _ := Split(chunks, p)
+	var flat []chunk.Chunk
+	for _, s := range segs {
+		flat = append(flat, s.Chunks...)
+	}
+	if len(flat) != len(chunks) {
+		t.Fatalf("chunk count %d != %d", len(flat), len(chunks))
+	}
+	for i := range flat {
+		if flat[i].FP != chunks[i].FP {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestContentDefinedBoundariesAreShiftStable(t *testing.T) {
+	// Segmenting a suffix of the chunk stream starting at a segment
+	// boundary must reproduce the same segments.
+	p := Params{MinBytes: 500, MaxBytes: 2000, Divisor: 4}
+	var chunks []chunk.Chunk
+	for i := uint64(0); i < 400; i++ {
+		chunks = append(chunks, mkChunk(i*7919, 100))
+	}
+	segs, _ := Split(chunks, p)
+	if len(segs) < 4 {
+		t.Skip("need several segments")
+	}
+	skip := segs[0].Len() + segs[1].Len()
+	resegs, _ := Split(chunks[skip:], p)
+	for i := 0; i < 2; i++ {
+		a, b := segs[2+i], resegs[i]
+		if a.Len() != b.Len() || a.Bytes != b.Bytes {
+			t.Fatalf("segment %d differs after re-start: %d/%d vs %d/%d",
+				i, a.Len(), a.Bytes, b.Len(), b.Bytes)
+		}
+	}
+}
+
+// Property: Split conserves chunks and bytes for arbitrary size sequences.
+func TestSplitConservationProperty(t *testing.T) {
+	p := Params{MinBytes: 1000, MaxBytes: 5000, Divisor: 8}
+	fn := func(sizes []uint16) bool {
+		var chunks []chunk.Chunk
+		var total int64
+		for i, sz := range sizes {
+			s := uint32(sz%3000) + 1
+			chunks = append(chunks, mkChunk(uint64(i), s))
+			total += int64(s)
+		}
+		segs, err := Split(chunks, p)
+		if err != nil {
+			return false
+		}
+		var n int
+		var bytes int64
+		for _, s := range segs {
+			n += s.Len()
+			bytes += s.Bytes
+		}
+		return n == len(chunks) && bytes == total
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSegmenter(b *testing.B) {
+	chunks := make([]chunk.Chunk, 10000)
+	for i := range chunks {
+		chunks[i] = mkChunk(uint64(i), 8192)
+	}
+	b.SetBytes(10000 * 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(chunks, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

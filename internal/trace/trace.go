@@ -1,0 +1,113 @@
+// Package trace serializes backup recipes (stream manifests) to a compact
+// binary format, so catalogs built by one run can be restored or analyzed by
+// another without re-ingesting the data. Used by the CLIs.
+//
+// Format (little-endian):
+//
+//	magic "DFRC" | version u16 | label len u16 | label bytes | ref count u64
+//	then per ref: fp[32] | size u32 | container u32 | segment u64 |
+//	              offset i64
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/chunk"
+)
+
+var magic = [4]byte{'D', 'F', 'R', 'C'}
+
+const version = 1
+
+// Save writes the recipe to w.
+func Save(w io.Writer, r *chunk.Recipe) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if len(r.Label) > 65535 {
+		return fmt.Errorf("trace: label too long (%d)", len(r.Label))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(r.Label))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(r.Label); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(r.Refs))); err != nil {
+		return err
+	}
+	for i := range r.Refs {
+		ref := &r.Refs[i]
+		if _, err := bw.Write(ref.FP[:]); err != nil {
+			return err
+		}
+		for _, v := range []any{ref.Size, ref.Loc.Container, ref.Loc.Segment, ref.Loc.Offset} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a recipe written by Save.
+func Load(r io.Reader) (*chunk.Recipe, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var ver, labelLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &labelLen); err != nil {
+		return nil, err
+	}
+	label := make([]byte, labelLen)
+	if _, err := io.ReadFull(br, label); err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxRefs = 1 << 32 // sanity bound against corrupt headers
+	if count > maxRefs {
+		return nil, fmt.Errorf("trace: implausible ref count %d", count)
+	}
+	rec := &chunk.Recipe{Label: string(label), Refs: make([]chunk.Ref, count)}
+	for i := range rec.Refs {
+		ref := &rec.Refs[i]
+		if _, err := io.ReadFull(br, ref.FP[:]); err != nil {
+			return nil, fmt.Errorf("trace: ref %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ref.Size); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ref.Loc.Container); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ref.Loc.Segment); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ref.Loc.Offset); err != nil {
+			return nil, err
+		}
+		ref.Loc.Size = ref.Size
+	}
+	return rec, nil
+}

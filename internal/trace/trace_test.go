@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+)
+
+func sampleRecipe(n int) *chunk.Recipe {
+	r := &chunk.Recipe{Label: "u0/g03"}
+	for i := 0; i < n; i++ {
+		fp := chunk.Of([]byte{byte(i), byte(i >> 8)})
+		r.Append(fp, uint32(100+i), chunk.Location{
+			Container: uint32(i / 10),
+			Segment:   uint64(i / 5),
+			Offset:    int64(i) * 512,
+			Size:      uint32(100 + i),
+		})
+	}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleRecipe(137)
+	var buf bytes.Buffer
+	if err := Save(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != want.Label || got.Len() != want.Len() {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", got.Label, got.Len(), want.Label, want.Len())
+	}
+	for i := range want.Refs {
+		if got.Refs[i] != want.Refs[i] {
+			t.Fatalf("ref %d: %+v != %+v", i, got.Refs[i], want.Refs[i])
+		}
+	}
+}
+
+func TestEmptyRecipe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, &chunk.Recipe{Label: ""}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Label != "" {
+		t.Fatal("empty recipe round trip")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOPE...."))); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleRecipe(10)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 5, 10, len(full) / 2, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleRecipe(1)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version low byte
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Fatal("future version must be rejected")
+	}
+}
+
+func TestOversizedLabelRejected(t *testing.T) {
+	r := &chunk.Recipe{Label: string(make([]byte, 70000))}
+	if err := Save(io.Discard, r); err == nil {
+		t.Fatal("oversized label must error")
+	}
+}
+
+// Property: any recipe survives a round trip bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	fn := func(label string, sizes []uint16) bool {
+		if len(label) > 1000 {
+			label = label[:1000]
+		}
+		r := &chunk.Recipe{Label: label}
+		for i, sz := range sizes {
+			r.Append(chunk.Of([]byte{byte(i)}), uint32(sz)+1, chunk.Location{
+				Container: uint32(i),
+				Segment:   uint64(sz),
+				Offset:    int64(i) * 17,
+				Size:      uint32(sz) + 1,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, r); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil || got.Label != r.Label || got.Len() != r.Len() {
+			return false
+		}
+		for i := range r.Refs {
+			if got.Refs[i] != r.Refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

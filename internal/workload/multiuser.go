@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Backup is one scheduled backup: a labeled full-backup stream of one
+// user's file system at some generation.
+type Backup struct {
+	Label  string // e.g. "u2/g05"
+	User   int
+	Gen    int
+	Size   int64
+	Stream io.Reader
+}
+
+// MultiUser models the paper's Fig. 4–6 dataset shape: several users'
+// file systems backed up in an interleaved schedule, totaling a given
+// number of backups (the paper: 5 students, 66 backups, 1.72 TB).
+type MultiUser struct {
+	fss      []*FS
+	nextUser int
+	count    int
+}
+
+// NewMultiUser creates users file systems. Each user gets an independent
+// seed derived from cfg.Seed, and user file counts are staggered ±25% so the
+// streams differ in size as real users' do. When cfg.SharedFraction > 0,
+// that fraction of each user's initial files comes from a pool common to
+// all users (identical content until each user's edits diverge it).
+func NewMultiUser(users int, cfg Config) (*MultiUser, error) {
+	if users <= 0 {
+		return nil, fmt.Errorf("workload: need at least one user, got %d", users)
+	}
+	// The shared pool: deterministic (seed, size) pairs all users draw from.
+	type sharedFile struct {
+		seed uint64
+		size int64
+	}
+	var pool []sharedFile
+	if cfg.SharedFraction > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed*31 + 17))
+		n := int(float64(cfg.NumFiles) * cfg.SharedFraction)
+		for i := 0; i < n; i++ {
+			pool = append(pool, sharedFile{
+				seed: rng.Uint64(),
+				size: cfg.MeanFileSize/4 + rng.Int63n(cfg.MeanFileSize*9/4) + 1,
+			})
+		}
+	}
+	m := &MultiUser{}
+	for u := 0; u < users; u++ {
+		c := cfg
+		c.Seed = cfg.Seed*1000003 + int64(u)*7919
+		c.NumFiles = cfg.NumFiles * (75 + (u*13)%50) / 100
+		if c.NumFiles < 1 {
+			c.NumFiles = 1
+		}
+		fs, err := NewFS(c)
+		if err != nil {
+			return nil, err
+		}
+		// Replace the head of the file list with the shared pool. These are
+		// also the hotspot files, which is realistic: shared project trees
+		// are where the churn is.
+		for i := 0; i < len(pool) && i < len(fs.files); i++ {
+			fs.nextID++
+			fs.files[i] = &file{
+				id:      fs.nextID,
+				extents: []extent{{seed: pool[i].seed, n: pool[i].size}},
+			}
+		}
+		m.fss = append(m.fss, fs)
+	}
+	return m, nil
+}
+
+// Users returns the user count.
+func (m *MultiUser) Users() int { return len(m.fss) }
+
+// Next produces the next scheduled backup: users take turns round-robin,
+// and a user's file system mutates before each of its backups after the
+// first — so every stream shares most content with that user's previous
+// generation, plus whatever cross-user redundancy the chunker finds.
+func (m *MultiUser) Next() Backup {
+	u := m.nextUser
+	fs := m.fss[u]
+	if m.count >= len(m.fss) { // every user's initial backup happens unmutated
+		fs.Mutate()
+	}
+	b := Backup{
+		Label:  fmt.Sprintf("u%d/g%02d", u, fs.Generation()),
+		User:   u,
+		Gen:    fs.Generation(),
+		Size:   fs.LogicalSize() + int64(fs.NumFiles())*64,
+		Stream: fs.Stream(),
+	}
+	m.nextUser = (m.nextUser + 1) % len(m.fss)
+	m.count++
+	return b
+}
+
+// Single wraps one FS in the same Backup-producing interface: each call
+// returns the current generation's full backup, then mutates. Used for the
+// 20-generation single-user experiments (Figs. 2, 3, 6).
+type Single struct {
+	fs    *FS
+	count int
+}
+
+// NewSingle creates a single-user schedule.
+func NewSingle(cfg Config) (*Single, error) {
+	fs, err := NewFS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Single{fs: fs}, nil
+}
+
+// Next returns the next generation's backup.
+func (s *Single) Next() Backup {
+	if s.count > 0 {
+		s.fs.Mutate()
+	}
+	s.count++
+	b := Backup{
+		Label:  fmt.Sprintf("g%02d", s.fs.Generation()),
+		Gen:    s.fs.Generation(),
+		Size:   s.fs.LogicalSize() + int64(s.fs.NumFiles())*64,
+		Stream: s.fs.Stream(),
+	}
+	return b
+}
+
+// Schedule is the common interface of Single and MultiUser.
+type Schedule interface {
+	Next() Backup
+}
+
+var (
+	_ Schedule = (*Single)(nil)
+	_ Schedule = (*MultiUser)(nil)
+)

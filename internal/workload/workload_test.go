@@ -1,0 +1,381 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/chunker"
+)
+
+func readAll(t *testing.T, r io.Reader) []byte {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func tinyConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.NumFiles = 8
+	c.MeanFileSize = 32 << 10
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewFS(Config{}); err == nil {
+		t.Fatal("zero config must fail")
+	}
+	bad := DefaultConfig(1)
+	bad.ModifyFraction = 1.5
+	if _, err := NewFS(bad); err == nil {
+		t.Fatal("fraction > 1 must fail")
+	}
+	neg := DefaultConfig(1)
+	neg.EditsPerFile = -1
+	if _, err := NewFS(neg); err == nil {
+		t.Fatal("negative edits must fail")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	fs1, _ := NewFS(tinyConfig(42))
+	fs2, _ := NewFS(tinyConfig(42))
+	a := readAll(t, fs1.Stream())
+	b := readAll(t, fs2.Stream())
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must produce identical streams")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	fs1, _ := NewFS(tinyConfig(1))
+	fs2, _ := NewFS(tinyConfig(2))
+	if bytes.Equal(readAll(t, fs1.Stream()), readAll(t, fs2.Stream())) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestStreamSizeMatchesLogical(t *testing.T) {
+	fs, _ := NewFS(tinyConfig(7))
+	want := fs.LogicalSize() + int64(fs.NumFiles())*64
+	if got := int64(len(readAll(t, fs.Stream()))); got != want {
+		t.Fatalf("stream bytes = %d, want %d", got, want)
+	}
+}
+
+func TestStreamSnapshotIsolation(t *testing.T) {
+	fs, _ := NewFS(tinyConfig(9))
+	r := fs.Stream()
+	before := fs.LogicalSize()
+	fs.Mutate() // must not disturb the open reader
+	got := int64(len(readAll(t, r)))
+	if got != before+int64(8)*64 && got < before {
+		t.Fatalf("open stream affected by mutation: got %d bytes", got)
+	}
+}
+
+func TestMutatePreservesMostContent(t *testing.T) {
+	fs, _ := NewFS(tinyConfig(11))
+	gen0 := readAll(t, fs.Stream())
+	fs.Mutate()
+	gen1 := readAll(t, fs.Stream())
+	if bytes.Equal(gen0, gen1) {
+		t.Fatal("mutation must change something")
+	}
+	// Measure shared content the way the system will: CDC chunk both
+	// streams and compare fingerprint sets. A 22% modify fraction must
+	// leave the bulk of chunks shared.
+	frac := chunkOverlap(t, gen0, gen1)
+	if frac < 0.60 {
+		t.Fatalf("only %.0f%% CDC chunk overlap after one mutation; churn too violent", frac*100)
+	}
+	if frac > 0.999 {
+		t.Fatalf("%.2f%% overlap; mutation changed almost nothing", frac*100)
+	}
+}
+
+// chunkOverlap returns the byte-weighted fraction of b's CDC chunks that
+// also appear in a.
+func chunkOverlap(t *testing.T, a, b []byte) float64 {
+	t.Helper()
+	seen := map[string]bool{}
+	ca, _ := chunker.NewGear(bytes.NewReader(a), chunker.DefaultParams())
+	for {
+		ch, err := ca.Next()
+		if err != nil {
+			break
+		}
+		seen[string(ch)] = true
+	}
+	var common, total int64
+	cb, _ := chunker.NewGear(bytes.NewReader(b), chunker.DefaultParams())
+	for {
+		ch, err := cb.Next()
+		if err != nil {
+			break
+		}
+		total += int64(len(ch))
+		if seen[string(ch)] {
+			common += int64(len(ch))
+		}
+	}
+	return float64(common) / float64(total)
+}
+
+func TestGenerationCounter(t *testing.T) {
+	fs, _ := NewFS(tinyConfig(3))
+	if fs.Generation() != 0 {
+		t.Fatal("fresh FS at generation 0")
+	}
+	fs.Mutate()
+	fs.Mutate()
+	if fs.Generation() != 2 {
+		t.Fatalf("Generation = %d", fs.Generation())
+	}
+}
+
+func TestManyGenerationsStayBounded(t *testing.T) {
+	fs, _ := NewFS(tinyConfig(5))
+	initial := fs.LogicalSize()
+	for i := 0; i < 30; i++ {
+		fs.Mutate()
+	}
+	final := fs.LogicalSize()
+	if final <= 0 {
+		t.Fatal("file system vanished")
+	}
+	// Size drifts (inserts vs deletes) but must stay within 4x band.
+	if final > initial*4 || final < initial/4 {
+		t.Fatalf("size drifted from %d to %d over 30 generations", initial, final)
+	}
+}
+
+func TestFileSplitRegeneratesIdenticalBytes(t *testing.T) {
+	// An overwrite edit in one file must leave bytes outside the edited
+	// range untouched.
+	cfg := tinyConfig(13)
+	cfg.NumFiles = 1
+	cfg.ModifyFraction = 1
+	cfg.InsertFraction = 0
+	cfg.DeleteRangeFrac = 0
+	cfg.NewFileFraction = 0
+	cfg.DeleteFileFraction = 0
+	cfg.EditsPerFile = 1
+	fs, _ := NewFS(cfg)
+	before := readAll(t, fs.Stream())
+	fs.Mutate()
+	after := readAll(t, fs.Stream())
+	if len(before) != len(after) {
+		t.Fatalf("pure overwrites must preserve size: %d -> %d", len(before), len(after))
+	}
+	diff := 0
+	for i := range before {
+		if before[i] != after[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("overwrite changed nothing")
+	}
+	maxChanged := int(float64(len(before)) * 0.9)
+	if diff > maxChanged {
+		t.Fatalf("overwrite touched %d of %d bytes; surrounding content corrupted", diff, len(before))
+	}
+}
+
+func TestSingleSchedule(t *testing.T) {
+	s, err := NewSingle(tinyConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := s.Next()
+	if b0.Gen != 0 || b0.Label != "g00" {
+		t.Fatalf("first backup = %+v", b0)
+	}
+	data0 := readAll(t, b0.Stream)
+	if int64(len(data0)) != b0.Size {
+		t.Fatalf("declared size %d != stream size %d", b0.Size, len(data0))
+	}
+	b1 := s.Next()
+	if b1.Gen != 1 {
+		t.Fatalf("second backup gen = %d", b1.Gen)
+	}
+}
+
+func TestMultiUserSchedule(t *testing.T) {
+	m, err := NewMultiUser(5, tinyConfig(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Users() != 5 {
+		t.Fatal("user count")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 12; i++ {
+		b := m.Next()
+		if b.User != i%5 {
+			t.Fatalf("backup %d user = %d, want %d (round-robin)", i, b.User, i%5)
+		}
+		wantGen := 0
+		if i >= 5 {
+			wantGen = (i-5)/5 + 1
+		}
+		if b.Gen != wantGen {
+			t.Fatalf("backup %d gen = %d, want %d", i, b.Gen, wantGen)
+		}
+		if seen[b.Label] {
+			t.Fatalf("duplicate label %s", b.Label)
+		}
+		seen[b.Label] = true
+		if int64(len(readAll(t, b.Stream))) != b.Size {
+			t.Fatalf("backup %d size mismatch", i)
+		}
+	}
+}
+
+func TestMultiUserRejectsZeroUsers(t *testing.T) {
+	if _, err := NewMultiUser(0, tinyConfig(1)); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestUsersDiffer(t *testing.T) {
+	m, _ := NewMultiUser(2, tinyConfig(23))
+	a := readAll(t, m.Next().Stream)
+	b := readAll(t, m.Next().Stream)
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct users must have distinct content")
+	}
+}
+
+func TestSmallReadsMatchLargeReads(t *testing.T) {
+	fs1, _ := NewFS(tinyConfig(29))
+	fs2, _ := NewFS(tinyConfig(29))
+	big := readAll(t, fs1.Stream())
+	r := fs2.Stream()
+	var small []byte
+	buf := make([]byte, 7) // odd size stresses word-phase logic
+	for {
+		n, err := r.Read(buf)
+		small = append(small, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(big, small) {
+		t.Fatal("read granularity changed stream bytes")
+	}
+}
+
+func TestSharedFractionCreatesCrossUserRedundancy(t *testing.T) {
+	cfg := tinyConfig(61)
+	cfg.SharedFraction = 0.5
+	m, err := NewMultiUser(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := readAll(t, m.Next().Stream) // u0/g00
+	b := readAll(t, m.Next().Stream) // u1/g00
+	if frac := chunkOverlap(t, a, b); frac < 0.2 {
+		t.Fatalf("cross-user overlap %.0f%% with 50%% shared files; want substantial", frac*100)
+	}
+
+	// Without sharing the users must be (nearly) disjoint.
+	cfg.SharedFraction = 0
+	m2, _ := NewMultiUser(2, cfg)
+	a2 := readAll(t, m2.Next().Stream)
+	b2 := readAll(t, m2.Next().Stream)
+	if frac := chunkOverlap(t, a2, b2); frac > 0.05 {
+		t.Fatalf("unshared users overlap %.0f%%", frac*100)
+	}
+}
+
+func TestSharedFilesDivergeWithEdits(t *testing.T) {
+	cfg := tinyConfig(67)
+	cfg.SharedFraction = 1.0
+	m, _ := NewMultiUser(2, cfg)
+	// Skip the initial backups, advance both users a few generations.
+	var a, b []byte
+	for i := 0; i < 8; i++ {
+		bk := m.Next()
+		data := readAll(t, bk.Stream)
+		if i == 6 {
+			a = data
+		}
+		if i == 7 {
+			b = data
+		}
+	}
+	over := chunkOverlap(t, a, b)
+	if over >= 0.999 {
+		t.Fatal("shared files should diverge once users edit them")
+	}
+	if over < 0.1 {
+		t.Fatalf("divergence too total (%.0f%% overlap left)", over*100)
+	}
+}
+
+func TestShuffleOrderPreservesContentNotOrder(t *testing.T) {
+	cfg := tinyConfig(71)
+	cfg.ShuffleOrder = true
+	cfg.MeanFileSize = 256 << 10 // interior chunks must dominate boundary chunks
+	fs, _ := NewFS(cfg)
+	a := readAll(t, fs.Stream())
+	b := readAll(t, fs.Stream()) // same state, new shuffle
+	if bytes.Equal(a, b) {
+		t.Fatal("shuffled streams of >2 files should differ in order")
+	}
+	if len(a) != len(b) {
+		t.Fatal("shuffling must not change total size")
+	}
+	// The content (CDC chunk set) must be mostly identical — only the
+	// arrangement differs. Chunks straddling file boundaries legitimately
+	// change (the chunker does not reset per file), so demand high but not
+	// total overlap.
+	if frac := chunkOverlap(t, a, b); frac < 0.75 {
+		t.Fatalf("shuffle changed content: only %.0f%% chunk overlap", frac*100)
+	}
+}
+
+func BenchmarkStreamGeneration(b *testing.B) {
+	cfg := DefaultConfig(1)
+	cfg.NumFiles = 16
+	fs, err := NewFS(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fs.LogicalSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := io.Copy(io.Discard, fs.Stream()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMutate(b *testing.B) {
+	// Rebuild the file system periodically: thousands of mutations of one
+	// FS grow its extent lists without bound (each edit splits extents),
+	// which would make late iterations quadratically slow and measure
+	// degenerate state no experiment ever reaches.
+	cfg := DefaultConfig(2)
+	fs, _ := NewFS(cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			b.StopTimer()
+			fs, _ = NewFS(cfg)
+			b.StartTimer()
+		}
+		fs.Mutate()
+	}
+}

@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/restore"
+)
+
+// BackupStats are the measurements of one backup through the store. All
+// byte counts are logical-stream bytes; all times are simulated-disk time.
+type BackupStats struct {
+	Label        string
+	LogicalBytes int64
+	Chunks       int64
+	Segments     int64
+
+	UniqueBytes     int64 // new unique chunk bytes written
+	DedupedBytes    int64 // redundant bytes removed by reference
+	RewrittenBytes  int64 // redundant bytes deliberately written (DeFrag)
+	RewrittenChunks int64
+	MissedDupBytes  int64 // redundancy the engine failed to detect (SiLo)
+
+	Duration time.Duration
+
+	// Mechanism counters.
+	IndexLookups   int64 // on-disk full-index lookups (DDFS/DeFrag)
+	MetaPrefetches int64 // container-metadata prefetches (DDFS/DeFrag)
+	CacheHits      int64 // duplicates resolved from RAM caches
+	BlockReads     int64 // block-metadata reads (SiLo)
+
+	// Ground truth (only when Options.TrackEfficiency).
+	OracleRedundantBytes  int64
+	PartialRedundantBytes int64
+	RemovedInPartialBytes int64
+}
+
+// ThroughputMBps returns the backup's deduplication throughput in MB/s —
+// the paper's Fig. 2/Fig. 4 metric.
+func (s BackupStats) ThroughputMBps() float64 {
+	sec := s.Duration.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / sec / 1e6
+}
+
+// Efficiency returns the paper's Fig. 3/Fig. 5 deduplication-efficiency
+// metric: redundant bytes removed over redundant bytes present, restricted
+// to partially-redundant segments. Requires Options.TrackEfficiency; 0
+// otherwise.
+func (s BackupStats) Efficiency() float64 {
+	es := engine.BackupStats{
+		OracleRedundantBytes:  s.OracleRedundantBytes,
+		PartialRedundantBytes: s.PartialRedundantBytes,
+		RemovedInPartialBytes: s.RemovedInPartialBytes,
+	}
+	return es.Efficiency()
+}
+
+// WrittenBytes returns the physical bytes this backup added.
+func (s BackupStats) WrittenBytes() int64 { return s.UniqueBytes + s.RewrittenBytes }
+
+func fromEngineStats(st engine.BackupStats) BackupStats {
+	return BackupStats{
+		Label:        st.Label,
+		LogicalBytes: st.LogicalBytes,
+		Chunks:       st.Chunks,
+		Segments:     st.Segments,
+
+		UniqueBytes:     st.UniqueBytes,
+		DedupedBytes:    st.DedupedBytes,
+		RewrittenBytes:  st.RewrittenBytes,
+		RewrittenChunks: st.RewrittenChunks,
+		MissedDupBytes:  st.MissedDupBytes,
+
+		Duration: st.Duration,
+
+		IndexLookups:   st.IndexLookups,
+		MetaPrefetches: st.MetaPrefetches,
+		CacheHits:      st.CacheHits,
+		BlockReads:     st.BlockReads,
+
+		OracleRedundantBytes:  st.OracleRedundantBytes,
+		PartialRedundantBytes: st.PartialRedundantBytes,
+		RemovedInPartialBytes: st.RemovedInPartialBytes,
+	}
+}
+
+// RestoreStats are the measurements of one restore — the paper's Fig. 6
+// metric plus the fragmentation evidence behind Eq. 1.
+type RestoreStats struct {
+	Label          string
+	Bytes          int64
+	Chunks         int64
+	ContainerReads int64 // restore-cache misses: full container reads
+	CacheHits      int64
+	Fragments      int // placement fragments (Eq. 1's N)
+	Duration       time.Duration
+}
+
+// ThroughputMBps returns the restore bandwidth in MB/s.
+func (s RestoreStats) ThroughputMBps() float64 {
+	sec := s.Duration.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / sec / 1e6
+}
+
+func fromRestoreStats(st restore.Stats) RestoreStats {
+	return RestoreStats{
+		Label:          st.Label,
+		Bytes:          st.Bytes,
+		Chunks:         st.Chunks,
+		ContainerReads: st.ContainerReads,
+		CacheHits:      st.CacheHits,
+		Fragments:      st.Fragments,
+		Duration:       st.Duration,
+	}
+}
