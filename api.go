@@ -21,6 +21,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -36,7 +37,19 @@ import (
 	"repro/internal/fsck"
 	"repro/internal/gc"
 	"repro/internal/restore"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
+)
+
+// Store-level telemetry: one span per public operation (wall plus
+// simulated-clock duration) and operation counters. The per-phase and
+// per-subsystem instruments live in the internal packages; see the metric
+// catalog in README.md ("Observability").
+var (
+	telBackups = telemetry.NewCounter(telemetry.Name("store_operations_total", "op", "backup"),
+		"public Store operations, by kind")
+	telRestores = telemetry.NewCounter(telemetry.Name("store_operations_total", "op", "restore"), "")
+	telCompacts = telemetry.NewCounter(telemetry.Name("store_operations_total", "op", "compact"), "")
 )
 
 // EngineKind selects a deduplication engine.
@@ -249,10 +262,14 @@ func (s *Store) Engine() string { return s.eng.Name() }
 // Backup ingests one full-backup stream under label and returns the
 // recorded backup.
 func (s *Store) Backup(label string, r io.Reader) (*Backup, error) {
+	_, span := telemetry.StartSpan(context.Background(), "store.backup")
+	defer span.End()
+	telBackups.Inc()
 	rec, st, err := s.eng.Backup(label, r)
 	if err != nil {
 		return nil, err
 	}
+	span.SetSim(st.Duration)
 	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
 	s.backups = append(s.backups, b)
 	s.logical += st.LogicalBytes
@@ -280,12 +297,16 @@ func (s *Store) Forget(label string) bool {
 // without materializing). verify recomputes chunk fingerprints and requires
 // Options.StoreData.
 func (s *Store) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
+	_, span := telemetry.StartSpan(context.Background(), "store.restore")
+	defer span.End()
+	telRestores.Inc()
 	cfg := restore.DefaultConfig()
 	cfg.Verify = verify
 	st, err := restore.Run(s.eng.Containers(), b.recipe, cfg, w)
 	if err != nil {
 		return RestoreStats{}, err
 	}
+	span.SetSim(st.Duration)
 	return fromRestoreStats(st), nil
 }
 
@@ -294,10 +315,14 @@ func (s *Store) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, erro
 // areaBytes and every container is read at most once per assembly window,
 // regardless of how badly fragmentation interleaves the recipe.
 func (s *Store) RestoreFAA(b *Backup, w io.Writer, areaBytes int64, verify bool) (RestoreStats, error) {
+	_, span := telemetry.StartSpan(context.Background(), "store.restore")
+	defer span.End()
+	telRestores.Inc()
 	st, err := restore.RunFAA(s.eng.Containers(), b.recipe, restore.FAAConfig{AreaBytes: areaBytes, Verify: verify}, w)
 	if err != nil {
 		return RestoreStats{}, err
 	}
+	span.SetSim(st.Duration)
 	return fromRestoreStats(st), nil
 }
 
@@ -334,6 +359,9 @@ type CompactStats struct {
 // the I/O it performs is charged to the simulated clock like any other
 // operation.
 func (s *Store) Compact(threshold float64) (CompactStats, error) {
+	_, span := telemetry.StartSpan(context.Background(), "store.compact")
+	defer span.End()
+	telCompacts.Inc()
 	type indexed interface{ Index() *cindex.Index }
 	eng, ok := s.eng.(indexed)
 	if !ok {

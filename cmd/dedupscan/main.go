@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,11 +34,22 @@ func main() {
 		engineName = flag.String("engine", "defrag", "engine: defrag, ddfs, silo, sparse, idedup")
 		alpha      = flag.Float64("alpha", 0.1, "DeFrag SPL threshold α")
 		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = serial)")
+		telAddr    = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
+		telEvents  = flag.String("telemetry.events", "", "write JSONL span events to this file")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: dedupscan [flags] DIR [DIR2 ...]")
 		os.Exit(2)
+	}
+	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dedupscan:", err)
+		os.Exit(1)
+	}
+	defer ep.Close()
+	if a := ep.Addr(); a != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
 	}
 	if err := run(*engineName, *alpha, *workers, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupscan:", err)

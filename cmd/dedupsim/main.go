@@ -22,6 +22,7 @@ import (
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -39,11 +40,27 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = serial)")
 		check      = flag.Bool("check", false, "run a consistency check (fsck) at the end")
 		export     = flag.String("export", "", "directory to export the store archive into")
+		telAddr    = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		telEvents  = flag.String("telemetry.events", "", "write JSONL span events to this file")
+		telHold    = flag.Bool("telemetry.hold", false, "after the run, keep the telemetry endpoint serving until interrupted")
 	)
 	flag.Parse()
+	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dedupsim:", err)
+		os.Exit(1)
+	}
+	defer ep.Close()
+	if a := ep.Addr(); a != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
+	}
 	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *check, *export}); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupsim:", err)
 		os.Exit(1)
+	}
+	if *telHold && ep.Addr() != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: run complete, holding http://%s (Ctrl-C to exit)\n", ep.Addr())
+		select {}
 	}
 }
 

@@ -1,9 +1,10 @@
 // Command defragbench regenerates the paper's evaluation figures as text
-// tables.
+// tables, or emits a machine-readable per-generation trajectory.
 //
 // Usage:
 //
 //	defragbench [-fig all|2|3|4|5|6|eq1|alpha|ablations] [flags]
+//	defragbench -json [-engine defrag] [-gens N] [flags]
 //
 // Examples:
 //
@@ -11,6 +12,7 @@
 //	defragbench -fig 4 -backups 30     # shorter throughput comparison
 //	defragbench -fig alpha             # the α trade-off sweep
 //	defragbench -fig all -files 32     # everything, at reduced scale
+//	defragbench -json > bench.jsonl    # one JSONL record per generation
 package main
 
 import (
@@ -22,20 +24,35 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: all, 2, 3, 4, 5, 6, eq1, extended, layout, alpha, ablations (comma-separated)")
-		seed    = flag.Int64("seed", 42, "workload seed")
-		gens    = flag.Int("gens", 20, "generations for single-user experiments (Figs. 2, 3, 6)")
-		backups = flag.Int("backups", 66, "backups for multi-user experiments (Figs. 4, 5)")
-		users   = flag.Int("users", 5, "users for multi-user experiments")
-		files   = flag.Int("files", 64, "files per user (scale knob, ~0.75 MB each)")
-		alpha   = flag.Float64("alpha", 0.1, "DeFrag SPL threshold α")
-		csvDir  = flag.String("csvdir", "", "also write each figure as CSV into this directory")
+		fig       = flag.String("fig", "all", "which figure to regenerate: all, 2, 3, 4, 5, 6, eq1, extended, layout, alpha, ablations (comma-separated)")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		gens      = flag.Int("gens", 20, "generations for single-user experiments (Figs. 2, 3, 6)")
+		backups   = flag.Int("backups", 66, "backups for multi-user experiments (Figs. 4, 5)")
+		users     = flag.Int("users", 5, "users for multi-user experiments")
+		files     = flag.Int("files", 64, "files per user (scale knob, ~0.75 MB each)")
+		alpha     = flag.Float64("alpha", 0.1, "DeFrag SPL threshold α")
+		csvDir    = flag.String("csvdir", "", "also write each figure as CSV into this directory")
+		jsonOut   = flag.Bool("json", false, "emit a per-generation JSONL trajectory to stdout instead of figure tables")
+		engine    = flag.String("engine", "defrag", "engine for -json trajectories: defrag, ddfs, silo, sparse, idedup")
+		telAddr   = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
+		telEvents = flag.String("telemetry.events", "", "write JSONL span events to this file")
 	)
 	flag.Parse()
+
+	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defragbench:", err)
+		os.Exit(1)
+	}
+	defer ep.Close()
+	if a := ep.Addr(); a != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
+	}
 
 	cfg := repro.DefaultExperimentConfig()
 	cfg.Seed = *seed
@@ -45,10 +62,32 @@ func main() {
 	cfg.FilesPerUser = *files
 	cfg.Alpha = *alpha
 
+	if *jsonOut {
+		if err := emitTrajectory(cfg, *engine); err != nil {
+			fmt.Fprintln(os.Stderr, "defragbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := dispatch(*fig, cfg, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "defragbench:", err)
 		os.Exit(1)
 	}
+}
+
+// emitTrajectory runs one per-generation benchmark trajectory and writes it
+// as JSONL (one record per generation: throughput, rewrite ratio, fragments,
+// restore performance) so BENCH_*.json files can be captured mechanically.
+func emitTrajectory(cfg repro.ExperimentConfig, engineName string) error {
+	kind, err := repro.ParseEngineKind(engineName)
+	if err != nil {
+		return err
+	}
+	points, err := repro.RunTrajectory(cfg, kind)
+	if err != nil {
+		return err
+	}
+	return repro.WriteTrajectoryJSONL(os.Stdout, points)
 }
 
 func dispatch(fig string, cfg repro.ExperimentConfig, csvDir string) error {

@@ -23,6 +23,23 @@ import (
 
 	"repro/internal/chunk"
 	"repro/internal/disk"
+	"repro/internal/telemetry"
+)
+
+// Live telemetry of container-log activity across all stores in the
+// process. Meta reads are LPC prefetches (ingest path); data reads are
+// restore/compaction container fetches.
+var (
+	telSealed = telemetry.NewCounter("container_sealed_total",
+		"containers sealed (flushed to the simulated device)")
+	telWrittenBytes = telemetry.NewCounter("container_written_bytes_total",
+		"chunk data bytes written into containers")
+	telMetaReads = telemetry.NewCounter("container_meta_reads_total",
+		"container metadata-section reads (locality-preserved cache prefetches)")
+	telDataReads = telemetry.NewCounter("container_data_reads_total",
+		"container data-section reads (restore and compaction fetches)")
+	telDeadBytes = telemetry.NewCounter("container_dead_bytes_total",
+		"bytes superseded inside sealed containers (garbage left by rewrites)")
 )
 
 // Config sizes the container geometry.
@@ -177,6 +194,8 @@ func (s *Store) Flush() {
 	s.sealed = append(s.sealed, info)
 	s.liveBytes = append(s.liveBytes, s.openFill)
 	s.hasOpen = false
+	telSealed.Inc()
+	telWrittenBytes.Add(info.DataFill)
 }
 
 // encodeMeta serializes entries into a MetaCap-sized section.
@@ -205,6 +224,7 @@ func encodeMeta(entries []Meta, capBytes int64) []byte {
 func (s *Store) ReadMeta(id uint32) []Meta {
 	info := s.info(id)
 	s.dev.AccountRead(info.Start, s.cfg.MetaCap())
+	telMetaReads.Inc()
 	return info.Entries
 }
 
@@ -231,6 +251,7 @@ func (s *Store) ReadData(id uint32) []byte {
 	info := s.info(id)
 	buf := make([]byte, info.DataFill)
 	s.dev.ReadAt(buf, info.DataStart(s.cfg))
+	telDataReads.Inc()
 	return buf
 }
 
@@ -270,6 +291,9 @@ func (s *Store) MarkDead(id uint32, n int64) {
 		s.liveBytes[id] -= n
 		if s.liveBytes[id] < 0 {
 			s.liveBytes[id] = 0
+		}
+		if n > 0 {
+			telDeadBytes.Add(n)
 		}
 	}
 }

@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,6 +38,31 @@ import (
 	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/segment"
+	"repro/internal/telemetry"
+)
+
+// Live telemetry of the DeFrag decision path. The three defrag_decision_total
+// series partition the chunk stream — their sum equals
+// dedup_chunks_processed_total whenever DeFrag is the only engine running
+// (asserted by the integration test in internal/telemetry).
+var (
+	telDecisionDedup = telemetry.NewCounter(
+		telemetry.Name("defrag_decision_total", "decision", "dedup"),
+		"per-chunk placement decisions: dedup (removed by reference), rewrite (duplicate written for locality), unique (new data)")
+	telDecisionRewrite = telemetry.NewCounter(
+		telemetry.Name("defrag_decision_total", "decision", "rewrite"), "")
+	telDecisionUnique = telemetry.NewCounter(
+		telemetry.Name("defrag_decision_total", "decision", "unique"), "")
+	telSPL = telemetry.NewHistogram("defrag_spl_ratio",
+		"spatial locality level SPL(m,k) of duplicate groups (paper Eq. 2); the rewrite threshold is α",
+		telemetry.RatioBuckets)
+	telRewriteGroups = telemetry.NewCounter(
+		telemetry.Name("defrag_spl_groups_total", "verdict", "rewrite"),
+		"duplicate placement groups judged against α: rewrite (SPL < α) or keep (deduplicate)")
+	telKeepGroups = telemetry.NewCounter(
+		telemetry.Name("defrag_spl_groups_total", "verdict", "keep"), "")
+	telRewrittenBytes = telemetry.NewCounter("defrag_rewritten_bytes_total",
+		"duplicate bytes deliberately rewritten for locality")
 )
 
 // RewritePolicy selects how DeFrag decides which duplicates to rewrite.
@@ -176,12 +202,14 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
 	start := e.clock.Now()
+	ctx, span := telemetry.StartSpan(context.Background(), "defrag.backup")
+	defer span.End()
 
 	logical, chunks, segs, err := engine.Pipeline(
 		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
 		e.clock, e.cfg.Cost, e.cfg.StoreData,
 		func(seg *segment.Segment) error {
-			e.processSegment(seg, recipe, &stats)
+			e.processSegment(ctx, seg, recipe, &stats)
 			return nil
 		})
 	if err != nil {
@@ -194,6 +222,7 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 	stats.Chunks = chunks
 	stats.Segments = segs
 	stats.Duration = e.clock.Now() - start
+	span.SetSim(stats.Duration)
 	return recipe, stats, nil
 }
 
@@ -203,22 +232,28 @@ type resolution struct {
 	dup bool
 }
 
-// processSegment runs the three DeFrag phases over one segment.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
+// processSegment runs the three DeFrag phases over one segment. ctx carries
+// the backup-level telemetry span; each phase is traced under it.
+func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
 	e.segSeq++
 	segID := e.segSeq
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
 
 	// Phase 1: identify every chunk (no writes yet — rewrites must land in
 	// stream order together with the new unique chunks).
+	identStart := e.clock.Now()
+	_, identSpan := telemetry.StartSpan(ctx, "defrag.identify")
 	res := make([]resolution, len(seg.Chunks))
 	for i, c := range seg.Chunks {
 		loc, dup := e.resolver.Resolve(c, stats)
 		res[i] = resolution{loc: loc, dup: dup}
 	}
+	identSpan.SetSim(e.clock.Now() - identStart)
+	identSpan.End()
 
 	// Phase 2: spatial-locality measurement. Group duplicates by the
 	// configured placement unit and mark low-SPL groups for rewriting.
+	_, measureSpan := telemetry.StartSpan(ctx, "defrag.measure")
 	groupOf := func(r *resolution) uint64 {
 		if e.cfg.Policy == PolicyContainer {
 			return uint64(r.loc.Container) + 1 // +1 keeps container 0 distinct from "no group"
@@ -238,14 +273,21 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 			continue // location with no group tag (defensive)
 		}
 		spl := float64(n) / float64(total)
+		telSPL.Observe(spl)
 		if spl < e.cfg.Alpha {
 			rewriteSeg[k] = true
+			telRewriteGroups.Inc()
+		} else {
+			telKeepGroups.Inc()
 		}
 	}
+	measureSpan.End()
 
 	// Phase 3: place chunks in stream order. Duplicates resolving to
 	// low-SPL segments are rewritten (and the index repointed); the rest
 	// are removed by reference.
+	placeStart := e.clock.Now()
+	_, placeSpan := telemetry.StartSpan(ctx, "defrag.place")
 	var removedInSeg int64
 	writtenHere := make(map[chunk.Fingerprint]chunk.Location)
 	for i, c := range seg.Chunks {
@@ -254,6 +296,7 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 		case r.dup && !rewriteSeg[groupOf(&r)]:
 			stats.DedupedBytes += int64(c.Size)
 			stats.DedupedChunks++
+			telDecisionDedup.Inc()
 			removedInSeg += int64(c.Size)
 			recipe.Append(c.FP, c.Size, r.loc)
 
@@ -263,6 +306,7 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 				// copy is perfectly local — reference it.
 				stats.DedupedBytes += int64(c.Size)
 				stats.DedupedChunks++
+				telDecisionDedup.Inc()
 				removedInSeg += int64(c.Size)
 				recipe.Append(c.FP, c.Size, loc)
 				break
@@ -273,12 +317,15 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 			writtenHere[c.FP] = loc
 			stats.RewrittenBytes += int64(c.Size)
 			stats.RewrittenChunks++
+			telDecisionRewrite.Inc()
+			telRewrittenBytes.Add(int64(c.Size))
 			recipe.Append(c.FP, c.Size, loc)
 
 		default: // new unique chunk
 			if loc, again := writtenHere[c.FP]; again {
 				stats.DedupedBytes += int64(c.Size)
 				stats.DedupedChunks++
+				telDecisionDedup.Inc()
 				removedInSeg += int64(c.Size)
 				recipe.Append(c.FP, c.Size, loc)
 				break
@@ -288,9 +335,12 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 			writtenHere[c.FP] = loc
 			stats.UniqueBytes += int64(c.Size)
 			stats.UniqueChunks++
+			telDecisionUnique.Inc()
 			recipe.Append(c.FP, c.Size, loc)
 		}
 	}
+	placeSpan.SetSim(e.clock.Now() - placeStart)
+	placeSpan.End()
 
 	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
 }

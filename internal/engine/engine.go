@@ -160,6 +160,7 @@ func Pipeline(
 			return nil
 		}
 		segments++
+		telSegments.Inc()
 		return process(seg)
 	}
 	for {
@@ -180,6 +181,9 @@ func Pipeline(
 		cost.ChargeCPU(clock, int64(c.Size))
 		logicalBytes += int64(c.Size)
 		chunks++
+		telChunks.Inc()
+		telBytes.Add(int64(c.Size))
+		telChunkSize.Observe(float64(c.Size))
 		if err := emit(sg.Add(c)); err != nil {
 			return logicalBytes, chunks, segments, err
 		}

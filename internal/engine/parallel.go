@@ -134,6 +134,7 @@ func ParallelPipeline(
 			return nil
 		}
 		segments++
+		telSegments.Inc()
 		return process(seg)
 	}
 	abort := func(err error) (int64, int64, int64, error) {
@@ -150,6 +151,9 @@ func ParallelPipeline(
 			cost.ChargeCPU(clock, int64(c.Size))
 			logicalBytes += int64(c.Size)
 			chunks++
+			telChunks.Inc()
+			telBytes.Add(int64(c.Size))
+			telChunkSize.Observe(float64(c.Size))
 			if err := emit(sg.Add(c)); err != nil {
 				return abort(err)
 			}

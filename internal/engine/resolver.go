@@ -54,6 +54,7 @@ func NewResolver(index *cindex.Index, store *container.Store, lpcContainers, exp
 		lpcFPs:  make(map[chunk.Fingerprint]lpcEntry, 4096),
 		current: make(map[chunk.Fingerprint]chunk.Location),
 	}
+	r.lpc.Instrument(nil, nil, telLPCEvictions)
 	r.lpc.OnEvict(func(cid uint32, metas []container.Meta) {
 		for _, m := range metas {
 			if ent, ok := r.lpcFPs[m.FP]; ok && ent.cid == cid {
@@ -74,20 +75,24 @@ func (r *Resolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Location, b
 	// container-metadata entry.
 	if loc, ok := r.current[c.FP]; ok {
 		stats.CacheHits++
+		telResolverCacheHits.Inc()
 		return loc, true
 	}
 	// 1. Locality-preserved cache (RAM, free).
 	if ent, ok := r.lpcFPs[c.FP]; ok {
 		stats.CacheHits++
+		telResolverCacheHits.Inc()
 		r.lpc.Get(ent.cid) // refresh recency of the containing container
 		return ent.loc, true
 	}
 	// 2. Summary vector (RAM, free). Negative → definitely new.
 	if !r.filter.MayContain(c.FP) {
+		telResolverBloomNeg.Inc()
 		return chunk.Location{}, false
 	}
 	// 3. Full index on disk (charged).
 	stats.IndexLookups++
+	telResolverLookups.Inc()
 	loc, found := r.index.Lookup(c.FP)
 	if !found {
 		return chunk.Location{}, false // Bloom false positive
@@ -97,6 +102,7 @@ func (r *Resolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Location, b
 	// resolve from RAM.
 	if r.store.Sealed(loc.Container) && !r.lpc.Contains(loc.Container) {
 		stats.MetaPrefetches++
+		telResolverPrefetches.Inc()
 		r.insertLPC(loc.Container, r.store.ReadMeta(loc.Container))
 	}
 	return loc, true

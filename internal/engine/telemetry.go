@@ -1,0 +1,29 @@
+package engine
+
+import "repro/internal/telemetry"
+
+// Live telemetry of the shared backup pipeline and the DDFS resolver
+// machinery. These are process-wide instruments on the telemetry Default
+// registry (every engine in the process adds to them); the per-backup
+// BackupStats remain the per-run source of truth for experiment tables.
+var (
+	telChunks = telemetry.NewCounter("dedup_chunks_processed_total",
+		"chunks produced by the backup pipeline across all engines")
+	telBytes = telemetry.NewCounter("dedup_bytes_processed_total",
+		"logical bytes ingested by the backup pipeline")
+	telSegments = telemetry.NewCounter("dedup_segments_total",
+		"content-defined segments formed by the backup pipeline")
+	telChunkSize = telemetry.NewHistogram("dedup_chunk_size_bytes",
+		"CDC chunk size distribution", telemetry.SizeBuckets)
+
+	telResolverCacheHits = telemetry.NewCounter("dedup_resolver_cache_hits_total",
+		"duplicate chunks resolved from RAM (locality-preserved cache or current-location table)")
+	telResolverBloomNeg = telemetry.NewCounter("dedup_resolver_bloom_negatives_total",
+		"chunks the summary vector ruled out without any disk access")
+	telResolverLookups = telemetry.NewCounter("dedup_resolver_index_lookups_total",
+		"charged full-index lookups (the paper's disk-bottleneck events)")
+	telResolverPrefetches = telemetry.NewCounter("dedup_resolver_meta_prefetches_total",
+		"container-metadata prefetch reads into the locality-preserved cache")
+	telLPCEvictions = telemetry.NewCounter("dedup_lpc_evictions_total",
+		"locality-preserved-cache container evictions")
+)

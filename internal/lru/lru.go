@@ -4,7 +4,13 @@
 // container metadata, SiLo's block-metadata cache, the index page cache, and
 // the restore path's container data cache. Eviction order is strict
 // least-recently-used; both Get and Put refresh recency.
+//
+// A cache can optionally mirror its hit/miss/eviction counts into live
+// telemetry counters (see Instrument), so each named cache in the system is
+// observable on the /metrics endpoint while the local Stats stay per-cache.
 package lru
+
+import "repro/internal/telemetry"
 
 // Cache is a fixed-capacity LRU map. The zero value is not usable; construct
 // with New. Not safe for concurrent use.
@@ -16,6 +22,8 @@ type Cache[K comparable, V any] struct {
 	onEvict func(K, V)
 
 	hits, misses, evictions uint64
+
+	telHits, telMisses, telEvictions *telemetry.Counter
 }
 
 type entry[K comparable, V any] struct {
@@ -37,14 +45,28 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 // capacity eviction and Remove; not on Clear).
 func (c *Cache[K, V]) OnEvict(fn func(K, V)) { c.onEvict = fn }
 
+// Instrument mirrors the cache's hit/miss/capacity-eviction counts into
+// telemetry counters. Any of the three may be nil to skip that count; this
+// names the cache's behaviour on the live /metrics endpoint without coupling
+// the generic cache to a metric catalog.
+func (c *Cache[K, V]) Instrument(hits, misses, evictions *telemetry.Counter) {
+	c.telHits, c.telMisses, c.telEvictions = hits, misses, evictions
+}
+
 // Get returns the value for key and refreshes its recency.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
 	if e, ok := c.items[key]; ok {
 		c.hits++
+		if c.telHits != nil {
+			c.telHits.Inc()
+		}
 		c.moveToFront(e)
 		return e.val, true
 	}
 	c.misses++
+	if c.telMisses != nil {
+		c.telMisses.Inc()
+	}
 	var zero V
 	return zero, false
 }
@@ -129,6 +151,9 @@ func (c *Cache[K, V]) evictLRU() {
 	c.unlink(e)
 	delete(c.items, e.key)
 	c.evictions++
+	if c.telEvictions != nil {
+		c.telEvictions.Inc()
+	}
 	if c.onEvict != nil {
 		c.onEvict(e.key, e.val)
 	}

@@ -2,6 +2,12 @@
 // utilities used by the experiment harness: per-generation series, summary
 // statistics, and fixed-width text tables matching the rows the paper's
 // figures report.
+//
+// This is the *batch* side of the repository's measurement story — tables
+// computed after a run completes. Its runtime counterpart is
+// internal/telemetry, the live instrument registry behind the /metrics
+// endpoint; HistogramSummary bridges the two by rendering a telemetry
+// histogram snapshot as a table cell.
 package metrics
 
 import (
@@ -10,6 +16,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Series is a named sequence of measurements (one point per generation).
@@ -187,8 +195,41 @@ func (t *Table) Render(w io.Writer) error {
 // MB formats a byte count in MB with one decimal.
 func MB(bytes int64) string { return fmt.Sprintf("%.1f", float64(bytes)/1e6) }
 
-// F1 formats a float with one decimal.
-func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+// F1 formats a float with one decimal. Non-finite values (e.g. the ±Inf an
+// empty Series returns from Min/Max) render as "-" rather than leaking
+// "+Inf" into tables.
+func F1(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
 
-// F3 formats a float with three decimals.
-func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+// F3 formats a float with three decimals ("-" for non-finite values).
+func F3(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// HistogramSummary renders a telemetry histogram snapshot as one compact
+// table cell — "n=<count> mean=<m> p50=<q> p90=<q> max≤<bound>" — so
+// experiment tables can include live-telemetry distributions next to the
+// batch series. An empty histogram renders as "-".
+func HistogramSummary(s telemetry.HistogramSnapshot) string {
+	if s.Count == 0 {
+		return "-"
+	}
+	maxLe := "+Inf"
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			if i < len(s.Bounds) {
+				maxLe = fmt.Sprintf("%g", s.Bounds[i])
+			}
+			break
+		}
+	}
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p90=%.3g max≤%s",
+		s.Count, s.Mean(), s.Quantile(0.5), s.Quantile(0.9), maxLe)
+}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/telemetry"
 )
 
 func mkSeries(vals ...float64) *Series {
@@ -124,5 +126,41 @@ func TestFormatters(t *testing.T) {
 	}
 	if F1(3.14159) != "3.1" || F3(3.14159) != "3.142" {
 		t.Fatal("float formatters")
+	}
+}
+
+// Regression: an empty Series returns ±Inf from Min/Max; formatting those
+// must render "-" rather than leaking "+Inf"/"-Inf" into tables.
+func TestFormattersNonFinite(t *testing.T) {
+	s := NewSeries("empty")
+	for _, got := range []string{F1(s.Min()), F1(s.Max()), F3(s.Min()), F3(s.Max()),
+		F1(math.NaN()), F3(math.NaN())} {
+		if got != "-" {
+			t.Fatalf("non-finite value rendered %q, want \"-\"", got)
+		}
+	}
+	var sb strings.Builder
+	tb := NewTable("min", "max")
+	tb.AddRow(F1(s.Min()), F1(s.Max()))
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Inf") {
+		t.Fatalf("Inf leaked into rendered table:\n%s", sb.String())
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("t_hist", "test", telemetry.RatioBuckets)
+	if got := HistogramSummary(h.Snapshot()); got != "-" {
+		t.Fatalf("empty histogram summary = %q, want \"-\"", got)
+	}
+	for _, v := range []float64{0.05, 0.05, 0.3} {
+		h.Observe(v)
+	}
+	got := HistogramSummary(h.Snapshot())
+	if !strings.HasPrefix(got, "n=3 ") || !strings.Contains(got, "max≤0.3") {
+		t.Fatalf("summary = %q", got)
 	}
 }

@@ -1,11 +1,13 @@
 package restore
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/chunk"
 	"repro/internal/container"
+	"repro/internal/telemetry"
 )
 
 // FAAConfig parameterizes a forward-assembly-area restore.
@@ -41,6 +43,9 @@ func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Wr
 	stats := Stats{Label: recipe.Label, Fragments: recipe.Fragments()}
 	clock := store.Device().Clock()
 	start := clock.Now()
+	_, span := telemetry.StartSpan(context.Background(), "restore.faa")
+	defer span.End()
+	telFragments.Observe(float64(stats.Fragments))
 
 	refs := recipe.Refs
 	for lo := 0; lo < len(refs); {
@@ -69,6 +74,7 @@ func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Wr
 			}
 			containerData[cid] = store.ReadData(cid)
 			stats.ContainerReads++
+			telContainerReads.Inc()
 		}
 
 		// Assemble the window in stream order.
@@ -95,5 +101,9 @@ func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Wr
 		stats.CacheHits = 0
 	}
 	stats.Duration = clock.Now() - start
+	telRestoreBytes.Add(stats.Bytes)
+	telRestoreChunks.Add(stats.Chunks)
+	telRestoreCacheHits.Add(stats.CacheHits)
+	span.SetSim(stats.Duration)
 	return stats, nil
 }

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+)
+
+// Endpoint bundles the optional live observability surface a CLI enables
+// via its -telemetry.addr / -telemetry.events flags: the HTTP server on the
+// Default registry and a JSONL span-event sink file. Either part may be
+// absent (empty string).
+type Endpoint struct {
+	srv    *Server
+	events *os.File
+}
+
+// StartEndpoint starts the HTTP endpoint on addr (empty: no server) and
+// directs span events to eventsPath (empty: no sink; the file is truncated).
+func StartEndpoint(addr, eventsPath string) (*Endpoint, error) {
+	ep := &Endpoint{}
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: events sink: %w", err)
+		}
+		ep.events = f
+		SetSink(f)
+	}
+	if addr != "" {
+		srv, err := ListenAndServe(addr)
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		ep.srv = srv
+	}
+	return ep, nil
+}
+
+// Addr returns the bound HTTP address, or "" when no server was requested.
+func (e *Endpoint) Addr() string {
+	if e.srv == nil {
+		return ""
+	}
+	return e.srv.Addr()
+}
+
+// Close stops the server (if any) and detaches and closes the event sink.
+func (e *Endpoint) Close() error {
+	var first error
+	if e.srv != nil {
+		first = e.srv.Close()
+		e.srv = nil
+	}
+	if e.events != nil {
+		SetSink(nil)
+		if err := e.events.Close(); err != nil && first == nil {
+			first = err
+		}
+		e.events = nil
+	}
+	return first
+}

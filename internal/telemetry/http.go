@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics         Prometheus text exposition format
+//	/debug/snapshot  the full instrument Snapshot as JSON
+//	/debug/pprof/*   the standard net/http/pprof profiles
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "telemetry endpoint — routes: /metrics /debug/snapshot /debug/pprof/")
+	})
+	return mux
+}
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving the Default registry on addr (e.g.
+// "127.0.0.1:9090"; ":0" picks a free port — see Addr). It returns once the
+// listener is bound; serving continues in a background goroutine.
+func ListenAndServe(addr string) (*Server, error) { return std.ListenAndServe(addr) }
+
+// ListenAndServe starts serving this registry on addr.
+func (r *Registry) ListenAndServe(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every instrument in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one # HELP / # TYPE pair
+// per family, histogram series expanded into cumulative _bucket/_sum/_count
+// lines with the `le` label merged after any series labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	type family struct {
+		base  string
+		kind  string
+		lines []string
+	}
+	families := make(map[string]*family)
+	add := func(name, kind string, emit func(f *family, labels string)) {
+		base, labels := splitName(name)
+		f, ok := families[base]
+		if !ok {
+			f = &family{base: base, kind: kind}
+			families[base] = f
+		}
+		emit(f, labels)
+	}
+
+	for name, v := range snap.Counters {
+		v := v
+		add(name, "counter", func(f *family, labels string) {
+			f.lines = append(f.lines, fmt.Sprintf("%s %d", series(f.base, labels), v))
+		})
+	}
+	for name, v := range snap.Gauges {
+		v := v
+		add(name, "gauge", func(f *family, labels string) {
+			f.lines = append(f.lines, fmt.Sprintf("%s %s", series(f.base, labels), formatFloat(v)))
+		})
+	}
+	for name, h := range snap.Histograms {
+		h := h
+		add(name, "histogram", func(f *family, labels string) {
+			var cum int64
+			for i, n := range h.Counts {
+				cum += n
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = formatFloat(h.Bounds[i])
+				}
+				f.lines = append(f.lines, fmt.Sprintf("%s %d",
+					series(f.base+"_bucket", joinLabels(labels, fmt.Sprintf("le=%q", le))), cum))
+			}
+			f.lines = append(f.lines,
+				fmt.Sprintf("%s %s", series(f.base+"_sum", labels), formatFloat(h.Sum)),
+				fmt.Sprintf("%s %d", series(f.base+"_count", labels), h.Count))
+		})
+	}
+
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, b := range bases {
+		f := families[b]
+		if h := help[b]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", b, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", b, f.kind); err != nil {
+			return err
+		}
+		sort.Strings(f.lines)
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// series renders a full series name from base and a brace-less label body.
+func series(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// joinLabels merges non-empty label bodies with commas.
+func joinLabels(parts ...string) string {
+	nonEmpty := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return strings.Join(nonEmpty, ",")
+}
+
+// formatFloat renders a float the way Prometheus clients expect (shortest
+// round-trip representation).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of the pipeline. Ending a span observes its wall
+// duration into the `telemetry_span_seconds{span=...}` histogram, its
+// simulated-clock duration (when set) into `telemetry_span_sim_seconds`,
+// and emits one JSONL event to the registry's sink when one is attached.
+//
+// A Span is owned by the goroutine that started it; End must be called
+// exactly once. Spans started from a context carrying another span record
+// it as their parent, so sink events reconstruct the phase tree.
+type Span struct {
+	reg    *Registry
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	sim    time.Duration
+	simSet bool
+	ended  bool
+}
+
+type spanCtxKey struct{}
+
+// StartSpan starts a span on the Default registry. The returned context
+// carries the span, parenting any spans started from it.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return std.StartSpan(ctx, name)
+}
+
+// StartSpan starts a named span, recording the span in ctx's lineage.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{
+		reg:   r,
+		name:  name,
+		id:    r.spanID.Add(1),
+		start: time.Now(),
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
+		s.parent = parent.id
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanFromContext returns the innermost span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SetSim attaches the simulated-clock duration of the spanned phase (the
+// disk-model time the phase consumed, as opposed to the wall time the
+// simulation took to compute it).
+func (s *Span) SetSim(d time.Duration) {
+	s.sim = d
+	s.simSet = true
+}
+
+// Name returns the span name.
+func (s *Span) Name() string { return s.name }
+
+// End closes the span: wall (and, if set, simulated) duration are observed
+// into the per-span-name histograms and an event goes to the sink. A second
+// End is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	wall := time.Since(s.start)
+	s.reg.Histogram(
+		Name("telemetry_span_seconds", "span", s.name),
+		"wall-clock duration of pipeline phases, by span name",
+		DurationBuckets,
+	).ObserveDuration(wall)
+	if s.simSet {
+		s.reg.Histogram(
+			Name("telemetry_span_sim_seconds", "span", s.name),
+			"simulated-clock duration of pipeline phases, by span name",
+			DurationBuckets,
+		).ObserveDuration(s.sim)
+	}
+	s.reg.emitSpan(s, wall)
+}
+
+// spanEvent is one JSONL record of the event sink.
+type spanEvent struct {
+	Type    string `json:"type"`
+	Span    string `json:"span"`
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	StartNS int64  `json:"start_unix_ns"`
+	WallNS  int64  `json:"wall_ns"`
+	SimNS   int64  `json:"sim_ns,omitempty"`
+}
+
+// eventSink serializes JSONL writes from concurrent span ends.
+type eventSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// SetSink directs structured span events to w as JSONL (one object per
+// line). Pass nil to detach. The registry serializes writes; w need not be
+// safe for concurrent use.
+func (r *Registry) SetSink(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w == nil {
+		r.sink = nil
+		return
+	}
+	r.sink = &eventSink{enc: json.NewEncoder(w)}
+}
+
+// SetSink directs the Default registry's span events to w.
+func SetSink(w io.Writer) { std.SetSink(w) }
+
+func (r *Registry) emitSpan(s *Span, wall time.Duration) {
+	r.mu.RLock()
+	sink := r.sink
+	r.mu.RUnlock()
+	if sink == nil {
+		return
+	}
+	ev := spanEvent{
+		Type:    "span",
+		Span:    s.name,
+		ID:      s.id,
+		Parent:  s.parent,
+		StartNS: s.start.UnixNano(),
+		WallNS:  int64(wall),
+	}
+	if s.simSet {
+		ev.SimNS = int64(s.sim)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	_ = sink.enc.Encode(ev) // best-effort: a failing sink must not break the pipeline
+}

@@ -1,0 +1,386 @@
+// Package telemetry is the runtime observability layer of the repository:
+// a concurrency-safe instrument registry (atomic counters, gauges and
+// fixed-bucket histograms with snapshot support), span-based tracing of the
+// pipeline phases, and a live HTTP endpoint serving Prometheus text-format
+// /metrics, a JSON /debug/snapshot and net/http/pprof handlers.
+//
+// Where internal/metrics renders *batch* experiment tables after a run,
+// telemetry observes the ingest/restore hot paths *while* they run: every
+// quantity the paper argues from — SPL distribution (Eq. 2), the rewrite
+// vs. dedup decision at threshold α, cache hit rates behind the throughput
+// decay of Fig. 2, and the container reads of the restore cost Eq. 1 — is
+// exported under a stable metric name (see the catalog in README.md).
+//
+// Instruments live in a Registry; the package-level constructors register
+// on the shared Default registry, which is what the instrumented packages
+// (internal/engine, internal/core, internal/restore, internal/cindex,
+// internal/container, internal/lru and the root Store API) use. All
+// instrument operations are safe for concurrent use and lock-free on the
+// hot path (a single atomic add per count, two per histogram observation).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n panics: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: negative counter add")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Bucket i counts observations v <= bounds[i] (Prometheus `le` semantics);
+// one extra overflow bucket catches v above the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot returns a point-in-time copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the exportable state of a Histogram. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket. The overflow bucket reports
+// its lower bound (there is no upper edge to interpolate toward). Returns 0
+// for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		next := cum + float64(n)
+		if next >= rank && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			if i >= len(s.Bounds) {
+				return lo // overflow bucket
+			}
+			hi := s.Bounds[i]
+			frac := 0.5
+			if n > 0 {
+				frac = (rank - cum) / float64(n)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
+}
+
+// Standard bucket layouts.
+var (
+	// DurationBuckets spans 1µs..10s in decades — both real wall time of
+	// pipeline phases and simulated-disk phase times land in this range.
+	DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	// SizeBuckets spans 512B..8MiB in powers of four: chunk sizes
+	// (KiB-scale) through container data sections (4 MiB).
+	SizeBuckets = []float64{512, 2048, 8192, 32768, 131072, 524288, 2097152, 8388608}
+	// RatioBuckets covers [0,1] quantities such as the SPL of paper Eq. 2,
+	// dense near the paper's α = 0.1 decision region.
+	RatioBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7, 0.9, 1}
+	// CountBuckets covers small per-stream cardinalities (fragments per
+	// stream, containers touched) up to 100k.
+	CountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 10000, 100000}
+)
+
+// Name renders base plus label pairs in Prometheus notation:
+// Name("x_total", "decision", "dedup") → `x_total{decision="dedup"}`.
+// Instruments with the same base but different labels are distinct series
+// of one metric family. Panics on an odd number of label arguments.
+func Name(base string, labels ...string) string {
+	if len(labels)%2 != 0 {
+		panic("telemetry: Name requires key/value label pairs")
+	}
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName cuts a full series name into metric family base and the label
+// body (without braces, empty when unlabelled).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// Registry holds named instruments. All methods are safe for concurrent
+// use; the same name always returns the same instrument (get-or-create),
+// so package-level instrument variables and dynamic lookups can coexist.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string // metric family base → help text
+
+	sink   *eventSink
+	spanID atomic.Uint64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry all instrumented packages use.
+func Default() *Registry { return std }
+
+// Counter returns (creating if needed) the counter with this series name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	r.setHelp(name, help)
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with this series name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	r.setHelp(name, help)
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with this series
+// name. bounds must be sorted ascending; they are fixed at first creation
+// (later calls with different bounds get the existing instrument).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must be sorted")
+	}
+	h = &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	r.setHelp(name, help)
+	return h
+}
+
+func (r *Registry) setHelp(name, help string) {
+	base, _ := splitName(name)
+	if help != "" {
+		if _, ok := r.help[base]; !ok {
+			r.help[base] = help
+		}
+	}
+}
+
+// Reset zeroes every registered instrument in place (instrument pointers
+// held by instrumented packages stay valid). Intended for tests that assert
+// exact counts against the shared Default registry.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.count.Store(0)
+	}
+}
+
+// Package-level constructors on the Default registry — what instrumented
+// packages use for their metric variables.
+
+// NewCounter registers a counter on the Default registry.
+func NewCounter(name, help string) *Counter { return std.Counter(name, help) }
+
+// NewGauge registers a gauge on the Default registry.
+func NewGauge(name, help string) *Gauge { return std.Gauge(name, help) }
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return std.Histogram(name, help, bounds)
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// keyed by full series name. It is the /debug/snapshot JSON payload.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

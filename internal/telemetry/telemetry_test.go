@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c_total", "") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestNegativeCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add must panic")
+		}
+	}()
+	NewRegistry().Counter("x", "").Add(-1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "hist", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: 0.5,1 → bucket0; 2,10 → bucket1; 99 → bucket2; 1000 → overflow.
+	want := []int64{2, 2, 1, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-1112.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 1112.5", s.Sum)
+	}
+	if m := s.Mean(); math.Abs(m-1112.5/6) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{10, 20, 30})
+	for i := 0; i < 10; i++ {
+		h.Observe(5)  // bucket [0,10]
+		h.Observe(15) // bucket (10,20]
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.25); q < 0 || q > 10 {
+		t.Fatalf("p25 = %v, want within [0,10]", q)
+	}
+	if q := s.Quantile(0.75); q <= 10 || q > 20 {
+		t.Fatalf("p75 = %v, want within (10,20]", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("x_total"); got != "x_total" {
+		t.Fatalf("Name = %q", got)
+	}
+	got := Name("x_total", "decision", "dedup", "engine", "defrag")
+	want := `x_total{decision="dedup",engine="defrag"}`
+	if got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+	base, labels := splitName(got)
+	if base != "x_total" || labels != `decision="dedup",engine="defrag"` {
+		t.Fatalf("splitName = %q / %q", base, labels)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("d_total", "decision", "dedup"), "dedup decisions").Add(7)
+	r.Counter(Name("d_total", "decision", "rewrite"), "").Add(3)
+	r.Gauge("g", "a gauge").Set(2.5)
+	r.Histogram("h_seconds", "durations", []float64{0.1, 1}).Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP d_total dedup decisions\n",
+		"# TYPE d_total counter\n",
+		`d_total{decision="dedup"} 7` + "\n",
+		`d_total{decision="rewrite"} 3` + "\n",
+		"# TYPE g gauge\ng 2.5\n",
+		"# TYPE h_seconds histogram\n",
+		`h_seconds_bucket{le="0.1"} 1` + "\n",
+		`h_seconds_bucket{le="1"} 1` + "\n",
+		`h_seconds_bucket{le="+Inf"} 1` + "\n",
+		"h_seconds_sum 0.05\n",
+		"h_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanParentingAndSink(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.SetSink(&buf)
+
+	ctx, root := r.StartSpan(context.Background(), "store.backup")
+	_, child := r.StartSpan(ctx, "segment.lookup")
+	child.End()
+	root.SetSim(250 * time.Millisecond)
+	root.End()
+	root.End() // second End is a no-op
+
+	dec := json.NewDecoder(&buf)
+	var events []spanEvent
+	for {
+		var ev spanEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Span != "segment.lookup" || events[0].Parent != root.id {
+		t.Fatalf("child event %+v not parented to root %d", events[0], root.id)
+	}
+	if events[1].Span != "store.backup" || events[1].SimNS != int64(250*time.Millisecond) {
+		t.Fatalf("root event %+v missing sim duration", events[1])
+	}
+
+	snap := r.Snapshot()
+	wall := snap.Histograms[Name("telemetry_span_seconds", "span", "store.backup")]
+	if wall.Count != 1 {
+		t.Fatalf("span wall histogram count = %d, want 1", wall.Count)
+	}
+	sim := snap.Histograms[Name("telemetry_span_sim_seconds", "span", "store.backup")]
+	if sim.Count != 1 || math.Abs(sim.Sum-0.25) > 1e-9 {
+		t.Fatalf("span sim histogram = %+v", sim)
+	}
+	if SpanFromContext(ctx) != root {
+		t.Fatal("SpanFromContext must return the carried span")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{1})
+	c.Add(5)
+	h.Observe(0.5)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left state: c=%d h.count=%d", c.Value(), h.Count())
+	}
+	s := h.Snapshot()
+	for i, n := range s.Counts {
+		if n != 0 {
+			t.Fatalf("bucket %d nonzero after reset", i)
+		}
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_test_total", "endpoint test").Add(9)
+	srv, err := r.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(resp.Body)
+		return resp.StatusCode, b.String()
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "http_test_total 9") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	code, body = get("/debug/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/snapshot: code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if snap.Counters["http_test_total"] != 9 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope: code %d, want 404", code)
+	}
+}
+
+// TestConcurrentStress hammers counters, gauges, histograms, dynamic
+// registration and spans from many goroutines at once. Run under -race it
+// is the concurrency-safety gate for the whole instrument layer.
+func TestConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.SetSink(&buf)
+
+	const goroutines = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			names := []string{"stress_a_total", "stress_b_total", "stress_c_total"}
+			for i := 0; i < iters; i++ {
+				// Shared instruments, contended registration path included.
+				r.Counter(names[i%len(names)], "stress counter").Inc()
+				r.Gauge("stress_gauge", "").Add(1)
+				r.Histogram("stress_hist", "", RatioBuckets).Observe(float64(i%100) / 100)
+				if i%50 == 0 {
+					ctx, sp := r.StartSpan(context.Background(), "stress.phase")
+					_, inner := r.StartSpan(ctx, "stress.inner")
+					inner.End()
+					sp.SetSim(time.Duration(i) * time.Microsecond)
+					sp.End()
+				}
+				if i%500 == 0 {
+					var sink bytes.Buffer
+					_ = r.WritePrometheus(&sink) // concurrent readers
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, n := range []string{"stress_a_total", "stress_b_total", "stress_c_total"} {
+		total += r.Counter(n, "").Value()
+	}
+	if want := int64(goroutines * iters); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if got := r.Gauge("stress_gauge", "").Value(); got != float64(goroutines*iters) {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	h := r.Histogram("stress_hist", "", RatioBuckets).Snapshot()
+	if h.Count != int64(goroutines*iters) {
+		t.Fatalf("hist count = %d, want %d", h.Count, goroutines*iters)
+	}
+	var bucketSum int64
+	for _, n := range h.Counts {
+		bucketSum += n
+	}
+	if bucketSum != h.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+	spans := r.Histogram(Name("telemetry_span_seconds", "span", "stress.phase"), "", DurationBuckets).Snapshot()
+	if want := int64(goroutines * (iters / 50)); spans.Count != want {
+		t.Fatalf("span count = %d, want %d", spans.Count, want)
+	}
+}

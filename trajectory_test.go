@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTrajectory(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Generations = 3
+	cfg.FilesPerUser = 8
+	points, err := RunTrajectory(cfg, DeFrag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != cfg.Generations {
+		t.Fatalf("got %d points, want %d", len(points), cfg.Generations)
+	}
+	for i, p := range points {
+		if p.Gen != i+1 {
+			t.Errorf("point %d: Gen = %d", i, p.Gen)
+		}
+		if p.Engine == "" || p.Label == "" {
+			t.Errorf("point %d missing engine/label: %+v", i, p)
+		}
+		if p.LogicalBytes <= 0 || p.ThroughputMBps <= 0 {
+			t.Errorf("point %d has empty measurements: %+v", i, p)
+		}
+		if p.RewriteRatio < 0 || p.RewriteRatio > 1 {
+			t.Errorf("point %d rewrite ratio out of range: %v", i, p.RewriteRatio)
+		}
+	}
+	// Simulated time is cumulative, so it must be non-decreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].SimulatedSecond < points[i-1].SimulatedSecond {
+			t.Errorf("simulated time went backwards at gen %d", i+1)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WriteTrajectoryJSONL(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != len(points) {
+		t.Fatalf("JSONL has %d lines, want %d", len(lines), len(points))
+	}
+	var rec TrajectoryPoint
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if rec != points[0] {
+		t.Errorf("round-trip mismatch: %+v != %+v", rec, points[0])
+	}
+}
