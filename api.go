@@ -276,6 +276,46 @@ func (s *Store) Backup(label string, r io.Reader) (*Backup, error) {
 	return b, nil
 }
 
+// StreamInput is one labeled backup stream for BackupStreams.
+type StreamInput struct {
+	Label  string
+	Stream io.Reader
+}
+
+// BackupStreams ingests several backup streams with at most concurrency
+// backups in flight at once, returning the per-stream backups (in input
+// order) plus merged statistics for the whole round.
+//
+// concurrency <= 1 is bit-identical to calling Backup on each input in
+// order. With concurrency > 1, engines whose ingest path supports
+// concurrent streams (DeFrag, DDFS-Like) run up to that many backups in
+// parallel over the shared index, Bloom filter and container store; each
+// stream pays its simulated costs on its own clock, and the merged
+// Duration is the slowest lane of the round, not the sum. Engines without
+// concurrent ingest fall back to the serial loop.
+func (s *Store) BackupStreams(inputs []StreamInput, concurrency int) ([]*Backup, BackupStats, error) {
+	_, span := telemetry.StartSpan(context.Background(), "store.backup_streams")
+	defer span.End()
+	streams := make([]engine.Stream, len(inputs))
+	for i, in := range inputs {
+		streams[i] = engine.Stream{Label: in.Label, R: in.Stream}
+	}
+	results, merged, err := engine.RunStreams(s.eng, streams, concurrency)
+	span.SetSim(merged.Duration)
+	backups := make([]*Backup, 0, len(results))
+	for i := range results {
+		if results[i].Err != nil || results[i].Recipe == nil {
+			continue
+		}
+		telBackups.Inc()
+		b := &Backup{Label: inputs[i].Label, Stats: fromEngineStats(results[i].Stats), recipe: results[i].Recipe}
+		s.backups = append(s.backups, b)
+		s.logical += results[i].Stats.LogicalBytes
+		backups = append(backups, b)
+	}
+	return backups, fromEngineStats(merged), err
+}
+
 // Backups returns all backups ingested so far, in order.
 func (s *Store) Backups() []*Backup { return s.backups }
 

@@ -38,6 +38,7 @@ func main() {
 		verify     = flag.Bool("verify", false, "store real bytes and verify restored content (implies -restore)")
 		catalog    = flag.String("catalog", "", "directory to write recipe catalogs into")
 		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = serial)")
+		streams    = flag.Int("streams", 1, "concurrent backup streams per round (>1 switches to a multi-user schedule)")
 		check      = flag.Bool("check", false, "run a consistency check (fsck) at the end")
 		export     = flag.String("export", "", "directory to export the store archive into")
 		telAddr    = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
@@ -54,7 +55,7 @@ func main() {
 	if a := ep.Addr(); a != "" {
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
 	}
-	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *check, *export}); err != nil {
+	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *streams, *check, *export}); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupsim:", err)
 		os.Exit(1)
 	}
@@ -75,6 +76,7 @@ type params struct {
 	verify     bool
 	catalog    string
 	workers    int
+	streams    int
 	check      bool
 	export     string
 }
@@ -90,16 +92,23 @@ func run(p params) error {
 	wcfg.NumFiles = files
 	wcfg.MeanFileSize = fileKB << 10
 
+	nstreams := int64(1)
+	if p.streams > 1 {
+		nstreams = int64(p.streams)
+	}
 	store, err := repro.Open(repro.Options{
 		Engine:          kind,
 		Alpha:           alpha,
-		ExpectedBytes:   int64(gens) * int64(files) * (fileKB << 10),
+		ExpectedBytes:   nstreams * int64(gens) * int64(files) * (fileKB << 10),
 		StoreData:       verify,
 		TrackEfficiency: true,
 		Workers:         p.workers,
 	})
 	if err != nil {
 		return err
+	}
+	if p.streams > 1 {
+		return runStreams(p, store, wcfg)
 	}
 	sched, err := workload.NewSingle(wcfg)
 	if err != nil {
@@ -170,6 +179,88 @@ func run(p params) error {
 			return err
 		}
 		fmt.Printf("archive exported to %s\n", p.export)
+	}
+	return nil
+}
+
+// runStreams ingests a multi-user schedule with p.streams concurrent backup
+// streams per round: each of -gens rounds backs up every user once, up to
+// p.streams of them in flight at a time. Each table row is one round's
+// merged statistics.
+func runStreams(p params, store *repro.Store, wcfg workload.Config) error {
+	sched, err := workload.NewMultiUser(p.streams, wcfg)
+	if err != nil {
+		return err
+	}
+	cols := []string{"round", "logical_MB", "tput_MBps", "unique_MB", "deduped_MB", "rewritten_MB", "efficiency"}
+	if p.doRestore || p.verify {
+		cols = append(cols, "read_MBps", "fragments")
+	}
+	tb := metrics.NewTable(cols...)
+	for g := 0; g < p.gens; g++ {
+		round := sched.NextRound()
+		inputs := make([]repro.StreamInput, len(round))
+		for i, bk := range round {
+			inputs[i] = repro.StreamInput{Label: bk.Label, Stream: bk.Stream}
+		}
+		backups, merged, err := store.BackupStreams(inputs, p.streams)
+		if err != nil {
+			return err
+		}
+		row := []string{
+			fmt.Sprint(g + 1),
+			metrics.MB(merged.LogicalBytes),
+			metrics.F1(merged.ThroughputMBps()),
+			metrics.MB(merged.UniqueBytes),
+			metrics.MB(merged.DedupedBytes),
+			metrics.MB(merged.RewrittenBytes),
+			metrics.F3(merged.Efficiency()),
+		}
+		if p.doRestore || p.verify {
+			var mbps float64
+			var frags int
+			for _, b := range backups {
+				rst, err := store.Restore(b, nil, p.verify)
+				if err != nil {
+					return err
+				}
+				mbps += rst.ThroughputMBps()
+				frags += rst.Fragments
+			}
+			if len(backups) > 0 {
+				mbps /= float64(len(backups))
+			}
+			row = append(row, metrics.F1(mbps), fmt.Sprint(frags))
+		}
+		tb.AddRow(row...)
+		if p.catalog != "" {
+			for _, b := range backups {
+				if err := saveCatalog(p.catalog, b); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Printf("engine: %s  alpha: %.2f  users/streams: %d  rounds: %d\n\n",
+		store.Engine(), p.alpha, p.streams, p.gens)
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	st := store.Stats()
+	fmt.Printf("\nstorage: %.1f MB logical -> %.1f MB stored in %d containers "+
+		"(compression %.2fx, utilization %.1f%%), simulated time %.2fs\n",
+		float64(st.LogicalBytes)/1e6, float64(st.StoredBytes)/1e6, st.Containers,
+		st.CompressionRatio, st.Utilization*100, store.SimulatedTime().Seconds())
+	if p.check {
+		rep, err := store.Check(p.verify)
+		if err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return fmt.Errorf("fsck found %d problems, first: %s", len(rep.Problems), rep.Problems[0])
+		}
+		fmt.Printf("fsck: OK (%d containers, %d recipe refs, %d chunks re-hashed)\n",
+			rep.Containers, rep.RecipeRefs, rep.HashedChunks)
 	}
 	return nil
 }

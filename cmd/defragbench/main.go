@@ -13,6 +13,7 @@
 //	defragbench -fig alpha             # the α trade-off sweep
 //	defragbench -fig all -files 32     # everything, at reduced scale
 //	defragbench -json > bench.jsonl    # one JSONL record per generation
+//	defragbench -multistream BENCH_PR2.json   # multi-stream scaling sweep
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -39,6 +41,9 @@ func main() {
 		csvDir    = flag.String("csvdir", "", "also write each figure as CSV into this directory")
 		jsonOut   = flag.Bool("json", false, "emit a per-generation JSONL trajectory to stdout instead of figure tables")
 		engine    = flag.String("engine", "defrag", "engine for -json trajectories: defrag, ddfs, silo, sparse, idedup")
+		workers   = flag.Int("workers", 0, "parallel fingerprinting workers per backup (0 = serial)")
+		msOut     = flag.String("multistream", "", "run the multi-stream scaling benchmark and write JSON to this file (\"-\" = stdout)")
+		streams   = flag.String("streams", "1,2,4,8", "comma-separated concurrency levels for -multistream")
 		telAddr   = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
 		telEvents = flag.String("telemetry.events", "", "write JSONL span events to this file")
 	)
@@ -61,7 +66,15 @@ func main() {
 	cfg.Users = *users
 	cfg.FilesPerUser = *files
 	cfg.Alpha = *alpha
+	cfg.Workers = *workers
 
+	if *msOut != "" {
+		if err := emitMultiStream(cfg, *engine, *streams, *msOut); err != nil {
+			fmt.Fprintln(os.Stderr, "defragbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := emitTrajectory(cfg, *engine); err != nil {
 			fmt.Fprintln(os.Stderr, "defragbench:", err)
@@ -88,6 +101,38 @@ func emitTrajectory(cfg repro.ExperimentConfig, engineName string) error {
 		return err
 	}
 	return repro.WriteTrajectoryJSONL(os.Stdout, points)
+}
+
+// emitMultiStream runs the multi-stream scaling benchmark — the same
+// multi-user schedule ingested at each concurrency level — and writes the
+// JSON result (wall and simulated speedups per level) to out.
+func emitMultiStream(cfg repro.ExperimentConfig, engineName, levelsCSV, out string) error {
+	kind, err := repro.ParseEngineKind(engineName)
+	if err != nil {
+		return err
+	}
+	var levels []int
+	for _, f := range strings.Split(levelsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -streams level %q", f)
+		}
+		levels = append(levels, n)
+	}
+	bench, err := repro.RunMultiStreamBench(cfg, kind, levels)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return repro.WriteMultiStreamJSON(w, bench)
 }
 
 func dispatch(fig string, cfg repro.ExperimentConfig, csvDir string) error {

@@ -28,6 +28,9 @@ type ExperimentConfig struct {
 	// rewriting — the α-sweep needs it); a negative value selects the
 	// paper's default 0.1. DefaultExperimentConfig sets 0.1.
 	Alpha float64
+	// Workers parallelizes each backup's fingerprinting stage (see
+	// Options.Workers). 0 keeps the serial pipeline.
+	Workers int
 }
 
 // DefaultExperimentConfig matches the paper's experiment shapes at reduced

@@ -12,17 +12,20 @@ package bloom
 import (
 	"encoding/binary"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/chunk"
 )
 
-// Filter is a standard m-bit, k-hash Bloom filter. Not safe for concurrent
-// mutation.
+// Filter is a standard m-bit, k-hash Bloom filter. Adds and queries use
+// atomic word operations, so the filter is safe for concurrent use by
+// parallel backup streams; a query concurrent with an add may miss bits
+// still being set, which only risks a harmless spurious "new chunk" verdict.
 type Filter struct {
-	bits []uint64
-	m    uint64 // number of bits
-	k    int    // number of probes
-	n    uint64 // number of inserted keys (for saturation reporting)
+	bits []atomic.Uint64
+	m    uint64        // number of bits
+	k    int           // number of probes
+	n    atomic.Uint64 // number of inserted keys (for saturation reporting)
 }
 
 // New creates a filter with capacity for expectedKeys at the given target
@@ -43,7 +46,7 @@ func New(expectedKeys int, fpRate float64) *Filter {
 	if mbits < 64 {
 		mbits = 64
 	}
-	return &Filter{bits: make([]uint64, (mbits+63)/64), m: mbits, k: k}
+	return &Filter{bits: make([]atomic.Uint64, (mbits+63)/64), m: mbits, k: k}
 }
 
 // probes derives the k bit positions for a fingerprint.
@@ -57,9 +60,9 @@ func (f *Filter) probe(fp chunk.Fingerprint, i int) uint64 {
 func (f *Filter) Add(fp chunk.Fingerprint) {
 	for i := 0; i < f.k; i++ {
 		p := f.probe(fp, i)
-		f.bits[p/64] |= 1 << (p % 64)
+		f.bits[p/64].Or(1 << (p % 64))
 	}
-	f.n++
+	f.n.Add(1)
 }
 
 // MayContain reports whether fp may have been added. False means definitely
@@ -67,7 +70,7 @@ func (f *Filter) Add(fp chunk.Fingerprint) {
 func (f *Filter) MayContain(fp chunk.Fingerprint) bool {
 	for i := 0; i < f.k; i++ {
 		p := f.probe(fp, i)
-		if f.bits[p/64]&(1<<(p%64)) == 0 {
+		if f.bits[p/64].Load()&(1<<(p%64)) == 0 {
 			return false
 		}
 	}
@@ -75,7 +78,7 @@ func (f *Filter) MayContain(fp chunk.Fingerprint) bool {
 }
 
 // Count returns the number of Add calls.
-func (f *Filter) Count() uint64 { return f.n }
+func (f *Filter) Count() uint64 { return f.n.Load() }
 
 // Bits returns the filter size in bits.
 func (f *Filter) Bits() uint64 { return f.m }
@@ -86,17 +89,18 @@ func (f *Filter) K() int { return f.k }
 // EstimatedFPRate returns the expected false-positive probability at the
 // current fill: (1 - e^(-kn/m))^k.
 func (f *Filter) EstimatedFPRate() float64 {
-	if f.n == 0 {
+	n := f.n.Load()
+	if n == 0 {
 		return 0
 	}
-	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(n)/float64(f.m)), float64(f.k))
 }
 
 // FillRatio returns the fraction of set bits, a direct saturation measure.
 func (f *Filter) FillRatio() float64 {
 	var set int
-	for _, w := range f.bits {
-		set += popcount(w)
+	for i := range f.bits {
+		set += popcount(f.bits[i].Load())
 	}
 	return float64(set) / float64(f.m)
 }

@@ -8,12 +8,22 @@
 //
 //   - Lookup hashes the fingerprint to a bucket; a cached bucket is free, an
 //     uncached one charges one page read (seek + transfer).
+//   - LookupBatch groups a whole segment's fingerprints by bucket first, so
+//     every chunk that hashes to the same bucket page is served by a single
+//     modeled page read instead of one per chunk.
 //   - Insert/Update are write-buffered and flushed in large sequential
 //     batches (one seek + batched transfer), matching the log-plus-merge
 //     write path of production dedup indexes.
 //
 // The authoritative fingerprint→location mapping is kept in RAM as
 // simulation shadow state; the device traffic exists purely to account time.
+//
+// Concurrency: the index is lock-striped into shards. Buckets are
+// partitioned across shards by bucket number, and each shard owns its slice
+// of the page cache, its fingerprint map, and its write-back buffer, so
+// concurrent backup streams contend only when they touch the same stripe.
+// Stats are atomic. Per-stream simulated time is attributed through Handle
+// (a view of the index whose device charges a stream's own clock).
 //
 // The package also provides Oracle, the exact in-RAM index used to compute
 // ground-truth redundancy for the paper's "deduplication efficiency" metric.
@@ -23,6 +33,8 @@ package cindex
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chunk"
 	"repro/internal/disk"
@@ -48,35 +60,70 @@ var (
 // fingerprint (32) + container (4) + segment (8) + offset (8) + size (4).
 const entrySize = 56
 
+// maxAutoShards caps automatic lock striping; contention past 16 stripes is
+// negligible for the stream counts the scheduler supports.
+const maxAutoShards = 16
+
 // Config sizes the on-disk index model.
 type Config struct {
 	PageSize   int64 // bytes per bucket page (default 8 KiB)
 	NumBuckets int   // hash buckets; sized for the expected chunk population
-	CachePages int   // RAM page-cache capacity, in pages
-	FlushBatch int   // inserts buffered before a batched sequential write-back
+	CachePages int   // RAM page-cache capacity, in pages (split across shards)
+	FlushBatch int   // inserts buffered per shard before a batched write-back
+	Shards     int   // lock stripes; 0 = auto (min(16, CachePages, NumBuckets))
 }
 
-// DefaultConfig sizes the index for an expected chunk population. The page
-// cache deliberately covers only a small fraction of the buckets — the whole
-// point of the model is that most lookups go to disk.
+// DefaultConfig sizes the index for an expected chunk population at the
+// default 8 KiB page size. The page cache deliberately covers only a small
+// fraction of the buckets — the whole point of the model is that most
+// lookups go to disk.
 func DefaultConfig(expectedChunks int) Config {
+	return ConfigForPage(8192, expectedChunks)
+}
+
+// ConfigForPage sizes the index for an expected chunk population at an
+// explicit page size, deriving entries-per-page from that page size (not
+// from any hard-coded default).
+func ConfigForPage(pageSize int64, expectedChunks int) Config {
+	if pageSize < entrySize {
+		pageSize = entrySize
+	}
 	if expectedChunks < 1 {
 		expectedChunks = 1
 	}
-	perPage := int(8192 / entrySize) // ~146 entries per 8 KiB page
+	perPage := int(pageSize / entrySize)
 	buckets := expectedChunks/perPage + 1
 	cache := buckets / 50 // 2% of pages cached
 	if cache < 4 {
 		cache = 4
 	}
-	return Config{PageSize: 8192, NumBuckets: buckets, CachePages: cache, FlushBatch: 4096}
+	return Config{PageSize: pageSize, NumBuckets: buckets, CachePages: cache, FlushBatch: 4096}
 }
 
 func (c Config) validate() error {
-	if c.PageSize <= 0 || c.NumBuckets <= 0 || c.CachePages <= 0 || c.FlushBatch <= 0 {
-		return fmt.Errorf("cindex: non-positive config %+v", c)
+	if c.PageSize <= 0 || c.NumBuckets <= 0 || c.CachePages <= 0 || c.FlushBatch <= 0 || c.Shards < 0 {
+		return fmt.Errorf("cindex: invalid config %+v", c)
 	}
 	return nil
+}
+
+// numShards resolves the configured shard count: explicit if set, otherwise
+// auto-sized so every shard keeps at least one cache page and one bucket.
+func (c Config) numShards() int {
+	n := c.Shards
+	if n == 0 {
+		n = maxAutoShards
+		if c.CachePages < n {
+			n = c.CachePages
+		}
+		if c.NumBuckets < n {
+			n = c.NumBuckets
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Stats counts index activity.
@@ -89,17 +136,35 @@ type Stats struct {
 	NotFound  int64 // charged lookups that found nothing (bloom false positives)
 }
 
-// Index is the modeled on-disk chunk index.
-type Index struct {
-	cfg   Config
-	dev   *disk.Device
-	cache *lru.Cache[int, struct{}] // cached bucket IDs
-	m     map[chunk.Fingerprint]chunk.Location
-	// pageBase[b] is the device offset of bucket b's page; pages are laid
-	// out once at construction (the index region pre-exists on disk).
-	base    int64
+// shard is one lock stripe: a partition of the bucket space with its own
+// page-cache slice, fingerprint map, and write-back buffer. Bucket b belongs
+// to shard b % nshards.
+type shard struct {
+	mu      sync.Mutex
+	cache   *lru.Cache[int, struct{}] // cached bucket IDs of this stripe
+	m       map[chunk.Fingerprint]chunk.Location
 	pending int // buffered inserts awaiting write-back
-	stats   Stats
+}
+
+// Index is the modeled on-disk chunk index. All methods are safe for
+// concurrent use; per-stream time attribution goes through Handle.
+type Index struct {
+	cfg     Config
+	dev     *disk.Device
+	nshards int
+	shards  []shard
+	// base is the device offset of bucket 0's page; pages are laid out once
+	// at construction (the index region pre-exists on disk) in one global
+	// region, so the modeled seek geometry is identical however many lock
+	// stripes partition the buckets.
+	base int64
+
+	lookups   atomic.Int64
+	pageHits  atomic.Int64
+	pageReads atomic.Int64
+	inserts   atomic.Int64
+	flushes   atomic.Int64
+	notFound  atomic.Int64
 }
 
 // New builds an index over its own device region. dev must be dedicated to
@@ -108,11 +173,20 @@ func New(dev *disk.Device, cfg Config) (*Index, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	n := cfg.numShards()
 	ix := &Index{
-		cfg:   cfg,
-		dev:   dev,
-		cache: lru.New[int, struct{}](cfg.CachePages),
-		m:     make(map[chunk.Fingerprint]chunk.Location, 1024),
+		cfg:     cfg,
+		dev:     dev,
+		nshards: n,
+		shards:  make([]shard, n),
+	}
+	perShardCache := cfg.CachePages / n
+	if perShardCache < 1 {
+		perShardCache = 1
+	}
+	for i := range ix.shards {
+		ix.shards[i].cache = lru.New[int, struct{}](perShardCache)
+		ix.shards[i].m = make(map[chunk.Fingerprint]chunk.Location, 1024/n)
 	}
 	// Lay out the bucket region on the device. This charges a one-time
 	// sequential write that happens at construction, before any experiment
@@ -122,92 +196,266 @@ func New(dev *disk.Device, cfg Config) (*Index, error) {
 	return ix, nil
 }
 
+// NumShards returns the resolved lock-stripe count.
+func (ix *Index) NumShards() int { return ix.nshards }
+
 func (ix *Index) bucket(fp chunk.Fingerprint) int {
 	return int(fp.Uint64() % uint64(ix.cfg.NumBuckets))
+}
+
+func (ix *Index) shardOf(b int) *shard { return &ix.shards[b%ix.nshards] }
+
+// Bucket returns fp's bucket number. Callers use it to group fingerprints
+// that share an index page before a LookupBatch.
+func (ix *Index) Bucket(fp chunk.Fingerprint) int { return ix.bucket(fp) }
+
+// Bucket returns fp's bucket number (see Index.Bucket).
+func (h Handle) Bucket(fp chunk.Fingerprint) int { return h.ix.bucket(fp) }
+
+// pageOff returns the device offset of bucket b's page.
+func (ix *Index) pageOff(b int) int64 { return ix.base + int64(b)*ix.cfg.PageSize }
+
+// Handle is a view of the index that charges simulated time to a specific
+// stream's clock. All handles share the index state (shards, caches,
+// buffers); only the clock receiving the page-read and flush costs differs.
+type Handle struct {
+	ix  *Index
+	dev *disk.Device
+}
+
+// Handle returns a view charging clk. A nil clk charges the index's own
+// device clock (equivalent to calling the Index methods directly).
+func (ix *Index) Handle(clk *disk.Clock) Handle {
+	return Handle{ix: ix, dev: ix.dev.View(clk)}
 }
 
 // Lookup searches the index for fp, charging a page read unless the bucket
 // page is cached. The boolean reports whether the fingerprint is indexed.
 func (ix *Index) Lookup(fp chunk.Fingerprint) (chunk.Location, bool) {
-	ix.stats.Lookups++
+	return ix.lookup(ix.dev, fp)
+}
+
+// Lookup is Index.Lookup charged to the handle's clock.
+func (h Handle) Lookup(fp chunk.Fingerprint) (chunk.Location, bool) {
+	return h.ix.lookup(h.dev, fp)
+}
+
+func (ix *Index) lookup(dev *disk.Device, fp chunk.Fingerprint) (chunk.Location, bool) {
+	ix.lookups.Add(1)
 	b := ix.bucket(fp)
-	if _, ok := ix.cache.Get(b); ok {
-		ix.stats.PageHits++
+	sh := ix.shardOf(b)
+	sh.mu.Lock()
+	if _, ok := sh.cache.Get(b); ok {
+		ix.pageHits.Add(1)
 		telPageHits.Inc()
 	} else {
-		ix.stats.PageReads++
+		ix.pageReads.Add(1)
 		telPageReads.Inc()
-		ix.dev.AccountRead(ix.base+int64(b)*ix.cfg.PageSize, ix.cfg.PageSize)
-		ix.cache.Put(b, struct{}{})
+		dev.AccountRead(ix.pageOff(b), ix.cfg.PageSize)
+		sh.cache.Put(b, struct{}{})
 	}
-	loc, ok := ix.m[fp]
+	loc, ok := sh.m[fp]
+	sh.mu.Unlock()
 	if !ok {
-		ix.stats.NotFound++
+		ix.notFound.Add(1)
 	}
 	return loc, ok
+}
+
+// Result is one LookupBatch outcome, positionally matching the input slice.
+type Result struct {
+	Loc   chunk.Location
+	Found bool
+}
+
+// LookupBatch resolves a batch of fingerprints, grouping them by bucket
+// first: every distinct uncached bucket page is read exactly once, however
+// many fingerprints of the batch hash to it. Buckets are visited in order of
+// first appearance, so the charge sequence is deterministic for a given
+// input. Results are positional.
+func (ix *Index) LookupBatch(fps []chunk.Fingerprint) []Result {
+	return ix.lookupBatch(ix.dev, fps)
+}
+
+// LookupBatch is Index.LookupBatch charged to the handle's clock.
+func (h Handle) LookupBatch(fps []chunk.Fingerprint) []Result {
+	return h.ix.lookupBatch(h.dev, fps)
+}
+
+func (ix *Index) lookupBatch(dev *disk.Device, fps []chunk.Fingerprint) []Result {
+	res := make([]Result, len(fps))
+	if len(fps) == 0 {
+		return res
+	}
+	ix.lookups.Add(int64(len(fps)))
+	// Group positions by bucket, preserving first-appearance order so the
+	// modeled seek sequence (and thus the charged time) is deterministic.
+	order := make([]int, 0, len(fps))
+	groups := make(map[int][]int, len(fps))
+	for i, fp := range fps {
+		b := ix.bucket(fp)
+		if _, seen := groups[b]; !seen {
+			order = append(order, b)
+		}
+		groups[b] = append(groups[b], i)
+	}
+	for _, b := range order {
+		idxs := groups[b]
+		sh := ix.shardOf(b)
+		sh.mu.Lock()
+		if _, ok := sh.cache.Get(b); ok {
+			ix.pageHits.Add(int64(len(idxs)))
+			telPageHits.Add(int64(len(idxs)))
+		} else {
+			// One modeled page read serves every fingerprint of this bucket.
+			ix.pageReads.Add(1)
+			telPageReads.Inc()
+			dev.AccountRead(ix.pageOff(b), ix.cfg.PageSize)
+			sh.cache.Put(b, struct{}{})
+			if extra := int64(len(idxs) - 1); extra > 0 {
+				ix.pageHits.Add(extra)
+				telPageHits.Add(extra)
+			}
+		}
+		for _, i := range idxs {
+			loc, ok := sh.m[fps[i]]
+			res[i] = Result{Loc: loc, Found: ok}
+			if !ok {
+				ix.notFound.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return res
 }
 
 // Peek returns the mapping without charging time or touching the cache.
 // For oracles, tests, and simulation bookkeeping only.
 func (ix *Index) Peek(fp chunk.Fingerprint) (chunk.Location, bool) {
-	loc, ok := ix.m[fp]
+	sh := ix.shardOf(ix.bucket(fp))
+	sh.mu.Lock()
+	loc, ok := sh.m[fp]
+	sh.mu.Unlock()
 	return loc, ok
 }
 
-// Insert adds a new fingerprint mapping. Writes are buffered and flushed as
-// sequential batches.
+// Insert adds a new fingerprint mapping. Writes are buffered per shard and
+// flushed as sequential batches.
 func (ix *Index) Insert(fp chunk.Fingerprint, loc chunk.Location) {
-	ix.m[fp] = loc
-	ix.stats.Inserts++
-	telInserts.Inc()
-	ix.pending++
-	if ix.pending >= ix.cfg.FlushBatch {
-		ix.flush()
+	ix.insert(ix.dev, fp, loc)
+}
+
+// Insert is Index.Insert charged to the handle's clock.
+func (h Handle) Insert(fp chunk.Fingerprint, loc chunk.Location) {
+	h.ix.insert(h.dev, fp, loc)
+}
+
+func (ix *Index) insert(dev *disk.Device, fp chunk.Fingerprint, loc chunk.Location) {
+	sh := ix.shardOf(ix.bucket(fp))
+	sh.mu.Lock()
+	sh.m[fp] = loc
+	sh.pending++
+	full := sh.pending >= ix.cfg.FlushBatch
+	if full {
+		ix.flushShard(dev, sh)
 	}
+	sh.mu.Unlock()
+	ix.inserts.Add(1)
+	telInserts.Inc()
 }
 
 // Update repoints an existing fingerprint to a new location (the DeFrag
 // rewrite path: the newest, linearized copy becomes authoritative). Cost
 // model is identical to Insert.
 func (ix *Index) Update(fp chunk.Fingerprint, loc chunk.Location) {
-	ix.Insert(fp, loc)
+	ix.insert(ix.dev, fp, loc)
 }
 
-// Flush forces the pending write-back (end of stream).
-func (ix *Index) Flush() {
-	if ix.pending > 0 {
-		ix.flush()
+// Update is Index.Update charged to the handle's clock.
+func (h Handle) Update(fp chunk.Fingerprint, loc chunk.Location) {
+	h.ix.insert(h.dev, fp, loc)
+}
+
+// Flush forces the pending write-back on every shard (end of stream).
+func (ix *Index) Flush() { ix.flushAll(ix.dev) }
+
+// Flush is Index.Flush charged to the handle's clock.
+func (h Handle) Flush() { h.ix.flushAll(h.dev) }
+
+func (ix *Index) flushAll(dev *disk.Device) {
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		if sh.pending > 0 {
+			ix.flushShard(dev, sh)
+		}
+		sh.mu.Unlock()
 	}
 }
 
-func (ix *Index) flush() {
-	// One batched sequential write: the merge log. Charged as an append.
-	ix.dev.AppendHole(int64(ix.pending) * entrySize)
-	ix.pending = 0
-	ix.stats.Flushes++
+// flushShard write-backs one shard's buffer as a single batched sequential
+// append: the merge log. Caller holds sh.mu.
+func (ix *Index) flushShard(dev *disk.Device, sh *shard) {
+	dev.AppendHole(int64(sh.pending) * entrySize)
+	sh.pending = 0
+	ix.flushes.Add(1)
 	telFlushes.Inc()
 }
 
 // Len returns the number of indexed fingerprints.
-func (ix *Index) Len() int { return len(ix.m) }
+func (ix *Index) Len() int {
+	n := 0
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // Range iterates all mappings (in arbitrary order) until fn returns false.
-// Free of simulated time — for checkers and diagnostics, not engines.
+// Free of simulated time — for checkers and diagnostics, not engines. fn is
+// called outside shard locks (on a snapshot of each stripe), so it may call
+// back into the index.
 func (ix *Index) Range(fn func(chunk.Fingerprint, chunk.Location) bool) {
-	for fp, loc := range ix.m {
-		if !fn(fp, loc) {
-			return
+	type pair struct {
+		fp  chunk.Fingerprint
+		loc chunk.Location
+	}
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		snap := make([]pair, 0, len(sh.m))
+		for fp, loc := range sh.m {
+			snap = append(snap, pair{fp, loc})
+		}
+		sh.mu.Unlock()
+		for _, p := range snap {
+			if !fn(p.fp, p.loc) {
+				return
+			}
 		}
 	}
 }
 
 // Stats returns cumulative counters.
-func (ix *Index) Stats() Stats { return ix.stats }
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Lookups:   ix.lookups.Load(),
+		PageHits:  ix.pageHits.Load(),
+		PageReads: ix.pageReads.Load(),
+		Inserts:   ix.inserts.Load(),
+		Flushes:   ix.flushes.Load(),
+		NotFound:  ix.notFound.Load(),
+	}
+}
 
 // CacheHitRate returns the page-cache hit rate over all charged lookups.
 func (ix *Index) CacheHitRate() float64 {
-	if ix.stats.Lookups == 0 {
+	lookups := ix.lookups.Load()
+	if lookups == 0 {
 		return 0
 	}
-	return float64(ix.stats.PageHits) / float64(ix.stats.Lookups)
+	return float64(ix.pageHits.Load()) / float64(lookups)
 }

@@ -138,15 +138,29 @@ func TestNotFoundCounted(t *testing.T) {
 	}
 }
 
+// fpsInBucket scans fingerprints until it finds n that hash to bucket b.
+func fpsInBucket(ix *Index, b, n int) []chunk.Fingerprint {
+	out := make([]chunk.Fingerprint, 0, n)
+	for i := uint64(0); len(out) < n; i++ {
+		if fp := fpOf(i); ix.bucket(fp) == b {
+			out = append(out, fp)
+		}
+	}
+	return out
+}
+
 func TestFlushBatching(t *testing.T) {
-	ix, clk := newTestIndex(t, smallCfg()) // FlushBatch 16
-	for i := uint64(0); i < 15; i++ {
-		ix.Insert(fpOf(i), chunk.Location{Size: 1})
+	ix, clk := newTestIndex(t, smallCfg()) // FlushBatch 16, per shard
+	// Write-back buffers are per lock stripe: keep every insert in one
+	// bucket (hence one shard) so the batch threshold is exercised exactly.
+	fps := fpsInBucket(ix, 0, 17)
+	for _, fp := range fps[:15] {
+		ix.Insert(fp, chunk.Location{Size: 1})
 	}
 	if ix.Stats().Flushes != 0 {
 		t.Fatal("no flush before batch full")
 	}
-	ix.Insert(fpOf(15), chunk.Location{Size: 1})
+	ix.Insert(fps[15], chunk.Location{Size: 1})
 	if ix.Stats().Flushes != 1 {
 		t.Fatal("batch full must flush")
 	}
@@ -155,10 +169,110 @@ func TestFlushBatching(t *testing.T) {
 	if clk.Now() != before || ix.Stats().Flushes != 1 {
 		t.Fatal("empty Flush must be free")
 	}
-	ix.Insert(fpOf(16), chunk.Location{Size: 1})
+	ix.Insert(fps[16], chunk.Location{Size: 1})
 	ix.Flush()
 	if ix.Stats().Flushes != 2 {
 		t.Fatal("explicit flush of pending entries")
+	}
+}
+
+func TestLookupBatchChargesOncePerUncachedBucket(t *testing.T) {
+	ix, clk := newTestIndex(t, smallCfg())
+	// Build a batch over exactly three distinct buckets with repeats
+	// interleaved, mimicking a segment whose chunks collide on index pages.
+	// Non-adjacent buckets (own seek each) in distinct lock stripes (4
+	// shards here), so the warm re-batch below finds all three still cached.
+	a := fpsInBucket(ix, 1, 3)
+	b := fpsInBucket(ix, 3, 2)
+	c := fpsInBucket(ix, 6, 1)
+	ix.Insert(a[0], chunk.Location{Size: 1})
+	ix.Flush()
+	clk.Reset()
+	batch := []chunk.Fingerprint{a[0], b[0], a[1], c[0], b[1], a[2]}
+	res := ix.LookupBatch(batch)
+	st := ix.Stats()
+	if st.PageReads != 3 {
+		t.Fatalf("PageReads = %d, want exactly one per distinct uncached bucket (3)", st.PageReads)
+	}
+	if st.PageHits != int64(len(batch)-3) {
+		t.Fatalf("PageHits = %d, want %d", st.PageHits, len(batch)-3)
+	}
+	if st.Lookups != int64(len(batch)) {
+		t.Fatalf("Lookups = %d, want %d", st.Lookups, len(batch))
+	}
+	wantTime := 3 * (disk.DefaultModel().Seek + disk.DefaultModel().ReadTime(smallCfg().PageSize))
+	if clk.Now() != wantTime {
+		t.Fatalf("charged %v, want %v (3 page reads)", clk.Now(), wantTime)
+	}
+	if !res[0].Found || res[1].Found {
+		t.Fatalf("positional results wrong: %+v", res)
+	}
+	// A second batch over the same buckets is served from cache entirely.
+	t1 := clk.Now()
+	ix.LookupBatch(batch)
+	if ix.Stats().PageReads != 3 || clk.Now() != t1 {
+		t.Fatal("warm batch must be free")
+	}
+}
+
+func TestLookupBatchMatchesLookup(t *testing.T) {
+	cfg := smallCfg()
+	ixA, _ := newTestIndex(t, cfg)
+	ixB, _ := newTestIndex(t, cfg)
+	var fps []chunk.Fingerprint
+	for i := uint64(0); i < 300; i++ {
+		fp := fpOf(i)
+		fps = append(fps, fp)
+		if i%3 == 0 {
+			loc := chunk.Location{Container: uint32(i), Size: 1}
+			ixA.Insert(fp, loc)
+			ixB.Insert(fp, loc)
+		}
+	}
+	res := ixA.LookupBatch(fps)
+	for i, fp := range fps {
+		loc, ok := ixB.Lookup(fp)
+		if res[i].Found != ok || res[i].Loc != loc {
+			t.Fatalf("fp %d: batch (%v,%v) vs lookup (%v,%v)", i, res[i].Loc, res[i].Found, loc, ok)
+		}
+	}
+}
+
+func TestLookupBatchEmpty(t *testing.T) {
+	ix, clk := newTestIndex(t, smallCfg())
+	if res := ix.LookupBatch(nil); len(res) != 0 {
+		t.Fatal("empty batch must return empty results")
+	}
+	if clk.Now() != 0 || ix.Stats().Lookups != 0 {
+		t.Fatal("empty batch must be free")
+	}
+}
+
+func TestConfigForPage(t *testing.T) {
+	// entries-per-page must follow the configured page size: a 4× larger
+	// page holds ~4× the entries and needs ~4× fewer buckets.
+	small := ConfigForPage(8192, 1_000_000)
+	big := ConfigForPage(32768, 1_000_000)
+	if small.PageSize != 8192 || big.PageSize != 32768 {
+		t.Fatalf("page sizes: %d, %d", small.PageSize, big.PageSize)
+	}
+	ratio := float64(small.NumBuckets) / float64(big.NumBuckets)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("bucket ratio = %.2f, want ~4 (buckets %d vs %d)", ratio, small.NumBuckets, big.NumBuckets)
+	}
+	if got := DefaultConfig(1_000_000); got != ConfigForPage(8192, 1_000_000) {
+		t.Fatal("DefaultConfig must equal ConfigForPage at 8 KiB")
+	}
+}
+
+func TestShardsAutoSizing(t *testing.T) {
+	ix, _ := newTestIndex(t, smallCfg()) // CachePages 4 < 16 → 4 shards
+	if ix.NumShards() != 4 {
+		t.Fatalf("auto shards = %d, want 4", ix.NumShards())
+	}
+	ix2, _ := newTestIndex(t, Config{PageSize: 4096, NumBuckets: 64, CachePages: 64, FlushBatch: 16, Shards: 3})
+	if ix2.NumShards() != 3 {
+		t.Fatalf("explicit shards = %d, want 3", ix2.NumShards())
 	}
 }
 
@@ -255,4 +369,29 @@ func BenchmarkLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ix.Lookup(fpOf(uint64(i % 200_000)))
 	}
+}
+
+// BenchmarkLookupBatch resolves segment-sized batches; compare against
+// BenchmarkLookup for the per-chunk baseline (ns normalized per lookup).
+func BenchmarkLookupBatch(b *testing.B) {
+	var clk disk.Clock
+	dev := disk.NewDevice(disk.DefaultModel(), &clk, false)
+	ix, err := New(dev, DefaultConfig(1_000_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 100_000; i++ {
+		ix.Insert(fpOf(i), chunk.Location{Size: 1})
+	}
+	const batch = 256 // ~one segment of 4 KiB chunks
+	fps := make([]chunk.Fingerprint, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range fps {
+			fps[j] = fpOf(uint64((i*batch + j) % 200_000))
+		}
+		ix.LookupBatch(fps)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/lookup")
 }

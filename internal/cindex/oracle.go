@@ -1,12 +1,18 @@
 package cindex
 
-import "repro/internal/chunk"
+import (
+	"sync"
+
+	"repro/internal/chunk"
+)
 
 // Oracle is the exact, in-RAM fingerprint set used as measurement ground
 // truth. It answers "has this chunk ever been stored (by anyone)?" with no
 // simulated-time cost and no false positives/negatives, which defines the
-// paper's "redundant data actually existing in the dataset".
+// paper's "redundant data actually existing in the dataset". It is safe for
+// concurrent use: under multi-stream ingest all streams feed one oracle.
 type Oracle struct {
+	mu   sync.Mutex
 	seen map[chunk.Fingerprint]struct{}
 
 	totalBytes     int64 // all observed bytes
@@ -21,6 +27,8 @@ func NewOracle() *Oracle {
 // Observe records one chunk occurrence and reports whether it was redundant
 // (seen before).
 func (o *Oracle) Observe(fp chunk.Fingerprint, size uint32) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.totalBytes += int64(size)
 	if _, dup := o.seen[fp]; dup {
 		o.redundantBytes += int64(size)
@@ -32,21 +40,37 @@ func (o *Oracle) Observe(fp chunk.Fingerprint, size uint32) bool {
 
 // Seen reports whether fp has been observed, without recording anything.
 func (o *Oracle) Seen(fp chunk.Fingerprint) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	_, ok := o.seen[fp]
 	return ok
 }
 
 // Unique returns the number of distinct fingerprints observed.
-func (o *Oracle) Unique() int { return len(o.seen) }
+func (o *Oracle) Unique() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.seen)
+}
 
 // TotalBytes returns all bytes observed.
-func (o *Oracle) TotalBytes() int64 { return o.totalBytes }
+func (o *Oracle) TotalBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.totalBytes
+}
 
 // RedundantBytes returns the bytes that were exact re-occurrences.
-func (o *Oracle) RedundantBytes() int64 { return o.redundantBytes }
+func (o *Oracle) RedundantBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.redundantBytes
+}
 
 // CompressionRatio returns total/unique bytes observed so far (>= 1).
 func (o *Oracle) CompressionRatio() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	uniq := o.totalBytes - o.redundantBytes
 	if uniq == 0 {
 		return 1

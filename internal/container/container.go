@@ -13,13 +13,24 @@
 // for every chunk that was written near a duplicate, which is exactly the
 // spatial locality the paper studies.
 //
-// The store is the sole writer of its device, so chunk offsets are assigned
-// at write time (container start is known when the container opens) and the
-// deferred flush lands exactly there.
+// Writing goes through a Writer, of which there are two flavors:
+//
+//   - SerialWriter appends containers at the device frontier, one at a time
+//     — the classic single-stream layout; Store.Write/Flush delegate to it.
+//   - NewWriter(clk) is a per-stream writer for concurrent ingest: each
+//     stream keeps its own open container inside a pre-reserved fixed-size
+//     extent (allocated under the store mutex), assigns chunk offsets
+//     privately, and charges its seal I/O to the stream's own clock. Streams
+//     therefore only contend on the brief extent/ID allocation, not on
+//     chunk writes.
+//
+// Container IDs are allocated when a writer opens its container, so the
+// shadow directory stays dense; a slot reports Sealed only once flushed.
 package container
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/chunk"
 	"repro/internal/disk"
@@ -87,25 +98,22 @@ type Info struct {
 // DataStart returns the device offset of the container's data section.
 func (i *Info) DataStart(cfg Config) int64 { return i.Start + cfg.MetaCap() }
 
-// Store is the container log over one simulated device.
+// Store is the container log over one simulated device. All methods are
+// safe for concurrent use; per-stream writing goes through Writer.
 type Store struct {
 	cfg Config
 	dev *disk.Device
 
-	// open container state
-	openID    uint32
-	openStart int64
-	openFill  int64
-	openMeta  []Meta
-	openData  []byte // buffered only when the device stores data
-	hasOpen   bool
-
-	sealed []Info // shadow directory of flushed containers, indexed by ID
-
+	mu       sync.Mutex
+	sealed   []Info // shadow directory, dense by ID (placeholder until sealedOK)
+	sealedOK []bool
+	nSealed  int
 	// liveBytes tracks, per container, the bytes still referenced by the
 	// newest index mappings; the DeFrag rewrite path decrements it to report
 	// container utilization (garbage from superseded copies).
 	liveBytes []int64
+
+	serialW *Writer // lazily created legacy writer behind Store.Write/Flush
 }
 
 // NewStore creates a container store writing to dev. The store must be the
@@ -124,78 +132,176 @@ func (s *Store) Config() Config { return s.cfg }
 func (s *Store) Device() *disk.Device { return s.dev }
 
 // NumContainers returns the count of sealed containers.
-func (s *Store) NumContainers() int { return len(s.sealed) }
-
-// open starts a new container at the current device frontier.
-func (s *Store) open() {
-	s.openID = uint32(len(s.sealed))
-	s.openStart = s.dev.Size()
-	s.openFill = 0
-	s.openMeta = s.openMeta[:0]
-	if s.dev.StoresData() {
-		s.openData = s.openData[:0]
-	}
-	s.hasOpen = true
+func (s *Store) NumContainers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nSealed
 }
 
-// Write appends one chunk to the open container (opening or sealing
+// allocID reserves the next dense container ID with a placeholder directory
+// slot; seal fills it in when the container flushes.
+func (s *Store) allocID() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := uint32(len(s.sealed))
+	s.sealed = append(s.sealed, Info{ID: id})
+	s.sealedOK = append(s.sealedOK, false)
+	s.liveBytes = append(s.liveBytes, 0)
+	return id
+}
+
+// seal publishes a flushed container into the shadow directory.
+func (s *Store) seal(id uint32, info Info) {
+	s.mu.Lock()
+	s.sealed[id] = info
+	s.sealedOK[id] = true
+	s.nSealed++
+	s.liveBytes[id] = info.DataFill
+	s.mu.Unlock()
+	telSealed.Inc()
+	telWrittenBytes.Add(info.DataFill)
+}
+
+// Writer buffers chunks into one open container at a time on behalf of a
+// single backup stream. A Writer is not itself safe for concurrent use —
+// concurrency comes from giving each stream its own Writer over the shared
+// Store.
+type Writer struct {
+	s       *Store
+	dev     *disk.Device // device view charging this stream's clock
+	reserve bool         // reserve-extent mode (concurrent) vs frontier mode (serial)
+
+	id      uint32
+	start   int64
+	fill    int64
+	meta    []Meta
+	data    []byte // buffered only when the device stores data
+	hasOpen bool
+}
+
+// SerialWriter returns the store's shared frontier-mode writer: containers
+// are appended at the device frontier exactly as the single-stream layout
+// always did. Store.Write and Store.Flush delegate to it.
+func (s *Store) SerialWriter() *Writer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.serialW == nil {
+		s.serialW = &Writer{s: s, dev: s.dev}
+	}
+	return s.serialW
+}
+
+// NewWriter returns a per-stream reserve-mode writer whose simulated I/O
+// time is charged to clk (nil clk charges the store's own clock). Each open
+// container occupies a pre-reserved MetaCap+DataCap extent, so concurrent
+// writers never collide on offsets; the unused tail of a partially filled
+// final container is the usual cost of fixed-size container slots.
+func (s *Store) NewWriter(clk *disk.Clock) *Writer {
+	return &Writer{s: s, dev: s.dev.View(clk), reserve: true}
+}
+
+// open starts a new container, allocating its ID (and, in reserve mode, its
+// device extent) under the store mutex.
+func (w *Writer) open() {
+	w.id = w.s.allocID()
+	if w.reserve {
+		w.start = w.dev.ReserveExtent(w.s.cfg.MetaCap() + w.s.cfg.DataCap)
+	} else {
+		w.start = w.dev.Size()
+	}
+	w.fill = 0
+	w.meta = w.meta[:0]
+	if w.dev.StoresData() {
+		w.data = w.data[:0]
+	}
+	w.hasOpen = true
+}
+
+// Write appends one chunk to the writer's open container (opening or sealing
 // containers as needed) and returns its permanent location. segID tags the
 // chunk with the on-disk segment it belongs to.
-func (s *Store) Write(c chunk.Chunk, segID uint64) chunk.Location {
+func (w *Writer) Write(c chunk.Chunk, segID uint64) chunk.Location {
 	if c.Size == 0 {
 		panic("container: zero-size chunk")
 	}
-	if !s.hasOpen {
-		s.open()
+	if !w.hasOpen {
+		w.open()
 	}
-	if s.openFill+int64(c.Size) > s.cfg.DataCap || len(s.openMeta) >= s.cfg.MaxChunks {
-		s.Flush()
-		s.open()
+	if w.fill+int64(c.Size) > w.s.cfg.DataCap || len(w.meta) >= w.s.cfg.MaxChunks {
+		w.Flush()
+		w.open()
 	}
-	off := s.openStart + s.cfg.MetaCap() + s.openFill
-	s.openMeta = append(s.openMeta, Meta{FP: c.FP, Size: c.Size, Segment: segID, Offset: off})
-	if s.dev.StoresData() {
+	off := w.start + w.s.cfg.MetaCap() + w.fill
+	w.meta = append(w.meta, Meta{FP: c.FP, Size: c.Size, Segment: segID, Offset: off})
+	if w.dev.StoresData() {
 		if c.Data != nil {
-			s.openData = append(s.openData, c.Data...)
+			w.data = append(w.data, c.Data...)
 		} else {
-			s.openData = append(s.openData, make([]byte, c.Size)...)
+			w.data = append(w.data, make([]byte, c.Size)...)
 		}
 	}
-	s.openFill += int64(c.Size)
-	return chunk.Location{Container: s.openID, Segment: segID, Offset: off, Size: c.Size}
+	w.fill += int64(c.Size)
+	return chunk.Location{Container: w.id, Segment: segID, Offset: off, Size: c.Size}
 }
 
 // Flush seals the open container, writing its metadata section and data
-// section to the device. A store with no open container (or an empty one)
+// section to the device. A writer with no open container (or an empty one)
 // flushes to nothing. Callers flush at end of stream; Write flushes
 // automatically when a container fills.
-func (s *Store) Flush() {
-	if !s.hasOpen || len(s.openMeta) == 0 {
-		s.hasOpen = false
+func (w *Writer) Flush() {
+	if !w.hasOpen || len(w.meta) == 0 {
+		w.hasOpen = false
 		return
 	}
-	if got := s.dev.Size(); got != s.openStart {
-		panic(fmt.Sprintf("container: device frontier %d moved past container start %d (foreign writer?)", got, s.openStart))
-	}
-	// Metadata section, padded to fixed capacity so data offsets hold.
-	if s.dev.StoresData() {
-		s.dev.Append(encodeMeta(s.openMeta, s.cfg.MetaCap()))
-		s.dev.Append(s.openData)
+	if w.reserve {
+		// Seal in place inside the reserved extent: metadata section padded
+		// to fixed capacity, then the data section, one contiguous write run.
+		if w.dev.StoresData() {
+			w.dev.WriteAt(encodeMeta(w.meta, w.s.cfg.MetaCap()), w.start)
+			w.dev.WriteAt(w.data, w.start+w.s.cfg.MetaCap())
+		} else {
+			w.dev.AccountWrite(w.start, w.s.cfg.MetaCap())
+			w.dev.AccountWrite(w.start+w.s.cfg.MetaCap(), w.fill)
+		}
 	} else {
-		s.dev.AppendHole(s.cfg.MetaCap())
-		s.dev.AppendHole(s.openFill)
+		if got := w.dev.Size(); got != w.start {
+			panic(fmt.Sprintf("container: device frontier %d moved past container start %d (foreign writer?)", got, w.start))
+		}
+		// Metadata section, padded to fixed capacity so data offsets hold.
+		if w.dev.StoresData() {
+			w.dev.Append(encodeMeta(w.meta, w.s.cfg.MetaCap()))
+			w.dev.Append(w.data)
+		} else {
+			w.dev.AppendHole(w.s.cfg.MetaCap())
+			w.dev.AppendHole(w.fill)
+		}
 	}
-	info := Info{
-		ID:       s.openID,
-		Start:    s.openStart,
-		DataFill: s.openFill,
-		Entries:  append([]Meta(nil), s.openMeta...),
+	w.s.seal(w.id, Info{
+		ID:       w.id,
+		Start:    w.start,
+		DataFill: w.fill,
+		Entries:  append([]Meta(nil), w.meta...),
+	})
+	w.hasOpen = false
+}
+
+// ReadMeta is Store.ReadMeta with the disk time charged to the writer's
+// stream clock.
+func (w *Writer) ReadMeta(id uint32) []Meta { return w.s.readMeta(w.dev, id) }
+
+// Write appends one chunk through the store's serial writer.
+func (s *Store) Write(c chunk.Chunk, segID uint64) chunk.Location {
+	return s.SerialWriter().Write(c, segID)
+}
+
+// Flush seals the serial writer's open container, if any.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	w := s.serialW
+	s.mu.Unlock()
+	if w != nil {
+		w.Flush()
 	}
-	s.sealed = append(s.sealed, info)
-	s.liveBytes = append(s.liveBytes, s.openFill)
-	s.hasOpen = false
-	telSealed.Inc()
-	telWrittenBytes.Add(info.DataFill)
 }
 
 // encodeMeta serializes entries into a MetaCap-sized section.
@@ -221,9 +327,11 @@ func encodeMeta(entries []Meta, capBytes int64) []byte {
 // ReadMeta performs a metadata-section read of container id: it charges one
 // disk access of MetaCap bytes and returns the chunk descriptors. This is
 // the operation behind DDFS's locality-preserved-cache prefetch.
-func (s *Store) ReadMeta(id uint32) []Meta {
+func (s *Store) ReadMeta(id uint32) []Meta { return s.readMeta(s.dev, id) }
+
+func (s *Store) readMeta(dev *disk.Device, id uint32) []Meta {
 	info := s.info(id)
-	s.dev.AccountRead(info.Start, s.cfg.MetaCap())
+	dev.AccountRead(info.Start, s.cfg.MetaCap())
 	telMetaReads.Inc()
 	return info.Entries
 }
@@ -274,20 +382,30 @@ func (s *Store) Extract(data []byte, loc chunk.Location) []byte {
 	return data[rel : rel+int64(loc.Size)]
 }
 
+// info returns the directory entry of a sealed container; the returned
+// pointer references immutable post-seal state.
 func (s *Store) info(id uint32) *Info {
-	if int(id) >= len(s.sealed) {
-		panic(fmt.Sprintf("container: id %d not sealed (have %d)", id, len(s.sealed)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.sealed) || !s.sealedOK[id] {
+		panic(fmt.Sprintf("container: id %d not sealed (have %d)", id, s.nSealed))
 	}
 	return &s.sealed[id]
 }
 
 // Sealed reports whether container id has been sealed.
-func (s *Store) Sealed(id uint32) bool { return int(id) < len(s.sealed) }
+func (s *Store) Sealed(id uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(id) < len(s.sealedOK) && s.sealedOK[id]
+}
 
 // MarkDead records that n bytes in container id are superseded (a rewritten
 // chunk's old copy). Utilization reporting uses this.
 func (s *Store) MarkDead(id uint32, n int64) {
-	if int(id) < len(s.liveBytes) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) < len(s.liveBytes) && s.sealedOK[id] {
 		s.liveBytes[id] -= n
 		if s.liveBytes[id] < 0 {
 			s.liveBytes[id] = 0
@@ -301,8 +419,13 @@ func (s *Store) MarkDead(id uint32, n int64) {
 // Utilization returns the fraction of stored data bytes still live across
 // all sealed containers (1.0 when nothing was superseded).
 func (s *Store) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var live, total int64
 	for i := range s.sealed {
+		if !s.sealedOK[i] {
+			continue
+		}
 		live += s.liveBytes[i]
 		total += s.sealed[i].DataFill
 	}
@@ -315,9 +438,13 @@ func (s *Store) Utilization() float64 {
 // StoredBytes returns the total data bytes across sealed containers
 // (physical, post-dedup storage consumption, excluding metadata).
 func (s *Store) StoredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var n int64
 	for i := range s.sealed {
-		n += s.sealed[i].DataFill
+		if s.sealedOK[i] {
+			n += s.sealed[i].DataFill
+		}
 	}
 	return n
 }

@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/chunk"
 	"repro/internal/chunker"
@@ -147,7 +148,7 @@ type Engine struct {
 	resolver *engine.Resolver
 
 	oracle *cindex.Oracle
-	segSeq uint64
+	segSeq atomic.Uint64
 }
 
 // New builds a DeFrag engine over a fresh clock.
@@ -199,29 +200,51 @@ func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
 
 // Backup implements engine.Engine.
 func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(label, r, nil)
+}
+
+// BackupStream implements engine.StreamBackupper: one backup ingested as a
+// concurrent stream, with all simulated I/O and CPU time charged to clk and
+// writes going through a per-stream container writer.
+func (e *Engine) BackupStream(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(label, r, clk)
+}
+
+// backup is the shared ingest body. clk == nil selects the serial path
+// (store frontier writer, engine master clock); a non-nil clk selects the
+// concurrent path (reserve-mode writer, per-stream timing).
+func (e *Engine) backup(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
-	start := e.clock.Now()
+	timing := e.clock
+	var w *container.Writer
+	if clk == nil {
+		w = e.store.SerialWriter()
+	} else {
+		timing = clk
+		w = e.store.NewWriter(clk)
+	}
+	sr := e.resolver.Stream(clk, w)
+	start := timing.Now()
 	ctx, span := telemetry.StartSpan(context.Background(), "defrag.backup")
 	defer span.End()
 
 	logical, chunks, segs, err := engine.Pipeline(
 		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
-		e.clock, e.cfg.Cost, e.cfg.StoreData,
+		timing, e.cfg.Cost, e.cfg.StoreData,
 		func(seg *segment.Segment) error {
-			e.processSegment(ctx, seg, recipe, &stats)
-			return nil
+			return e.processSegment(ctx, seg, recipe, &stats, timing, w, sr)
 		})
 	if err != nil {
 		return nil, stats, err
 	}
-	e.store.Flush()
-	e.resolver.FlushIndex()
+	w.Flush()
+	sr.FlushIndex()
 
 	stats.LogicalBytes = logical
 	stats.Chunks = chunks
 	stats.Segments = segs
-	stats.Duration = e.clock.Now() - start
+	stats.Duration = timing.Now() - start
 	span.SetSim(stats.Duration)
 	return recipe, stats, nil
 }
@@ -233,22 +256,24 @@ type resolution struct {
 }
 
 // processSegment runs the three DeFrag phases over one segment. ctx carries
-// the backup-level telemetry span; each phase is traced under it.
-func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
-	e.segSeq++
-	segID := e.segSeq
+// the backup-level telemetry span; each phase is traced under it. timing is
+// the clock the stream charges (the engine clock on the serial path).
+func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats, timing *disk.Clock, w *container.Writer, sr *engine.StreamResolver) error {
+	segID := e.segSeq.Add(1)
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
 
 	// Phase 1: identify every chunk (no writes yet — rewrites must land in
-	// stream order together with the new unique chunks).
-	identStart := e.clock.Now()
+	// stream order together with the new unique chunks). The whole segment
+	// resolves as one bucket-batched index pass: chunks hashing to the same
+	// index page share one modeled page read.
+	identStart := timing.Now()
 	_, identSpan := telemetry.StartSpan(ctx, "defrag.identify")
+	batch := sr.ResolveBatch(seg.Chunks, stats)
 	res := make([]resolution, len(seg.Chunks))
-	for i, c := range seg.Chunks {
-		loc, dup := e.resolver.Resolve(c, stats)
-		res[i] = resolution{loc: loc, dup: dup}
+	for i := range batch {
+		res[i] = resolution{loc: batch[i].Loc, dup: batch[i].Dup}
 	}
-	identSpan.SetSim(e.clock.Now() - identStart)
+	identSpan.SetSim(timing.Now() - identStart)
 	identSpan.End()
 
 	// Phase 2: spatial-locality measurement. Group duplicates by the
@@ -286,7 +311,7 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 	// Phase 3: place chunks in stream order. Duplicates resolving to
 	// low-SPL segments are rewritten (and the index repointed); the rest
 	// are removed by reference.
-	placeStart := e.clock.Now()
+	placeStart := timing.Now()
 	_, placeSpan := telemetry.StartSpan(ctx, "defrag.place")
 	var removedInSeg int64
 	writtenHere := make(map[chunk.Fingerprint]chunk.Location)
@@ -311,8 +336,8 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 				recipe.Append(c.FP, c.Size, loc)
 				break
 			}
-			loc := e.store.Write(c, segID)
-			e.resolver.Repoint(c.FP, loc)
+			loc := w.Write(c, segID)
+			sr.Repoint(c.FP, loc)
 			e.store.MarkDead(r.loc.Container, int64(r.loc.Size))
 			writtenHere[c.FP] = loc
 			stats.RewrittenBytes += int64(c.Size)
@@ -330,8 +355,8 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 				recipe.Append(c.FP, c.Size, loc)
 				break
 			}
-			loc := e.store.Write(c, segID)
-			e.resolver.RegisterNew(c.FP, loc)
+			loc := w.Write(c, segID)
+			sr.RegisterNew(c.FP, loc)
 			writtenHere[c.FP] = loc
 			stats.UniqueBytes += int64(c.Size)
 			stats.UniqueChunks++
@@ -339,10 +364,11 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 			recipe.Append(c.FP, c.Size, loc)
 		}
 	}
-	placeSpan.SetSim(e.clock.Now() - placeStart)
+	placeSpan.SetSim(timing.Now() - placeStart)
 	placeSpan.End()
 
 	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+	return nil
 }
 
 var _ engine.Engine = (*Engine)(nil)

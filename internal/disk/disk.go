@@ -17,10 +17,19 @@
 //
 // Devices can store real bytes (correctness tests, examples) or run
 // metadata-only (large experiments), with identical time accounting.
+//
+// Concurrency: Clock is atomic and Device state is mutex-guarded, so
+// multiple backup streams may drive the same device in parallel. Each
+// stream charges its own Clock through a device *view* (see Device.View):
+// views share all device state — head position, frontier, stored bytes,
+// stats — but route time charges to a per-stream clock, which is what makes
+// per-stream throughput measurable under concurrent ingest.
 package disk
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,25 +63,27 @@ func (m Model) WriteTime(n int64) time.Duration {
 }
 
 // Clock accumulates simulated time. One Clock is shared by every device and
-// cost source participating in an experiment.
-type Clock struct{ t time.Duration }
+// cost source participating in an experiment. Advance/Now are atomic, so
+// concurrent backup streams can charge and read a clock without extra
+// locking.
+type Clock struct{ t atomic.Int64 }
 
 // Advance adds d to the clock. Negative d panics: simulated time is monotone.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic("disk: clock cannot go backwards")
 	}
-	c.t += d
+	c.t.Add(int64(d))
 }
 
 // Now returns the accumulated simulated time.
-func (c *Clock) Now() time.Duration { return c.t }
+func (c *Clock) Now() time.Duration { return time.Duration(c.t.Load()) }
 
 // Seconds returns the accumulated time in seconds.
-func (c *Clock) Seconds() float64 { return c.t.Seconds() }
+func (c *Clock) Seconds() float64 { return c.Now().Seconds() }
 
 // Reset zeroes the clock.
-func (c *Clock) Reset() { c.t = 0 }
+func (c *Clock) Reset() { c.t.Store(0) }
 
 // Stats are cumulative per-device counters.
 type Stats struct {
@@ -88,6 +99,20 @@ func (s Stats) String() string {
 		s.Seeks, s.Reads, s.BytesRead, s.Writes, s.BytesWritten)
 }
 
+// devState is the shared core of a simulated device. All views of one
+// device point at the same devState; its mutex serializes every access, so
+// concurrent streams contend for the head position exactly as they would on
+// a real shared spindle.
+type devState struct {
+	mu       sync.Mutex
+	model    Model
+	pos      int64 // current head position
+	frontier int64 // append point (device size so far)
+	data     []byte
+	stores   bool
+	stats    Stats
+}
+
 // Device is a simulated log-structured disk. Writes append at the frontier;
 // reads address any previously written range. The head position is tracked:
 // contiguous accesses are free of seeks, discontiguous ones pay Model.Seek.
@@ -95,14 +120,13 @@ func (s Stats) String() string {
 // If constructed with NewDevice(model, clock, true), the device stores real
 // bytes and ReadAt returns them; otherwise only sizes and offsets are
 // tracked ("hole" mode) and ReadAt fills zeros.
+//
+// A Device value is a handle: View returns a second handle onto the same
+// underlying device that charges its time to a different clock. All handles
+// are safe for concurrent use.
 type Device struct {
-	model    Model
-	clock    *Clock
-	pos      int64 // current head position
-	frontier int64 // append point (device size so far)
-	data     []byte
-	stores   bool
-	stats    Stats
+	st    *devState
+	clock *Clock
 }
 
 // NewDevice creates a device over model and clock. storeData selects whether
@@ -114,38 +138,59 @@ func NewDevice(model Model, clock *Clock, storeData bool) *Device {
 	// The head starts parked away from the log (pos -1), so the first access
 	// of any fresh device pays one seek, matching the paper's Eq. 1 where
 	// even a fully contiguous read costs 1·T_seek.
-	return &Device{model: model, clock: clock, stores: storeData, pos: -1}
+	return &Device{st: &devState{model: model, stores: storeData, pos: -1}, clock: clock}
+}
+
+// View returns a handle onto the same device that charges simulated time to
+// clk instead of this handle's clock. Head position, frontier, stored bytes
+// and stats are shared with every other view; only the time destination
+// differs. A nil clk returns the receiver unchanged.
+func (d *Device) View(clk *Clock) *Device {
+	if clk == nil {
+		return d
+	}
+	return &Device{st: d.st, clock: clk}
 }
 
 // StoresData reports whether the device retains real bytes.
-func (d *Device) StoresData() bool { return d.stores }
+func (d *Device) StoresData() bool { return d.st.stores }
 
 // Size returns the number of bytes written so far (the append frontier).
-func (d *Device) Size() int64 { return d.frontier }
+func (d *Device) Size() int64 {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	return d.st.frontier
+}
 
 // Stats returns the cumulative counters.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device) Stats() Stats {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	return d.st.stats
+}
 
 // Model returns the device's timing model.
-func (d *Device) Model() Model { return d.model }
+func (d *Device) Model() Model { return d.st.model }
 
-// Clock returns the shared clock this device charges time to.
+// Clock returns the clock this handle charges time to.
 func (d *Device) Clock() *Clock { return d.clock }
 
-// seekTo charges a seek if the head is not already at off.
+// seekTo charges a seek if the head is not already at off. Caller holds mu.
 func (d *Device) seekTo(off int64) {
-	if d.pos != off {
-		d.stats.Seeks++
-		d.clock.Advance(d.model.Seek)
-		d.pos = off
+	if d.st.pos != off {
+		d.st.stats.Seeks++
+		d.clock.Advance(d.st.model.Seek)
+		d.st.pos = off
 	}
 }
 
 // Append writes p at the frontier and returns its offset.
 func (d *Device) Append(p []byte) int64 {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
 	off := d.appendCommon(int64(len(p)))
-	if d.stores {
-		d.data = append(d.data, p...)
+	if d.st.stores {
+		d.st.data = append(d.st.data, p...)
 	}
 	return off
 }
@@ -157,32 +202,91 @@ func (d *Device) AppendHole(n int64) int64 {
 	if n < 0 {
 		panic("disk: negative append")
 	}
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
 	off := d.appendCommon(n)
-	if d.stores {
-		d.data = append(d.data, make([]byte, n)...)
+	if d.st.stores {
+		d.st.data = append(d.st.data, make([]byte, n)...)
 	}
 	return off
 }
 
+// appendCommon charges and accounts an n-byte frontier write. Caller holds mu.
 func (d *Device) appendCommon(n int64) int64 {
-	off := d.frontier
+	off := d.st.frontier
 	d.seekTo(off)
-	d.clock.Advance(d.model.WriteTime(n))
-	d.frontier += n
-	d.pos = off + n
-	d.stats.Writes++
-	d.stats.BytesWritten += n
+	d.clock.Advance(d.st.model.WriteTime(n))
+	d.st.frontier += n
+	d.st.pos = off + n
+	d.st.stats.Writes++
+	d.st.stats.BytesWritten += n
 	return off
+}
+
+// ReserveExtent advances the frontier by n bytes without charging any time
+// and returns the reserved offset. It is space allocation, not I/O: a
+// concurrent container writer reserves its container's full extent up front
+// so parallel streams can assign stable chunk offsets, then pays the actual
+// write cost when the buffered container seals (see WriteAt/AccountWrite).
+// On a storing device the reserved range reads back as zeros until written.
+func (d *Device) ReserveExtent(n int64) int64 {
+	if n < 0 {
+		panic("disk: negative reservation")
+	}
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	off := d.st.frontier
+	d.st.frontier += n
+	if d.st.stores {
+		d.st.data = append(d.st.data, make([]byte, n)...)
+	}
+	return off
+}
+
+// WriteAt writes p into a previously reserved range at off, charging seek
+// and transfer time. Writing beyond the frontier panics: reservations must
+// cover the range first.
+func (d *Device) WriteAt(p []byte, off int64) {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	n := int64(len(p))
+	d.writeAtCommon(off, n)
+	if d.st.stores {
+		copy(d.st.data[off:off+n], p)
+	}
+}
+
+// AccountWrite charges the time of an n-byte write at off into previously
+// reserved space without storing data (the metadata-only write path for
+// reserved extents).
+func (d *Device) AccountWrite(off, n int64) {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	d.writeAtCommon(off, n)
+}
+
+// writeAtCommon charges an in-place write into reserved space. Caller holds mu.
+func (d *Device) writeAtCommon(off, n int64) {
+	if off < 0 || n < 0 || off+n > d.st.frontier {
+		panic(fmt.Sprintf("disk: write [%d,%d) beyond frontier %d", off, off+n, d.st.frontier))
+	}
+	d.seekTo(off)
+	d.clock.Advance(d.st.model.WriteTime(n))
+	d.st.pos = off + n
+	d.st.stats.Writes++
+	d.st.stats.BytesWritten += n
 }
 
 // ReadAt reads len(p) bytes from off into p, charging seek and transfer
 // time. Reading beyond the frontier panics — it indicates a logic bug in a
 // caller, never valid input.
 func (d *Device) ReadAt(p []byte, off int64) {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
 	n := int64(len(p))
 	d.accountRead(off, n)
-	if d.stores {
-		copy(p, d.data[off:off+n])
+	if d.st.stores {
+		copy(p, d.st.data[off:off+n])
 	} else {
 		for i := range p {
 			p[i] = 0
@@ -193,12 +297,14 @@ func (d *Device) ReadAt(p []byte, off int64) {
 // PeekAt copies stored bytes into p without charging time or moving the
 // head. For checkers and diagnostics only; zero-fills on hole devices.
 func (d *Device) PeekAt(p []byte, off int64) {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
 	n := int64(len(p))
-	if off < 0 || n < 0 || off+n > d.frontier {
-		panic(fmt.Sprintf("disk: peek [%d,%d) beyond frontier %d", off, off+n, d.frontier))
+	if off < 0 || n < 0 || off+n > d.st.frontier {
+		panic(fmt.Sprintf("disk: peek [%d,%d) beyond frontier %d", off, off+n, d.st.frontier))
 	}
-	if d.stores {
-		copy(p, d.data[off:off+n])
+	if d.st.stores {
+		copy(p, d.st.data[off:off+n])
 	} else {
 		for i := range p {
 			p[i] = 0
@@ -209,20 +315,27 @@ func (d *Device) PeekAt(p []byte, off int64) {
 // AccountRead charges the time of an n-byte read at off without returning
 // data. It is the metadata-only read path.
 func (d *Device) AccountRead(off, n int64) {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
 	d.accountRead(off, n)
 }
 
+// accountRead charges an n-byte read at off. Caller holds mu.
 func (d *Device) accountRead(off, n int64) {
-	if off < 0 || n < 0 || off+n > d.frontier {
-		panic(fmt.Sprintf("disk: read [%d,%d) beyond frontier %d", off, off+n, d.frontier))
+	if off < 0 || n < 0 || off+n > d.st.frontier {
+		panic(fmt.Sprintf("disk: read [%d,%d) beyond frontier %d", off, off+n, d.st.frontier))
 	}
 	d.seekTo(off)
-	d.clock.Advance(d.model.ReadTime(n))
-	d.pos = off + n
-	d.stats.Reads++
-	d.stats.BytesRead += n
+	d.clock.Advance(d.st.model.ReadTime(n))
+	d.st.pos = off + n
+	d.st.stats.Reads++
+	d.st.stats.BytesRead += n
 }
 
 // Position returns the current head position (exported for tests and the
 // restore path's contiguity reasoning).
-func (d *Device) Position() int64 { return d.pos }
+func (d *Device) Position() int64 {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	return d.st.pos
+}

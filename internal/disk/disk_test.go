@@ -147,7 +147,7 @@ func TestEquation1(t *testing.T) {
 
 	// Contiguous.
 	c.Reset()
-	d.pos = -1 // force initial seek
+	d.st.pos = -1 // force initial seek
 	d.AccountRead(0, n*frag)
 	contiguous := c.Now()
 	wantC := m.Seek + m.ReadTime(n*frag)

@@ -22,6 +22,7 @@ package ddfs
 
 import (
 	"io"
+	"sync/atomic"
 
 	"repro/internal/chunk"
 	"repro/internal/chunker"
@@ -81,7 +82,7 @@ type Engine struct {
 	resolver *engine.Resolver
 
 	oracle *cindex.Oracle // optional ground-truth observer
-	segSeq uint64         // global on-disk segment counter
+	segSeq atomic.Uint64  // global on-disk segment counter
 }
 
 // New builds a DDFS-Like engine with its own devices over a fresh clock.
@@ -128,51 +129,87 @@ func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
 
 // Backup implements engine.Engine.
 func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(label, r, nil)
+}
+
+// BackupStream implements engine.StreamBackupper: one backup ingested as a
+// concurrent stream, with all simulated I/O and CPU time charged to clk and
+// unique chunks written through a per-stream container writer.
+func (e *Engine) BackupStream(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(label, r, clk)
+}
+
+// backup is the shared ingest body. clk == nil selects the serial path
+// (store frontier writer, engine master clock); a non-nil clk selects the
+// concurrent path (reserve-mode writer, per-stream timing).
+func (e *Engine) backup(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
-	start := e.clock.Now()
+	timing := e.clock
+	var w *container.Writer
+	if clk == nil {
+		w = e.store.SerialWriter()
+	} else {
+		timing = clk
+		w = e.store.NewWriter(clk)
+	}
+	sr := e.resolver.Stream(clk, w)
+	start := timing.Now()
 
 	logical, chunks, segs, err := engine.Pipeline(
 		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
-		e.clock, e.cfg.Cost, e.cfg.StoreData,
+		timing, e.cfg.Cost, e.cfg.StoreData,
 		func(seg *segment.Segment) error {
-			e.processSegment(seg, recipe, &stats)
-			return nil
+			return e.processSegment(seg, recipe, &stats, w, sr)
 		})
 	if err != nil {
 		return nil, stats, err
 	}
-	e.store.Flush()
-	e.resolver.FlushIndex()
+	w.Flush()
+	sr.FlushIndex()
 
 	stats.LogicalBytes = logical
 	stats.Chunks = chunks
 	stats.Segments = segs
-	stats.Duration = e.clock.Now() - start
+	stats.Duration = timing.Now() - start
 	return recipe, stats, nil
 }
 
-// processSegment deduplicates one segment chunk by chunk.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
-	e.segSeq++
-	segID := e.segSeq
+// processSegment deduplicates one segment: its chunks are resolved as a
+// bucket-batched lookup (chunks sharing an index page cost one modeled page
+// read), then placed in stream order. Chunks that duplicate a chunk written
+// earlier in the same segment reference that fresh copy directly.
+func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats, w *container.Writer, sr *engine.StreamResolver) error {
+	segID := e.segSeq.Add(1)
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
 	var removedInSeg int64
-	for _, c := range seg.Chunks {
-		loc, dup := e.resolver.Resolve(c, stats)
+	res := sr.ResolveBatch(seg.Chunks, stats)
+	var writtenHere map[chunk.Fingerprint]chunk.Location
+	for i, c := range seg.Chunks {
+		loc, dup := res[i].Loc, res[i].Dup
+		if !dup {
+			if prev, again := writtenHere[c.FP]; again {
+				loc, dup = prev, true
+			}
+		}
 		if dup {
 			stats.DedupedBytes += int64(c.Size)
 			stats.DedupedChunks++
 			removedInSeg += int64(c.Size)
 		} else {
-			loc = e.store.Write(c, segID)
-			e.resolver.RegisterNew(c.FP, loc)
+			loc = w.Write(c, segID)
+			sr.RegisterNew(c.FP, loc)
+			if writtenHere == nil {
+				writtenHere = make(map[chunk.Fingerprint]chunk.Location)
+			}
+			writtenHere[c.FP] = loc
 			stats.UniqueBytes += int64(c.Size)
 			stats.UniqueChunks++
 		}
 		recipe.Append(c.FP, c.Size, loc)
 	}
 	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+	return nil
 }
 
 var _ engine.Engine = (*Engine)(nil)

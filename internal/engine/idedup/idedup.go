@@ -119,8 +119,7 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
 		e.clock, e.cfg.Cost, e.cfg.StoreData,
 		func(seg *segment.Segment) error {
-			e.processSegment(seg, recipe, &stats)
-			return nil
+			return e.processSegment(seg, recipe, &stats)
 		})
 	if err != nil {
 		return nil, stats, err
@@ -134,8 +133,9 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 	return recipe, stats, nil
 }
 
-// processSegment applies the run-length dedup filter to one segment.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
+// processSegment applies the run-length dedup filter to one segment. The error
+// return propagates future failing write paths through Backup.
+func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
 	e.segSeq++
 	segID := e.segSeq
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
@@ -210,6 +210,7 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 	}
 
 	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+	return nil
 }
 
 var _ engine.Engine = (*Engine)(nil)

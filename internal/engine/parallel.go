@@ -66,14 +66,21 @@ func ParallelPipeline(
 	type job struct {
 		data []byte // concatenated chunk bytes
 		ends []int  // end offset of each chunk within data
+		res  []chunk.Chunk
 		out  chan []chunk.Chunk
 	}
+	// Job buffers (chunk bytes, end offsets, result slices, handoff
+	// channels) are recycled through a pool: steady-state ingest allocates
+	// no per-batch buffers, which matters once several streams run this
+	// pipeline at once. Recycling happens on the consumer side, and only
+	// when !keepData — with keepData the emitted chunks alias job.data.
+	pool := sync.Pool{New: func() any { return &job{out: make(chan []chunk.Chunk, 1)} }}
 	// Bounded queue: the chunker stays ahead of the hashers without
 	// buffering the whole stream.
-	jobs := make(chan job, workers*2)
+	jobs := make(chan *job, workers*2)
 	// Order-preserving handoff: each job carries its own result channel;
 	// the consumer reads jobs' channels in submission order.
-	pending := make(chan chan []chunk.Chunk, workers*2)
+	pending := make(chan *job, workers*2)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -81,33 +88,40 @@ func ParallelPipeline(
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out := make([]chunk.Chunk, len(j.ends))
+				out := j.res[:0]
 				start := 0
-				for i, end := range j.ends {
+				for _, end := range j.ends {
 					c := chunk.New(j.data[start:end])
 					if !keepData {
 						c.Data = nil
 					}
-					out[i] = c
+					out = append(out, c)
 					start = end
 				}
+				j.res = out
 				j.out <- out
 			}
 		}()
 	}
 
 	var chunkErr error
+	getJob := func() *job {
+		j := pool.Get().(*job)
+		j.data = j.data[:0]
+		j.ends = j.ends[:0]
+		return j
+	}
 	go func() {
 		defer close(jobs)
 		defer close(pending)
-		cur := job{out: make(chan []chunk.Chunk, 1)}
+		cur := getJob()
 		flush := func() {
 			if len(cur.ends) == 0 {
 				return
 			}
-			pending <- cur.out
+			pending <- cur
 			jobs <- cur
-			cur = job{out: make(chan []chunk.Chunk, 1)}
+			cur = getJob()
 		}
 		for {
 			raw, cerr := ck.Next()
@@ -146,8 +160,8 @@ func ParallelPipeline(
 		wg.Wait()
 		return logicalBytes, chunks, segments, err
 	}
-	for out := range pending {
-		for _, c := range <-out {
+	for j := range pending {
+		for _, c := range <-j.out {
 			cost.ChargeCPU(clock, int64(c.Size))
 			logicalBytes += int64(c.Size)
 			chunks++
@@ -157,6 +171,9 @@ func ParallelPipeline(
 			if err := emit(sg.Add(c)); err != nil {
 				return abort(err)
 			}
+		}
+		if !keepData {
+			pool.Put(j)
 		}
 	}
 	wg.Wait()

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"sync"
+
 	"repro/internal/bloom"
 	"repro/internal/chunk"
 	"repro/internal/cindex"
 	"repro/internal/container"
+	"repro/internal/disk"
 	"repro/internal/lru"
 )
 
@@ -13,11 +16,17 @@ import (
 // container metadata — shared by the DDFS-Like engine and by DeFrag (whose
 // §III-B design "works after finding out all the redundant data chunks and
 // the correlated locations", i.e. on top of exactly this machinery).
+//
+// The resolver is safe for concurrent use: the Bloom filter is atomic, the
+// index is lock-striped, and the LPC plus the current-location table are
+// guarded by the resolver mutex. Per-stream cost attribution goes through
+// Stream, which binds a stream clock and container writer.
 type Resolver struct {
 	filter *bloom.Filter
 	index  *cindex.Index
 	store  *container.Store
 
+	mu     sync.Mutex // guards lpc, lpcFPs, current
 	lpc    *lru.Cache[uint32, []container.Meta]
 	lpcFPs map[chunk.Fingerprint]lpcEntry
 
@@ -65,11 +74,38 @@ func NewResolver(index *cindex.Index, store *container.Store, lpcContainers, exp
 	return r
 }
 
+// StreamResolver binds the shared resolver to one backup stream: index page
+// reads and container-metadata prefetches are charged to the stream's clock,
+// and prefetches read through the stream's container writer view.
+type StreamResolver struct {
+	r  *Resolver
+	ih cindex.Handle
+	w  *container.Writer
+}
+
+// Stream returns a per-stream view of the resolver. A nil clk charges the
+// resolver's own devices (the serial path); w supplies the metadata-read
+// path and may not be nil.
+func (r *Resolver) Stream(clk *disk.Clock, w *container.Writer) *StreamResolver {
+	return &StreamResolver{r: r, ih: r.index.Handle(clk), w: w}
+}
+
 // Resolve decides whether c is a duplicate, charging the costs of the DDFS
 // lookup path (free RAM checks; on LPC miss with positive summary vector,
 // one index page read; on index hit, one container-metadata prefetch). It
 // returns the stored location when c is a duplicate.
 func (r *Resolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Location, bool) {
+	return r.resolve(c, stats, r.index.Handle(nil), r.store.ReadMeta)
+}
+
+// Resolve is Resolver.Resolve with costs charged to the stream.
+func (sr *StreamResolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Location, bool) {
+	return sr.r.resolve(c, stats, sr.ih, sr.w.ReadMeta)
+}
+
+func (r *Resolver) resolve(c chunk.Chunk, stats *BackupStats, ih cindex.Handle, readMeta func(uint32) []container.Meta) (chunk.Location, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	// 0. Current-location table (RAM, free): chunks whose newest copy is a
 	// DeFrag rewrite resolve to the linearized placement, never a stale
 	// container-metadata entry.
@@ -93,19 +129,126 @@ func (r *Resolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Location, b
 	// 3. Full index on disk (charged).
 	stats.IndexLookups++
 	telResolverLookups.Inc()
-	loc, found := r.index.Lookup(c.FP)
+	loc, found := ih.Lookup(c.FP)
 	if !found {
 		return chunk.Location{}, false // Bloom false positive
 	}
 	// 4. Locality-preserved caching: prefetch the whole container's
 	// metadata (charged) so the duplicates that follow in the stream
 	// resolve from RAM.
-	if r.store.Sealed(loc.Container) && !r.lpc.Contains(loc.Container) {
+	r.maybePrefetch(loc.Container, stats, readMeta)
+	return loc, true
+}
+
+// maybePrefetch pulls a sealed, uncached container's metadata into the LPC.
+// Caller holds r.mu.
+func (r *Resolver) maybePrefetch(cid uint32, stats *BackupStats, readMeta func(uint32) []container.Meta) {
+	if r.store.Sealed(cid) && !r.lpc.Contains(cid) {
 		stats.MetaPrefetches++
 		telResolverPrefetches.Inc()
-		r.insertLPC(loc.Container, r.store.ReadMeta(loc.Container))
+		r.insertLPC(cid, readMeta(cid))
 	}
-	return loc, true
+}
+
+// Resolution is one ResolveBatch outcome: whether the chunk is a duplicate
+// and, if so, where its stored copy lives.
+type Resolution struct {
+	Loc chunk.Location
+	Dup bool
+}
+
+// ResolveBatch resolves a whole segment's chunks in order, with the same
+// decision sequence and counters as per-chunk Resolve, plus a same-bucket
+// lookahead: when a chunk must go to the on-disk index, every later chunk of
+// the batch that is also headed for the index and hashes to the same bucket
+// page is looked up in the same modeled page read. Costs are therefore never
+// higher than per-chunk resolution, and strictly lower whenever chunks of
+// one segment collide on index pages.
+func (r *Resolver) ResolveBatch(chunks []chunk.Chunk, stats *BackupStats) []Resolution {
+	return r.resolveBatch(chunks, stats, r.index.Handle(nil), r.store.ReadMeta)
+}
+
+// ResolveBatch is Resolver.ResolveBatch with costs charged to the stream.
+func (sr *StreamResolver) ResolveBatch(chunks []chunk.Chunk, stats *BackupStats) []Resolution {
+	return sr.r.resolveBatch(chunks, stats, sr.ih, sr.w.ReadMeta)
+}
+
+func (r *Resolver) resolveBatch(chunks []chunk.Chunk, stats *BackupStats, ih cindex.Handle, readMeta func(uint32) []container.Meta) []Resolution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Resolution, len(chunks))
+	// memo holds index results fetched ahead of their turn by a same-bucket
+	// group lookup. Entries are only consulted if the chunk still needs the
+	// index when iteration reaches it (a prefetch in between may have made
+	// it a free LPC hit, exactly as in the per-chunk path).
+	var memo map[int]cindex.Result
+	for i, c := range chunks {
+		if loc, ok := r.current[c.FP]; ok {
+			stats.CacheHits++
+			telResolverCacheHits.Inc()
+			out[i] = Resolution{loc, true}
+			continue
+		}
+		if ent, ok := r.lpcFPs[c.FP]; ok {
+			stats.CacheHits++
+			telResolverCacheHits.Inc()
+			r.lpc.Get(ent.cid)
+			out[i] = Resolution{ent.loc, true}
+			continue
+		}
+		res, seen := memo[i]
+		if !seen {
+			if !r.filter.MayContain(c.FP) {
+				telResolverBloomNeg.Inc()
+				continue // definitely new
+			}
+		}
+		stats.IndexLookups++
+		telResolverLookups.Inc()
+		if !seen {
+			// Same-bucket lookahead: gather the later chunks of this batch
+			// that would also reach the index and live on this bucket page.
+			b := ih.Bucket(c.FP)
+			group := []int{i}
+			for k := i + 1; k < len(chunks); k++ {
+				if _, done := memo[k]; done {
+					continue
+				}
+				ck := chunks[k]
+				if ih.Bucket(ck.FP) != b {
+					continue
+				}
+				if _, ok := r.current[ck.FP]; ok {
+					continue
+				}
+				if _, ok := r.lpcFPs[ck.FP]; ok {
+					continue
+				}
+				if !r.filter.MayContain(ck.FP) {
+					continue
+				}
+				group = append(group, k)
+			}
+			fps := make([]chunk.Fingerprint, len(group))
+			for gi, k := range group {
+				fps[gi] = chunks[k].FP
+			}
+			batch := ih.LookupBatch(fps)
+			if memo == nil {
+				memo = make(map[int]cindex.Result, len(chunks))
+			}
+			for gi, k := range group {
+				memo[k] = batch[gi]
+			}
+			res = memo[i]
+		}
+		if !res.Found {
+			continue // Bloom false positive → new
+		}
+		out[i] = Resolution{res.Loc, true}
+		r.maybePrefetch(res.Loc.Container, stats, readMeta)
+	}
+	return out
 }
 
 func (r *Resolver) insertLPC(cid uint32, metas []container.Meta) {
@@ -124,15 +267,38 @@ func (r *Resolver) RegisterNew(fp chunk.Fingerprint, loc chunk.Location) {
 	r.filter.Add(fp)
 }
 
+// RegisterNew is Resolver.RegisterNew with index writes charged to the stream.
+func (sr *StreamResolver) RegisterNew(fp chunk.Fingerprint, loc chunk.Location) {
+	sr.ih.Insert(fp, loc)
+	sr.r.filter.Add(fp)
+}
+
 // Repoint updates the index to a chunk's newest copy (the DeFrag rewrite
 // path) so future generations dedupe against the linearized placement.
 func (r *Resolver) Repoint(fp chunk.Fingerprint, loc chunk.Location) {
-	r.index.Update(fp, loc)
+	r.repoint(r.index.Handle(nil), fp, loc)
+}
+
+// Repoint is Resolver.Repoint with index writes charged to the stream.
+func (sr *StreamResolver) Repoint(fp chunk.Fingerprint, loc chunk.Location) {
+	sr.r.repoint(sr.ih, fp, loc)
+}
+
+func (r *Resolver) repoint(ih cindex.Handle, fp chunk.Fingerprint, loc chunk.Location) {
+	ih.Update(fp, loc)
+	r.mu.Lock()
 	r.current[fp] = loc
+	r.mu.Unlock()
 }
 
 // FlushIndex flushes buffered index writes (end of stream).
 func (r *Resolver) FlushIndex() { r.index.Flush() }
+
+// FlushIndex flushes buffered index writes, charged to the stream.
+func (sr *StreamResolver) FlushIndex() { sr.ih.Flush() }
+
+// Writer returns the container writer this stream resolver is bound to.
+func (sr *StreamResolver) Writer() *container.Writer { return sr.w }
 
 // Index exposes the underlying chunk index.
 func (r *Resolver) Index() *cindex.Index { return r.index }

@@ -192,8 +192,7 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
 		e.clock, e.cfg.Cost, e.cfg.StoreData,
 		func(seg *segment.Segment) error {
-			e.processSegment(seg, recipe, &stats)
-			return nil
+			return e.processSegment(seg, recipe, &stats)
 		})
 	if err != nil {
 		return nil, stats, err
@@ -212,8 +211,9 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 	return recipe, stats, nil
 }
 
-// processSegment deduplicates one segment the SiLo way.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
+// processSegment deduplicates one segment the SiLo way. The error
+// return propagates future failing write paths through Backup.
+func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
 	e.segSeq++
 	segID := e.segSeq
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
@@ -279,6 +279,7 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 	}
 
 	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+	return nil
 }
 
 // lookup resolves a fingerprint against RAM-resident block metadata: the

@@ -186,8 +186,7 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
 		e.clock, e.cfg.Cost, e.cfg.StoreData,
 		func(seg *segment.Segment) error {
-			e.processSegment(seg, recipe, &stats)
-			return nil
+			return e.processSegment(seg, recipe, &stats)
 		})
 	if err != nil {
 		return nil, stats, err
@@ -205,8 +204,9 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 	return recipe, stats, nil
 }
 
-// processSegment deduplicates one segment against its champion manifests.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) {
+// processSegment deduplicates one segment against its champion manifests. The error
+// return propagates future failing write paths through Backup.
+func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
 	e.segSeq++
 	segID := e.segSeq
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
@@ -281,6 +281,7 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 	e.insertCache(mid, entries)
 
 	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+	return nil
 }
 
 // cacheLookup resolves a fingerprint against the cached manifests.

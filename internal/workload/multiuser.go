@@ -102,6 +102,19 @@ func (m *MultiUser) Next() Backup {
 	return b
 }
 
+// NextRound produces one round of the schedule: the next backup of every
+// user, in user order. A round is exactly Users() consecutive Next() calls,
+// so replaying rounds serially is identical to the plain interleaved
+// schedule — the slice exists so callers can hand a whole round to a
+// concurrent multi-stream scheduler (engine.RunStreams) instead.
+func (m *MultiUser) NextRound() []Backup {
+	round := make([]Backup, len(m.fss))
+	for i := range round {
+		round[i] = m.Next()
+	}
+	return round
+}
+
 // Single wraps one FS in the same Backup-producing interface: each call
 // returns the current generation's full backup, then mutates. Used for the
 // 20-generation single-user experiments (Figs. 2, 3, 6).

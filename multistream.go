@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// MultiStreamPoint is one concurrency level of the multi-stream scaling
+// benchmark: the same multi-user backup schedule ingested into a fresh
+// store with Streams backups in flight per round.
+type MultiStreamPoint struct {
+	Engine       string  `json:"engine"`
+	Streams      int     `json:"streams"` // concurrent backups per round
+	Rounds       int     `json:"rounds"`
+	Backups      int     `json:"backups"`
+	LogicalBytes int64   `json:"logical_bytes"`
+	UniqueBytes  int64   `json:"unique_bytes"`
+	DedupedBytes int64   `json:"deduped_bytes"`
+	WallSeconds  float64 `json:"wall_s"`
+	SimSeconds   float64 `json:"sim_s"`
+	// Speedups are relative to the first (serial) level. WallSpeedup is
+	// real elapsed time and depends on the host's core count; SimSpeedup is
+	// the modeled slowest-lane-per-round improvement and is host-independent.
+	WallSpeedup float64 `json:"wall_speedup"`
+	SimSpeedup  float64 `json:"sim_speedup"`
+}
+
+// MultiStreamBench is the full scaling sweep, serialized to BENCH_PR2.json.
+type MultiStreamBench struct {
+	Engine     string             `json:"engine"`
+	Users      int                `json:"users"`
+	Rounds     int                `json:"rounds"`
+	GOMAXPROCS int                `json:"gomaxprocs"` // wall speedup is bounded by this
+	Points     []MultiStreamPoint `json:"points"`
+}
+
+// RunMultiStreamBench ingests the multi-user workload at each of the given
+// concurrency levels (default 1, 2, 4, 8), each into a fresh store of the
+// given engine kind, and reports wall-clock and simulated-time scaling.
+// Every level replays the identical schedule (same seed, same rounds), so
+// the levels differ only in how many of a round's streams run at once.
+func RunMultiStreamBench(cfg ExperimentConfig, kind EngineKind, levels []int) (*MultiStreamBench, error) {
+	cfg = cfg.withDefaults()
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8}
+	}
+	users := cfg.Users
+	for _, l := range levels {
+		if l > users {
+			users = l // an 8-way level needs 8 streams per round
+		}
+	}
+	rounds := cfg.Backups / users
+	if rounds < 1 {
+		rounds = 1
+	}
+	bench := &MultiStreamBench{
+		Engine:     kind.String(),
+		Users:      users,
+		Rounds:     rounds,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var baseWall, baseSim float64
+	for li, level := range levels {
+		workers := cfg.Workers
+		if workers == 0 {
+			workers = level // scale the fingerprinting pool with the stream count
+		}
+		store, err := Open(Options{
+			Engine:        kind,
+			Alpha:         cfg.Alpha,
+			ExpectedBytes: cfg.perGenBytes() * int64(users*rounds),
+			Workers:       workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sched, err := workload.NewMultiUser(users, cfg.workloadConfig())
+		if err != nil {
+			return nil, err
+		}
+		pt := MultiStreamPoint{
+			Engine:  kind.String(),
+			Streams: level,
+			Rounds:  rounds,
+			Backups: users * rounds,
+		}
+		wallStart := time.Now()
+		for r := 0; r < rounds; r++ {
+			round := sched.NextRound()
+			inputs := make([]StreamInput, len(round))
+			for i, bk := range round {
+				inputs[i] = StreamInput{Label: bk.Label, Stream: bk.Stream}
+			}
+			_, merged, err := store.BackupStreams(inputs, level)
+			if err != nil {
+				return nil, fmt.Errorf("level %d round %d: %w", level, r, err)
+			}
+			pt.LogicalBytes += merged.LogicalBytes
+			pt.UniqueBytes += merged.UniqueBytes
+			pt.DedupedBytes += merged.DedupedBytes
+		}
+		pt.WallSeconds = time.Since(wallStart).Seconds()
+		pt.SimSeconds = store.SimulatedTime().Seconds()
+		if li == 0 {
+			baseWall, baseSim = pt.WallSeconds, pt.SimSeconds
+		}
+		if pt.WallSeconds > 0 {
+			pt.WallSpeedup = baseWall / pt.WallSeconds
+		}
+		if pt.SimSeconds > 0 {
+			pt.SimSpeedup = baseSim / pt.SimSeconds
+		}
+		bench.Points = append(bench.Points, pt)
+	}
+	return bench, nil
+}
+
+// WriteMultiStreamJSON serializes the benchmark result as indented JSON.
+func WriteMultiStreamJSON(w io.Writer, b *MultiStreamBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
