@@ -209,10 +209,13 @@ func RunContainerAblation(cfg ExperimentConfig, sizesMB []int) (*FigureResult, e
 	return res, nil
 }
 
-// RunRestoreAblation compares the two restore strategies — LRU container
-// cache vs forward assembly area — on a late-generation (fragmented) DeFrag
-// recipe across equivalent memory budgets. The interesting output is where
-// the strategies cross over as fragmentation interacts with reuse distance.
+// RunRestoreAblation compares the four restore strategies — LRU container
+// cache, recipe-aware OPT cache, forward assembly area, and the fully
+// pipelined engine (OPT + coalescing + parallel prefetch) — on a
+// late-generation (fragmented) DeFrag recipe across equivalent memory
+// budgets. OPT's container reads are never above LRU's at the same budget
+// (Belady optimality); the pipelined column shows what coalescing and
+// prefetch lanes add on top of the better eviction.
 func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
 	expected, lpc, _ := cfg.sizing(1, cfg.Generations)
@@ -238,14 +241,23 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 
 	res := &FigureResult{
 		Figure:  "Ablation: restore strategy",
-		Title:   "LRU container cache vs forward assembly area (final-generation restore)",
-		Columns: []string{"budget_MB", "lru_read_MBps", "lru_creads", "faa_read_MBps", "faa_creads"},
+		Title:   "LRU vs OPT vs FAA vs pipelined restore (final-generation restore)",
+		Columns: []string{"budget_MB", "lru_read_MBps", "lru_creads", "opt_read_MBps", "opt_creads", "faa_read_MBps", "faa_creads", "pipe_read_MBps", "pipe_extents"},
 		Summary: map[string]float64{},
 	}
 	containerMB := ecfg.ContainerCfg.DataCap >> 20
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 4
+	}
 	for _, budgetMB := range []int64{8, 16, 32, 64, 128} {
-		lruCfg := restore.Config{CacheContainers: int(budgetMB / containerMB)}
-		lruSt, err := restore.Run(eng.Containers(), last.recipe, lruCfg, nil)
+		cap := int(budgetMB / containerMB)
+		lruSt, err := restore.Run(eng.Containers(), last.recipe, restore.Config{CacheContainers: cap}, nil)
+		if err != nil {
+			return nil, err
+		}
+		optSt, err := restore.RunPipelined(eng.Containers(), last.recipe,
+			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyOPT, Workers: 1}, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -253,13 +265,25 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		pipeSt, err := restore.RunPipelined(eng.Containers(), last.recipe,
+			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyOPT, Workers: workers, Coalesce: true, MaxCoalesce: 8}, nil)
+		if err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprint(budgetMB),
 			metrics.F1(lruSt.ThroughputMBps()),
 			fmt.Sprint(lruSt.ContainerReads),
+			metrics.F1(optSt.ThroughputMBps()),
+			fmt.Sprint(optSt.ContainerReads),
 			metrics.F1(faaSt.ThroughputMBps()),
 			fmt.Sprint(faaSt.ContainerReads),
+			metrics.F1(pipeSt.ThroughputMBps()),
+			fmt.Sprint(pipeSt.ExtentReads),
 		})
+		if optSt.ContainerReads > lruSt.ContainerReads {
+			res.Summary["opt_exceeded_lru"] = 1
+		}
 	}
 	return res, nil
 }

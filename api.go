@@ -333,16 +333,100 @@ func (s *Store) Forget(label string) bool {
 	return false
 }
 
+// RestorePolicy selects the restore cache replacement policy.
+type RestorePolicy int
+
+const (
+	// RestoreLRU is the classic recency cache (the legacy restore path).
+	RestoreLRU RestorePolicy = iota
+	// RestoreOPT is Belady's offline-optimal eviction, computable online
+	// here because the full recipe is known before the restore starts.
+	RestoreOPT
+)
+
+func (p RestorePolicy) String() string {
+	if p == RestoreOPT {
+		return "opt"
+	}
+	return "lru"
+}
+
+// ParseRestorePolicy converts "lru" or "opt" to a RestorePolicy.
+func ParseRestorePolicy(s string) (RestorePolicy, error) {
+	switch s {
+	case "lru":
+		return RestoreLRU, nil
+	case "opt":
+		return RestoreOPT, nil
+	}
+	return 0, fmt.Errorf("repro: unknown restore policy %q", s)
+}
+
+// RestoreOptions parameterizes Store.RestoreWith.
+type RestoreOptions struct {
+	// CacheContainers is the restore cache capacity in containers
+	// (default 8, the restore package default).
+	CacheContainers int
+	// Policy selects LRU (default) or OPT eviction.
+	Policy RestorePolicy
+	// Workers is the number of parallel prefetch lanes (default 1, serial).
+	Workers int
+	// Coalesce merges reads of disk-adjacent containers into single
+	// sequential extents (one seek for k containers).
+	Coalesce bool
+	// ChunkCache retains only recipe-referenced chunks instead of whole
+	// container data sections.
+	ChunkCache bool
+	// Verify recomputes chunk fingerprints; requires Options.StoreData.
+	Verify bool
+}
+
+// DefaultRestoreOptions returns the legacy restore shape: an 8-container
+// LRU cache, serial, uncoalesced.
+func DefaultRestoreOptions() RestoreOptions {
+	return RestoreOptions{CacheContainers: restore.DefaultConfig().CacheContainers, Workers: 1}
+}
+
 // Restore reconstructs backup b, writing the stream to w (nil w measures
 // without materializing). verify recomputes chunk fingerprints and requires
-// Options.StoreData.
+// Options.StoreData. It runs the legacy shape (serial LRU cache); use
+// RestoreWith for the pipelined read path.
 func (s *Store) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
+	opts := DefaultRestoreOptions()
+	opts.Verify = verify
+	return s.RestoreWith(b, w, opts)
+}
+
+// RestoreWith reconstructs backup b under explicit restore options. The
+// legacy shape (LRU, one worker, no coalescing, no chunk cache) runs the
+// original restore.Run code path; any other shape runs the pipelined
+// engine, whose serial LRU results are bit-identical to Run by
+// construction (pinned in internal/restore's tests).
+func (s *Store) RestoreWith(b *Backup, w io.Writer, opts RestoreOptions) (RestoreStats, error) {
 	_, span := telemetry.StartSpan(context.Background(), "store.restore")
 	defer span.End()
 	telRestores.Inc()
-	cfg := restore.DefaultConfig()
-	cfg.Verify = verify
-	st, err := restore.Run(s.eng.Containers(), b.recipe, cfg, w)
+	if opts.CacheContainers <= 0 {
+		opts.CacheContainers = restore.DefaultConfig().CacheContainers
+	}
+	var st restore.Stats
+	var err error
+	if opts.Policy == RestoreLRU && opts.Workers <= 1 && !opts.Coalesce && !opts.ChunkCache {
+		cfg := restore.Config{CacheContainers: opts.CacheContainers, Verify: opts.Verify}
+		st, err = restore.Run(s.eng.Containers(), b.recipe, cfg, w)
+	} else {
+		cfg := restore.PipelineConfig{
+			CacheContainers: opts.CacheContainers,
+			Workers:         opts.Workers,
+			Coalesce:        opts.Coalesce,
+			ChunkCache:      opts.ChunkCache,
+			Verify:          opts.Verify,
+		}
+		if opts.Policy == RestoreOPT {
+			cfg.Policy = restore.PolicyOPT
+		}
+		st, err = restore.RunPipelined(s.eng.Containers(), b.recipe, cfg, w)
+	}
 	if err != nil {
 		return RestoreStats{}, err
 	}

@@ -36,6 +36,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		doRestore  = flag.Bool("restore", false, "restore every generation and report read performance")
 		verify     = flag.Bool("verify", false, "store real bytes and verify restored content (implies -restore)")
+		rMode      = flag.String("restore.mode", "lru", "restore strategy: lru, opt, pipelined (opt + coalescing + prefetch), faa")
+		rCache     = flag.Int("restore.cache", 0, "restore cache capacity in containers (0 = default, 8)")
+		rWorkers   = flag.Int("restore.workers", 1, "prefetch lanes for -restore.mode=pipelined (1 = serial)")
 		catalog    = flag.String("catalog", "", "directory to write recipe catalogs into")
 		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = serial)")
 		streams    = flag.Int("streams", 1, "concurrent backup streams per round (>1 switches to a multi-user schedule)")
@@ -55,7 +58,7 @@ func main() {
 	if a := ep.Addr(); a != "" {
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
 	}
-	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *streams, *check, *export}); err != nil {
+	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *streams, *check, *export, *rMode, *rCache, *rWorkers}); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupsim:", err)
 		os.Exit(1)
 	}
@@ -79,6 +82,40 @@ type params struct {
 	streams    int
 	check      bool
 	export     string
+
+	restoreMode    string
+	restoreCache   int
+	restoreWorkers int
+}
+
+// restoreOne restores one backup through the strategy selected by
+// -restore.mode, sharing the cache/workers knobs across both the
+// single-stream and multi-stream paths.
+func restoreOne(p params, store *repro.Store, b *repro.Backup) (repro.RestoreStats, error) {
+	if p.restoreMode == "faa" {
+		cache := p.restoreCache
+		if cache <= 0 {
+			cache = repro.DefaultRestoreOptions().CacheContainers
+		}
+		return store.RestoreFAA(b, nil, int64(cache)<<22, p.verify)
+	}
+	opts := repro.DefaultRestoreOptions()
+	opts.Verify = p.verify
+	if p.restoreCache > 0 {
+		opts.CacheContainers = p.restoreCache
+	}
+	switch p.restoreMode {
+	case "", "lru":
+	case "opt":
+		opts.Policy = repro.RestoreOPT
+	case "pipelined":
+		opts.Policy = repro.RestoreOPT
+		opts.Coalesce = true
+		opts.Workers = p.restoreWorkers
+	default:
+		return repro.RestoreStats{}, fmt.Errorf("unknown -restore.mode %q (want lru, opt, pipelined or faa)", p.restoreMode)
+	}
+	return store.RestoreWith(b, nil, opts)
 }
 
 func run(p params) error {
@@ -137,7 +174,7 @@ func run(p params) error {
 			metrics.F3(b.Stats.Efficiency()),
 		}
 		if doRestore || verify {
-			rst, err := store.Restore(b, nil, verify)
+			rst, err := restoreOne(p, store, b)
 			if err != nil {
 				return err
 			}
@@ -220,7 +257,7 @@ func runStreams(p params, store *repro.Store, wcfg workload.Config) error {
 			var mbps float64
 			var frags int
 			for _, b := range backups {
-				rst, err := store.Restore(b, nil, p.verify)
+				rst, err := restoreOne(p, store, b)
 				if err != nil {
 					return err
 				}

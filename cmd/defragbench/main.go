@@ -14,6 +14,7 @@
 //	defragbench -fig all -files 32     # everything, at reduced scale
 //	defragbench -json > bench.jsonl    # one JSONL record per generation
 //	defragbench -multistream BENCH_PR2.json   # multi-stream scaling sweep
+//	defragbench -restorebench BENCH_PR3.json  # restore strategy sweep (LRU/OPT/FAA/pipelined)
 package main
 
 import (
@@ -44,6 +45,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel fingerprinting workers per backup (0 = serial)")
 		msOut     = flag.String("multistream", "", "run the multi-stream scaling benchmark and write JSON to this file (\"-\" = stdout)")
 		streams   = flag.String("streams", "1,2,4,8", "comma-separated concurrency levels for -multistream")
+		rbOut     = flag.String("restorebench", "", "run the restore strategy sweep (LRU/OPT/FAA/pipelined per generation) and write JSON to this file (\"-\" = stdout)")
+		rWorkers  = flag.Int("restore.workers", 8, "prefetch lanes for the pipelined restore (-restorebench and -json restores)")
+		rCache    = flag.Int("restore.cache", 0, "restore cache capacity in containers (0 = restore default, 8)")
 		telAddr   = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
 		telEvents = flag.String("telemetry.events", "", "write JSONL span events to this file")
 	)
@@ -67,7 +71,15 @@ func main() {
 	cfg.FilesPerUser = *files
 	cfg.Alpha = *alpha
 	cfg.Workers = *workers
+	cfg.RestoreCache = *rCache
 
+	if *rbOut != "" {
+		if err := emitRestoreBench(cfg, *engine, *rCache, *rWorkers, *rbOut); err != nil {
+			fmt.Fprintln(os.Stderr, "defragbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *msOut != "" {
 		if err := emitMultiStream(cfg, *engine, *streams, *msOut); err != nil {
 			fmt.Fprintln(os.Stderr, "defragbench:", err)
@@ -101,6 +113,30 @@ func emitTrajectory(cfg repro.ExperimentConfig, engineName string) error {
 		return err
 	}
 	return repro.WriteTrajectoryJSONL(os.Stdout, points)
+}
+
+// emitRestoreBench runs the restore strategy sweep — every generation's
+// recipe restored through LRU, OPT, FAA and the full pipeline — and writes
+// the JSON result (BENCH_PR3.json's format) to out.
+func emitRestoreBench(cfg repro.ExperimentConfig, engineName string, cache, workers int, out string) error {
+	kind, err := repro.ParseEngineKind(engineName)
+	if err != nil {
+		return err
+	}
+	bench, err := repro.RunRestoreBench(cfg, kind, cache, workers)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return repro.WriteRestoreBenchJSON(w, bench)
 }
 
 // emitMultiStream runs the multi-stream scaling benchmark — the same

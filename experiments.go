@@ -31,6 +31,9 @@ type ExperimentConfig struct {
 	// Workers parallelizes each backup's fingerprinting stage (see
 	// Options.Workers). 0 keeps the serial pipeline.
 	Workers int
+	// RestoreCache overrides the restore cache capacity in containers for
+	// experiment restores. 0 keeps the restore package default (8).
+	RestoreCache int
 }
 
 // DefaultExperimentConfig matches the paper's experiment shapes at reduced

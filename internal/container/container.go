@@ -51,6 +51,8 @@ var (
 		"container data-section reads (restore and compaction fetches)")
 	telDeadBytes = telemetry.NewCounter("container_dead_bytes_total",
 		"bytes superseded inside sealed containers (garbage left by rewrites)")
+	telRangedReads = telemetry.NewCounter("container_ranged_reads_total",
+		"coalesced multi-container sequential data reads (restore extent fetches)")
 )
 
 // Config sizes the container geometry.
@@ -361,6 +363,106 @@ func (s *Store) ReadData(id uint32) []byte {
 	s.dev.ReadAt(buf, info.DataStart(s.cfg))
 	telDataReads.Inc()
 	return buf
+}
+
+// Adjacent reports whether container b's data section can be picked up by
+// extending a sequential read past container a's data section more cheaply
+// than paying a separate seek: b must sit at or after a's data end, and
+// transferring the intervening gap (b's metadata section plus any unused
+// reserve-mode tail of a) must cost no more than one seek of the device
+// model. This is the coalescing predicate of the restore pipeline — when it
+// holds, k consecutive container fetches collapse into 1·T_seek plus one
+// combined transfer in the Eq. 1 cost structure.
+func (s *Store) Adjacent(a, b uint32) bool {
+	ia, ib := s.info(a), s.info(b)
+	gap := ib.DataStart(s.cfg) - (ia.DataStart(s.cfg) + ia.DataFill)
+	if gap < 0 {
+		return false
+	}
+	m := s.dev.Model()
+	return m.ReadTime(gap) <= m.Seek
+}
+
+// rangeSpan returns the device span covering the data sections of ids,
+// validating that each consecutive pair is Adjacent. Panics on a
+// non-contiguous range — the restore planner only ever coalesces adjacent
+// fetches, so a violation is a logic bug, never valid input.
+func (s *Store) rangeSpan(ids []uint32) (off, n int64) {
+	if len(ids) == 0 {
+		panic("container: empty container range")
+	}
+	for i := 1; i < len(ids); i++ {
+		if !s.Adjacent(ids[i-1], ids[i]) {
+			panic(fmt.Sprintf("container: containers %d,%d not adjacent on device", ids[i-1], ids[i]))
+		}
+	}
+	first, last := s.info(ids[0]), s.info(ids[len(ids)-1])
+	off = first.DataStart(s.cfg)
+	n = last.DataStart(s.cfg) + last.DataFill - off
+	return off, n
+}
+
+// RangeSpan returns the device offset and length of the sequential extent
+// covering the data sections of ids (exposed for the restore pipeline's
+// timing model and tests). ids must be pairwise Adjacent in order.
+func (s *Store) RangeSpan(ids []uint32) (off, n int64) { return s.rangeSpan(ids) }
+
+// ReadDataRange reads the data sections of the given on-disk-adjacent
+// containers as one sequential extent — one seek plus a single combined
+// transfer — and returns each container's data section in order. A single
+// id degenerates to exactly ReadData.
+func (s *Store) ReadDataRange(ids []uint32) [][]byte {
+	if len(ids) == 1 {
+		return [][]byte{s.ReadData(ids[0])}
+	}
+	off, n := s.rangeSpan(ids)
+	span := s.dev.ReadRange(off, n)
+	telDataReads.Add(int64(len(ids)))
+	telRangedReads.Inc()
+	return s.sliceSpan(ids, off, span)
+}
+
+// PeekDataRange materializes the same per-container data sections as
+// ReadDataRange without charging any disk time. The parallel restore
+// pipeline charges its extent reads deterministically through
+// AccountDataRange on per-lane clocks and fetches the bytes here.
+func (s *Store) PeekDataRange(ids []uint32) [][]byte {
+	if len(ids) == 1 {
+		return [][]byte{s.PeekData(ids[0])}
+	}
+	off, n := s.rangeSpan(ids)
+	span := make([]byte, n)
+	if s.dev.StoresData() {
+		s.dev.PeekAt(span, off)
+	}
+	return s.sliceSpan(ids, off, span)
+}
+
+// AccountDataRange charges the sequential extent read of ids to clk's view
+// of the store device (nil clk charges the store's own clock) without
+// materializing data. One call is one discontiguous access: seek (if the
+// head moved) plus the combined span transfer.
+func (s *Store) AccountDataRange(ids []uint32, clk *disk.Clock) {
+	off, n := s.rangeSpan(ids)
+	s.dev.View(clk).AccountRead(off, n)
+	telDataReads.Add(int64(len(ids)))
+	if len(ids) > 1 {
+		telRangedReads.Inc()
+	}
+}
+
+// sliceSpan copies each container's data section out of a span buffer that
+// begins at device offset off.
+func (s *Store) sliceSpan(ids []uint32, off int64, span []byte) [][]byte {
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		info := s.info(id)
+		rel := info.DataStart(s.cfg) - off
+		buf := make([]byte, info.DataFill)
+		copy(buf, span[rel:rel+info.DataFill])
+		out[i] = buf
+	}
+	return out
 }
 
 // ReadChunk reads one chunk at loc, charging one disk access of the chunk's

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/disk"
@@ -297,4 +298,141 @@ func TestDataIntegrityProperty(t *testing.T) {
 			t.Fatalf("chunk %d mismatch", k)
 		}
 	}
+}
+
+// fillContainers seals n containers of two chunks each and returns their ids.
+func fillContainers(t *testing.T, s *Store, n int) []uint32 {
+	t.Helper()
+	seen := map[uint32]bool{}
+	var ids []uint32
+	for i := 0; len(ids) < n; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 400)
+		loc := s.Write(chunk.New(data), uint64(i))
+		if !seen[loc.Container] {
+			seen[loc.Container] = true
+			ids = append(ids, loc.Container)
+		}
+	}
+	s.Flush()
+	return ids[:n]
+}
+
+func TestAdjacentFrontierContainers(t *testing.T) {
+	s, _ := newTestStore(t, false, smallConfig())
+	ids := fillContainers(t, s, 3)
+	// Serial frontier-mode containers are separated only by the next
+	// container's metadata section — far cheaper to stream over than a seek.
+	if !s.Adjacent(ids[0], ids[1]) || !s.Adjacent(ids[1], ids[2]) {
+		t.Fatal("consecutive frontier containers must be adjacent")
+	}
+	if s.Adjacent(ids[1], ids[0]) {
+		t.Fatal("adjacency is forward-only")
+	}
+	// Under the default model even a whole skipped small container streams
+	// over more cheaply than a 4 ms seek — the predicate is cost-based, not
+	// ID-based.
+	if !s.Adjacent(ids[0], ids[2]) {
+		t.Fatal("a ~1.5 KB gap must beat a 4 ms seek under the default model")
+	}
+}
+
+// adjacencyStore builds a store whose model makes the adjacency predicate
+// bite: the break-even gap (Seek × ReadBW = 800 bytes) admits the ~350-byte
+// metadata section between consecutive containers but rejects spans that
+// skip a whole container.
+func adjacencyStore(t *testing.T) *Store {
+	t.Helper()
+	var clk disk.Clock
+	m := disk.Model{Seek: 8 * time.Microsecond, ReadBW: 100e6, WriteBW: 100e6}
+	s, err := NewStore(disk.NewDevice(m, &clk, false), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAdjacentRejectsUneconomicGap(t *testing.T) {
+	s := adjacencyStore(t)
+	ids := fillContainers(t, s, 3)
+	if !s.Adjacent(ids[0], ids[1]) {
+		t.Fatal("metadata-sized gap must still be adjacent")
+	}
+	if s.Adjacent(ids[0], ids[2]) {
+		t.Fatal("a gap costing more than one seek must not be adjacent")
+	}
+}
+
+func TestRangeSpanAndReadDataRange(t *testing.T) {
+	s, _ := newTestStore(t, true, smallConfig())
+	ids := fillContainers(t, s, 3)
+	pair := ids[:2]
+
+	off, n := s.RangeSpan(pair)
+	if off <= 0 || n <= 0 {
+		t.Fatalf("span = (%d, %d)", off, n)
+	}
+
+	before := s.Device().Stats()
+	got := s.ReadDataRange(pair)
+	after := s.Device().Stats()
+	if after.Reads != before.Reads+1 || after.Seeks > before.Seeks+1 {
+		t.Fatalf("coalesced read must be one device access: %v -> %v", before, after)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 data sections, got %d", len(got))
+	}
+	for i, id := range pair {
+		if !bytes.Equal(got[i], s.PeekData(id)) {
+			t.Fatalf("container %d data section differs via ranged read", id)
+		}
+	}
+}
+
+func TestReadDataRangeSingleDelegates(t *testing.T) {
+	s1, clk1 := newTestStore(t, true, smallConfig())
+	s2, clk2 := newTestStore(t, true, smallConfig())
+	ids1 := fillContainers(t, s1, 2)
+	ids2 := fillContainers(t, s2, 2)
+
+	a := s1.ReadData(ids1[0])
+	b := s2.ReadDataRange([]uint32{ids2[0]})[0]
+	if !bytes.Equal(a, b) {
+		t.Fatal("single-id ranged read must equal ReadData")
+	}
+	if clk1.Now() != clk2.Now() {
+		t.Fatalf("single-id ranged read must charge identically: %v vs %v", clk1.Now(), clk2.Now())
+	}
+	if s1.Device().Stats() != s2.Device().Stats() {
+		t.Fatal("single-id ranged read must account identically")
+	}
+}
+
+func TestAccountAndPeekDataRangeMatchReadDataRange(t *testing.T) {
+	s1, clk1 := newTestStore(t, true, smallConfig())
+	s2, clk2 := newTestStore(t, true, smallConfig())
+	ids1 := fillContainers(t, s1, 3)
+	ids2 := fillContainers(t, s2, 3)
+
+	datas := s1.ReadDataRange(ids1)
+	s2.AccountDataRange(ids2, nil)
+	peeked := s2.PeekDataRange(ids2)
+	if clk1.Now() != clk2.Now() {
+		t.Fatalf("Account+Peek must charge like ReadDataRange: %v vs %v", clk1.Now(), clk2.Now())
+	}
+	for i := range datas {
+		if !bytes.Equal(datas[i], peeked[i]) {
+			t.Fatalf("container %d bytes differ between read and peek paths", ids1[i])
+		}
+	}
+}
+
+func TestRangeSpanRejectsNonAdjacent(t *testing.T) {
+	s := adjacencyStore(t)
+	ids := fillContainers(t, s, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-adjacent range must panic")
+		}
+	}()
+	s.RangeSpan([]uint32{ids[0], ids[2]})
 }

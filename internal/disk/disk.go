@@ -294,6 +294,17 @@ func (d *Device) ReadAt(p []byte, off int64) {
 	}
 }
 
+// ReadRange reads n bytes at off as one sequential extent — at most one
+// seek plus a single n-byte transfer — and returns the data (zero-filled on
+// hole devices). It is the coalesced-read primitive of the restore path:
+// k adjacent containers fetched through one ReadRange pay 1·T_seek in the
+// Eq. 1 cost model where k separate ReadAt calls would pay k·T_seek.
+func (d *Device) ReadRange(off, n int64) []byte {
+	p := make([]byte, n)
+	d.ReadAt(p, off)
+	return p
+}
+
 // PeekAt copies stored bytes into p without charging time or moving the
 // head. For checkers and diagnostics only; zero-fills on hole devices.
 func (d *Device) PeekAt(p []byte, off int64) {

@@ -257,3 +257,43 @@ func TestTimeAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReadRange(t *testing.T) {
+	m := testModel()
+	var c Clock
+	d := NewDevice(m, &c, true)
+	a := []byte("first-container-data")
+	b := []byte("second-container-data")
+	offA := d.Append(a)
+	d.Append(b)
+
+	before := d.Stats()
+	start := c.Now()
+	got := d.ReadRange(offA, int64(len(a)+len(b)))
+	if !bytes.Equal(got, append(append([]byte{}, a...), b...)) {
+		t.Fatal("ReadRange returned wrong bytes")
+	}
+	after := d.Stats()
+	if after.Reads != before.Reads+1 {
+		t.Fatalf("one ranged read must be one device read, got %d", after.Reads-before.Reads)
+	}
+	if after.Seeks != before.Seeks+1 {
+		t.Fatalf("one ranged read must pay at most one seek, got %d", after.Seeks-before.Seeks)
+	}
+	want := m.Seek + m.ReadTime(int64(len(a)+len(b)))
+	if got, diff := c.Now()-start, time.Duration(2); got < want-diff || got > want+diff {
+		t.Fatalf("ranged read charged %v, want ~%v", got, want)
+	}
+}
+
+func TestReadRangeHoleDeviceZeroFills(t *testing.T) {
+	var c Clock
+	d := NewDevice(testModel(), &c, false)
+	off := d.AppendHole(64)
+	got := d.ReadRange(off, 64)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("hole device must zero-fill ranged reads")
+		}
+	}
+}

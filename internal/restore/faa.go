@@ -37,8 +37,8 @@ func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Wr
 	if cfg.AreaBytes < 1 {
 		cfg.AreaBytes = 1
 	}
-	if cfg.Verify && !store.Device().StoresData() {
-		return Stats{}, fmt.Errorf("restore: Verify requires a data-storing device")
+	if err := checkVerify(store, cfg.Verify); err != nil {
+		return Stats{}, err
 	}
 	stats := Stats{Label: recipe.Label, Fragments: recipe.Fragments()}
 	clock := store.Device().Clock()
@@ -100,6 +100,8 @@ func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Wr
 	if stats.CacheHits < 0 {
 		stats.CacheHits = 0
 	}
+	stats.ExtentReads = stats.ContainerReads // FAA reads are uncoalesced
+
 	stats.Duration = clock.Now() - start
 	telRestoreBytes.Add(stats.Bytes)
 	telRestoreChunks.Add(stats.Chunks)

@@ -99,6 +99,36 @@ func TestFAAEmptyRecipeAndClamp(t *testing.T) {
 	}
 }
 
+func TestFAAOversizedChunkMidStream(t *testing.T) {
+	// An oversized chunk at a window boundary in the middle of the stream:
+	// the window admitting it holds exactly that one chunk, and the stream
+	// must still reassemble bit-exactly around it.
+	s := rig(t, true)
+	datas := [][]byte{
+		mkDatas(1, 400)[0],
+		bytes.Repeat([]byte{7}, 2000), // larger than AreaBytes below
+		mkDatas(1, 400)[0],
+		bytes.Repeat([]byte{8}, 2500), // a second oversized chunk
+		mkDatas(1, 400)[0],
+	}
+	rec := ingest(t, s, "mid", datas)
+	var want bytes.Buffer
+	for _, d := range datas {
+		want.Write(d)
+	}
+	var out bytes.Buffer
+	st, err := RunFAA(s, rec, FAAConfig{AreaBytes: 500, Verify: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Fatal("mid-stream oversized chunks corrupted the stream")
+	}
+	if st.Chunks != int64(len(datas)) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
 func TestFAAOversizedChunkStillRestores(t *testing.T) {
 	s := rig(t, true)
 	data := bytes.Repeat([]byte{9}, 2000)

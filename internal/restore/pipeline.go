@@ -1,0 +1,354 @@
+package restore
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/chunk"
+	"repro/internal/container"
+	"repro/internal/disk"
+	"repro/internal/telemetry"
+)
+
+// Telemetry of the pipelined restore path: extent coalescing (the seeks Eq. 1
+// no longer pays) and the prefetch depth the fetch pool sustains ahead of the
+// assembler.
+var (
+	telCoalescedReads = telemetry.NewCounter("restore_coalesced_reads_total",
+		"multi-container sequential extent reads issued by the restore pipeline")
+	telCoalescedContainers = telemetry.NewCounter("restore_coalesced_containers_total",
+		"container fetches folded into a preceding coalesced extent read (seeks saved)")
+	telPrefetchDepth = telemetry.NewHistogram("restore_prefetch_depth",
+		"extent reads in flight ahead of the restore assembler when a prefetch is scheduled",
+		telemetry.CountBuckets)
+)
+
+// PipelineConfig parameterizes RunPipelined.
+type PipelineConfig struct {
+	// CacheContainers is the restore cache capacity in containers.
+	CacheContainers int
+	// Policy selects the cache replacement policy. PolicyOPT exploits the
+	// recipe's forward knowledge (Belady eviction); PolicyLRU reproduces the
+	// legacy cache exactly.
+	Policy CachePolicy
+	// Workers is the number of parallel prefetch lanes. 1 runs the serial
+	// pipeline, whose stats are bit-identical to Run for PolicyLRU with
+	// coalescing off. Workers > 1 models that many concurrent read streams
+	// on the simulated array with per-lane clocks (the round's duration is
+	// the slowest lane), consistent with the multi-stream ingest model.
+	Workers int
+	// Coalesce merges schedule-consecutive fetches of disk-adjacent
+	// containers into single sequential extent reads: k containers for one
+	// seek plus a combined transfer.
+	Coalesce bool
+	// MaxCoalesce caps the containers merged into one extent (default 8).
+	MaxCoalesce int
+	// ChunkCache retains only the recipe-referenced chunks of each cached
+	// container instead of its whole data section, bounding cache memory by
+	// live bytes; Stats.PeakCacheBytes reports the high-water mark.
+	ChunkCache bool
+	// Verify recomputes chunk fingerprints (requires a data-storing device).
+	Verify bool
+}
+
+// DefaultPipelineConfig returns the full read-optimized configuration: an
+// 8-container OPT cache, coalescing up to 8 adjacent containers per extent,
+// and 4 prefetch lanes.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{CacheContainers: 8, Policy: PolicyOPT, Workers: 4, Coalesce: true, MaxCoalesce: 8}
+}
+
+// RunPipelined restores a recipe through the planned, pipelined read path:
+// the recipe is first compiled into a fetch schedule (which container to
+// read before which ref, what to evict, which fetches coalesce into one
+// sequential extent), then executed. With Workers == 1 execution is serial
+// on the store's clock; with Workers > 1 extent reads are charged to
+// per-lane clocks in deterministic schedule order (earliest-free lane
+// first) while a pool of fetcher goroutines materializes the data ahead of
+// the serial assembler, and Stats.Duration is the slowest lane.
+//
+// With PolicyLRU, Workers <= 1, Coalesce and ChunkCache off, the resulting
+// Stats are bit-identical to Run — pinned by TestSerialPipelinedMatchesRun.
+func RunPipelined(store *container.Store, recipe *chunk.Recipe, cfg PipelineConfig, w io.Writer) (Stats, error) {
+	if cfg.CacheContainers < 1 {
+		cfg.CacheContainers = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxCoalesce < 2 {
+		cfg.MaxCoalesce = 8
+	}
+	if err := checkVerify(store, cfg.Verify); err != nil {
+		return Stats{}, err
+	}
+
+	_, span := telemetry.StartSpan(context.Background(), "restore.pipeline")
+	defer span.End()
+
+	_, pspan := telemetry.StartSpan(context.Background(), "restore.plan")
+	plan, err := buildPlan(store, recipe.Refs, cfg.CacheContainers, cfg.Policy, cfg.Coalesce, cfg.MaxCoalesce)
+	pspan.End()
+	if err != nil {
+		return Stats{}, err
+	}
+
+	stats := Stats{Label: recipe.Label, Fragments: recipe.Fragments()}
+	telFragments.Observe(float64(stats.Fragments))
+	stats.ContainerReads = int64(len(plan.fetches))
+	stats.ExtentReads = int64(len(plan.extents))
+	stats.CoalescedContainers = stats.ContainerReads - stats.ExtentReads
+	telContainerReads.Add(stats.ContainerReads)
+	telCoalescedContainers.Add(stats.CoalescedContainers)
+	for i := range plan.extents {
+		if len(plan.extents[i].ids) > 1 {
+			telCoalescedReads.Inc()
+		}
+	}
+
+	as := &assembly{store: store, cfg: cfg, plan: plan, refs: recipe.Refs, w: w, stats: &stats}
+	if cfg.ChunkCache {
+		as.refLocs = referencedLocations(recipe.Refs)
+		as.chunks = make(map[uint32]map[int64][]byte, cfg.CacheContainers)
+	} else {
+		as.whole = make(map[uint32][]byte, cfg.CacheContainers)
+	}
+
+	master := store.Device().Clock()
+	start := master.Now()
+	if cfg.Workers == 1 {
+		// Serial: extent reads charge the store clock at the instant the
+		// assembler needs them, exactly like the legacy path.
+		if err := as.run(func(e *extent) [][]byte { return store.ReadDataRange(e.ids) }); err != nil {
+			return stats, err
+		}
+	} else {
+		// Parallel: charge every extent to the earliest-free lane in
+		// deterministic schedule order, then run the wall-clock pipeline
+		// with uncharged fetches.
+		chargeLanes(store, plan, cfg.Workers)
+		if err := as.runParallel(); err != nil {
+			return stats, err
+		}
+	}
+	stats.Duration = master.Now() - start
+	telRestoreBytes.Add(stats.Bytes)
+	telRestoreChunks.Add(stats.Chunks)
+	span.SetSim(stats.Duration)
+	return stats, nil
+}
+
+// chargeLanes assigns each extent read to the lane that frees earliest
+// (ties to the lowest lane) and charges seek + combined transfer through a
+// per-lane view of the store device. Charging happens sequentially in
+// schedule order, so head movement, device stats, and every lane clock are
+// deterministic regardless of fetcher goroutine interleaving. The master
+// clock advances to the slowest lane's finish time — the same
+// slowest-lane-of-the-round model the concurrent ingest scheduler uses.
+func chargeLanes(store *container.Store, plan *restorePlan, workers int) {
+	master := store.Device().Clock()
+	start := master.Now()
+	lanes := make([]disk.Clock, workers)
+	for i := range lanes {
+		lanes[i].Advance(start)
+	}
+	for ei := range plan.extents {
+		l := 0
+		for k := 1; k < workers; k++ {
+			if lanes[k].Now() < lanes[l].Now() {
+				l = k
+			}
+		}
+		store.AccountDataRange(plan.extents[ei].ids, &lanes[l])
+	}
+	latest := start
+	for i := range lanes {
+		if t := lanes[i].Now(); t > latest {
+			latest = t
+		}
+	}
+	if d := latest - master.Now(); d > 0 {
+		master.Advance(d)
+	}
+}
+
+// assembly is the serial consumer of the fetch schedule: it walks the
+// recipe, installs fetched containers into the cache per the plan, and
+// emits (optionally verifying) the reconstructed stream.
+type assembly struct {
+	store *container.Store
+	cfg   PipelineConfig
+	plan  *restorePlan
+	refs  []chunk.Ref
+	w     io.Writer
+	stats *Stats
+
+	whole      map[uint32][]byte          // whole-container cache mode
+	chunks     map[uint32]map[int64][]byte // chunk-level cache mode: offset → bytes
+	refLocs    map[uint32][]chunk.Location
+	cacheBytes int64
+}
+
+// run drives the assembler, obtaining each extent's data from fetchExtent
+// the moment its first container is needed. Containers of a coalesced
+// extent that install later wait in a staging buffer bounded by
+// MaxCoalesce.
+func (as *assembly) run(fetchExtent func(e *extent) [][]byte) error {
+	staged := make(map[uint32][]byte)
+	for i := range as.refs {
+		ref := &as.refs[i]
+		id := ref.Loc.Container
+		if fx := as.plan.fetchAt[i]; fx >= 0 {
+			f := &as.plan.fetches[fx]
+			e := &as.plan.extents[f.extent]
+			if fx == e.lo {
+				datas := fetchExtent(e)
+				for k, cid := range e.ids {
+					staged[cid] = datas[k]
+				}
+			}
+			data, ok := staged[id]
+			if !ok {
+				panic("restore: planned fetch was not staged by its extent")
+			}
+			delete(staged, id)
+			as.install(id, data, f)
+		} else {
+			as.stats.CacheHits++
+		}
+		piece := as.piece(id, ref)
+		if as.cfg.Verify {
+			if got := chunk.Of(piece); got != ref.FP {
+				return fmt.Errorf("restore: chunk %d fingerprint mismatch (%s != %s)", i, got.Short(), ref.FP.Short())
+			}
+		}
+		if as.w != nil {
+			if _, err := as.w.Write(piece); err != nil {
+				return err
+			}
+		}
+		as.stats.Bytes += int64(ref.Size)
+		as.stats.Chunks++
+	}
+	return nil
+}
+
+// install adds a fetched container to the cache, evicting the planned
+// victim. In chunk mode only the recipe-referenced pieces are retained and
+// the full data section is released immediately.
+func (as *assembly) install(id uint32, data []byte, f *fetchOp) {
+	if f.hasVictim {
+		if as.cfg.ChunkCache {
+			for _, piece := range as.chunks[f.victim] {
+				as.cacheBytes -= int64(len(piece))
+			}
+			delete(as.chunks, f.victim)
+		} else {
+			delete(as.whole, f.victim)
+		}
+	}
+	if as.cfg.ChunkCache {
+		locs := as.refLocs[id]
+		m := make(map[int64][]byte, len(locs))
+		for _, loc := range locs {
+			piece := as.store.Extract(data, loc)
+			cp := make([]byte, len(piece))
+			copy(cp, piece)
+			m[loc.Offset] = cp
+			as.cacheBytes += int64(len(cp))
+		}
+		as.chunks[id] = m
+		if as.cacheBytes > as.stats.PeakCacheBytes {
+			as.stats.PeakCacheBytes = as.cacheBytes
+		}
+	} else {
+		as.whole[id] = data
+	}
+}
+
+// piece returns the bytes of ref out of the cached residency of id.
+func (as *assembly) piece(id uint32, ref *chunk.Ref) []byte {
+	if as.cfg.ChunkCache {
+		p, ok := as.chunks[id][ref.Loc.Offset]
+		if !ok {
+			panic("restore: referenced chunk missing from chunk cache")
+		}
+		return p
+	}
+	data, ok := as.whole[id]
+	if !ok {
+		panic("restore: referenced container missing from cache")
+	}
+	return as.store.Extract(data, ref.Loc)
+}
+
+// runParallel overlaps extent fetches with assembly: a scheduler enqueues
+// extents in order, Workers fetcher goroutines materialize their data (time
+// was already charged by chargeLanes), and the assembler consumes results
+// strictly in schedule order through per-job reorder channels.
+func (as *assembly) runParallel() error {
+	type fetchJob struct {
+		ids []uint32
+		out chan [][]byte
+	}
+	depth := as.cfg.Workers * 2
+	pending := make(chan *fetchJob, depth)
+	jobs := make(chan *fetchJob, depth)
+	var inFlight atomic.Int64
+	go func() {
+		defer close(pending)
+		defer close(jobs)
+		for ei := range as.plan.extents {
+			j := &fetchJob{ids: as.plan.extents[ei].ids, out: make(chan [][]byte, 1)}
+			telPrefetchDepth.Observe(float64(inFlight.Add(1)))
+			pending <- j
+			jobs <- j
+		}
+	}()
+	for k := 0; k < as.cfg.Workers; k++ {
+		go func() {
+			for j := range jobs {
+				j.out <- as.store.PeekDataRange(j.ids)
+			}
+		}()
+	}
+	err := as.run(func(e *extent) [][]byte {
+		j := <-pending
+		datas := <-j.out
+		inFlight.Add(-1)
+		return datas
+	})
+	if err != nil {
+		// Drain so the scheduler and fetchers can exit; the store outlives
+		// the restore call, so late PeekDataRange calls are harmless.
+		go func() {
+			for j := range pending {
+				<-j.out
+			}
+		}()
+	}
+	return err
+}
+
+// referencedLocations collects, per container, the distinct chunk locations
+// the recipe references — the residency set of chunk-level caching.
+func referencedLocations(refs []chunk.Ref) map[uint32][]chunk.Location {
+	byC := make(map[uint32][]chunk.Location)
+	seen := make(map[uint32]map[int64]bool)
+	for i := range refs {
+		loc := refs[i].Loc
+		s := seen[loc.Container]
+		if s == nil {
+			s = make(map[int64]bool)
+			seen[loc.Container] = s
+		}
+		if s[loc.Offset] {
+			continue
+		}
+		s[loc.Offset] = true
+		byC[loc.Container] = append(byC[loc.Container], loc)
+	}
+	return byC
+}

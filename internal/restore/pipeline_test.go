@@ -1,0 +1,321 @@
+package restore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+// interleave builds the pathological fragmented recipe used throughout the
+// restore tests: refs alternating between the two halves of seq.
+func interleave(seq *chunk.Recipe, label string) *chunk.Recipe {
+	frag := &chunk.Recipe{Label: label}
+	n := len(seq.Refs)
+	for i := 0; i < n/2; i++ {
+		frag.Refs = append(frag.Refs, seq.Refs[i], seq.Refs[n/2+i])
+	}
+	return frag
+}
+
+// wantBytes concatenates the original chunk contents in recipe order.
+func wantBytes(datas [][]byte, rec *chunk.Recipe, seq *chunk.Recipe) []byte {
+	index := make(map[chunk.Fingerprint][]byte, len(datas))
+	for i, d := range datas {
+		index[seq.Refs[i].FP] = d
+	}
+	var out bytes.Buffer
+	for i := range rec.Refs {
+		out.Write(index[rec.Refs[i].FP])
+	}
+	return out.Bytes()
+}
+
+// TestSerialPipelinedMatchesRun is the tier-1 guard required by the PR: the
+// pipelined engine at workers=1 with the LRU policy and no coalescing must
+// produce byte-for-byte identical Stats — and identical device-level seek,
+// read, and byte counters — to the legacy Run on an identical store.
+func TestSerialPipelinedMatchesRun(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cache int
+	}{
+		{"cache1", 1},
+		{"cache4", 4},
+		{"cache8", 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Two independent stores ingesting the same stream produce an
+			// identical on-disk layout; restore each through one path.
+			s1 := rig(t, true)
+			s2 := rig(t, true)
+			datas := mkDatas(60, 300)
+			seq1 := ingest(t, s1, "base", datas)
+			seq2 := ingest(t, s2, "base", datas)
+			frag1 := interleave(seq1, "frag")
+			frag2 := interleave(seq2, "frag")
+
+			var out1, out2 bytes.Buffer
+			legacy, err := Run(s1, frag1, Config{CacheContainers: tc.cache, Verify: true}, &out1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe, err := RunPipelined(s2, frag2,
+				PipelineConfig{CacheContainers: tc.cache, Policy: PolicyLRU, Workers: 1, Verify: true}, &out2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(legacy, pipe) {
+				t.Fatalf("stats diverge:\nlegacy    %+v\npipelined %+v", legacy, pipe)
+			}
+			if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+				t.Fatal("restored streams differ")
+			}
+			if s1.Device().Stats() != s2.Device().Stats() {
+				t.Fatalf("device stats diverge:\nlegacy    %v\npipelined %v",
+					s1.Device().Stats(), s2.Device().Stats())
+			}
+		})
+	}
+}
+
+// Every pipelined mode must reconstruct the exact original stream.
+func TestPipelinedRoundTripAllModes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  PipelineConfig
+	}{
+		{"opt-serial", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, Verify: true}},
+		{"opt-coalesce", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, Coalesce: true, Verify: true}},
+		{"lru-coalesce", PipelineConfig{CacheContainers: 4, Policy: PolicyLRU, Workers: 1, Coalesce: true, Verify: true}},
+		{"opt-parallel", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 4, Coalesce: true, Verify: true}},
+		{"chunk-cache", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, ChunkCache: true, Verify: true}},
+		{"everything", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 4, Coalesce: true, ChunkCache: true, Verify: true}},
+		{"default", DefaultPipelineConfig()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := rig(t, true)
+			datas := mkDatas(60, 300)
+			seq := ingest(t, s, "base", datas)
+			frag := interleave(seq, "frag")
+			want := wantBytes(datas, frag, seq)
+			if err := VerifyAgainstFunc(func(w io.Writer) (Stats, error) {
+				return RunPipelined(s, frag, tc.cfg, w)
+			}, want); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Coalescing on a sequential recipe folds adjacent container fetches into
+// extents: fewer physical reads, same container fetch count, and a strictly
+// shorter simulated duration (seeks saved).
+func TestCoalescingReducesExtentReads(t *testing.T) {
+	s1 := rig(t, false)
+	s2 := rig(t, false)
+	datas := mkDatas(60, 300)
+	rec1 := ingest(t, s1, "seq", datas)
+	rec2 := ingest(t, s2, "seq", datas)
+
+	plain, err := RunPipelined(s1, rec1, PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coalesced, err := RunPipelined(s2, rec2, PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, Coalesce: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ExtentReads != plain.ContainerReads || plain.CoalescedContainers != 0 {
+		t.Fatalf("uncoalesced run must have one extent per container: %+v", plain)
+	}
+	if coalesced.ContainerReads != plain.ContainerReads {
+		t.Fatalf("coalescing must not change the miss schedule: %d vs %d",
+			coalesced.ContainerReads, plain.ContainerReads)
+	}
+	if coalesced.ExtentReads >= plain.ExtentReads {
+		t.Fatalf("sequential recipe should coalesce: %d extents vs %d reads",
+			coalesced.ExtentReads, plain.ExtentReads)
+	}
+	if coalesced.CoalescedContainers != coalesced.ContainerReads-coalesced.ExtentReads {
+		t.Fatalf("coalesced accounting inconsistent: %+v", coalesced)
+	}
+	if coalesced.Duration >= plain.Duration {
+		t.Fatalf("coalescing should save seek time: %v >= %v", coalesced.Duration, plain.Duration)
+	}
+}
+
+// Parallel prefetch lanes shorten the simulated restore: with k lanes the
+// round's duration is the slowest lane, not the sum of all extent times.
+func TestParallelLanesShortenSimulatedTime(t *testing.T) {
+	s1 := rig(t, false)
+	s2 := rig(t, false)
+	datas := mkDatas(60, 300)
+	seq1 := ingest(t, s1, "base", datas)
+	seq2 := ingest(t, s2, "base", datas)
+	frag1 := interleave(seq1, "frag")
+	frag2 := interleave(seq2, "frag")
+
+	serial, err := RunPipelined(s1, frag1, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunPipelined(s2, frag2, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.ContainerReads != serial.ContainerReads {
+		t.Fatalf("lane count must not change the fetch schedule: %d vs %d",
+			parallel.ContainerReads, serial.ContainerReads)
+	}
+	if parallel.Duration >= serial.Duration {
+		t.Fatalf("4 lanes should beat serial: %v >= %v", parallel.Duration, serial.Duration)
+	}
+}
+
+// Parallel timing must be deterministic: the same restore twice gives the
+// same Duration regardless of goroutine interleaving.
+func TestParallelTimingDeterministic(t *testing.T) {
+	var prev Stats
+	for i := 0; i < 3; i++ {
+		s := rig(t, false)
+		datas := mkDatas(60, 300)
+		seq := ingest(t, s, "base", datas)
+		frag := interleave(seq, "frag")
+		st, err := RunPipelined(s, frag, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 4, Coalesce: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Label = prev.Label
+		if i > 0 && !reflect.DeepEqual(prev, st) {
+			t.Fatalf("run %d diverged:\n%+v\n%+v", i, prev, st)
+		}
+		prev = st
+	}
+}
+
+// Chunk-level caching keeps only referenced bytes: the peak footprint must
+// be positive but below the whole-container footprint of the same capacity.
+func TestChunkCacheBoundsMemory(t *testing.T) {
+	s := rig(t, true)
+	datas := mkDatas(60, 300)
+	seq := ingest(t, s, "base", datas)
+	// Reference only every 4th chunk: most of each container is dead weight
+	// a whole-container cache would still hold.
+	sparse := &chunk.Recipe{Label: "sparse"}
+	for i := 0; i < len(seq.Refs); i += 4 {
+		sparse.Refs = append(sparse.Refs, seq.Refs[i])
+	}
+	st, err := RunPipelined(s, sparse,
+		PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, ChunkCache: true, Verify: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakCacheBytes <= 0 {
+		t.Fatal("chunk cache must report its peak footprint")
+	}
+	wholeFootprint := int64(4 * 4096) // capacity × DataCap of the test rig
+	if st.PeakCacheBytes >= wholeFootprint {
+		t.Fatalf("chunk cache footprint %d should undercut whole-container %d",
+			st.PeakCacheBytes, wholeFootprint)
+	}
+	whole, err := RunPipelined(s, sparse,
+		PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.PeakCacheBytes != 0 {
+		t.Fatalf("whole-container mode must not report a chunk footprint: %+v", whole)
+	}
+}
+
+// Race-hygiene stress: several concurrent pipelined restores at workers=8
+// with verification on a shared store (run under go test -race).
+func TestPipelinedConcurrentStress(t *testing.T) {
+	s := rig(t, true)
+	datas := mkDatas(80, 300)
+	seq := ingest(t, s, "base", datas)
+	frag := interleave(seq, "frag")
+	want := wantBytes(datas, frag, seq)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out bytes.Buffer
+			st, err := RunPipelined(s, frag,
+				PipelineConfig{CacheContainers: 3, Policy: PolicyOPT, Workers: 8, Coalesce: true, Verify: true}, &out)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				errs <- fmt.Errorf("concurrent restore produced a corrupt stream")
+				return
+			}
+			if st.Chunks != int64(len(frag.Refs)) {
+				errs <- fmt.Errorf("concurrent restore stats wrong: %+v", st)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedRejectsUnsealedAndHoleVerify(t *testing.T) {
+	s := rig(t, false)
+	rec := &chunk.Recipe{Label: "u"}
+	loc := s.Write(chunk.New([]byte("pending")), 0)
+	rec.Append(chunk.Of([]byte("pending")), 7, loc)
+	if _, err := RunPipelined(s, rec, DefaultPipelineConfig(), nil); err == nil {
+		t.Fatal("unsealed container must be rejected")
+	}
+
+	s2 := rig(t, false)
+	rec2 := ingest(t, s2, "v", mkDatas(2, 100))
+	cfg := DefaultPipelineConfig()
+	cfg.Verify = true
+	if _, err := RunPipelined(s2, rec2, cfg, nil); err == nil {
+		t.Fatal("Verify on hole device must error")
+	}
+}
+
+func TestPipelinedEmptyRecipe(t *testing.T) {
+	s := rig(t, false)
+	for _, workers := range []int{1, 4} {
+		st, err := RunPipelined(s, &chunk.Recipe{Label: "empty"},
+			PipelineConfig{CacheContainers: 4, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Bytes != 0 || st.Chunks != 0 || st.ContainerReads != 0 || st.ExtentReads != 0 {
+			t.Fatalf("empty restore stats = %+v", st)
+		}
+	}
+}
+
+func TestPipelinedVerifyCatchesCorruption(t *testing.T) {
+	s := rig(t, true)
+	rec := ingest(t, s, "c", mkDatas(3, 100))
+	rec.Refs[1].FP = chunk.Of([]byte("not the real content"))
+	cfg := DefaultPipelineConfig()
+	cfg.Verify = true
+	if _, err := RunPipelined(s, rec, cfg, nil); err == nil {
+		t.Fatal("fingerprint mismatch must be detected")
+	}
+	// Same under parallel lanes: the early error must not deadlock the
+	// scheduler or fetchers.
+	cfg.Workers = 8
+	if _, err := RunPipelined(s, rec, cfg, nil); err == nil {
+		t.Fatal("fingerprint mismatch must be detected in parallel mode")
+	}
+}

@@ -1,0 +1,179 @@
+package restore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chunk"
+	"repro/internal/container"
+	"repro/internal/lru"
+)
+
+// CachePolicy selects the replacement policy of the pipelined restore cache.
+type CachePolicy int
+
+const (
+	// PolicyLRU evicts the least-recently-used container — the behaviour of
+	// the classic restore cache in Run.
+	PolicyLRU CachePolicy = iota
+	// PolicyOPT evicts the container whose next use lies farthest ahead in
+	// the recipe (Belady's offline-optimal replacement). The full recipe is
+	// known before a restore starts, so — uniquely among the system's cache
+	// consumers — the restore path can run the offline-optimal policy
+	// online. At equal capacity OPT never performs more container reads
+	// than LRU (Belady's optimality), which the property tests pin.
+	PolicyOPT
+)
+
+func (p CachePolicy) String() string {
+	if p == PolicyOPT {
+		return "opt"
+	}
+	return "lru"
+}
+
+// fetchOp is one planned cache miss: container must be fetched just before
+// recipe ref needAt is assembled, evicting victim (when the cache is full).
+type fetchOp struct {
+	container uint32
+	needAt    int
+	victim    uint32
+	hasVictim bool
+	extent    int // index of the physical extent read that carries this fetch
+}
+
+// extent is one physical read: the containers of fetch ops [lo,hi) are
+// adjacent on device and read as a single sequential span (one seek).
+type extent struct {
+	lo, hi int
+	ids    []uint32
+}
+
+// restorePlan is the precomputed fetch schedule of one recipe at one cache
+// configuration: which refs hit, which refs trigger a fetch, what each fetch
+// evicts, and how fetches group into coalesced extent reads. The plan is
+// pure metadata — building it performs no simulated I/O.
+type restorePlan struct {
+	fetchAt []int // per ref: index into fetches when the ref triggers a miss, else -1
+	fetches []fetchOp
+	extents []extent
+}
+
+// buildPlan simulates the chosen cache policy over the recipe and returns
+// the fetch schedule. All referenced containers must be sealed.
+func buildPlan(store *container.Store, refs []chunk.Ref, capacity int, policy CachePolicy, coalesce bool, maxCoalesce int) (*restorePlan, error) {
+	seen := make(map[uint32]bool)
+	for i := range refs {
+		id := refs[i].Loc.Container
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if !store.Sealed(id) {
+			return nil, fmt.Errorf("restore: recipe references unsealed container %d", id)
+		}
+	}
+	p := &restorePlan{fetchAt: make([]int, len(refs))}
+	if policy == PolicyOPT {
+		p.simulateOPT(refs, capacity)
+	} else {
+		p.simulateLRU(refs, capacity)
+	}
+	p.buildExtents(store, coalesce, maxCoalesce)
+	return p, nil
+}
+
+// simulateLRU replays the exact Get/Put sequence Run performs against the
+// shared lru package, so the planned miss schedule is bit-identical to the
+// legacy restore cache.
+func (p *restorePlan) simulateLRU(refs []chunk.Ref, capacity int) {
+	c := lru.New[uint32, struct{}](capacity)
+	var victim uint32
+	var hasVictim bool
+	c.OnEvict(func(k uint32, _ struct{}) { victim, hasVictim = k, true })
+	for i := range refs {
+		id := refs[i].Loc.Container
+		if _, ok := c.Get(id); ok {
+			p.fetchAt[i] = -1
+			continue
+		}
+		hasVictim = false
+		c.Put(id, struct{}{})
+		p.fetchAt[i] = len(p.fetches)
+		p.fetches = append(p.fetches, fetchOp{container: id, needAt: i, victim: victim, hasVictim: hasVictim})
+	}
+}
+
+// simulateOPT runs Belady's algorithm: on a miss with a full cache, evict
+// the resident container whose next reference is farthest ahead (never
+// referenced again beats everything). Ties break to the smallest container
+// ID so the plan is deterministic.
+func (p *restorePlan) simulateOPT(refs []chunk.Ref, capacity int) {
+	occ := make(map[uint32][]int)
+	for i := range refs {
+		id := refs[i].Loc.Container
+		occ[id] = append(occ[id], i)
+	}
+	ptr := make(map[uint32]int, len(occ))
+	cached := make(map[uint32]bool, capacity)
+	// nextUse returns the first reference index of id strictly after i. The
+	// per-container cursor only moves forward, so the amortized cost across
+	// the whole simulation is O(len(refs)).
+	nextUse := func(id uint32, i int) int {
+		list := occ[id]
+		j := ptr[id]
+		for j < len(list) && list[j] <= i {
+			j++
+		}
+		ptr[id] = j
+		if j == len(list) {
+			return math.MaxInt
+		}
+		return list[j]
+	}
+	for i := range refs {
+		id := refs[i].Loc.Container
+		if cached[id] {
+			p.fetchAt[i] = -1
+			continue
+		}
+		f := fetchOp{container: id, needAt: i}
+		if len(cached) >= capacity {
+			victim, victimNext := uint32(0), -1
+			for cid := range cached {
+				n := nextUse(cid, i)
+				if n > victimNext || (n == victimNext && cid < victim) {
+					victim, victimNext = cid, n
+				}
+			}
+			delete(cached, victim)
+			f.victim, f.hasVictim = victim, true
+		}
+		cached[id] = true
+		p.fetchAt[i] = len(p.fetches)
+		p.fetches = append(p.fetches, f)
+	}
+}
+
+// buildExtents groups schedule-consecutive fetches of disk-adjacent
+// containers into single sequential extent reads. Containers fetched early
+// by a coalesced extent wait in a small staging buffer (bounded by
+// maxCoalesce) until their scheduled install, so cache occupancy — and
+// therefore the miss schedule — is unchanged by coalescing; only the seek
+// count drops.
+func (p *restorePlan) buildExtents(store *container.Store, coalesce bool, maxCoalesce int) {
+	for fi := range p.fetches {
+		f := &p.fetches[fi]
+		if coalesce && len(p.extents) > 0 {
+			e := &p.extents[len(p.extents)-1]
+			if e.hi == fi && len(e.ids) < maxCoalesce && store.Adjacent(e.ids[len(e.ids)-1], f.container) {
+				e.hi = fi + 1
+				e.ids = append(e.ids, f.container)
+				f.extent = len(p.extents) - 1
+				continue
+			}
+		}
+		f.extent = len(p.extents)
+		p.extents = append(p.extents, extent{lo: fi, hi: fi + 1, ids: []uint32{f.container}})
+	}
+}

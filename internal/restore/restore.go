@@ -65,7 +65,18 @@ type Stats struct {
 	Chunks         int64
 	ContainerReads int64 // cache misses: full data-section reads
 	CacheHits      int64 // chunks served from cached containers
-	Fragments      int   // recipe placement fragments (paper Eq. 1's N)
+	// ExtentReads counts physical discontiguous reads (Eq. 1's N). Without
+	// coalescing it equals ContainerReads; the pipelined engine folds
+	// adjacent containers into one extent, so ExtentReads < ContainerReads.
+	ExtentReads int64
+	// CoalescedContainers = ContainerReads - ExtentReads: the seeks the
+	// coalescer saved.
+	CoalescedContainers int64
+	// PeakCacheBytes is the cache memory high-water mark in chunk-level
+	// caching mode (0 for whole-container caches, whose footprint is just
+	// capacity × container data size).
+	PeakCacheBytes int64
+	Fragments      int // recipe placement fragments (paper Eq. 1's N)
 	Duration       time.Duration
 }
 
@@ -83,17 +94,33 @@ func (s Stats) String() string {
 		s.Label, float64(s.Bytes)/1e6, s.ThroughputMBps(), s.ContainerReads, s.Fragments)
 }
 
+// checkVerify rejects Verify on a hole device: recomputing fingerprints of
+// zero-filled data would "verify" garbage silently. Shared by every restore
+// mode (Run, RunFAA, RunPipelined).
+func checkVerify(store *container.Store, verify bool) error {
+	if verify && !store.Device().StoresData() {
+		return fmt.Errorf("restore: Verify requires a data-storing device")
+	}
+	return nil
+}
+
 // Run restores recipe from store, writing reconstructed bytes to w (pass
 // nil to measure without materializing). The simulated time consumed is
 // charged to the store's device clock and reported in Stats.Duration.
-func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) (Stats, error) {
+//
+// Cache accounting has a single source of truth: the LRU's own counters,
+// read back into Stats on every exit path (including errors, where Stats
+// carries the partial counts). The telemetry counters are mirrored by
+// lru.Instrument from those same counters, so Stats and /metrics cannot
+// drift.
+func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) (stats Stats, err error) {
 	if cfg.CacheContainers < 1 {
 		cfg.CacheContainers = 1
 	}
-	if cfg.Verify && !store.Device().StoresData() {
-		return Stats{}, fmt.Errorf("restore: Verify requires a data-storing device")
+	if err := checkVerify(store, cfg.Verify); err != nil {
+		return Stats{}, err
 	}
-	stats := Stats{Label: recipe.Label, Fragments: recipe.Fragments()}
+	stats = Stats{Label: recipe.Label, Fragments: recipe.Fragments()}
 	clock := store.Device().Clock()
 	start := clock.Now()
 	_, span := telemetry.StartSpan(context.Background(), "restore.run")
@@ -102,17 +129,21 @@ func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) 
 
 	cache := lru.New[uint32, []byte](cfg.CacheContainers)
 	cache.Instrument(telRestoreCacheHits, telRestoreCacheMisses, telRestoreCacheEvictions)
+	defer func() {
+		hits, misses, _ := cache.Stats()
+		stats.CacheHits = int64(hits)
+		stats.ContainerReads = int64(misses)
+		// Every legacy-path container read is its own discontiguous access.
+		stats.ExtentReads = stats.ContainerReads
+	}()
 	for i := range recipe.Refs {
 		ref := &recipe.Refs[i]
 		if !store.Sealed(ref.Loc.Container) {
 			return stats, fmt.Errorf("restore: recipe references unsealed container %d", ref.Loc.Container)
 		}
 		data, ok := cache.Get(ref.Loc.Container)
-		if ok {
-			stats.CacheHits++
-		} else {
+		if !ok {
 			data = store.ReadData(ref.Loc.Container)
-			stats.ContainerReads++
 			telContainerReads.Inc()
 			cache.Put(ref.Loc.Container, data)
 		}
@@ -141,8 +172,17 @@ func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) 
 // returning an error on any divergence. Test helper for end-to-end
 // correctness runs.
 func VerifyAgainst(store *container.Store, recipe *chunk.Recipe, cfg Config, want []byte) error {
+	return VerifyAgainstFunc(func(w io.Writer) (Stats, error) {
+		return Run(store, recipe, cfg, w)
+	}, want)
+}
+
+// VerifyAgainstFunc runs any restore mode (as a closure over its own config)
+// into a buffer and compares the reconstructed stream with want. It lets the
+// same end-to-end check cover Run, RunFAA, and every RunPipelined variant.
+func VerifyAgainstFunc(run func(io.Writer) (Stats, error), want []byte) error {
 	var buf bytes.Buffer
-	if _, err := Run(store, recipe, cfg, &buf); err != nil {
+	if _, err := run(&buf); err != nil {
 		return err
 	}
 	if !bytes.Equal(buf.Bytes(), want) {

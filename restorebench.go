@@ -1,0 +1,157 @@
+package repro
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// RestorePoint is one generation of the restore sweep: the same recipe
+// restored through each strategy so the per-generation degradation (and
+// what each optimization buys back) is directly comparable.
+type RestorePoint struct {
+	Engine    string `json:"engine"`
+	Gen       int    `json:"gen"` // 1-based generation number
+	Label     string `json:"label"`
+	Bytes     int64  `json:"bytes"`
+	Fragments int    `json:"fragments"`
+
+	// Legacy path: serial LRU container cache (restore.Run).
+	LRUReads int64   `json:"lru_reads"`
+	LRUMBps  float64 `json:"lru_MBps"`
+
+	// OPT eviction alone: serial, uncoalesced Belady cache.
+	OPTReads int64   `json:"opt_reads"`
+	OPTMBps  float64 `json:"opt_MBps"`
+
+	// Forward assembly area at the equivalent memory budget.
+	FAAReads int64   `json:"faa_reads"`
+	FAAMBps  float64 `json:"faa_MBps"`
+
+	// Full pipeline: OPT + coalesced extents + parallel prefetch lanes.
+	PipeReads     int64   `json:"pipe_reads"`   // container fetches
+	PipeExtents   int64   `json:"pipe_extents"` // physical discontiguous reads after coalescing
+	PipeCoalesced int64   `json:"pipe_coalesced"`
+	PipeMBps      float64 `json:"pipe_MBps"`
+
+	// Speedup is pipelined over legacy restore throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// RestoreBench is the full restore sweep, serialized to BENCH_PR3.json.
+type RestoreBench struct {
+	Engine          string         `json:"engine"`
+	Generations     int            `json:"generations"`
+	CacheContainers int            `json:"cache_containers"`
+	Workers         int            `json:"workers"`
+	Points          []RestorePoint `json:"points"`
+
+	// OPTNeverWorse reports Belady's guarantee held on every generation:
+	// OPT container reads <= LRU container reads at equal capacity.
+	OPTNeverWorse bool `json:"opt_never_worse"`
+	// Final-generation headline numbers (the most fragmented recipe).
+	FinalLRUReads int64   `json:"final_lru_reads"`
+	FinalOPTReads int64   `json:"final_opt_reads"`
+	FinalSpeedup  float64 `json:"final_speedup"`
+}
+
+// RunRestoreBench ingests Generations backups of the single-user workload
+// into a fresh store of the given engine kind and restores every
+// generation's recipe through four strategies: the legacy serial LRU cache,
+// the serial OPT cache, the forward assembly area at the same memory
+// budget, and the full pipeline (OPT + coalescing + workers prefetch
+// lanes). cacheContainers <= 0 uses the restore default (8); workers <= 0
+// uses 8.
+func RunRestoreBench(cfg ExperimentConfig, kind EngineKind, cacheContainers, workers int) (*RestoreBench, error) {
+	cfg = cfg.withDefaults()
+	if cacheContainers <= 0 {
+		cacheContainers = DefaultRestoreOptions().CacheContainers
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	store, err := Open(Options{
+		Engine:        kind,
+		Alpha:         cfg.Alpha,
+		ExpectedBytes: cfg.perGenBytes() * int64(cfg.Generations),
+		Workers:       cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := workload.NewSingle(cfg.workloadConfig())
+	if err != nil {
+		return nil, err
+	}
+	bench := &RestoreBench{
+		Engine:          kind.String(),
+		Generations:     cfg.Generations,
+		CacheContainers: cacheContainers,
+		Workers:         workers,
+		OPTNeverWorse:   true,
+	}
+	// The FAA budget matches the container cache's data footprint
+	// (capacity × 4 MiB default container data sections).
+	areaBytes := int64(cacheContainers) << 22
+	for g := 0; g < cfg.Generations; g++ {
+		bk := sched.Next()
+		b, err := store.Backup(bk.Label, bk.Stream)
+		if err != nil {
+			return nil, err
+		}
+		lru, err := store.RestoreWith(b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreLRU, Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := store.RestoreWith(b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		faa, err := store.RestoreFAA(b, nil, areaBytes, false)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := store.RestoreWith(b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: workers, Coalesce: true})
+		if err != nil {
+			return nil, err
+		}
+		pt := RestorePoint{
+			Engine:        kind.String(),
+			Gen:           g + 1,
+			Label:         b.Label,
+			Bytes:         lru.Bytes,
+			Fragments:     lru.Fragments,
+			LRUReads:      lru.ContainerReads,
+			LRUMBps:       lru.ThroughputMBps(),
+			OPTReads:      opt.ContainerReads,
+			OPTMBps:       opt.ThroughputMBps(),
+			FAAReads:      faa.ContainerReads,
+			FAAMBps:       faa.ThroughputMBps(),
+			PipeReads:     pipe.ContainerReads,
+			PipeExtents:   pipe.ExtentReads,
+			PipeCoalesced: pipe.CoalescedContainers,
+			PipeMBps:      pipe.ThroughputMBps(),
+		}
+		if pt.LRUMBps > 0 {
+			pt.Speedup = pt.PipeMBps / pt.LRUMBps
+		}
+		if pt.OPTReads > pt.LRUReads {
+			bench.OPTNeverWorse = false
+		}
+		bench.Points = append(bench.Points, pt)
+		if g == cfg.Generations-1 {
+			bench.FinalLRUReads = pt.LRUReads
+			bench.FinalOPTReads = pt.OPTReads
+			bench.FinalSpeedup = pt.Speedup
+		}
+	}
+	return bench, nil
+}
+
+// WriteRestoreBenchJSON serializes the benchmark result as indented JSON.
+func WriteRestoreBenchJSON(w io.Writer, b *RestoreBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

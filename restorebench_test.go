@@ -1,0 +1,106 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunRestoreBench(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Generations = 6
+	cfg.FilesPerUser = 12
+	bench, err := RunRestoreBench(cfg, DDFSLike, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Points) != cfg.Generations {
+		t.Fatalf("got %d points, want %d", len(bench.Points), cfg.Generations)
+	}
+	if !bench.OPTNeverWorse {
+		t.Fatal("Belady violated: OPT scheduled more container reads than LRU")
+	}
+	for i, p := range bench.Points {
+		if p.Gen != i+1 || p.Bytes <= 0 {
+			t.Fatalf("point %d malformed: %+v", i, p)
+		}
+		if p.OPTReads > p.LRUReads {
+			t.Fatalf("gen %d: OPT %d reads > LRU %d", p.Gen, p.OPTReads, p.LRUReads)
+		}
+		if p.PipeReads != p.OPTReads {
+			t.Fatalf("gen %d: coalescing/lanes changed the OPT fetch schedule: %d vs %d",
+				p.Gen, p.PipeReads, p.OPTReads)
+		}
+		if p.PipeExtents > p.PipeReads {
+			t.Fatalf("gen %d: more extents than container fetches: %+v", p.Gen, p)
+		}
+		if p.LRUMBps <= 0 || p.PipeMBps <= 0 {
+			t.Fatalf("gen %d: missing throughput: %+v", p.Gen, p)
+		}
+	}
+	// The acceptance bar of this PR: on the fragmented baseline the full
+	// pipeline restores at >= 2x the legacy serial LRU path.
+	if bench.FinalSpeedup < 2 {
+		t.Fatalf("final-generation pipelined speedup %.2fx, want >= 2x", bench.FinalSpeedup)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRestoreBenchJSON(&buf, bench); err != nil {
+		t.Fatal(err)
+	}
+	var back RestoreBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.FinalSpeedup != bench.FinalSpeedup || len(back.Points) != len(bench.Points) {
+		t.Fatal("bench JSON does not round-trip")
+	}
+}
+
+func TestRestoreWithOptionsRoundTrip(t *testing.T) {
+	store, err := Open(Options{Engine: DDFSLike, StoreData: true, ExpectedBytes: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("restore-with options round trip "), 4096)
+	b, err := store.Backup("b1", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []RestoreOptions{
+		{Policy: RestoreLRU, Workers: 1, Verify: true},
+		{Policy: RestoreOPT, Workers: 1, Verify: true},
+		{Policy: RestoreOPT, Workers: 4, Coalesce: true, Verify: true},
+		{Policy: RestoreOPT, Workers: 4, Coalesce: true, ChunkCache: true, Verify: true},
+	} {
+		var out bytes.Buffer
+		st, err := store.RestoreWith(b, &out, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if !bytes.Equal(out.Bytes(), payload) {
+			t.Fatalf("opts %+v: restored stream differs", opts)
+		}
+		if st.ExtentReads > st.ContainerReads {
+			t.Fatalf("opts %+v: extents exceed container reads: %+v", opts, st)
+		}
+	}
+}
+
+func TestParseRestorePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want RestorePolicy
+	}{{"lru", RestoreLRU}, {"opt", RestoreOPT}} {
+		got, err := ParseRestorePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseRestorePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseRestorePolicy("belady"); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}

@@ -95,6 +95,15 @@ type RestoreStats struct {
 	Chunks         int64
 	ContainerReads int64 // restore-cache misses: full container reads
 	CacheHits      int64
+	// ExtentReads is the count of physical discontiguous reads (Eq. 1's N
+	// after coalescing); equals ContainerReads on uncoalesced paths.
+	ExtentReads int64
+	// CoalescedContainers is the number of container fetches folded into a
+	// preceding sequential extent read — the seeks saved by coalescing.
+	CoalescedContainers int64
+	// PeakCacheBytes is the chunk-level cache's memory high-water mark
+	// (0 unless RestoreOptions.ChunkCache).
+	PeakCacheBytes int64
 	Fragments      int // placement fragments (Eq. 1's N)
 	Duration       time.Duration
 }
@@ -110,12 +119,15 @@ func (s RestoreStats) ThroughputMBps() float64 {
 
 func fromRestoreStats(st restore.Stats) RestoreStats {
 	return RestoreStats{
-		Label:          st.Label,
-		Bytes:          st.Bytes,
-		Chunks:         st.Chunks,
-		ContainerReads: st.ContainerReads,
-		CacheHits:      st.CacheHits,
-		Fragments:      st.Fragments,
-		Duration:       st.Duration,
+		Label:               st.Label,
+		Bytes:               st.Bytes,
+		Chunks:              st.Chunks,
+		ContainerReads:      st.ContainerReads,
+		CacheHits:           st.CacheHits,
+		ExtentReads:         st.ExtentReads,
+		CoalescedContainers: st.CoalescedContainers,
+		PeakCacheBytes:      st.PeakCacheBytes,
+		Fragments:           st.Fragments,
+		Duration:            st.Duration,
 	}
 }

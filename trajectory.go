@@ -54,7 +54,11 @@ func RunTrajectory(cfg ExperimentConfig, kind EngineKind) ([]TrajectoryPoint, er
 		if err != nil {
 			return nil, err
 		}
-		rst, err := store.Restore(b, nil, false)
+		ropts := DefaultRestoreOptions()
+		if cfg.RestoreCache > 0 {
+			ropts.CacheContainers = cfg.RestoreCache
+		}
+		rst, err := store.RestoreWith(b, nil, ropts)
 		if err != nil {
 			return nil, err
 		}
