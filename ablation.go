@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cindex"
@@ -55,7 +56,7 @@ func runDefragVariant(cfg ExperimentConfig, mutate func(*core.Config)) (defragRu
 		logical += st.LogicalBytes
 		lastStats = st
 		if g == cfg.Generations-1 {
-			lastRead, err = restore.Run(eng.Containers(), b.recipe, restore.DefaultConfig(), nil)
+			lastRead, err = restore.Run(context.Background(), eng.Containers(), b.recipe, restore.DefaultConfig(), nil)
 			if err != nil {
 				return defragRunResult{}, err
 			}
@@ -252,20 +253,20 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 	}
 	for _, budgetMB := range []int64{8, 16, 32, 64, 128} {
 		cap := int(budgetMB / containerMB)
-		lruSt, err := restore.Run(eng.Containers(), last.recipe, restore.Config{CacheContainers: cap}, nil)
+		lruSt, err := restore.Run(context.Background(), eng.Containers(), last.recipe, restore.Config{CacheContainers: cap}, nil)
 		if err != nil {
 			return nil, err
 		}
-		optSt, err := restore.RunPipelined(eng.Containers(), last.recipe,
+		optSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe,
 			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyOPT, Workers: 1}, nil)
 		if err != nil {
 			return nil, err
 		}
-		faaSt, err := restore.RunFAA(eng.Containers(), last.recipe, restore.FAAConfig{AreaBytes: budgetMB << 20}, nil)
+		faaSt, err := restore.RunFAA(context.Background(), eng.Containers(), last.recipe, restore.FAAConfig{AreaBytes: budgetMB << 20}, nil)
 		if err != nil {
 			return nil, err
 		}
-		pipeSt, err := restore.RunPipelined(eng.Containers(), last.recipe,
+		pipeSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe,
 			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyOPT, Workers: workers, Coalesce: true, MaxCoalesce: 8}, nil)
 		if err != nil {
 			return nil, err

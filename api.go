@@ -21,11 +21,16 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/cindex"
 	"repro/internal/core"
@@ -112,6 +117,64 @@ func ParseEngineKind(s string) (EngineKind, error) {
 	return 0, fmt.Errorf("repro: unknown engine %q", s)
 }
 
+// BackendKind selects the physical storage backend behind the container
+// store (see internal/blockstore): where sealed-container bytes live and
+// what durability they have. The timing model is unaffected — every backend
+// charges identical simulated-disk time.
+type BackendKind int
+
+const (
+	// SimBackend keeps sealed containers in memory (the historical
+	// behavior): fast, volatile, bit-identical statistics.
+	SimBackend BackendKind = iota
+	// FileBackend is the durable directory store: one file pair per sealed
+	// container plus an fsync'd, atomically-renamed manifest and a small
+	// write-ahead log. A Store opened over it survives Close and re-Open
+	// with containers, index, and backups intact.
+	FileBackend
+)
+
+func (k BackendKind) String() string {
+	if k == FileBackend {
+		return "file"
+	}
+	return "sim"
+}
+
+// ParseBackendKind converts "sim" or "file" to a BackendKind.
+func ParseBackendKind(s string) (BackendKind, error) {
+	switch s {
+	case "sim":
+		return SimBackend, nil
+	case "file":
+		return FileBackend, nil
+	}
+	return 0, fmt.Errorf("repro: unknown backend %q", s)
+}
+
+// FaultOptions configures deterministic fault injection on the storage
+// backend (chaos/recovery testing). The zero value injects nothing; any
+// non-zero rate enables the injector plus a bounded retry-with-backoff
+// layer around it.
+type FaultOptions struct {
+	// Seed drives the injector's PRNG; equal seeds over equal operation
+	// sequences inject identical faults.
+	Seed int64
+	// TransientRate is the probability a backend operation first fails
+	// with a retryable EIO.
+	TransientRate float64
+	// TornRate is the probability a container seal silently persists only
+	// half its data section (a lying disk; detected later as corruption).
+	TornRate float64
+	// LatencyRate is the probability an operation sleeps a wall-clock
+	// latency spike before completing.
+	LatencyRate float64
+}
+
+func (f FaultOptions) enabled() bool {
+	return f.TransientRate > 0 || f.TornRate > 0 || f.LatencyRate > 0
+}
+
 // Options configures a Store.
 type Options struct {
 	// Engine selects the deduplication approach (default DeFrag).
@@ -137,6 +200,17 @@ type Options struct {
 	// backup across goroutines. Purely a wall-clock optimization of the
 	// pipeline; all results and simulated timings are identical.
 	Workers int
+	// Backend selects where sealed containers physically live: SimBackend
+	// (default, in-memory) or FileBackend (durable directory store).
+	Backend BackendKind
+	// Dir is the FileBackend root directory (required for FileBackend;
+	// ignored otherwise). Opening over a non-empty directory reopens the
+	// existing store: containers are adopted, the engine's index is
+	// rebuilt, and previously recorded backups are reloaded.
+	Dir string
+	// Faults wraps the backend in a deterministic fault injector; see
+	// FaultOptions. Intended for recovery testing.
+	Faults FaultOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -154,17 +228,21 @@ type Store struct {
 	opts   Options
 	eng    engine.Engine
 	oracle *cindex.Oracle
+	be     blockstore.Backend
 
-	backups []*Backup
-	logical int64
+	backups   []*Backup
+	logical   int64
+	recipeSeq int
+	closed    bool
 }
 
 // Backup is one ingested stream: its recipe (needed to restore) plus the
 // measured statistics.
 type Backup struct {
-	Label  string
-	Stats  BackupStats
-	recipe *chunk.Recipe
+	Label      string
+	Stats      BackupStats
+	recipe     *chunk.Recipe
+	recipeFile string // file under Dir/recipes (durable backends only)
 }
 
 // Fragments returns the number of placement fragments of the backup —
@@ -177,17 +255,57 @@ func (b *Backup) Chunks() int { return b.recipe.Len() }
 // WriteRecipe serializes the backup's recipe (see internal/trace format).
 func (b *Backup) WriteRecipe(w io.Writer) error { return trace.Save(w, b.recipe) }
 
-// Open creates a store with the selected engine.
+// buildBackend constructs the physical backend selected by opts, layering
+// the fault injector and retry wrapper when faults are configured.
+func buildBackend(opts Options) (blockstore.Backend, error) {
+	var be blockstore.Backend
+	switch opts.Backend {
+	case SimBackend:
+		be = blockstore.NewSim(opts.StoreData)
+	case FileBackend:
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("repro: FileBackend requires Options.Dir")
+		}
+		f, err := blockstore.OpenFile(opts.Dir, opts.StoreData)
+		if err != nil {
+			return nil, err
+		}
+		be = f
+	default:
+		return nil, fmt.Errorf("repro: unknown backend kind %d", opts.Backend)
+	}
+	if opts.Faults.enabled() {
+		be = blockstore.WithRetry(blockstore.NewFault(be, blockstore.FaultConfig{
+			Seed:          opts.Faults.Seed,
+			TransientRate: opts.Faults.TransientRate,
+			TornRate:      opts.Faults.TornRate,
+			LatencyRate:   opts.Faults.LatencyRate,
+		}), blockstore.DefaultRetryPolicy())
+	}
+	return be, nil
+}
+
+// Open creates a store with the selected engine and backend. With
+// FileBackend over a directory that already holds containers, Open reopens
+// the store: the engine adopts the persisted containers (rebuilding its
+// chunk index and segment sequence) and the recorded backups are reloaded,
+// so restores and further dedup continue where the previous process left
+// off. Only engines with a full rebuildable index (DeFrag, DDFSLike)
+// support reopening a populated store.
 func Open(opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	s := &Store{opts: opts}
-	var err error
+	be, err := buildBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, be: be}
 	switch opts.Engine {
 	case DeFrag:
 		cfg := core.DefaultConfig(opts.ExpectedBytes)
 		cfg.Cost.Workers = opts.Workers
 		cfg.Alpha = opts.Alpha
 		cfg.StoreData = opts.StoreData
+		cfg.Backend = be
 		var e *core.Engine
 		if e, err = core.New(cfg); err == nil {
 			s.eng = e
@@ -200,6 +318,7 @@ func Open(opts Options) (*Store, error) {
 		cfg := ddfs.DefaultConfig(opts.ExpectedBytes)
 		cfg.Cost.Workers = opts.Workers
 		cfg.StoreData = opts.StoreData
+		cfg.Backend = be
 		var e *ddfs.Engine
 		if e, err = ddfs.New(cfg); err == nil {
 			s.eng = e
@@ -212,6 +331,7 @@ func Open(opts Options) (*Store, error) {
 		cfg := silo.DefaultConfig(opts.ExpectedBytes)
 		cfg.Cost.Workers = opts.Workers
 		cfg.StoreData = opts.StoreData
+		cfg.Backend = be
 		var e *silo.Engine
 		if e, err = silo.New(cfg); err == nil {
 			s.eng = e
@@ -224,6 +344,7 @@ func Open(opts Options) (*Store, error) {
 		cfg := sparse.DefaultConfig(opts.ExpectedBytes)
 		cfg.Cost.Workers = opts.Workers
 		cfg.StoreData = opts.StoreData
+		cfg.Backend = be
 		var e *sparse.Engine
 		if e, err = sparse.New(cfg); err == nil {
 			s.eng = e
@@ -236,6 +357,7 @@ func Open(opts Options) (*Store, error) {
 		cfg := idedup.DefaultConfig(opts.ExpectedBytes)
 		cfg.Cost.Workers = opts.Workers
 		cfg.StoreData = opts.StoreData
+		cfg.Backend = be
 		if opts.MinRun > 0 {
 			cfg.MinRun = opts.MinRun
 		}
@@ -251,21 +373,156 @@ func Open(opts Options) (*Store, error) {
 		err = fmt.Errorf("repro: unknown engine kind %d", opts.Engine)
 	}
 	if err != nil {
+		be.Close() //nolint:errcheck // surfacing the construction error
+		return nil, err
+	}
+	if err := s.adoptExisting(context.Background()); err != nil {
+		be.Close() //nolint:errcheck // surfacing the adoption error
 		return nil, err
 	}
 	return s, nil
 }
 
+// adoptExisting detects a populated durable backend and replays it into the
+// fresh engine: container adoption plus backup-manifest reload.
+func (s *Store) adoptExisting(ctx context.Context) error {
+	if s.opts.Backend != FileBackend {
+		return nil
+	}
+	infos, err := s.be.List(ctx)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		return nil
+	}
+	ad, ok := s.eng.(engine.Adopter)
+	if !ok {
+		return fmt.Errorf("repro: engine %s cannot reopen a populated store (no index rebuild); use DeFrag or DDFSLike", s.eng.Name())
+	}
+	if err := ad.Adopt(ctx); err != nil {
+		return fmt.Errorf("repro: adopting existing store: %w", err)
+	}
+	return s.loadBackups()
+}
+
 // Engine returns the engine's name.
 func (s *Store) Engine() string { return s.eng.Name() }
 
+// BackendName returns the active backend's name ("sim", "file", or a
+// wrapped form like "retry(fault(file))").
+func (s *Store) BackendName() string { return s.be.Name() }
+
+// Close flushes the durable backend (manifest checkpoint, WAL fold) and
+// releases it. The Store must not be used afterwards. Close is a no-op on
+// the second call and for the in-memory backend is equivalent to dropping
+// the Store.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.durable() {
+		if err := s.saveBackupsManifest(); err != nil {
+			return err
+		}
+	}
+	return s.be.Close()
+}
+
+const (
+	backupsManifestName = "backups.json"
+	recipeDirName       = "recipes"
+)
+
+// backupManifestEntry is one line of the durable backup manifest.
+type backupManifestEntry struct {
+	Label  string      `json:"label"`
+	Recipe string      `json:"recipe"`
+	Stats  BackupStats `json:"stats"`
+}
+
+func (s *Store) durable() bool { return s.opts.Backend == FileBackend }
+
+// saveBackupsManifest atomically rewrites Dir/backups.json to the current
+// retained set.
+func (s *Store) saveBackupsManifest() error {
+	entries := make([]backupManifestEntry, len(s.backups))
+	for i, b := range s.backups {
+		entries[i] = backupManifestEntry{Label: b.Label, Recipe: b.recipeFile, Stats: b.Stats}
+	}
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return blockstore.WriteFileAtomic(filepath.Join(s.opts.Dir, backupsManifestName), blob, 0o644)
+}
+
+// persistBackup writes b's recipe under Dir/recipes and updates the backup
+// manifest, both via fsync'd atomic renames, so a crash between backups
+// loses at most the backup in flight.
+func (s *Store) persistBackup(b *Backup) error {
+	dir := filepath.Join(s.opts.Dir, recipeDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%06d.recipe", s.recipeSeq)
+	s.recipeSeq++
+	var buf bytes.Buffer
+	if err := trace.Save(&buf, b.recipe); err != nil {
+		return err
+	}
+	if err := blockstore.WriteFileAtomic(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	b.recipeFile = name
+	return s.saveBackupsManifest()
+}
+
+// loadBackups reloads the retained backups recorded by a previous process.
+func (s *Store) loadBackups() error {
+	blob, err := os.ReadFile(filepath.Join(s.opts.Dir, backupsManifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var entries []backupManifestEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		return fmt.Errorf("repro: bad backups manifest: %w", err)
+	}
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(s.opts.Dir, recipeDirName, e.Recipe))
+		if err != nil {
+			return err
+		}
+		rec, err := trace.Load(f)
+		f.Close() //nolint:errcheck // read-only
+		if err != nil {
+			return fmt.Errorf("repro: recipe %s: %w", e.Recipe, err)
+		}
+		b := &Backup{Label: e.Label, Stats: e.Stats, recipe: rec, recipeFile: e.Recipe}
+		s.backups = append(s.backups, b)
+		s.logical += e.Stats.LogicalBytes
+		var seq int
+		if _, err := fmt.Sscanf(e.Recipe, "%d.recipe", &seq); err == nil && seq >= s.recipeSeq {
+			s.recipeSeq = seq + 1
+		}
+	}
+	return nil
+}
+
 // Backup ingests one full-backup stream under label and returns the
-// recorded backup.
-func (s *Store) Backup(label string, r io.Reader) (*Backup, error) {
-	_, span := telemetry.StartSpan(context.Background(), "store.backup")
+// recorded backup. Cancelling ctx aborts the backup between segments; the
+// store stays consistent (sealed containers stay sealed, the index
+// flushes), the aborted backup is simply absent. On durable backends the
+// recipe and backup manifest are persisted before Backup returns.
+func (s *Store) Backup(ctx context.Context, label string, r io.Reader) (*Backup, error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.backup")
 	defer span.End()
 	telBackups.Inc()
-	rec, st, err := s.eng.Backup(label, r)
+	rec, st, err := s.eng.Backup(ctx, label, r)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +530,11 @@ func (s *Store) Backup(label string, r io.Reader) (*Backup, error) {
 	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
 	s.backups = append(s.backups, b)
 	s.logical += st.LogicalBytes
+	if s.durable() {
+		if err := s.persistBackup(b); err != nil {
+			return b, fmt.Errorf("repro: persisting backup %q: %w", label, err)
+		}
+	}
 	return b, nil
 }
 
@@ -293,14 +555,14 @@ type StreamInput struct {
 // stream pays its simulated costs on its own clock, and the merged
 // Duration is the slowest lane of the round, not the sum. Engines without
 // concurrent ingest fall back to the serial loop.
-func (s *Store) BackupStreams(inputs []StreamInput, concurrency int) ([]*Backup, BackupStats, error) {
-	_, span := telemetry.StartSpan(context.Background(), "store.backup_streams")
+func (s *Store) BackupStreams(ctx context.Context, inputs []StreamInput, concurrency int) ([]*Backup, BackupStats, error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.backup_streams")
 	defer span.End()
 	streams := make([]engine.Stream, len(inputs))
 	for i, in := range inputs {
 		streams[i] = engine.Stream{Label: in.Label, R: in.Stream}
 	}
-	results, merged, err := engine.RunStreams(s.eng, streams, concurrency)
+	results, merged, err := engine.RunStreams(ctx, s.eng, streams, concurrency)
 	span.SetSim(merged.Duration)
 	backups := make([]*Backup, 0, len(results))
 	for i := range results {
@@ -312,6 +574,11 @@ func (s *Store) BackupStreams(inputs []StreamInput, concurrency int) ([]*Backup,
 		s.backups = append(s.backups, b)
 		s.logical += results[i].Stats.LogicalBytes
 		backups = append(backups, b)
+		if s.durable() {
+			if perr := s.persistBackup(b); perr != nil && err == nil {
+				err = fmt.Errorf("repro: persisting backup %q: %w", b.Label, perr)
+			}
+		}
 	}
 	return backups, fromEngineStats(merged), err
 }
@@ -327,6 +594,12 @@ func (s *Store) Forget(label string) bool {
 	for i, b := range s.backups {
 		if b.Label == label {
 			s.backups = append(s.backups[:i], s.backups[i+1:]...)
+			if s.durable() {
+				if b.recipeFile != "" {
+					os.Remove(filepath.Join(s.opts.Dir, recipeDirName, b.recipeFile)) //nolint:errcheck // best-effort
+				}
+				s.saveBackupsManifest() //nolint:errcheck // next successful save repairs it
+			}
 			return true
 		}
 	}
@@ -391,10 +664,10 @@ func DefaultRestoreOptions() RestoreOptions {
 // without materializing). verify recomputes chunk fingerprints and requires
 // Options.StoreData. It runs the legacy shape (serial LRU cache); use
 // RestoreWith for the pipelined read path.
-func (s *Store) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
+func (s *Store) Restore(ctx context.Context, b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
 	opts := DefaultRestoreOptions()
 	opts.Verify = verify
-	return s.RestoreWith(b, w, opts)
+	return s.RestoreWith(ctx, b, w, opts)
 }
 
 // RestoreWith reconstructs backup b under explicit restore options. The
@@ -402,8 +675,8 @@ func (s *Store) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, erro
 // original restore.Run code path; any other shape runs the pipelined
 // engine, whose serial LRU results are bit-identical to Run by
 // construction (pinned in internal/restore's tests).
-func (s *Store) RestoreWith(b *Backup, w io.Writer, opts RestoreOptions) (RestoreStats, error) {
-	_, span := telemetry.StartSpan(context.Background(), "store.restore")
+func (s *Store) RestoreWith(ctx context.Context, b *Backup, w io.Writer, opts RestoreOptions) (RestoreStats, error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.restore")
 	defer span.End()
 	telRestores.Inc()
 	if opts.CacheContainers <= 0 {
@@ -413,7 +686,7 @@ func (s *Store) RestoreWith(b *Backup, w io.Writer, opts RestoreOptions) (Restor
 	var err error
 	if opts.Policy == RestoreLRU && opts.Workers <= 1 && !opts.Coalesce && !opts.ChunkCache {
 		cfg := restore.Config{CacheContainers: opts.CacheContainers, Verify: opts.Verify}
-		st, err = restore.Run(s.eng.Containers(), b.recipe, cfg, w)
+		st, err = restore.Run(ctx, s.eng.Containers(), b.recipe, cfg, w)
 	} else {
 		cfg := restore.PipelineConfig{
 			CacheContainers: opts.CacheContainers,
@@ -425,7 +698,7 @@ func (s *Store) RestoreWith(b *Backup, w io.Writer, opts RestoreOptions) (Restor
 		if opts.Policy == RestoreOPT {
 			cfg.Policy = restore.PolicyOPT
 		}
-		st, err = restore.RunPipelined(s.eng.Containers(), b.recipe, cfg, w)
+		st, err = restore.RunPipelined(ctx, s.eng.Containers(), b.recipe, cfg, w)
 	}
 	if err != nil {
 		return RestoreStats{}, err
@@ -438,11 +711,11 @@ func (s *Store) RestoreWith(b *Backup, w io.Writer, opts RestoreOptions) (Restor
 // algorithm instead of the LRU container cache: memory is bounded by
 // areaBytes and every container is read at most once per assembly window,
 // regardless of how badly fragmentation interleaves the recipe.
-func (s *Store) RestoreFAA(b *Backup, w io.Writer, areaBytes int64, verify bool) (RestoreStats, error) {
-	_, span := telemetry.StartSpan(context.Background(), "store.restore")
+func (s *Store) RestoreFAA(ctx context.Context, b *Backup, w io.Writer, areaBytes int64, verify bool) (RestoreStats, error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.restore")
 	defer span.End()
 	telRestores.Inc()
-	st, err := restore.RunFAA(s.eng.Containers(), b.recipe, restore.FAAConfig{AreaBytes: areaBytes, Verify: verify}, w)
+	st, err := restore.RunFAA(ctx, s.eng.Containers(), b.recipe, restore.FAAConfig{AreaBytes: areaBytes, Verify: verify}, w)
 	if err != nil {
 		return RestoreStats{}, err
 	}
@@ -482,8 +755,8 @@ type CompactStats struct {
 // This is an extension beyond the paper (its future-work cleanup path);
 // the I/O it performs is charged to the simulated clock like any other
 // operation.
-func (s *Store) Compact(threshold float64) (CompactStats, error) {
-	_, span := telemetry.StartSpan(context.Background(), "store.compact")
+func (s *Store) Compact(ctx context.Context, threshold float64) (CompactStats, error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.compact")
 	defer span.End()
 	telCompacts.Inc()
 	type indexed interface{ Index() *cindex.Index }
@@ -495,7 +768,7 @@ func (s *Store) Compact(threshold float64) (CompactStats, error) {
 	for i, b := range s.backups {
 		recipes[i] = b.recipe
 	}
-	res, err := gc.Collect(s.eng.Containers(), eng.Index(), recipes, threshold)
+	res, err := gc.Collect(ctx, s.eng.Containers(), eng.Index(), recipes, threshold)
 	if err != nil {
 		return CompactStats{}, err
 	}
@@ -527,7 +800,7 @@ func (r CheckReport) OK() bool { return len(r.Problems) == 0 }
 // and every backup's recipe references. verifyData additionally re-hashes
 // all referenced chunk content and requires Options.StoreData. Check
 // charges no simulated time.
-func (s *Store) Check(verifyData bool) (CheckReport, error) {
+func (s *Store) Check(ctx context.Context, verifyData bool) (CheckReport, error) {
 	var index *cindex.Index
 	if eng, ok := s.eng.(interface{ Index() *cindex.Index }); ok {
 		index = eng.Index()
@@ -536,7 +809,7 @@ func (s *Store) Check(verifyData bool) (CheckReport, error) {
 	for i, b := range s.backups {
 		recipes[i] = b.recipe
 	}
-	rep, err := fsck.Check(s.eng.Containers(), index, recipes, verifyData)
+	rep, err := fsck.Check(ctx, s.eng.Containers(), index, recipes, verifyData)
 	if err != nil {
 		return CheckReport{}, err
 	}
@@ -548,6 +821,69 @@ func (s *Store) Check(verifyData bool) (CheckReport, error) {
 		HashedChunks: rep.HashedChunks,
 		Problems:     rep.Problems,
 	}, nil
+}
+
+// RepairReport summarizes a Repair pass.
+type RepairReport struct {
+	// Quarantined lists the containers removed from the store, ascending.
+	Quarantined []uint32
+	// Reasons maps each quarantined container to why it was condemned.
+	Reasons map[uint32]string
+	// IndexDropped counts chunk-index entries purged with the containers.
+	IndexDropped int
+	// LostBackups lists the labels of backups that referenced a
+	// quarantined container; they are dropped from the retained set (they
+	// can no longer restore in full).
+	LostBackups []string
+}
+
+// Repair scans the store for containers violating invariants — malformed
+// metadata, and with verifyData also torn or unreadable data sections and
+// content-hash mismatches — and quarantines them: the durable file backend
+// moves their files into quarantine/ with a reason note, the engine's index
+// forgets their fingerprints so future backups re-store that data, and
+// backups that referenced them are dropped from the retained set and
+// reported. After a successful Repair, Check is clean.
+func (s *Store) Repair(ctx context.Context, verifyData bool) (RepairReport, error) {
+	var drop fsck.IndexDropper
+	if d, ok := s.eng.(fsck.IndexDropper); ok {
+		drop = d
+	}
+	recipes := make([]*chunk.Recipe, len(s.backups))
+	for i, b := range s.backups {
+		recipes[i] = b.recipe
+	}
+	res, err := fsck.Repair(ctx, s.eng.Containers(), drop, recipes, verifyData)
+	if res == nil {
+		return RepairReport{}, err
+	}
+	rep := RepairReport{
+		Quarantined:  res.Quarantined,
+		Reasons:      res.Reasons,
+		IndexDropped: res.IndexDropped,
+		LostBackups:  res.LostBackups,
+	}
+	if len(res.LostBackups) > 0 {
+		lost := make(map[string]bool, len(res.LostBackups))
+		for _, l := range res.LostBackups {
+			lost[l] = true
+		}
+		kept := s.backups[:0]
+		for _, b := range s.backups {
+			if lost[b.Label] {
+				s.logical -= b.Stats.LogicalBytes
+				continue
+			}
+			kept = append(kept, b)
+		}
+		s.backups = kept
+		if s.durable() {
+			if merr := s.saveBackupsManifest(); merr != nil && err == nil {
+				err = merr
+			}
+		}
+	}
+	return rep, err
 }
 
 // Stats returns current storage statistics.

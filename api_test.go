@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -71,12 +72,12 @@ func TestBackupRestoreRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		data := randStream(3<<20, int64(kind)+1)
-		b, err := s.Backup("b0", bytes.NewReader(data))
+		b, err := s.Backup(context.Background(), "b0", bytes.NewReader(data))
 		if err != nil {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		rst, err := s.Restore(b, &out, true)
+		rst, err := s.Restore(context.Background(), b, &out, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,8 +94,8 @@ func TestDedupAcrossBackups(t *testing.T) {
 	eachEngine(t, func(t *testing.T, kind EngineKind) {
 		s, _ := Open(Options{Engine: kind, ExpectedBytes: 64 << 20, Alpha: 0.1})
 		data := randStream(3<<20, 7)
-		s.Backup("b0", bytes.NewReader(data))
-		b1, err := s.Backup("b1", bytes.NewReader(data))
+		s.Backup(context.Background(), "b0", bytes.NewReader(data))
+		b1, err := s.Backup(context.Background(), "b1", bytes.NewReader(data))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,8 +118,8 @@ func TestDedupAcrossBackups(t *testing.T) {
 func TestEfficiencyTracking(t *testing.T) {
 	s, _ := Open(Options{Engine: DeFrag, ExpectedBytes: 64 << 20, Alpha: 0.1, TrackEfficiency: true})
 	data := randStream(2<<20, 9)
-	s.Backup("b0", bytes.NewReader(data))
-	b1, _ := s.Backup("b1", bytes.NewReader(data))
+	s.Backup(context.Background(), "b0", bytes.NewReader(data))
+	b1, _ := s.Backup(context.Background(), "b1", bytes.NewReader(data))
 	if b1.Stats.OracleRedundantBytes != int64(len(data)) {
 		t.Fatalf("oracle redundancy %d, want %d", b1.Stats.OracleRedundantBytes, len(data))
 	}
@@ -129,21 +130,21 @@ func TestEfficiencyTracking(t *testing.T) {
 
 func TestVerifyWithoutStoreDataFails(t *testing.T) {
 	s, _ := Open(Options{Engine: DeFrag, ExpectedBytes: 16 << 20})
-	b, err := s.Backup("b0", bytes.NewReader(randStream(1<<20, 11)))
+	b, err := s.Backup(context.Background(), "b0", bytes.NewReader(randStream(1<<20, 11)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Restore(b, nil, true); err == nil {
+	if _, err := s.Restore(context.Background(), b, nil, true); err == nil {
 		t.Fatal("verify without StoreData must error")
 	}
-	if _, err := s.Restore(b, nil, false); err != nil {
+	if _, err := s.Restore(context.Background(), b, nil, false); err != nil {
 		t.Fatalf("metadata-only restore should work: %v", err)
 	}
 }
 
 func TestBackupAccessors(t *testing.T) {
 	s, _ := Open(Options{Engine: DDFSLike, ExpectedBytes: 16 << 20})
-	b, _ := s.Backup("acc", bytes.NewReader(randStream(1<<20, 13)))
+	b, _ := s.Backup(context.Background(), "acc", bytes.NewReader(randStream(1<<20, 13)))
 	if b.Chunks() == 0 || b.Fragments() == 0 {
 		t.Fatalf("accessors: chunks=%d fragments=%d", b.Chunks(), b.Fragments())
 	}
@@ -167,7 +168,7 @@ func TestSimulatedTimeAdvances(t *testing.T) {
 		t.Log("store opened at time 0")
 	}
 	before := s.SimulatedTime()
-	s.Backup("t", bytes.NewReader(randStream(1<<20, 15)))
+	s.Backup(context.Background(), "t", bytes.NewReader(randStream(1<<20, 15)))
 	if s.SimulatedTime() <= before {
 		t.Fatal("backup must consume simulated time")
 	}
@@ -197,15 +198,15 @@ var _ io.Writer = (*bytes.Buffer)(nil)
 func TestRestoreFAAMatchesLRURestore(t *testing.T) {
 	s, _ := Open(Options{Engine: DeFrag, Alpha: 0.1, StoreData: true, ExpectedBytes: 32 << 20})
 	data := randStream(3<<20, 71)
-	b, err := s.Backup("faa", bytes.NewReader(data))
+	b, err := s.Backup(context.Background(), "faa", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var lru, faa bytes.Buffer
-	if _, err := s.Restore(b, &lru, true); err != nil {
+	if _, err := s.Restore(context.Background(), b, &lru, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RestoreFAA(b, &faa, 8<<20, true); err != nil {
+	if _, err := s.RestoreFAA(context.Background(), b, &faa, 8<<20, true); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(lru.Bytes(), faa.Bytes()) || !bytes.Equal(faa.Bytes(), data) {
@@ -220,8 +221,8 @@ func TestWorkersProduceIdenticalResults(t *testing.T) {
 			t.Fatal(err)
 		}
 		data := randStream(4<<20, 201)
-		s.Backup("w0", bytes.NewReader(data))
-		b, err := s.Backup("w1", bytes.NewReader(data))
+		s.Backup(context.Background(), "w0", bytes.NewReader(data))
+		b, err := s.Backup(context.Background(), "w1", bytes.NewReader(data))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/archive"
@@ -16,12 +17,12 @@ import (
 // archive carries real chunk content and restores from it verify; without,
 // it carries placement metadata only (timing experiments can resume, but
 // content restores cannot).
-func (s *Store) Export(dir string) error {
+func (s *Store) Export(ctx context.Context, dir string) error {
 	recipes := make([]*chunk.Recipe, len(s.backups))
 	for i, b := range s.backups {
 		recipes[i] = b.recipe
 	}
-	return archive.Export(dir, s.eng.Containers(), recipes)
+	return archive.Export(ctx, dir, s.eng.Containers(), recipes)
 }
 
 // Archive is a read-only store loaded from an exported directory: its
@@ -34,8 +35,8 @@ type Archive struct {
 }
 
 // OpenArchive loads an archive directory written by Store.Export.
-func OpenArchive(dir string) (*Archive, error) {
-	store, recipes, err := archive.Import(dir)
+func OpenArchive(ctx context.Context, dir string) (*Archive, error) {
+	store, recipes, err := archive.Import(ctx, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -52,10 +53,10 @@ func OpenArchive(dir string) (*Archive, error) {
 func (a *Archive) Backups() []*Backup { return a.backups }
 
 // Restore reconstructs an archived backup (see Store.Restore).
-func (a *Archive) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
+func (a *Archive) Restore(ctx context.Context, b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
 	cfg := restore.DefaultConfig()
 	cfg.Verify = verify
-	st, err := restore.Run(a.store, b.recipe, cfg, w)
+	st, err := restore.Run(ctx, a.store, b.recipe, cfg, w)
 	if err != nil {
 		return RestoreStats{}, err
 	}
@@ -63,12 +64,12 @@ func (a *Archive) Restore(b *Backup, w io.Writer, verify bool) (RestoreStats, er
 }
 
 // Check validates the archive's internal consistency (see Store.Check).
-func (a *Archive) Check(verifyData bool) (CheckReport, error) {
+func (a *Archive) Check(ctx context.Context, verifyData bool) (CheckReport, error) {
 	recipes := make([]*chunk.Recipe, len(a.backups))
 	for i, b := range a.backups {
 		recipes[i] = b.recipe
 	}
-	rep, err := fsck.Check(a.store, nil, recipes, verifyData)
+	rep, err := fsck.Check(ctx, a.store, nil, recipes, verifyData)
 	if err != nil {
 		return CheckReport{}, err
 	}

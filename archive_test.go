@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -12,15 +13,15 @@ func TestStoreExportOpenArchive(t *testing.T) {
 	}
 	data1 := randStream(2<<20, 101)
 	data2 := append(append([]byte{}, data1[:1<<20]...), randStream(1<<20, 102)...)
-	s.Backup("mon", bytes.NewReader(data1))
-	s.Backup("tue", bytes.NewReader(data2))
+	s.Backup(context.Background(), "mon", bytes.NewReader(data1))
+	s.Backup(context.Background(), "tue", bytes.NewReader(data2))
 
 	dir := t.TempDir()
-	if err := s.Export(dir); err != nil {
+	if err := s.Export(context.Background(), dir); err != nil {
 		t.Fatal(err)
 	}
 
-	a, err := OpenArchive(dir)
+	a, err := OpenArchive(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,13 +30,13 @@ func TestStoreExportOpenArchive(t *testing.T) {
 		t.Fatalf("archive backups: %+v", backups)
 	}
 	var out bytes.Buffer
-	if _, err := a.Restore(backups[1], &out, true); err != nil {
+	if _, err := a.Restore(context.Background(), backups[1], &out, true); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), data2) {
 		t.Fatal("archived restore differs from original")
 	}
-	rep, err := a.Check(true)
+	rep, err := a.Check(context.Background(), true)
 	if err != nil || !rep.OK() {
 		t.Fatalf("archive check: %v %v", err, rep.Problems)
 	}
@@ -46,7 +47,7 @@ func TestStoreExportOpenArchive(t *testing.T) {
 }
 
 func TestOpenArchiveMissingDir(t *testing.T) {
-	if _, err := OpenArchive(t.TempDir() + "/nope"); err == nil {
+	if _, err := OpenArchive(context.Background(), t.TempDir()+"/nope"); err == nil {
 		t.Fatal("missing archive must error")
 	}
 }

@@ -12,6 +12,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -161,7 +162,7 @@ func benchIngest(b *testing.B, kind EngineKind) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, err := s.Backup("bench", bytes.NewReader(data)); err != nil {
+		if _, err := s.Backup(context.Background(), "bench", bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
 		}
 	}

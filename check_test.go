@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -12,9 +13,9 @@ func TestCheckCleanStoreAllEngines(t *testing.T) {
 			t.Fatal(err)
 		}
 		data := randStream(2<<20, int64(kind)*3+1)
-		s.Backup("a", bytes.NewReader(data))
-		s.Backup("b", bytes.NewReader(data))
-		rep, err := s.Check(true)
+		s.Backup(context.Background(), "a", bytes.NewReader(data))
+		s.Backup(context.Background(), "b", bytes.NewReader(data))
+		rep, err := s.Check(context.Background(), true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -32,12 +33,12 @@ func TestCheckAfterCompact(t *testing.T) {
 	data1 := randStream(3<<20, 51)
 	// Build overlapping streams so rewrites (and thus garbage) occur.
 	data2 := append(append([]byte{}, data1[:1<<20]...), randStream(2<<20, 52)...)
-	s.Backup("a", bytes.NewReader(data1))
-	s.Backup("b", bytes.NewReader(data2))
-	if _, err := s.Compact(0.9); err != nil {
+	s.Backup(context.Background(), "a", bytes.NewReader(data1))
+	s.Backup(context.Background(), "b", bytes.NewReader(data2))
+	if _, err := s.Compact(context.Background(), 0.9); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Check(true)
+	rep, err := s.Check(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func TestCheckAfterCompact(t *testing.T) {
 
 func TestCheckVerifyRequiresStoreData(t *testing.T) {
 	s, _ := Open(Options{Engine: DeFrag, ExpectedBytes: 16 << 20})
-	s.Backup("a", bytes.NewReader(randStream(1<<20, 53)))
-	if _, err := s.Check(true); err == nil {
+	s.Backup(context.Background(), "a", bytes.NewReader(randStream(1<<20, 53)))
+	if _, err := s.Check(context.Background(), true); err == nil {
 		t.Fatal("verifyData without StoreData must error")
 	}
-	rep, err := s.Check(false)
+	rep, err := s.Check(context.Background(), false)
 	if err != nil || !rep.OK() {
 		t.Fatalf("metadata-only check: %v %v", err, rep.Problems)
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,10 +27,13 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/telemetry"
 )
 
-func main() {
+func main() { cli.Main("dedupscan", realMain) }
+
+func realMain() error {
 	var (
 		engineName = flag.String("engine", "defrag", "engine: defrag, ddfs, silo, sparse, idedup")
 		alpha      = flag.Float64("alpha", 0.1, "DeFrag SPL threshold α")
@@ -39,25 +43,21 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dedupscan [flags] DIR [DIR2 ...]")
-		os.Exit(2)
+		return cli.Usagef("usage: dedupscan [flags] DIR [DIR2 ...]")
 	}
 	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dedupscan:", err)
-		os.Exit(1)
+		return err
 	}
 	defer ep.Close()
 	if a := ep.Addr(); a != "" {
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
 	}
-	if err := run(*engineName, *alpha, *workers, flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "dedupscan:", err)
-		os.Exit(1)
-	}
+	return run(*engineName, *alpha, *workers, flag.Args())
 }
 
 func run(engineName string, alpha float64, workers int, dirs []string) error {
+	ctx := context.Background()
 	kind, err := repro.ParseEngineKind(engineName)
 	if err != nil {
 		return err
@@ -76,11 +76,12 @@ func run(engineName string, alpha float64, workers int, dirs []string) error {
 	if err != nil {
 		return err
 	}
+	defer store.Close() //nolint:errcheck // sim backend: close cannot fail meaningfully
 
 	for i, dir := range dirs {
 		pr, pw := io.Pipe()
 		go func(d string) { pw.CloseWithError(streamTree(d, pw)) }(dir)
-		b, err := store.Backup(fmt.Sprintf("scan%02d:%s", i, dir), pr)
+		b, err := store.Backup(ctx, fmt.Sprintf("scan%02d:%s", i, dir), pr)
 		if err != nil {
 			return fmt.Errorf("ingesting %s: %w", dir, err)
 		}

@@ -12,21 +12,32 @@
 //	dedupsim -engine defrag -alpha 0.2 -restore
 //	dedupsim -engine defrag -verify            # end-to-end content verification
 //	dedupsim -catalog /tmp/catalog             # save recipes for later analysis
+//
+// Durable-store workflow (see README "Durability & backends"):
+//
+//	dedupsim -backend file -store.dir /tmp/st -verify -gens 4              # durable run
+//	dedupsim -backend file -store.dir /tmp/st -verify -gens 4 -crash.after 2  # die mid-run
+//	dedupsim -backend file -store.dir /tmp/st -verify -fsckonly            # reopen + check
+//	dedupsim -backend file -store.dir /tmp/st -verify -fsckonly -repair    # quarantine bad containers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("dedupsim", realMain) }
+
+func realMain() error {
 	var (
 		engineName = flag.String("engine", "defrag", "engine: defrag, ddfs, silo, sparse, idedup")
 		gens       = flag.Int("gens", 10, "backup generations to ingest")
@@ -44,6 +55,14 @@ func main() {
 		streams    = flag.Int("streams", 1, "concurrent backup streams per round (>1 switches to a multi-user schedule)")
 		check      = flag.Bool("check", false, "run a consistency check (fsck) at the end")
 		export     = flag.String("export", "", "directory to export the store archive into")
+		backend    = flag.String("backend", "sim", "storage backend: sim (in-memory) or file (durable directory store)")
+		storeDir   = flag.String("store.dir", "", "file backend root directory (required for -backend file)")
+		faultSeed  = flag.Int64("faults.seed", 0, "fault injector PRNG seed (with any -faults.* rate)")
+		faultTrans = flag.Float64("faults.transient", 0, "probability a backend op first fails with a retryable EIO")
+		faultTorn  = flag.Float64("faults.torn", 0, "probability a container seal persists only half its data")
+		fsckOnly   = flag.Bool("fsckonly", false, "skip ingest: reopen the store (-backend file) and run fsck only")
+		repair     = flag.Bool("repair", false, "with -fsckonly: quarantine invariant-failing containers")
+		crashAfter = flag.Int("crash.after", 0, "exit without closing the store after N generations (crash-recovery testing)")
 		telAddr    = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		telEvents  = flag.String("telemetry.events", "", "write JSONL span events to this file")
 		telHold    = flag.Bool("telemetry.hold", false, "after the run, keep the telemetry endpoint serving until interrupted")
@@ -51,21 +70,21 @@ func main() {
 	flag.Parse()
 	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dedupsim:", err)
-		os.Exit(1)
+		return err
 	}
 	defer ep.Close()
 	if a := ep.Addr(); a != "" {
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
 	}
-	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *streams, *check, *export, *rMode, *rCache, *rWorkers}); err != nil {
-		fmt.Fprintln(os.Stderr, "dedupsim:", err)
-		os.Exit(1)
+	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *streams, *check, *export, *rMode, *rCache, *rWorkers,
+		*backend, *storeDir, *faultSeed, *faultTrans, *faultTorn, *fsckOnly, *repair, *crashAfter}); err != nil {
+		return err
 	}
 	if *telHold && ep.Addr() != "" {
 		fmt.Fprintf(os.Stderr, "telemetry: run complete, holding http://%s (Ctrl-C to exit)\n", ep.Addr())
 		select {}
 	}
+	return nil
 }
 
 type params struct {
@@ -86,18 +105,27 @@ type params struct {
 	restoreMode    string
 	restoreCache   int
 	restoreWorkers int
+
+	backend    string
+	storeDir   string
+	faultSeed  int64
+	faultTrans float64
+	faultTorn  float64
+	fsckOnly   bool
+	repair     bool
+	crashAfter int
 }
 
 // restoreOne restores one backup through the strategy selected by
 // -restore.mode, sharing the cache/workers knobs across both the
 // single-stream and multi-stream paths.
-func restoreOne(p params, store *repro.Store, b *repro.Backup) (repro.RestoreStats, error) {
+func restoreOne(ctx context.Context, p params, store *repro.Store, b *repro.Backup) (repro.RestoreStats, error) {
 	if p.restoreMode == "faa" {
 		cache := p.restoreCache
 		if cache <= 0 {
 			cache = repro.DefaultRestoreOptions().CacheContainers
 		}
-		return store.RestoreFAA(b, nil, int64(cache)<<22, p.verify)
+		return store.RestoreFAA(ctx, b, nil, int64(cache)<<22, p.verify)
 	}
 	opts := repro.DefaultRestoreOptions()
 	opts.Verify = p.verify
@@ -115,13 +143,18 @@ func restoreOne(p params, store *repro.Store, b *repro.Backup) (repro.RestoreSta
 	default:
 		return repro.RestoreStats{}, fmt.Errorf("unknown -restore.mode %q (want lru, opt, pipelined or faa)", p.restoreMode)
 	}
-	return store.RestoreWith(b, nil, opts)
+	return store.RestoreWith(ctx, b, nil, opts)
 }
 
 func run(p params) error {
+	ctx := context.Background()
 	engineName, gens, files, fileKB := p.engineName, p.gens, p.files, p.fileKB
 	alpha, seed, doRestore, verify, catalog := p.alpha, p.seed, p.doRestore, p.verify, p.catalog
 	kind, err := repro.ParseEngineKind(engineName)
+	if err != nil {
+		return err
+	}
+	bkind, err := repro.ParseBackendKind(p.backend)
 	if err != nil {
 		return err
 	}
@@ -140,12 +173,23 @@ func run(p params) error {
 		StoreData:       verify,
 		TrackEfficiency: true,
 		Workers:         p.workers,
+		Backend:         bkind,
+		Dir:             p.storeDir,
+		Faults: repro.FaultOptions{
+			Seed:          p.faultSeed,
+			TransientRate: p.faultTrans,
+			TornRate:      p.faultTorn,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	defer store.Close() //nolint:errcheck // error paths below surface first
+	if p.fsckOnly {
+		return runFsck(ctx, p, store)
+	}
 	if p.streams > 1 {
-		return runStreams(p, store, wcfg)
+		return runStreams(ctx, p, store, wcfg)
 	}
 	sched, err := workload.NewSingle(wcfg)
 	if err != nil {
@@ -160,7 +204,7 @@ func run(p params) error {
 
 	for g := 0; g < gens; g++ {
 		bk := sched.Next()
-		b, err := store.Backup(bk.Label, bk.Stream)
+		b, err := store.Backup(ctx, bk.Label, bk.Stream)
 		if err != nil {
 			return err
 		}
@@ -174,7 +218,7 @@ func run(p params) error {
 			metrics.F3(b.Stats.Efficiency()),
 		}
 		if doRestore || verify {
-			rst, err := restoreOne(p, store, b)
+			rst, err := restoreOne(ctx, p, store, b)
 			if err != nil {
 				return err
 			}
@@ -185,6 +229,13 @@ func run(p params) error {
 			if err := saveCatalog(catalog, b); err != nil {
 				return err
 			}
+		}
+		if p.crashAfter > 0 && g+1 >= p.crashAfter {
+			// Simulated crash: exit without closing the store, so neither
+			// the backend manifest nor the WAL gets a clean shutdown. A
+			// later -fsckonly run must recover from the WAL alone.
+			fmt.Fprintf(os.Stderr, "dedupsim: simulating crash after generation %d\n", g+1)
+			os.Exit(0)
 		}
 	}
 
@@ -201,7 +252,7 @@ func run(p params) error {
 		fmt.Println("content verification: all restored chunks matched their fingerprints")
 	}
 	if p.check {
-		rep, err := store.Check(verify)
+		rep, err := store.Check(ctx, verify)
 		if err != nil {
 			return err
 		}
@@ -212,10 +263,48 @@ func run(p params) error {
 			rep.Containers, rep.RecipeRefs, rep.HashedChunks)
 	}
 	if p.export != "" {
-		if err := store.Export(p.export); err != nil {
+		if err := store.Export(ctx, p.export); err != nil {
 			return err
 		}
 		fmt.Printf("archive exported to %s\n", p.export)
+	}
+	return nil
+}
+
+// runFsck reopens an existing durable store (adoption already happened in
+// repro.Open), optionally repairs it, checks it, and — with -verify —
+// restore-verifies every retained backup end to end.
+func runFsck(ctx context.Context, p params, store *repro.Store) error {
+	if p.repair {
+		rep, err := store.Repair(ctx, p.verify)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repair: quarantined %d containers, dropped %d index entries, lost %d backups\n",
+			len(rep.Quarantined), rep.IndexDropped, len(rep.LostBackups))
+		for _, cid := range rep.Quarantined {
+			fmt.Printf("  container %d: %s\n", cid, rep.Reasons[cid])
+		}
+		for _, l := range rep.LostBackups {
+			fmt.Printf("  lost backup: %s\n", l)
+		}
+	}
+	rep, err := store.Check(ctx, p.verify)
+	if err != nil {
+		return err
+	}
+	if !rep.OK() {
+		return fmt.Errorf("fsck found %d problems, first: %s", len(rep.Problems), rep.Problems[0])
+	}
+	fmt.Printf("fsck: OK (%d containers, %d recipe refs, %d chunks re-hashed, %d backups retained)\n",
+		rep.Containers, rep.RecipeRefs, rep.HashedChunks, len(store.Backups()))
+	if p.verify {
+		for _, b := range store.Backups() {
+			if _, err := store.Restore(ctx, b, nil, true); err != nil {
+				return fmt.Errorf("restore-verify %s: %w", b.Label, err)
+			}
+		}
+		fmt.Printf("restore-verify: %d backups reconstructed and content-checked\n", len(store.Backups()))
 	}
 	return nil
 }
@@ -224,7 +313,7 @@ func run(p params) error {
 // streams per round: each of -gens rounds backs up every user once, up to
 // p.streams of them in flight at a time. Each table row is one round's
 // merged statistics.
-func runStreams(p params, store *repro.Store, wcfg workload.Config) error {
+func runStreams(ctx context.Context, p params, store *repro.Store, wcfg workload.Config) error {
 	sched, err := workload.NewMultiUser(p.streams, wcfg)
 	if err != nil {
 		return err
@@ -240,7 +329,7 @@ func runStreams(p params, store *repro.Store, wcfg workload.Config) error {
 		for i, bk := range round {
 			inputs[i] = repro.StreamInput{Label: bk.Label, Stream: bk.Stream}
 		}
-		backups, merged, err := store.BackupStreams(inputs, p.streams)
+		backups, merged, err := store.BackupStreams(ctx, inputs, p.streams)
 		if err != nil {
 			return err
 		}
@@ -257,7 +346,7 @@ func runStreams(p params, store *repro.Store, wcfg workload.Config) error {
 			var mbps float64
 			var frags int
 			for _, b := range backups {
-				rst, err := restoreOne(p, store, b)
+				rst, err := restoreOne(ctx, p, store, b)
 				if err != nil {
 					return err
 				}
@@ -289,7 +378,7 @@ func runStreams(p params, store *repro.Store, wcfg workload.Config) error {
 		float64(st.LogicalBytes)/1e6, float64(st.StoredBytes)/1e6, st.Containers,
 		st.CompressionRatio, st.Utilization*100, store.SimulatedTime().Seconds())
 	if p.check {
-		rep, err := store.Check(p.verify)
+		rep, err := store.Check(ctx, p.verify)
 		if err != nil {
 			return err
 		}

@@ -27,10 +27,13 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/telemetry"
 )
 
-func main() {
+func main() { cli.Main("defragbench", realMain) }
+
+func realMain() error {
 	var (
 		fig       = flag.String("fig", "all", "which figure to regenerate: all, 2, 3, 4, 5, 6, eq1, extended, layout, alpha, ablations (comma-separated)")
 		seed      = flag.Int64("seed", 42, "workload seed")
@@ -55,8 +58,7 @@ func main() {
 
 	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "defragbench:", err)
-		os.Exit(1)
+		return err
 	}
 	defer ep.Close()
 	if a := ep.Addr(); a != "" {
@@ -74,30 +76,15 @@ func main() {
 	cfg.RestoreCache = *rCache
 
 	if *rbOut != "" {
-		if err := emitRestoreBench(cfg, *engine, *rCache, *rWorkers, *rbOut); err != nil {
-			fmt.Fprintln(os.Stderr, "defragbench:", err)
-			os.Exit(1)
-		}
-		return
+		return emitRestoreBench(cfg, *engine, *rCache, *rWorkers, *rbOut)
 	}
 	if *msOut != "" {
-		if err := emitMultiStream(cfg, *engine, *streams, *msOut); err != nil {
-			fmt.Fprintln(os.Stderr, "defragbench:", err)
-			os.Exit(1)
-		}
-		return
+		return emitMultiStream(cfg, *engine, *streams, *msOut)
 	}
 	if *jsonOut {
-		if err := emitTrajectory(cfg, *engine); err != nil {
-			fmt.Fprintln(os.Stderr, "defragbench:", err)
-			os.Exit(1)
-		}
-		return
+		return emitTrajectory(cfg, *engine)
 	}
-	if err := dispatch(*fig, cfg, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "defragbench:", err)
-		os.Exit(1)
-	}
+	return dispatch(*fig, cfg, *csvDir)
 }
 
 // emitTrajectory runs one per-generation benchmark trajectory and writes it

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestCompactEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Backup(b.Label, bytes.NewReader(data)); err != nil {
+		if _, err := s.Backup(context.Background(), b.Label, bytes.NewReader(data)); err != nil {
 			t.Fatal(err)
 		}
 		datas = append(datas, data)
@@ -36,7 +37,7 @@ func TestCompactEndToEnd(t *testing.T) {
 		t.Skip("workload produced no garbage at this scale")
 	}
 
-	cs, err := s.Compact(0.8)
+	cs, err := s.Compact(context.Background(), 0.8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestCompactEndToEnd(t *testing.T) {
 	// Every retained backup must restore bit-exactly after compaction.
 	for i, b := range s.Backups() {
 		var out bytes.Buffer
-		if _, err := s.Restore(b, &out, true); err != nil {
+		if _, err := s.Restore(context.Background(), b, &out, true); err != nil {
 			t.Fatalf("backup %d after compact: %v", i, err)
 		}
 		if !bytes.Equal(out.Bytes(), datas[i]) {
@@ -56,12 +57,12 @@ func TestCompactEndToEnd(t *testing.T) {
 	// And the store keeps working: one more backup + verified restore.
 	b := sched.Next()
 	data, _ := io.ReadAll(b.Stream)
-	bk, err := s.Backup(b.Label, bytes.NewReader(data))
+	bk, err := s.Backup(context.Background(), b.Label, bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if _, err := s.Restore(bk, &out, true); err != nil {
+	if _, err := s.Restore(context.Background(), bk, &out, true); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), data) {
@@ -71,14 +72,14 @@ func TestCompactEndToEnd(t *testing.T) {
 
 func TestCompactThresholdValidation(t *testing.T) {
 	s, _ := Open(Options{Engine: DeFrag, ExpectedBytes: 16 << 20})
-	if _, err := s.Compact(1.5); err == nil {
+	if _, err := s.Compact(context.Background(), 1.5); err == nil {
 		t.Fatal("bad threshold must error")
 	}
 }
 
 func TestCompactUnsupportedEngine(t *testing.T) {
 	s, _ := Open(Options{Engine: SiLoLike, ExpectedBytes: 16 << 20})
-	if _, err := s.Compact(0.5); err == nil {
+	if _, err := s.Compact(context.Background(), 0.5); err == nil {
 		t.Fatal("SiLo has no index; compaction must be rejected")
 	}
 }
@@ -90,7 +91,7 @@ func TestForgetEnablesReclaim(t *testing.T) {
 	sched, _ := workload.NewSingle(wcfg)
 	for g := 0; g < 6; g++ {
 		b := sched.Next()
-		if _, err := s.Backup(b.Label, b.Stream); err != nil {
+		if _, err := s.Backup(context.Background(), b.Label, b.Stream); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -103,7 +104,7 @@ func TestForgetEnablesReclaim(t *testing.T) {
 	if len(s.Backups()) != 3 {
 		t.Fatalf("backups left: %d", len(s.Backups()))
 	}
-	cs, err := s.Compact(1.0)
+	cs, err := s.Compact(context.Background(), 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestForgetEnablesReclaim(t *testing.T) {
 	}
 	// Remaining backups must still restore (metadata-only timing restore).
 	for _, b := range s.Backups() {
-		if _, err := s.Restore(b, nil, false); err != nil {
+		if _, err := s.Restore(context.Background(), b, nil, false); err != nil {
 			t.Fatalf("restore %s after forget+compact: %v", b.Label, err)
 		}
 	}

@@ -1,0 +1,321 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// ingestGens runs n workload generations into s and returns each
+// generation's full stream bytes for later content verification.
+func ingestGens(t *testing.T, s *Store, seed int64, n int) [][]byte {
+	t.Helper()
+	wcfg := workload.DefaultConfig(seed)
+	wcfg.NumFiles = 8
+	sched, err := workload.NewSingle(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datas [][]byte
+	for g := 0; g < n; g++ {
+		b := sched.Next()
+		data, err := io.ReadAll(b.Stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Backup(context.Background(), b.Label, bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+		datas = append(datas, data)
+	}
+	return datas
+}
+
+// restoreVerifyAll restores every retained backup with verification and
+// checks the content against want (indexed by backup order).
+func restoreVerifyAll(t *testing.T, s *Store, want [][]byte) {
+	t.Helper()
+	backups := s.Backups()
+	if len(backups) != len(want) {
+		t.Fatalf("retained %d backups, want %d", len(backups), len(want))
+	}
+	for i, b := range backups {
+		var out bytes.Buffer
+		if _, err := s.Restore(context.Background(), b, &out, true); err != nil {
+			t.Fatalf("restoring %s: %v", b.Label, err)
+		}
+		if !bytes.Equal(out.Bytes(), want[i]) {
+			t.Fatalf("backup %s content changed across reopen", b.Label)
+		}
+	}
+}
+
+func TestFileBackendRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Engine:        DeFrag,
+		Alpha:         0.1,
+		StoreData:     true,
+		ExpectedBytes: 64 << 20,
+		Backend:       FileBackend,
+		Dir:           dir,
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datas := ingestGens(t, s, 11, 3)
+	wantStats := make([]BackupStats, 0, 3)
+	for _, b := range s.Backups() {
+		wantStats = append(wantStats, b.Stats)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything — containers, index, recipes, stats — must survive the
+	// process boundary that Close/Open simulates.
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close() //nolint:errcheck
+	if got := s2.BackendName(); got != "file" {
+		t.Fatalf("BackendName = %q", got)
+	}
+	backups := s2.Backups()
+	if len(backups) != 3 {
+		t.Fatalf("reopened store retains %d backups, want 3", len(backups))
+	}
+	for i, b := range backups {
+		if b.Stats != wantStats[i] {
+			t.Errorf("backup %d stats drifted across reopen:\n  want %+v\n  got  %+v", i, wantStats[i], b.Stats)
+		}
+	}
+	restoreVerifyAll(t, s2, datas)
+	rep, err := s2.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("reopened store fails fsck: %v", rep.Problems)
+	}
+
+	// The reopened store keeps deduplicating: re-ingesting generation 0's
+	// content must dedupe against the adopted index.
+	b4, err := s2.Backup(context.Background(), "again", bytes.NewReader(datas[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b4.Stats.DedupedBytes == 0 {
+		t.Fatal("adopted index found no duplicates in previously-stored content")
+	}
+	var out bytes.Buffer
+	if _, err := s2.Restore(context.Background(), b4, &out, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), datas[0]) {
+		t.Fatal("post-reopen backup corrupted")
+	}
+}
+
+func TestFileBackendReopenRequiresAdoptingEngine(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Engine: DeFrag, StoreData: true, ExpectedBytes: 32 << 20, Backend: FileBackend, Dir: dir}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestGens(t, s, 3, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.Engine = SiLoLike
+	if _, err := Open(bad); err == nil {
+		t.Fatal("reopening a populated store with a non-adopting engine must fail")
+	}
+}
+
+func TestFaultInjectionRecoveryDeterministic(t *testing.T) {
+	// Transient faults with a fixed seed: every injected EIO must be
+	// absorbed by the retry layer, and two identical runs must agree on
+	// every simulated measurement (the injector must not perturb the
+	// timing model).
+	run := func(dir string) ([]BackupStats, StoreStats) {
+		s, err := Open(Options{
+			Engine:        DeFrag,
+			Alpha:         0.1,
+			StoreData:     true,
+			ExpectedBytes: 32 << 20,
+			Backend:       FileBackend,
+			Dir:           dir,
+			Faults:        FaultOptions{Seed: 42, TransientRate: 0.3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close() //nolint:errcheck
+		datas := ingestGens(t, s, 21, 3)
+		restoreVerifyAll(t, s, datas)
+		var st []BackupStats
+		for _, b := range s.Backups() {
+			st = append(st, b.Stats)
+		}
+		return st, s.Stats()
+	}
+	st1, ss1 := run(t.TempDir())
+	st2, ss2 := run(t.TempDir())
+	if ss1 != ss2 {
+		t.Fatalf("store stats diverged across identical fault-injected runs:\n  %+v\n  %+v", ss1, ss2)
+	}
+	for i := range st1 {
+		if st1[i] != st2[i] {
+			t.Fatalf("backup %d stats diverged across identical fault-injected runs", i)
+		}
+	}
+}
+
+func TestBackupCancellationLeavesStoreConsistent(t *testing.T) {
+	s, err := Open(Options{Engine: DeFrag, Alpha: 0.1, StoreData: true, ExpectedBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	data := randStream(4<<20, 77)
+	// The reader cancels the context a third of the way through the
+	// stream, so the backup dies mid-flight with chunks already placed.
+	r := &cancellingReader{r: bytes.NewReader(data), cancel: cancel, after: len(data) / 3}
+	if _, err := s.Backup(ctx, "doomed", r); err == nil {
+		t.Fatal("cancelled backup must return an error")
+	}
+	if len(s.Backups()) != 0 {
+		t.Fatal("cancelled backup must not be retained")
+	}
+	rep, err := s.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store inconsistent after cancelled backup: %v", rep.Problems)
+	}
+	// The store keeps working afterwards.
+	b, err := s.Backup(context.Background(), "after", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := s.Restore(context.Background(), b, &out, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("post-cancellation backup corrupted")
+	}
+}
+
+// cancellingReader cancels its context after delivering roughly `after`
+// bytes, then keeps serving the rest of the stream (the pipeline, not the
+// reader, must notice the cancellation).
+type cancellingReader struct {
+	r      *bytes.Reader
+	cancel context.CancelFunc
+	after  int
+	read   int
+}
+
+func (c *cancellingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.read += n
+	if c.read >= c.after && c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	return n, err
+}
+
+func TestForgetCompactCheckOnDataStore(t *testing.T) {
+	s, err := Open(Options{Engine: DeFrag, Alpha: 0.2, StoreData: true, ExpectedBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	datas := ingestGens(t, s, 55, 5)
+	if !s.Forget("gen00") && !s.Forget(s.Backups()[0].Label) {
+		t.Fatal("Forget failed")
+	}
+	want := datas[1:]
+	if _, err := s.Compact(context.Background(), 0.95); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store inconsistent after Forget+Compact: %v", rep.Problems)
+	}
+	restoreVerifyAll(t, s, want)
+}
+
+func TestRepairQuarantinesCorruptContainer(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Engine: DeFrag, Alpha: 0.1, StoreData: true, ExpectedBytes: 32 << 20, Backend: FileBackend, Dir: dir}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestGens(t, s, 31, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bytes in the middle of one sealed container's data file — the
+	// lying-disk scenario fsck -repair exists for.
+	victim := filepath.Join(dir, "containers", "000000.data")
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(raw) / 2; i < len(raw)/2+64 && i < len(raw); i++ {
+		raw[i] ^= 0xff
+	}
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close() //nolint:errcheck
+	rep, err := s2.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("fsck missed the corrupted container")
+	}
+	rr, err := s2.Repair(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Quarantined) == 0 {
+		t.Fatal("repair quarantined nothing")
+	}
+	// Post-repair the store must be internally consistent again; backups
+	// referencing the quarantined container are reported lost and dropped.
+	rep2, err := s2.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK() {
+		t.Fatalf("store still inconsistent after repair: %v", rep2.Problems)
+	}
+	if qdir, err := os.ReadDir(filepath.Join(dir, "quarantine")); err != nil || len(qdir) == 0 {
+		t.Fatalf("quarantine directory empty (err=%v)", err)
+	}
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 )
@@ -38,7 +39,7 @@ func TestBackupStreamErrorPropagatesAllEngines(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Backup("boom", &failAfter{n: 3 << 20, seed: 1}); err != io.ErrUnexpectedEOF {
+		if _, err := s.Backup(context.Background(), "boom", &failAfter{n: 3 << 20, seed: 1}); err != io.ErrUnexpectedEOF {
 			t.Fatalf("backup error = %v, want ErrUnexpectedEOF", err)
 		}
 		// A failed backup must not be registered.
@@ -46,14 +47,14 @@ func TestBackupStreamErrorPropagatesAllEngines(t *testing.T) {
 			t.Fatal("failed backup registered")
 		}
 		// A second failing stream must also surface its error.
-		if _, err := s.Backup("ok", &failAfter{n: 1 << 20, seed: 2}); err == nil {
+		if _, err := s.Backup(context.Background(), "ok", &failAfter{n: 1 << 20, seed: 2}); err == nil {
 			t.Fatal("second failing stream should also error")
 		}
-		b, err := s.Backup("fine", readerOf(randStream(1<<20, 3)))
+		b, err := s.Backup(context.Background(), "fine", readerOf(randStream(1<<20, 3)))
 		if err != nil {
 			t.Fatalf("backup after failures: %v", err)
 		}
-		if _, err := s.Restore(b, nil, false); err != nil {
+		if _, err := s.Restore(context.Background(), b, nil, false); err != nil {
 			t.Fatalf("restore after failures: %v", err)
 		}
 	})

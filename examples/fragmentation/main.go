@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 const generations = 12
 
 func main() {
+	ctx := context.Background()
 	run := func(kind repro.EngineKind) ([]*repro.Backup, []repro.RestoreStats, *repro.Store) {
 		store, err := repro.Open(repro.Options{
 			Engine:        kind,
@@ -37,11 +39,11 @@ func main() {
 		var reads []repro.RestoreStats
 		for g := 0; g < generations; g++ {
 			b := sched.Next()
-			bk, err := store.Backup(b.Label, b.Stream)
+			bk, err := store.Backup(ctx, b.Label, b.Stream)
 			if err != nil {
 				log.Fatal(err)
 			}
-			rst, err := store.Restore(bk, nil, false)
+			rst, err := store.Restore(ctx, bk, nil, false)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const users = 3
 	const backups = 18
 
@@ -40,7 +42,7 @@ func main() {
 		"#", "label", "size MB", "tput MB/s", "removed MB", "rewritten", "efficiency")
 	for i := 0; i < backups; i++ {
 		b := sched.Next()
-		bk, err := store.Backup(b.Label, b.Stream)
+		bk, err := store.Backup(ctx, b.Label, b.Stream)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +63,7 @@ func main() {
 	// Cross-user isolation check: restoring any user's latest backup works
 	// regardless of the interleaving.
 	all := store.Backups()
-	rst, err := store.Restore(all[len(all)-1], nil, false)
+	rst, err := store.Restore(ctx, all[len(all)-1], nil, false)
 	if err != nil {
 		log.Fatal(err)
 	}

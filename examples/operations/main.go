@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	store, err := repro.Open(repro.Options{
 		Engine:          repro.DeFrag,
 		Alpha:           0.15,
@@ -43,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := store.Backup(b.Label, bytes.NewReader(data)); err != nil {
+		if _, err := store.Backup(ctx, b.Label, bytes.NewReader(data)); err != nil {
 			log.Fatal(err)
 		}
 		lastData = data
@@ -56,7 +58,7 @@ func main() {
 	for _, label := range []string{"g00", "g01", "g02"} {
 		store.Forget(label)
 	}
-	cs, err := store.Compact(0.85)
+	cs, err := store.Compact(ctx, 0.85)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 		cs.ContainersCollected, cs.ContainersScanned, float64(cs.BytesReclaimed)/1e6, cs.RecipeRefsPatched)
 
 	// Consistency: every surviving backup's chunks re-hash clean.
-	rep, err := store.Check(true)
+	rep, err := store.Check(ctx, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,17 +82,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	if err := store.Export(dir); err != nil {
+	if err := store.Export(ctx, dir); err != nil {
 		log.Fatal(err)
 	}
-	arch, err := repro.OpenArchive(dir)
+	arch, err := repro.OpenArchive(ctx, dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	backups := arch.Backups()
 	latest := backups[len(backups)-1]
 	var out bytes.Buffer
-	rst, err := arch.Restore(latest, &out, true)
+	rst, err := arch.Restore(ctx, latest, &out, true)
 	if err != nil {
 		log.Fatal(err)
 	}

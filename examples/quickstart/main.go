@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A DeFrag store with the paper's α = 0.1 that keeps real chunk bytes,
 	// so restores return actual content.
 	store, err := repro.Open(repro.Options{
@@ -47,7 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bk, err := store.Backup(b.Label, bytes.NewReader(data))
+		bk, err := store.Backup(ctx, b.Label, bytes.NewReader(data))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +63,7 @@ func main() {
 
 	// Restore the latest generation and verify every byte.
 	var out bytes.Buffer
-	rst, err := store.Restore(last, &out, true)
+	rst, err := store.Restore(ctx, last, &out, true)
 	if err != nil {
 		log.Fatal(err)
 	}

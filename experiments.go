@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -153,7 +154,7 @@ func (r *FigureResult) WriteTable(w io.Writer) error {
 // ingest runs one backup of sched through eng, returning recipe-free stats.
 func ingest(eng engine.Engine, sched workload.Schedule) (engine.BackupStats, *Backup, error) {
 	b := sched.Next()
-	rec, st, err := eng.Backup(b.Label, b.Stream)
+	rec, st, err := eng.Backup(context.Background(), b.Label, b.Stream)
 	if err != nil {
 		return engine.BackupStats{}, nil, err
 	}

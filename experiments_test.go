@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -227,7 +228,7 @@ func TestRunLayoutAnalysis(t *testing.T) {
 
 func TestBackupLayoutAccessor(t *testing.T) {
 	s, _ := Open(Options{Engine: DDFSLike, ExpectedBytes: 16 << 20})
-	b, err := s.Backup("l", bytes.NewReader(randStream(2<<20, 91)))
+	b, err := s.Backup(context.Background(), "l", bytes.NewReader(randStream(2<<20, 91)))
 	if err != nil {
 		t.Fatal(err)
 	}

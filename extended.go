@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cindex"
@@ -102,7 +103,7 @@ func RunExtendedComparison(cfg ExperimentConfig) (*FigureResult, error) {
 			lastStats, lastBackup = st, b
 			logical += st.LogicalBytes
 		}
-		rst, err := restore.Run(eng.Containers(), lastBackup.recipe, restore.DefaultConfig(), nil)
+		rst, err := restore.Run(context.Background(), eng.Containers(), lastBackup.recipe, restore.DefaultConfig(), nil)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,8 @@ package archive
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -25,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/container"
 	"repro/internal/disk"
@@ -57,7 +60,17 @@ type BackupEntry struct {
 const manifestVersion = 1
 
 // Export writes the store and recipes into dir (created if absent).
-func Export(dir string, store *container.Store, recipes []*chunk.Recipe) error {
+//
+// Export is crash-safe: every file — container metadata, container data,
+// recipes, and finally the manifest — is written to a temp file, fsync'd,
+// and atomically renamed into place. The manifest is written last, so a
+// crash mid-export leaves either a complete previous archive (the old
+// manifest still names only old files) or no manifest at all; it never
+// leaves a manifest that names half-written containers.
+func Export(ctx context.Context, dir string, store *container.Store, recipes []*chunk.Recipe) error {
+	if store.NumContainers() != store.Slots() {
+		return fmt.Errorf("archive: store has quarantined container slots; replay requires a dense container log")
+	}
 	for _, sub := range []string{"", "containers", "recipes"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return err
@@ -68,7 +81,7 @@ func Export(dir string, store *container.Store, recipes []*chunk.Recipe) error {
 		Version:    manifestVersion,
 		DataCap:    cfg.DataCap,
 		MaxChunks:  cfg.MaxChunks,
-		StoresData: store.Device().StoresData(),
+		StoresData: store.StoresData(),
 	}
 
 	for id := 0; id < store.NumContainers(); id++ {
@@ -83,7 +96,11 @@ func Export(dir string, store *container.Store, recipes []*chunk.Recipe) error {
 			return err
 		}
 		if man.StoresData {
-			if err := os.WriteFile(containerPath(dir, cid, "data"), store.PeekData(cid), 0o644); err != nil {
+			data, err := store.PeekData(ctx, cid)
+			if err != nil {
+				return fmt.Errorf("archive: reading container %d: %w", cid, err)
+			}
+			if err := blockstore.WriteFileAtomic(containerPath(dir, cid, "data"), data, 0o644); err != nil {
 				return err
 			}
 		}
@@ -91,15 +108,11 @@ func Export(dir string, store *container.Store, recipes []*chunk.Recipe) error {
 
 	for i, rec := range recipes {
 		name := fmt.Sprintf("%03d.recipe", i)
-		f, err := os.Create(filepath.Join(dir, "recipes", name))
-		if err != nil {
+		var buf bytes.Buffer
+		if err := trace.Save(&buf, rec); err != nil {
 			return err
 		}
-		if err := trace.Save(f, rec); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := blockstore.WriteFileAtomic(filepath.Join(dir, "recipes", name), buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 		man.Backups = append(man.Backups, BackupEntry{Label: rec.Label, Recipe: name})
@@ -109,14 +122,14 @@ func Export(dir string, store *container.Store, recipes []*chunk.Recipe) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644)
+	return blockstore.WriteFileAtomic(filepath.Join(dir, "manifest.json"), blob, 0o644)
 }
 
 // Import loads an archive, rebuilding a store (over a fresh simulated
 // device and clock) whose chunk placement matches the original exactly, and
 // the backup recipes. The returned recipes reference valid locations in the
 // returned store.
-func Import(dir string) (*container.Store, []*chunk.Recipe, error) {
+func Import(ctx context.Context, dir string) (*container.Store, []*chunk.Recipe, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, nil, err
@@ -159,14 +172,19 @@ func Import(dir string) (*container.Store, []*chunk.Recipe, error) {
 			if data != nil {
 				c.Data = data[off : off+int64(m.Size)]
 			}
-			loc := store.Write(c, m.Segment)
+			loc, err := store.Write(ctx, c, m.Segment)
+			if err != nil {
+				return nil, nil, fmt.Errorf("archive: container %d replay: %w", ce.ID, err)
+			}
 			if loc.Offset != m.Offset {
 				return nil, nil, fmt.Errorf("archive: container %d replay misplaced chunk: %d != %d", ce.ID, loc.Offset, m.Offset)
 			}
 			off += int64(m.Size)
 		}
 		// Containers seal at their original boundaries.
-		store.Flush()
+		if err := store.Flush(ctx); err != nil {
+			return nil, nil, fmt.Errorf("archive: container %d replay: %w", ce.ID, err)
+		}
 	}
 
 	var recipes []*chunk.Recipe
@@ -191,33 +209,21 @@ func containerPath(dir string, id uint32, ext string) string {
 
 // writeMeta serializes container metadata:
 // count u32, then per entry fp[32] | size u32 | segment u64 | offset i64.
+// The file lands via an fsync'd atomic rename.
 func writeMeta(path string, metas []container.Meta) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(metas))); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(metas))); err != nil {
 		return err
 	}
 	for _, m := range metas {
-		if _, err := bw.Write(m.FP[:]); err != nil {
-			f.Close()
-			return err
-		}
+		buf.Write(m.FP[:])
 		for _, v := range []any{m.Size, m.Segment, m.Offset} {
-			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-				f.Close()
+			if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
 				return err
 			}
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return blockstore.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 func readMeta(path string) ([]container.Meta, error) {

@@ -2,6 +2,7 @@ package archive
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -36,11 +37,11 @@ func buildStore(t *testing.T, storeData bool) (*core.Engine, []*chunk.Recipe, []
 func TestExportImportRoundTrip(t *testing.T) {
 	eng, recipes, datas := buildStore(t, true)
 	dir := t.TempDir()
-	if err := Export(dir, eng.Containers(), recipes); err != nil {
+	if err := Export(context.Background(), dir, eng.Containers(), recipes); err != nil {
 		t.Fatal(err)
 	}
 
-	store, loaded, err := Import(dir)
+	store, loaded, err := Import(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +55,12 @@ func TestExportImportRoundTrip(t *testing.T) {
 	rcfg := restore.DefaultConfig()
 	rcfg.Verify = true
 	for i, rec := range loaded {
-		if err := restore.VerifyAgainst(store, rec, rcfg, datas[i]); err != nil {
+		if err := restore.VerifyAgainst(context.Background(), store, rec, rcfg, datas[i]); err != nil {
 			t.Fatalf("backup %d from archive: %v", i, err)
 		}
 	}
 	// And the imported store is internally consistent.
-	rep, err := fsck.Check(store, nil, loaded, true)
+	rep, err := fsck.Check(context.Background(), store, nil, loaded, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,26 +72,26 @@ func TestExportImportRoundTrip(t *testing.T) {
 func TestExportImportMetadataOnly(t *testing.T) {
 	eng, recipes, _ := buildStore(t, false)
 	dir := t.TempDir()
-	if err := Export(dir, eng.Containers(), recipes); err != nil {
+	if err := Export(context.Background(), dir, eng.Containers(), recipes); err != nil {
 		t.Fatal(err)
 	}
-	store, loaded, err := Import(dir)
+	store, loaded, err := Import(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Metadata-only: restores run (timing) but cannot verify content.
-	if _, err := restore.Run(store, loaded[0], restore.DefaultConfig(), nil); err != nil {
+	if _, err := restore.Run(context.Background(), store, loaded[0], restore.DefaultConfig(), nil); err != nil {
 		t.Fatal(err)
 	}
 	rcfg := restore.DefaultConfig()
 	rcfg.Verify = true
-	if _, err := restore.Run(store, loaded[0], rcfg, nil); err == nil {
+	if _, err := restore.Run(context.Background(), store, loaded[0], rcfg, nil); err == nil {
 		t.Fatal("verify must fail on a metadata-only archive")
 	}
 }
 
 func TestImportMissingManifest(t *testing.T) {
-	if _, _, err := Import(t.TempDir()); err == nil {
+	if _, _, err := Import(context.Background(), t.TempDir()); err == nil {
 		t.Fatal("missing manifest must error")
 	}
 }
@@ -98,7 +99,7 @@ func TestImportMissingManifest(t *testing.T) {
 func TestImportCorruptManifest(t *testing.T) {
 	dir := t.TempDir()
 	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{nope"), 0o644)
-	if _, _, err := Import(dir); err == nil {
+	if _, _, err := Import(context.Background(), dir); err == nil {
 		t.Fatal("corrupt manifest must error")
 	}
 }
@@ -106,13 +107,13 @@ func TestImportCorruptManifest(t *testing.T) {
 func TestImportVersionCheck(t *testing.T) {
 	eng, recipes, _ := buildStore(t, false)
 	dir := t.TempDir()
-	if err := Export(dir, eng.Containers(), recipes); err != nil {
+	if err := Export(context.Background(), dir, eng.Containers(), recipes); err != nil {
 		t.Fatal(err)
 	}
 	blob, _ := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	blob = bytes.Replace(blob, []byte(`"version": 1`), []byte(`"version": 99`), 1)
 	os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644)
-	if _, _, err := Import(dir); err == nil {
+	if _, _, err := Import(context.Background(), dir); err == nil {
 		t.Fatal("future version must be rejected")
 	}
 }
@@ -120,14 +121,14 @@ func TestImportVersionCheck(t *testing.T) {
 func TestImportDetectsTruncatedData(t *testing.T) {
 	eng, recipes, _ := buildStore(t, true)
 	dir := t.TempDir()
-	if err := Export(dir, eng.Containers(), recipes); err != nil {
+	if err := Export(context.Background(), dir, eng.Containers(), recipes); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate one container's data file.
 	path := containerPath(dir, 0, "data")
 	blob, _ := os.ReadFile(path)
 	os.WriteFile(path, blob[:len(blob)/2], 0o644)
-	if _, _, err := Import(dir); err == nil {
+	if _, _, err := Import(context.Background(), dir); err == nil {
 		t.Fatal("truncated container data must be detected")
 	}
 }
@@ -135,14 +136,14 @@ func TestImportDetectsTruncatedData(t *testing.T) {
 func TestImportDetectsMetaMismatch(t *testing.T) {
 	eng, recipes, _ := buildStore(t, false)
 	dir := t.TempDir()
-	if err := Export(dir, eng.Containers(), recipes); err != nil {
+	if err := Export(context.Background(), dir, eng.Containers(), recipes); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate a meta file after its count header: readMeta fails.
 	path := containerPath(dir, 0, "meta")
 	blob, _ := os.ReadFile(path)
 	os.WriteFile(path, blob[:8], 0o644)
-	if _, _, err := Import(dir); err == nil {
+	if _, _, err := Import(context.Background(), dir); err == nil {
 		t.Fatal("corrupt metadata must be detected")
 	}
 }

@@ -1,0 +1,62 @@
+package blockstore
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"repro/internal/chunk"
+)
+
+// Container metadata files use a fixed little-endian binary layout:
+//
+//	u32 count
+//	count × { fp[32] | u32 size | u64 segment | i64 offset }
+//
+// matching the simulated on-disk metadata-section entry the container log
+// charges for (metaEntrySize bytes per chunk).
+const metaEntryWire = chunk.FingerprintSize + 4 + 8 + 8
+
+// EncodeMeta serialises a container's chunk metadata entries.
+func EncodeMeta(entries []ChunkMeta) []byte {
+	buf := bytes.NewBuffer(make([]byte, 0, 4+len(entries)*metaEntryWire))
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(entries)))
+	buf.Write(u32[:])
+	for _, e := range entries {
+		buf.Write(e.FP[:])
+		binary.LittleEndian.PutUint32(u32[:], e.Size)
+		buf.Write(u32[:])
+		binary.LittleEndian.PutUint64(u64[:], e.Segment)
+		buf.Write(u64[:])
+		binary.LittleEndian.PutUint64(u64[:], uint64(e.Offset))
+		buf.Write(u64[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeMeta parses a metadata file produced by EncodeMeta. Truncated or
+// over-long input is reported as corruption.
+func DecodeMeta(data []byte) ([]ChunkMeta, error) {
+	if len(data) < 4 {
+		return nil, Corruptf("meta: short header (%d bytes)", len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	if want := int(count) * metaEntryWire; len(data) != want {
+		return nil, Corruptf("meta: %d entries need %d bytes, have %d", count, want, len(data))
+	}
+	entries := make([]ChunkMeta, count)
+	for i := range entries {
+		e := &entries[i]
+		copy(e.FP[:], data[:chunk.FingerprintSize])
+		data = data[chunk.FingerprintSize:]
+		e.Size = binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		e.Segment = binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		e.Offset = int64(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+	}
+	return entries, nil
+}

@@ -1,0 +1,370 @@
+package blockstore
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the durable directory-backed backend. Layout under its root:
+//
+//	MANIFEST.json        checkpointed container table (atomic tmp+fsync+rename)
+//	wal.jsonl            fsync'd seal log since the last manifest checkpoint
+//	containers/N.meta    binary chunk-metadata section (EncodeMeta)
+//	containers/N.data    raw data section (only when StoresData)
+//	quarantine/          containers moved aside by fsck -repair
+//
+// Seal ordering makes crashes safe: the meta (and data) files are written
+// and fsync'd first, then a WAL line referencing them is appended and
+// fsync'd. Opening replays the manifest, then WAL records past its
+// checkpoint sequence; a torn WAL tail is ignored. Sync folds the WAL into
+// a fresh manifest and truncates it.
+type File struct {
+	mu         sync.Mutex
+	dir        string
+	storesData bool
+	infos      map[uint32]ContainerInfo
+	wal        *os.File
+	walSeq     uint64 // last sequence appended to the WAL
+	checkpoint uint64 // last sequence folded into MANIFEST.json
+	closed     bool
+}
+
+const (
+	manifestName = "MANIFEST.json"
+	walName      = "wal.jsonl"
+	containerDir = "containers"
+	quarDir      = "quarantine"
+)
+
+type manifest struct {
+	Version    int             `json:"version"`
+	StoresData bool            `json:"storesData"`
+	Checkpoint uint64          `json:"checkpoint"`
+	Containers []manifestEntry `json:"containers"`
+}
+
+type manifestEntry struct {
+	ID       uint32 `json:"id"`
+	Start    int64  `json:"start"`
+	DataFill int64  `json:"dataFill"`
+	End      int64  `json:"end"`
+}
+
+// walRecord is one fsync'd line in wal.jsonl. Op is "seal" (default) or
+// "drop" (quarantine tombstone).
+type walRecord struct {
+	Seq      uint64 `json:"seq"`
+	Op       string `json:"op,omitempty"`
+	ID       uint32 `json:"id"`
+	Start    int64  `json:"start"`
+	DataFill int64  `json:"dataFill"`
+	End      int64  `json:"end"`
+}
+
+// OpenFile opens (or initialises) a directory-backed store rooted at dir.
+// When the directory already holds a manifest, its storesData setting wins
+// over the argument — the physical store's nature is fixed at creation.
+func OpenFile(dir string, storesData bool) (*File, error) {
+	for _, sub := range []string{dir, filepath.Join(dir, containerDir), filepath.Join(dir, quarDir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f := &File{dir: dir, storesData: storesData, infos: make(map[uint32]ContainerInfo)}
+
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("file backend: parse %s: %w", manifestName, err)
+		}
+		if m.Version != 1 {
+			return nil, fmt.Errorf("file backend: unsupported manifest version %d", m.Version)
+		}
+		f.storesData = m.StoresData
+		f.checkpoint = m.Checkpoint
+		f.walSeq = m.Checkpoint
+		for _, e := range m.Containers {
+			info, err := f.loadInfo(e.ID, e.Start, e.DataFill, e.End)
+			if err != nil {
+				return nil, err
+			}
+			f.infos[e.ID] = info
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// fresh store
+	default:
+		return nil, err
+	}
+
+	if err := f.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f.wal = wal
+	return f, nil
+}
+
+// replayWAL applies wal.jsonl records newer than the manifest checkpoint.
+// A torn final line (crash mid-append) is ignored; anything torn *before*
+// a complete line means real corruption and is reported.
+func (f *File) replayWAL() error {
+	walPath := filepath.Join(f.dir, walName)
+	wf, err := os.Open(walPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	sc := bufio.NewScanner(wf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var torn bool
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			torn = true
+			continue
+		}
+		if torn {
+			return Corruptf("file backend: wal record after torn line")
+		}
+		if rec.Seq <= f.checkpoint {
+			continue // already folded into the manifest
+		}
+		if rec.Seq > f.walSeq {
+			f.walSeq = rec.Seq
+		}
+		if rec.Op == "drop" {
+			delete(f.infos, rec.ID)
+			continue
+		}
+		info, err := f.loadInfo(rec.ID, rec.Start, rec.DataFill, rec.End)
+		if err != nil {
+			return err
+		}
+		f.infos[rec.ID] = info
+	}
+	return sc.Err()
+}
+
+// loadInfo materialises a container table entry, parsing its fsync'd
+// metadata file.
+func (f *File) loadInfo(id uint32, start, fill, end int64) (ContainerInfo, error) {
+	raw, err := os.ReadFile(f.metaPath(id))
+	if err != nil {
+		return ContainerInfo{}, fmt.Errorf("file backend: container %d: %w", id, err)
+	}
+	entries, err := DecodeMeta(raw)
+	if err != nil {
+		return ContainerInfo{}, fmt.Errorf("file backend: container %d: %w", id, err)
+	}
+	return ContainerInfo{ID: id, Start: start, DataFill: fill, End: end, Entries: entries}, nil
+}
+
+func (f *File) metaPath(id uint32) string {
+	return filepath.Join(f.dir, containerDir, fmt.Sprintf("%06d.meta", id))
+}
+
+func (f *File) dataPath(id uint32) string {
+	return filepath.Join(f.dir, containerDir, fmt.Sprintf("%06d.data", id))
+}
+
+func (f *File) Name() string     { return "file" }
+func (f *File) StoresData() bool { return f.storesData }
+
+// Dir returns the backend's root directory.
+func (f *File) Dir() string { return f.dir }
+
+func (f *File) Seal(ctx context.Context, info ContainerInfo, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if err := WriteFileAtomic(f.metaPath(info.ID), EncodeMeta(info.Entries), 0o644); err != nil {
+		return err
+	}
+	if f.storesData {
+		if err := WriteFileAtomic(f.dataPath(info.ID), data, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := f.appendWAL(walRecord{ID: info.ID, Start: info.Start, DataFill: info.DataFill, End: info.End}); err != nil {
+		return err
+	}
+	f.infos[info.ID] = cloneInfo(info)
+	return nil
+}
+
+// appendWAL writes one record and fsyncs. Caller holds f.mu.
+func (f *File) appendWAL(rec walRecord) error {
+	f.walSeq++
+	rec.Seq = f.walSeq
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := f.wal.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return f.wal.Sync()
+}
+
+func (f *File) ReadData(ctx context.Context, id uint32) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	info, ok := f.infos[id]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("file backend: container %d not sealed", id)
+	}
+	if !f.storesData {
+		return make([]byte, info.DataFill), nil
+	}
+	data, err := os.ReadFile(f.dataPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("file backend: container %d: %w", id, err)
+	}
+	if int64(len(data)) != info.DataFill {
+		return nil, Corruptf("file backend: container %d torn: data section %d bytes, expected %d",
+			id, len(data), info.DataFill)
+	}
+	return data, nil
+}
+
+func (f *File) ReadDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	return ReadDataRangeNaive(ctx, f, ids)
+}
+
+func (f *File) List(ctx context.Context) ([]ContainerInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	out := make([]ContainerInfo, 0, len(f.infos))
+	for _, info := range f.infos {
+		out = append(out, cloneInfo(info))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Sync folds the WAL into a fresh manifest (atomic rename) and truncates
+// the WAL. After a successful Sync the store opens without replay work.
+func (f *File) Sync(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return f.syncLocked()
+}
+
+func (f *File) syncLocked() error {
+	m := manifest{Version: 1, StoresData: f.storesData, Checkpoint: f.walSeq}
+	for _, info := range f.infos {
+		m.Containers = append(m.Containers, manifestEntry{
+			ID: info.ID, Start: info.Start, DataFill: info.DataFill, End: info.End,
+		})
+	}
+	sort.Slice(m.Containers, func(i, j int) bool { return m.Containers[i].ID < m.Containers[j].ID })
+	raw, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(filepath.Join(f.dir, manifestName), raw, 0o644); err != nil {
+		return err
+	}
+	f.checkpoint = f.walSeq
+	// The manifest now covers every WAL record; dropping the log is safe
+	// even if the truncate itself is lost (replay skips seq <= checkpoint).
+	if err := f.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	return f.wal.Sync()
+}
+
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	err := f.syncLocked()
+	if cerr := f.wal.Close(); err == nil {
+		err = cerr
+	}
+	f.closed = true
+	return err
+}
+
+// Quarantine moves a container's files into quarantine/ alongside a reason
+// note, drops it from the table, and checkpoints. The bytes survive for
+// forensics; List no longer reports the id.
+func (f *File) Quarantine(ctx context.Context, id uint32, reason string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, ok := f.infos[id]; !ok {
+		return fmt.Errorf("file backend: quarantine: container %d not sealed", id)
+	}
+	qdir := filepath.Join(f.dir, quarDir)
+	for _, src := range []string{f.metaPath(id), f.dataPath(id)} {
+		dst := filepath.Join(qdir, filepath.Base(src))
+		if err := os.Rename(src, dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	note := filepath.Join(qdir, fmt.Sprintf("%06d.reason", id))
+	if err := os.WriteFile(note, []byte(reason+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := SyncDir(qdir); err != nil {
+		return err
+	}
+	delete(f.infos, id)
+	return f.syncLocked()
+}

@@ -1,0 +1,125 @@
+package blockstore
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// RetryPolicy bounds the retry-with-backoff loop wrapped around transient
+// backend errors.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; it doubles each attempt.
+	BaseDelay time.Duration
+}
+
+// DefaultRetryPolicy retries transient errors up to 5 attempts starting at
+// a 500µs backoff (worst case ~7.5ms of real waiting).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 500 * time.Microsecond}
+}
+
+// Retry wraps a backend so that operations failing with a Transient error
+// are re-issued under the policy. Non-transient errors, context
+// cancellation, and attempt exhaustion pass the last error through.
+// Re-issuing Seal is safe because Backend.Seal overwrites by contract.
+type Retry struct {
+	inner  Backend
+	policy RetryPolicy
+
+	retries   *telemetry.Counter
+	transient *telemetry.Counter
+	exhausted *telemetry.Counter
+}
+
+// WithRetry wraps inner with the policy (zero fields take defaults).
+func WithRetry(inner Backend, policy RetryPolicy) *Retry {
+	def := DefaultRetryPolicy()
+	if policy.MaxAttempts <= 0 {
+		policy.MaxAttempts = def.MaxAttempts
+	}
+	if policy.BaseDelay <= 0 {
+		policy.BaseDelay = def.BaseDelay
+	}
+	return &Retry{
+		inner:  inner,
+		policy: policy,
+		retries: telemetry.NewCounter("blockstore_retries_total",
+			"backend operations re-issued after a transient error"),
+		transient: telemetry.NewCounter("blockstore_transient_errors_total",
+			"transient backend errors observed (before retry)"),
+		exhausted: telemetry.NewCounter("blockstore_retry_exhausted_total",
+			"operations that failed even after all retry attempts"),
+	}
+}
+
+func (r *Retry) Name() string     { return "retry(" + r.inner.Name() + ")" }
+func (r *Retry) StoresData() bool { return r.inner.StoresData() }
+
+// Inner returns the wrapped backend.
+func (r *Retry) Inner() Backend { return r.inner }
+
+// do runs op under the retry policy.
+func (r *Retry) do(ctx context.Context, op func() error) error {
+	delay := r.policy.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		r.transient.Inc()
+		if attempt >= r.policy.MaxAttempts {
+			r.exhausted.Inc()
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		delay *= 2
+		r.retries.Inc()
+	}
+}
+
+func (r *Retry) Seal(ctx context.Context, info ContainerInfo, data []byte) error {
+	return r.do(ctx, func() error { return r.inner.Seal(ctx, info, data) })
+}
+
+func (r *Retry) ReadData(ctx context.Context, id uint32) (data []byte, err error) {
+	err = r.do(ctx, func() error {
+		data, err = r.inner.ReadData(ctx, id)
+		return err
+	})
+	return data, err
+}
+
+func (r *Retry) ReadDataRange(ctx context.Context, ids []uint32) (out [][]byte, err error) {
+	err = r.do(ctx, func() error {
+		out, err = r.inner.ReadDataRange(ctx, ids)
+		return err
+	})
+	return out, err
+}
+
+func (r *Retry) List(ctx context.Context) ([]ContainerInfo, error) {
+	return r.inner.List(ctx)
+}
+
+func (r *Retry) Sync(ctx context.Context) error {
+	return r.do(ctx, func() error { return r.inner.Sync(ctx) })
+}
+
+func (r *Retry) Close() error { return r.inner.Close() }
+
+// Quarantine passes through when the inner backend supports it.
+func (r *Retry) Quarantine(ctx context.Context, id uint32, reason string) error {
+	if q, ok := r.inner.(Quarantiner); ok {
+		return q.Quarantine(ctx, id, reason)
+	}
+	return ErrNoQuarantine
+}

@@ -376,6 +376,30 @@ func (h Handle) Update(fp chunk.Fingerprint, loc chunk.Location) {
 	h.ix.insert(h.dev, fp, loc)
 }
 
+// Load installs a fingerprint mapping without charging any simulated time
+// or buffering a write-back. It is the reopen path: rebuilding the index
+// from a durable backend's container directory models recovering on-disk
+// state that already exists, not new index writes.
+func (ix *Index) Load(fp chunk.Fingerprint, loc chunk.Location) {
+	sh := ix.shardOf(ix.bucket(fp))
+	sh.mu.Lock()
+	sh.m[fp] = loc
+	sh.mu.Unlock()
+}
+
+// Delete drops a fingerprint mapping without charging time. It is the
+// repair path: when fsck quarantines a container, every index entry that
+// pointed into it must go, or lookups would resolve to vanished bytes.
+// The boolean reports whether the mapping existed.
+func (ix *Index) Delete(fp chunk.Fingerprint) bool {
+	sh := ix.shardOf(ix.bucket(fp))
+	sh.mu.Lock()
+	_, ok := sh.m[fp]
+	delete(sh.m, fp)
+	sh.mu.Unlock()
+	return ok
+}
+
 // Flush forces the pending write-back on every shard (end of stream).
 func (ix *Index) Flush() { ix.flushAll(ix.dev) }
 

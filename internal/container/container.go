@@ -1,8 +1,8 @@
 // Package container implements the stream-informed container log that backs
 // every dedup engine in this repository (the layout DDFS calls "stream
 // informed segment layout"): new unique chunks are buffered into a
-// fixed-capacity open container and flushed to the simulated disk
-// sequentially, so chunks that arrive together are stored together.
+// fixed-capacity open container and flushed sequentially, so chunks that
+// arrive together are stored together.
 //
 // On-disk layout of one container:
 //
@@ -12,6 +12,16 @@
 // DDFS's locality-preserved cache prefetches: one seek pulls in descriptors
 // for every chunk that was written near a duplicate, which is exactly the
 // spatial locality the paper studies.
+//
+// Since the blockstore refactor the store separates two concerns that used
+// to be fused inside disk.Device:
+//
+//   - the simulated device charges *time* (Eq. 1 seeks and transfers) for
+//     every container operation, exactly as before;
+//   - a blockstore.Backend owns the *bytes*: sealed containers are handed to
+//     it on Flush and fetched back on reads, so the same engine can run over
+//     an in-memory store, a durable directory, or a fault-injecting wrapper
+//     without its timing changing at all.
 //
 // Writing goes through a Writer, of which there are two flavors:
 //
@@ -25,13 +35,16 @@
 //     chunk writes.
 //
 // Container IDs are allocated when a writer opens its container, so the
-// shadow directory stays dense; a slot reports Sealed only once flushed.
+// shadow directory stays dense; a slot reports Sealed only once flushed
+// (and stops doing so if fsck quarantines the container).
 package container
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/disk"
 	"repro/internal/telemetry"
@@ -42,7 +55,7 @@ import (
 // restore/compaction container fetches.
 var (
 	telSealed = telemetry.NewCounter("container_sealed_total",
-		"containers sealed (flushed to the simulated device)")
+		"containers sealed (flushed to the backend)")
 	telWrittenBytes = telemetry.NewCounter("container_written_bytes_total",
 		"chunk data bytes written into containers")
 	telMetaReads = telemetry.NewCounter("container_meta_reads_total",
@@ -53,6 +66,8 @@ var (
 		"bytes superseded inside sealed containers (garbage left by rewrites)")
 	telRangedReads = telemetry.NewCounter("container_ranged_reads_total",
 		"coalesced multi-container sequential data reads (restore extent fetches)")
+	telQuarantined = telemetry.NewCounter("container_quarantined_total",
+		"containers quarantined by repair")
 )
 
 // Config sizes the container geometry.
@@ -94,17 +109,20 @@ type Info struct {
 	ID       uint32
 	Start    int64 // device offset of the metadata section
 	DataFill int64 // bytes of chunk data in the data section
+	End      int64 // device offset one past the container's extent
 	Entries  []Meta
 }
 
 // DataStart returns the device offset of the container's data section.
 func (i *Info) DataStart(cfg Config) int64 { return i.Start + cfg.MetaCap() }
 
-// Store is the container log over one simulated device. All methods are
-// safe for concurrent use; per-stream writing goes through Writer.
+// Store is the container log over one simulated device and one physical
+// backend. All methods are safe for concurrent use; per-stream writing goes
+// through Writer.
 type Store struct {
 	cfg Config
 	dev *disk.Device
+	be  blockstore.Backend
 
 	mu       sync.Mutex
 	sealed   []Info // shadow directory, dense by ID (placeholder until sealedOK)
@@ -118,13 +136,24 @@ type Store struct {
 	serialW *Writer // lazily created legacy writer behind Store.Write/Flush
 }
 
-// NewStore creates a container store writing to dev. The store must be the
-// only writer of dev.
+// NewStore creates a container store writing to dev, with bytes held by an
+// in-memory backend that mirrors dev's storesData setting. The store must
+// be the only writer of dev.
 func NewStore(dev *disk.Device, cfg Config) (*Store, error) {
+	return NewStoreWithBackend(dev, cfg, blockstore.NewSim(dev.StoresData()))
+}
+
+// NewStoreWithBackend creates a container store charging time to dev and
+// persisting sealed containers to be. The device is used purely as the
+// timing model: real bytes live only in the backend.
+func NewStoreWithBackend(dev *disk.Device, cfg Config, be blockstore.Backend) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Store{cfg: cfg, dev: dev}, nil
+	if be == nil {
+		return nil, fmt.Errorf("container: nil backend")
+	}
+	return &Store{cfg: cfg, dev: dev, be: be}, nil
 }
 
 // Config returns the store geometry.
@@ -133,11 +162,26 @@ func (s *Store) Config() Config { return s.cfg }
 // Device returns the underlying device (read-only use by restore paths).
 func (s *Store) Device() *disk.Device { return s.dev }
 
+// Backend returns the physical byte store.
+func (s *Store) Backend() blockstore.Backend { return s.be }
+
+// StoresData reports whether the backend retains real chunk bytes.
+func (s *Store) StoresData() bool { return s.be.StoresData() }
+
 // NumContainers returns the count of sealed containers.
 func (s *Store) NumContainers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.nSealed
+}
+
+// Slots returns the size of the container ID space: every ID ever
+// allocated, sealed or not. Iterate [0,Slots()) with Sealed(id) to walk the
+// directory when quarantine may have punched holes in it.
+func (s *Store) Slots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sealed)
 }
 
 // allocID reserves the next dense container ID with a placeholder directory
@@ -152,16 +196,109 @@ func (s *Store) allocID() uint32 {
 	return id
 }
 
-// seal publishes a flushed container into the shadow directory.
-func (s *Store) seal(id uint32, info Info) {
+// seal persists a flushed container to the backend and publishes it into
+// the shadow directory.
+func (s *Store) seal(ctx context.Context, info Info, data []byte) error {
+	if err := s.be.Seal(ctx, toBackendInfo(info), data); err != nil {
+		return fmt.Errorf("container: seal %d: %w", info.ID, err)
+	}
 	s.mu.Lock()
-	s.sealed[id] = info
-	s.sealedOK[id] = true
+	s.sealed[info.ID] = info
+	s.sealedOK[info.ID] = true
 	s.nSealed++
-	s.liveBytes[id] = info.DataFill
+	s.liveBytes[info.ID] = info.DataFill
 	s.mu.Unlock()
 	telSealed.Inc()
 	telWrittenBytes.Add(info.DataFill)
+	return nil
+}
+
+// Adopt loads the backend's sealed containers into an empty store — the
+// reopen path for durable backends. The device frontier advances (without
+// charging time) past the highest adopted extent so new containers never
+// overlap old ones. Quarantined containers leave unsealed holes in the ID
+// space.
+func (s *Store) Adopt(ctx context.Context) error {
+	infos, err := s.be.List(ctx)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sealed) != 0 {
+		return fmt.Errorf("container: Adopt on a non-empty store")
+	}
+	var maxEnd int64
+	for _, bi := range infos {
+		id := int(bi.ID)
+		for len(s.sealed) <= id {
+			s.sealed = append(s.sealed, Info{ID: uint32(len(s.sealed))})
+			s.sealedOK = append(s.sealedOK, false)
+			s.liveBytes = append(s.liveBytes, 0)
+		}
+		info := fromBackendInfo(bi)
+		s.sealed[id] = info
+		s.sealedOK[id] = true
+		s.nSealed++
+		s.liveBytes[id] = info.DataFill
+		if info.End > maxEnd {
+			maxEnd = info.End
+		}
+	}
+	if gap := maxEnd - s.dev.Size(); gap > 0 {
+		s.dev.ReserveExtent(gap)
+	}
+	return nil
+}
+
+// Quarantine removes a damaged container from the live directory and asks
+// the backend to move its bytes aside. The ID becomes an unsealed hole:
+// Sealed(id) turns false and reads of it panic, so callers must first drop
+// every index/recipe reference (fsck -repair does).
+func (s *Store) Quarantine(ctx context.Context, id uint32, reason string) error {
+	q, ok := s.be.(blockstore.Quarantiner)
+	if !ok {
+		return blockstore.ErrNoQuarantine
+	}
+	s.mu.Lock()
+	if int(id) >= len(s.sealed) || !s.sealedOK[id] {
+		s.mu.Unlock()
+		return fmt.Errorf("container: quarantine: id %d not sealed", id)
+	}
+	s.mu.Unlock()
+	if err := q.Quarantine(ctx, id, reason); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sealedOK[id] = false
+	s.nSealed--
+	s.liveBytes[id] = 0
+	s.sealed[id] = Info{ID: id}
+	s.mu.Unlock()
+	telQuarantined.Inc()
+	return nil
+}
+
+func toBackendInfo(info Info) blockstore.ContainerInfo {
+	out := blockstore.ContainerInfo{
+		ID: info.ID, Start: info.Start, DataFill: info.DataFill, End: info.End,
+		Entries: make([]blockstore.ChunkMeta, len(info.Entries)),
+	}
+	for i, m := range info.Entries {
+		out.Entries[i] = blockstore.ChunkMeta{FP: m.FP, Size: m.Size, Segment: m.Segment, Offset: m.Offset}
+	}
+	return out
+}
+
+func fromBackendInfo(bi blockstore.ContainerInfo) Info {
+	info := Info{
+		ID: bi.ID, Start: bi.Start, DataFill: bi.DataFill, End: bi.End,
+		Entries: make([]Meta, len(bi.Entries)),
+	}
+	for i, m := range bi.Entries {
+		info.Entries[i] = Meta{FP: m.FP, Size: m.Size, Segment: m.Segment, Offset: m.Offset}
+	}
+	return info
 }
 
 // Writer buffers chunks into one open container at a time on behalf of a
@@ -177,7 +314,7 @@ type Writer struct {
 	start   int64
 	fill    int64
 	meta    []Meta
-	data    []byte // buffered only when the device stores data
+	data    []byte // buffered only when the backend stores data
 	hasOpen bool
 }
 
@@ -213,7 +350,7 @@ func (w *Writer) open() {
 	}
 	w.fill = 0
 	w.meta = w.meta[:0]
-	if w.dev.StoresData() {
+	if w.s.StoresData() {
 		w.data = w.data[:0]
 	}
 	w.hasOpen = true
@@ -221,8 +358,9 @@ func (w *Writer) open() {
 
 // Write appends one chunk to the writer's open container (opening or sealing
 // containers as needed) and returns its permanent location. segID tags the
-// chunk with the on-disk segment it belongs to.
-func (w *Writer) Write(c chunk.Chunk, segID uint64) chunk.Location {
+// chunk with the on-disk segment it belongs to. ctx bounds the backend seal
+// triggered when a full container must flush.
+func (w *Writer) Write(ctx context.Context, c chunk.Chunk, segID uint64) (chunk.Location, error) {
 	if c.Size == 0 {
 		panic("container: zero-size chunk")
 	}
@@ -230,12 +368,14 @@ func (w *Writer) Write(c chunk.Chunk, segID uint64) chunk.Location {
 		w.open()
 	}
 	if w.fill+int64(c.Size) > w.s.cfg.DataCap || len(w.meta) >= w.s.cfg.MaxChunks {
-		w.Flush()
+		if err := w.Flush(ctx); err != nil {
+			return chunk.Location{}, err
+		}
 		w.open()
 	}
 	off := w.start + w.s.cfg.MetaCap() + w.fill
 	w.meta = append(w.meta, Meta{FP: c.FP, Size: c.Size, Segment: segID, Offset: off})
-	if w.dev.StoresData() {
+	if w.s.StoresData() {
 		if c.Data != nil {
 			w.data = append(w.data, c.Data...)
 		} else {
@@ -243,48 +383,44 @@ func (w *Writer) Write(c chunk.Chunk, segID uint64) chunk.Location {
 		}
 	}
 	w.fill += int64(c.Size)
-	return chunk.Location{Container: w.id, Segment: segID, Offset: off, Size: c.Size}
+	return chunk.Location{Container: w.id, Segment: segID, Offset: off, Size: c.Size}, nil
 }
 
-// Flush seals the open container, writing its metadata section and data
-// section to the device. A writer with no open container (or an empty one)
-// flushes to nothing. Callers flush at end of stream; Write flushes
-// automatically when a container fills.
-func (w *Writer) Flush() {
+// Flush seals the open container: the device is charged for the metadata
+// and data section writes, then the container is persisted to the backend
+// and published in the directory. A writer with no open container (or an
+// empty one) flushes to nothing. Callers flush at end of stream; Write
+// flushes automatically when a container fills.
+func (w *Writer) Flush(ctx context.Context) error {
 	if !w.hasOpen || len(w.meta) == 0 {
 		w.hasOpen = false
-		return
+		return nil
 	}
+	var end int64
 	if w.reserve {
 		// Seal in place inside the reserved extent: metadata section padded
 		// to fixed capacity, then the data section, one contiguous write run.
-		if w.dev.StoresData() {
-			w.dev.WriteAt(encodeMeta(w.meta, w.s.cfg.MetaCap()), w.start)
-			w.dev.WriteAt(w.data, w.start+w.s.cfg.MetaCap())
-		} else {
-			w.dev.AccountWrite(w.start, w.s.cfg.MetaCap())
-			w.dev.AccountWrite(w.start+w.s.cfg.MetaCap(), w.fill)
-		}
+		w.dev.AccountWrite(w.start, w.s.cfg.MetaCap())
+		w.dev.AccountWrite(w.start+w.s.cfg.MetaCap(), w.fill)
+		end = w.start + w.s.cfg.MetaCap() + w.s.cfg.DataCap
 	} else {
 		if got := w.dev.Size(); got != w.start {
 			panic(fmt.Sprintf("container: device frontier %d moved past container start %d (foreign writer?)", got, w.start))
 		}
 		// Metadata section, padded to fixed capacity so data offsets hold.
-		if w.dev.StoresData() {
-			w.dev.Append(encodeMeta(w.meta, w.s.cfg.MetaCap()))
-			w.dev.Append(w.data)
-		} else {
-			w.dev.AppendHole(w.s.cfg.MetaCap())
-			w.dev.AppendHole(w.fill)
-		}
+		w.dev.AppendHole(w.s.cfg.MetaCap())
+		w.dev.AppendHole(w.fill)
+		end = w.start + w.s.cfg.MetaCap() + w.fill
 	}
-	w.s.seal(w.id, Info{
+	info := Info{
 		ID:       w.id,
 		Start:    w.start,
 		DataFill: w.fill,
+		End:      end,
 		Entries:  append([]Meta(nil), w.meta...),
-	})
+	}
 	w.hasOpen = false
+	return w.s.seal(ctx, info, w.data)
 }
 
 // ReadMeta is Store.ReadMeta with the disk time charged to the writer's
@@ -292,38 +428,19 @@ func (w *Writer) Flush() {
 func (w *Writer) ReadMeta(id uint32) []Meta { return w.s.readMeta(w.dev, id) }
 
 // Write appends one chunk through the store's serial writer.
-func (s *Store) Write(c chunk.Chunk, segID uint64) chunk.Location {
-	return s.SerialWriter().Write(c, segID)
+func (s *Store) Write(ctx context.Context, c chunk.Chunk, segID uint64) (chunk.Location, error) {
+	return s.SerialWriter().Write(ctx, c, segID)
 }
 
 // Flush seals the serial writer's open container, if any.
-func (s *Store) Flush() {
+func (s *Store) Flush(ctx context.Context) error {
 	s.mu.Lock()
 	w := s.serialW
 	s.mu.Unlock()
 	if w != nil {
-		w.Flush()
+		return w.Flush(ctx)
 	}
-}
-
-// encodeMeta serializes entries into a MetaCap-sized section.
-func encodeMeta(entries []Meta, capBytes int64) []byte {
-	buf := make([]byte, capBytes)
-	o := 0
-	for _, e := range entries {
-		copy(buf[o:], e.FP[:])
-		o += 32
-		buf[o] = byte(e.Size)
-		buf[o+1] = byte(e.Size >> 8)
-		buf[o+2] = byte(e.Size >> 16)
-		buf[o+3] = byte(e.Size >> 24)
-		o += 4
-		for i := 0; i < 8; i++ {
-			buf[o+i] = byte(e.Segment >> (8 * i))
-		}
-		o += 8
-	}
-	return buf
+	return nil
 }
 
 // ReadMeta performs a metadata-section read of container id: it charges one
@@ -343,26 +460,45 @@ func (s *Store) readMeta(dev *disk.Device, id uint32) []Meta {
 // an engine's timed path.
 func (s *Store) PeekMeta(id uint32) []Meta { return s.info(id).Entries }
 
-// PeekData returns the container's data section without charging disk time
-// (checker/diagnostic use). Zero-filled on hole devices.
-func (s *Store) PeekData(id uint32) []byte {
+// DataFill returns the filled length of container id's data section without
+// charging disk time (checker bookkeeping).
+func (s *Store) DataFill(id uint32) int64 { return s.info(id).DataFill }
+
+// DataStart returns the absolute device offset where container id's data
+// section begins; chunk Meta.Offset values are absolute, so the valid range
+// for container id is [DataStart, DataStart+DataFill).
+func (s *Store) DataStart(id uint32) int64 { return s.info(id).DataStart(s.cfg) }
+
+// fetchData pulls one container's data section from the backend and
+// validates its length against the directory — a short section is a torn
+// write surfacing (blockstore.ErrCorrupt).
+func (s *Store) fetchData(ctx context.Context, id uint32) ([]byte, error) {
 	info := s.info(id)
-	buf := make([]byte, info.DataFill)
-	if s.dev.StoresData() {
-		s.dev.PeekAt(buf, info.DataStart(s.cfg))
+	data, err := s.be.ReadData(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("container %d: %w", id, err)
 	}
-	return buf
+	if int64(len(data)) != info.DataFill {
+		return nil, blockstore.Corruptf("container %d torn: data section %d bytes, expected %d",
+			id, len(data), info.DataFill)
+	}
+	return data, nil
+}
+
+// PeekData returns the container's data section without charging any disk
+// time (checker/diagnostic use). Zero-filled on metadata-only backends.
+func (s *Store) PeekData(ctx context.Context, id uint32) ([]byte, error) {
+	return s.fetchData(ctx, id)
 }
 
 // ReadData reads the full data section of container id (the restore path's
 // unit of caching), charging one disk access. It returns the raw data bytes
-// when the device stores data, else a zero slice of the correct length.
-func (s *Store) ReadData(id uint32) []byte {
+// when the backend stores data, else a zero slice of the correct length.
+func (s *Store) ReadData(ctx context.Context, id uint32) ([]byte, error) {
 	info := s.info(id)
-	buf := make([]byte, info.DataFill)
-	s.dev.ReadAt(buf, info.DataStart(s.cfg))
+	s.dev.AccountRead(info.DataStart(s.cfg), info.DataFill)
 	telDataReads.Inc()
-	return buf
+	return s.fetchData(ctx, id)
 }
 
 // Adjacent reports whether container b's data section can be picked up by
@@ -407,35 +543,53 @@ func (s *Store) rangeSpan(ids []uint32) (off, n int64) {
 // timing model and tests). ids must be pairwise Adjacent in order.
 func (s *Store) RangeSpan(ids []uint32) (off, n int64) { return s.rangeSpan(ids) }
 
+// fetchDataRange pulls several containers' data sections from the backend
+// with per-container length validation.
+func (s *Store) fetchDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	out, err := s.be.ReadDataRange(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(ids) {
+		return nil, fmt.Errorf("container: backend returned %d sections for %d containers", len(out), len(ids))
+	}
+	for i, id := range ids {
+		if want := s.info(id).DataFill; int64(len(out[i])) != want {
+			return nil, blockstore.Corruptf("container %d torn: data section %d bytes, expected %d",
+				id, len(out[i]), want)
+		}
+	}
+	return out, nil
+}
+
 // ReadDataRange reads the data sections of the given on-disk-adjacent
 // containers as one sequential extent — one seek plus a single combined
 // transfer — and returns each container's data section in order. A single
 // id degenerates to exactly ReadData.
-func (s *Store) ReadDataRange(ids []uint32) [][]byte {
+func (s *Store) ReadDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
 	if len(ids) == 1 {
-		return [][]byte{s.ReadData(ids[0])}
+		data, err := s.ReadData(ctx, ids[0])
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{data}, nil
 	}
 	off, n := s.rangeSpan(ids)
-	span := s.dev.ReadRange(off, n)
+	s.dev.AccountRead(off, n)
 	telDataReads.Add(int64(len(ids)))
 	telRangedReads.Inc()
-	return s.sliceSpan(ids, off, span)
+	return s.fetchDataRange(ctx, ids)
 }
 
 // PeekDataRange materializes the same per-container data sections as
 // ReadDataRange without charging any disk time. The parallel restore
 // pipeline charges its extent reads deterministically through
 // AccountDataRange on per-lane clocks and fetches the bytes here.
-func (s *Store) PeekDataRange(ids []uint32) [][]byte {
-	if len(ids) == 1 {
-		return [][]byte{s.PeekData(ids[0])}
+func (s *Store) PeekDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	if len(ids) > 1 {
+		s.rangeSpan(ids) // assert adjacency exactly like the charged path
 	}
-	off, n := s.rangeSpan(ids)
-	span := make([]byte, n)
-	if s.dev.StoresData() {
-		s.dev.PeekAt(span, off)
-	}
-	return s.sliceSpan(ids, off, span)
+	return s.fetchDataRange(ctx, ids)
 }
 
 // AccountDataRange charges the sequential extent read of ids to clk's view
@@ -451,26 +605,15 @@ func (s *Store) AccountDataRange(ids []uint32, clk *disk.Clock) {
 	}
 }
 
-// sliceSpan copies each container's data section out of a span buffer that
-// begins at device offset off.
-func (s *Store) sliceSpan(ids []uint32, off int64, span []byte) [][]byte {
-	out := make([][]byte, len(ids))
-	for i, id := range ids {
-		info := s.info(id)
-		rel := info.DataStart(s.cfg) - off
-		buf := make([]byte, info.DataFill)
-		copy(buf, span[rel:rel+info.DataFill])
-		out[i] = buf
-	}
-	return out
-}
-
 // ReadChunk reads one chunk at loc, charging one disk access of the chunk's
 // size. Used by chunk-at-a-time restore (the un-cached baseline).
-func (s *Store) ReadChunk(loc chunk.Location) []byte {
-	buf := make([]byte, loc.Size)
-	s.dev.ReadAt(buf, loc.Offset)
-	return buf
+func (s *Store) ReadChunk(ctx context.Context, loc chunk.Location) ([]byte, error) {
+	s.dev.AccountRead(loc.Offset, int64(loc.Size))
+	data, err := s.fetchData(ctx, loc.Container)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), s.Extract(data, loc)...), nil
 }
 
 // Extract returns chunk data for loc out of a data-section buffer obtained

@@ -2,6 +2,7 @@ package container
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -37,9 +38,12 @@ func TestNewStoreRejectsBadConfig(t *testing.T) {
 func TestWriteReadRoundTrip(t *testing.T) {
 	s, _ := newTestStore(t, true, DefaultConfig())
 	data := []byte("some chunk content")
-	loc := s.Write(chunk.New(data), 1)
-	s.Flush()
-	got := s.ReadChunk(loc)
+	loc := mustWrite(s, chunk.New(data), 1)
+	s.Flush(context.Background())
+	got, err := s.ReadChunk(context.Background(), loc)
+	if err != nil {
+		t.Fatalf("ReadChunk: %v", err)
+	}
 	if !bytes.Equal(got, data) {
 		t.Fatalf("read %q, want %q", got, data)
 	}
@@ -52,19 +56,19 @@ func TestZeroSizeChunkPanics(t *testing.T) {
 			t.Fatal("want panic")
 		}
 	}()
-	s.Write(chunk.Chunk{}, 0)
+	mustWrite(s, chunk.Chunk{}, 0)
 }
 
 func TestAutoSealOnDataCap(t *testing.T) {
 	s, _ := newTestStore(t, false, smallConfig())
 	// 1024-byte cap: three 400-byte chunks force a seal after two.
 	for i := 0; i < 3; i++ {
-		s.Write(chunk.Meta(chunk.Of([]byte{byte(i)}), 400), 0)
+		mustWrite(s, chunk.Meta(chunk.Of([]byte{byte(i)}), 400), 0)
 	}
 	if s.NumContainers() != 1 {
 		t.Fatalf("NumContainers = %d, want 1 sealed", s.NumContainers())
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	if s.NumContainers() != 2 {
 		t.Fatalf("after flush NumContainers = %d, want 2", s.NumContainers())
 	}
@@ -73,9 +77,9 @@ func TestAutoSealOnDataCap(t *testing.T) {
 func TestAutoSealOnMaxChunks(t *testing.T) {
 	s, _ := newTestStore(t, false, Config{DataCap: 1 << 30, MaxChunks: 4})
 	for i := 0; i < 9; i++ {
-		s.Write(chunk.Meta(chunk.Of([]byte{byte(i)}), 10), 0)
+		mustWrite(s, chunk.Meta(chunk.Of([]byte{byte(i)}), 10), 0)
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	if s.NumContainers() != 3 {
 		t.Fatalf("NumContainers = %d, want 3 (4+4+1 chunks)", s.NumContainers())
 	}
@@ -87,12 +91,16 @@ func TestLocationsMatchFlushedLayout(t *testing.T) {
 	var datas [][]byte
 	for i := 0; i < 20; i++ {
 		d := bytes.Repeat([]byte{byte('a' + i)}, 100+i)
-		locs = append(locs, s.Write(chunk.New(d), uint64(i)))
+		locs = append(locs, mustWrite(s, chunk.New(d), uint64(i)))
 		datas = append(datas, d)
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	for i, loc := range locs {
-		if got := s.ReadChunk(loc); !bytes.Equal(got, datas[i]) {
+		got, err := s.ReadChunk(context.Background(), loc)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(got, datas[i]) {
 			t.Fatalf("chunk %d: read %q, want %q", i, got, datas[i])
 		}
 	}
@@ -101,8 +109,8 @@ func TestLocationsMatchFlushedLayout(t *testing.T) {
 func TestMetaRoundTrip(t *testing.T) {
 	s, _ := newTestStore(t, false, smallConfig())
 	fp := chunk.Of([]byte("x"))
-	loc := s.Write(chunk.Meta(fp, 123), 77)
-	s.Flush()
+	loc := mustWrite(s, chunk.Meta(fp, 123), 77)
+	s.Flush(context.Background())
 	entries := s.ReadMeta(loc.Container)
 	if len(entries) != 1 {
 		t.Fatalf("entries = %d", len(entries))
@@ -115,8 +123,8 @@ func TestMetaRoundTrip(t *testing.T) {
 
 func TestReadMetaChargesDisk(t *testing.T) {
 	s, clk := newTestStore(t, false, smallConfig())
-	loc := s.Write(chunk.Meta(chunk.Of([]byte("x")), 10), 0)
-	s.Flush()
+	loc := mustWrite(s, chunk.Meta(chunk.Of([]byte("x")), 10), 0)
+	s.Flush(context.Background())
 	before := clk.Now()
 	s.ReadMeta(loc.Container)
 	if clk.Now() <= before {
@@ -132,10 +140,10 @@ func TestReadMetaChargesDisk(t *testing.T) {
 func TestReadDataAndExtract(t *testing.T) {
 	s, _ := newTestStore(t, true, smallConfig())
 	d1, d2 := []byte("first-chunk"), []byte("second-chunk")
-	l1 := s.Write(chunk.New(d1), 0)
-	l2 := s.Write(chunk.New(d2), 0)
-	s.Flush()
-	data := s.ReadData(l1.Container)
+	l1 := mustWrite(s, chunk.New(d1), 0)
+	l2 := mustWrite(s, chunk.New(d2), 0)
+	s.Flush(context.Background())
+	data := mustReadData(s, l1.Container)
 	if int64(len(data)) != int64(len(d1)+len(d2)) {
 		t.Fatalf("data section length = %d", len(data))
 	}
@@ -146,9 +154,9 @@ func TestReadDataAndExtract(t *testing.T) {
 
 func TestExtractOutOfRangePanics(t *testing.T) {
 	s, _ := newTestStore(t, true, smallConfig())
-	l := s.Write(chunk.New([]byte("abc")), 0)
-	s.Flush()
-	data := s.ReadData(l.Container)
+	l := mustWrite(s, chunk.New([]byte("abc")), 0)
+	s.Flush(context.Background())
+	data := mustReadData(s, l.Container)
 	bad := l
 	bad.Offset += 1000
 	defer func() {
@@ -174,11 +182,11 @@ func TestSealed(t *testing.T) {
 	if s.Sealed(0) {
 		t.Fatal("nothing sealed yet")
 	}
-	s.Write(chunk.Meta(chunk.Of([]byte("x")), 10), 0)
+	mustWrite(s, chunk.Meta(chunk.Of([]byte("x")), 10), 0)
 	if s.Sealed(0) {
 		t.Fatal("open container is not sealed")
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	if !s.Sealed(0) {
 		t.Fatal("container 0 should be sealed")
 	}
@@ -186,8 +194,8 @@ func TestSealed(t *testing.T) {
 
 func TestFlushEmptyIsNoop(t *testing.T) {
 	s, clk := newTestStore(t, false, smallConfig())
-	s.Flush()
-	s.Flush()
+	s.Flush(context.Background())
+	s.Flush(context.Background())
 	if s.NumContainers() != 0 || clk.Now() != 0 {
 		t.Fatal("empty flush must write nothing")
 	}
@@ -195,9 +203,9 @@ func TestFlushEmptyIsNoop(t *testing.T) {
 
 func TestUtilizationAndMarkDead(t *testing.T) {
 	s, _ := newTestStore(t, false, smallConfig())
-	s.Write(chunk.Meta(chunk.Of([]byte("a")), 100), 0)
-	s.Write(chunk.Meta(chunk.Of([]byte("b")), 100), 0)
-	s.Flush()
+	mustWrite(s, chunk.Meta(chunk.Of([]byte("a")), 100), 0)
+	mustWrite(s, chunk.Meta(chunk.Of([]byte("b")), 100), 0)
+	s.Flush(context.Background())
 	if u := s.Utilization(); u != 1.0 {
 		t.Fatalf("fresh utilization = %v", u)
 	}
@@ -224,9 +232,9 @@ func TestUtilizationEmptyStore(t *testing.T) {
 func TestSequentialFlushIsMostlySeekFree(t *testing.T) {
 	s, _ := newTestStore(t, false, DefaultConfig())
 	for i := 0; i < 5000; i++ {
-		s.Write(chunk.Meta(chunk.Of([]byte{byte(i), byte(i >> 8)}), 8192), 0)
+		mustWrite(s, chunk.Meta(chunk.Of([]byte{byte(i), byte(i >> 8)}), 8192), 0)
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	if seeks := s.Device().Stats().Seeks; seeks > 1 {
 		t.Fatalf("pure sequential ingest should need 1 seek, got %d", seeks)
 	}
@@ -243,7 +251,7 @@ func TestLocationDisjointnessProperty(t *testing.T) {
 	fn := func(szRaw uint16) bool {
 		sz := uint32(szRaw%2000) + 1
 		i++
-		loc := s.Write(chunk.Meta(chunk.Of([]byte(fmt.Sprint(i))), sz), uint64(i))
+		loc := mustWrite(s, chunk.Meta(chunk.Of([]byte(fmt.Sprint(i))), sz), uint64(i))
 		if loc.Offset <= lastEnd-1 {
 			return false
 		}
@@ -253,7 +261,7 @@ func TestLocationDisjointnessProperty(t *testing.T) {
 	if err := quick.Check(fn, &quick.Config{MaxCount: 3000}); err != nil {
 		t.Fatal(err)
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	// All sealed entries round-trip through shadow metadata.
 	total := 0
 	for id := 0; id < s.NumContainers(); id++ {
@@ -286,15 +294,19 @@ func TestDataIntegrityProperty(t *testing.T) {
 			data = data[:4000]
 		}
 		cp := append([]byte(nil), data...)
-		all = append(all, written{s.Write(chunk.New(cp), 0), cp})
+		all = append(all, written{mustWrite(s, chunk.New(cp), 0), cp})
 		return true
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	for k, w := range all {
-		if got := s.ReadChunk(w.loc); !bytes.Equal(got, w.data) {
+		got, err := s.ReadChunk(context.Background(), w.loc)
+		if err != nil {
+			t.Fatalf("ReadChunk: %v", err)
+		}
+		if !bytes.Equal(got, w.data) {
 			t.Fatalf("chunk %d mismatch", k)
 		}
 	}
@@ -307,13 +319,13 @@ func fillContainers(t *testing.T, s *Store, n int) []uint32 {
 	var ids []uint32
 	for i := 0; len(ids) < n; i++ {
 		data := bytes.Repeat([]byte{byte(i + 1)}, 400)
-		loc := s.Write(chunk.New(data), uint64(i))
+		loc := mustWrite(s, chunk.New(data), uint64(i))
 		if !seen[loc.Container] {
 			seen[loc.Container] = true
 			ids = append(ids, loc.Container)
 		}
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	return ids[:n]
 }
 
@@ -373,7 +385,7 @@ func TestRangeSpanAndReadDataRange(t *testing.T) {
 	}
 
 	before := s.Device().Stats()
-	got := s.ReadDataRange(pair)
+	got := mustReadDataRange(s, pair)
 	after := s.Device().Stats()
 	if after.Reads != before.Reads+1 || after.Seeks > before.Seeks+1 {
 		t.Fatalf("coalesced read must be one device access: %v -> %v", before, after)
@@ -382,7 +394,7 @@ func TestRangeSpanAndReadDataRange(t *testing.T) {
 		t.Fatalf("want 2 data sections, got %d", len(got))
 	}
 	for i, id := range pair {
-		if !bytes.Equal(got[i], s.PeekData(id)) {
+		if !bytes.Equal(got[i], mustPeekData(s, id)) {
 			t.Fatalf("container %d data section differs via ranged read", id)
 		}
 	}
@@ -394,8 +406,8 @@ func TestReadDataRangeSingleDelegates(t *testing.T) {
 	ids1 := fillContainers(t, s1, 2)
 	ids2 := fillContainers(t, s2, 2)
 
-	a := s1.ReadData(ids1[0])
-	b := s2.ReadDataRange([]uint32{ids2[0]})[0]
+	a := mustReadData(s1, ids1[0])
+	b := mustReadDataRange(s2, []uint32{ids2[0]})[0]
 	if !bytes.Equal(a, b) {
 		t.Fatal("single-id ranged read must equal ReadData")
 	}
@@ -413,9 +425,12 @@ func TestAccountAndPeekDataRangeMatchReadDataRange(t *testing.T) {
 	ids1 := fillContainers(t, s1, 3)
 	ids2 := fillContainers(t, s2, 3)
 
-	datas := s1.ReadDataRange(ids1)
+	datas := mustReadDataRange(s1, ids1)
 	s2.AccountDataRange(ids2, nil)
-	peeked := s2.PeekDataRange(ids2)
+	peeked, err := s2.PeekDataRange(context.Background(), ids2)
+	if err != nil {
+		t.Fatalf("PeekDataRange: %v", err)
+	}
 	if clk1.Now() != clk2.Now() {
 		t.Fatalf("Account+Peek must charge like ReadDataRange: %v vs %v", clk1.Now(), clk2.Now())
 	}
@@ -435,4 +450,40 @@ func TestRangeSpanRejectsNonAdjacent(t *testing.T) {
 		}
 	}()
 	s.RangeSpan([]uint32{ids[0], ids[2]})
+}
+
+// mustWrite appends c through the store frontier; the in-memory backends
+// used by these tests cannot fail, so any error is a test bug.
+func mustWrite(s *Store, c chunk.Chunk, seg uint64) chunk.Location {
+	loc, err := s.Write(context.Background(), c, seg)
+	if err != nil {
+		panic(err)
+	}
+	return loc
+}
+
+// mustReadData, mustPeekData and mustReadDataRange mirror mustWrite: the
+// in-memory backends cannot fail, so errors are test bugs.
+func mustReadData(s *Store, id uint32) []byte {
+	data, err := s.ReadData(context.Background(), id)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+func mustPeekData(s *Store, id uint32) []byte {
+	data, err := s.PeekData(context.Background(), id)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+func mustReadDataRange(s *Store, ids []uint32) [][]byte {
+	datas, err := s.ReadDataRange(context.Background(), ids)
+	if err != nil {
+		panic(err)
+	}
+	return datas
 }

@@ -32,6 +32,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/chunker"
 	"repro/internal/cindex"
@@ -107,6 +108,9 @@ type Config struct {
 	LPCContainers  int
 	ExpectedChunks int
 	StoreData      bool
+	// Backend supplies the physical container store. nil selects the
+	// in-memory backend matching StoreData (the historical behavior).
+	Backend blockstore.Backend
 }
 
 // DefaultConfig mirrors ddfs.DefaultConfig with the paper's α = 0.1.
@@ -161,7 +165,12 @@ func NewWithClock(cfg Config, clock *disk.Clock) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	store, err := container.NewStore(disk.NewDevice(cfg.DiskModel, clock, cfg.StoreData), cfg.ContainerCfg)
+	be := cfg.Backend
+	if be == nil {
+		be = blockstore.NewSim(cfg.StoreData)
+	}
+	// The device is purely the timing model; bytes live in the backend.
+	store, err := container.NewStoreWithBackend(disk.NewDevice(cfg.DiskModel, clock, false), cfg.ContainerCfg, be)
 	if err != nil {
 		return nil, err
 	}
@@ -199,21 +208,36 @@ func (e *Engine) Index() *cindex.Index { return e.resolver.Index() }
 func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
 
 // Backup implements engine.Engine.
-func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
-	return e.backup(label, r, nil)
+func (e *Engine) Backup(ctx context.Context, label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(ctx, label, r, nil)
 }
 
 // BackupStream implements engine.StreamBackupper: one backup ingested as a
 // concurrent stream, with all simulated I/O and CPU time charged to clk and
 // writes going through a per-stream container writer.
-func (e *Engine) BackupStream(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
-	return e.backup(label, r, clk)
+func (e *Engine) BackupStream(ctx context.Context, label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(ctx, label, r, clk)
 }
+
+// Adopt implements engine.Adopter: it rebuilds the directory, index,
+// summary vector, and segment sequence from an already-populated backend
+// (the durable-store reopen path).
+func (e *Engine) Adopt(ctx context.Context) error {
+	if err := e.store.Adopt(ctx); err != nil {
+		return err
+	}
+	e.segSeq.Store(e.resolver.AdoptIndex())
+	return nil
+}
+
+// DropFromIndex purges all index and cache state derived from container cid
+// (fsck.IndexDropper) — call immediately before quarantining it.
+func (e *Engine) DropFromIndex(cid uint32) int { return e.resolver.DropFromIndex(cid) }
 
 // backup is the shared ingest body. clk == nil selects the serial path
 // (store frontier writer, engine master clock); a non-nil clk selects the
 // concurrent path (reserve-mode writer, per-stream timing).
-func (e *Engine) backup(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
+func (e *Engine) backup(ctx context.Context, label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
 	timing := e.clock
@@ -226,19 +250,28 @@ func (e *Engine) backup(label string, r io.Reader, clk *disk.Clock) (*chunk.Reci
 	}
 	sr := e.resolver.Stream(clk, w)
 	start := timing.Now()
-	ctx, span := telemetry.StartSpan(context.Background(), "defrag.backup")
+	ctx, span := telemetry.StartSpan(ctx, "defrag.backup")
 	defer span.End()
 
 	logical, chunks, segs, err := engine.Pipeline(
-		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
-		timing, e.cfg.Cost, e.cfg.StoreData,
+		ctx, r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
+		timing, e.cfg.Cost, e.store.StoresData(),
 		func(seg *segment.Segment) error {
 			return e.processSegment(ctx, seg, recipe, &stats, timing, w, sr)
 		})
 	if err != nil {
+		// Leave the store consistent even on cancellation: seal the open
+		// container and flush the index outside the cancelled context, so
+		// everything already placed stays referenced (fsck-clean) and only
+		// this backup is lost.
+		if ferr := w.Flush(context.WithoutCancel(ctx)); ferr == nil {
+			sr.FlushIndex()
+		}
 		return nil, stats, err
 	}
-	w.Flush()
+	if err := w.Flush(ctx); err != nil {
+		return nil, stats, err
+	}
 	sr.FlushIndex()
 
 	stats.LogicalBytes = logical
@@ -336,7 +369,10 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 				recipe.Append(c.FP, c.Size, loc)
 				break
 			}
-			loc := w.Write(c, segID)
+			loc, werr := w.Write(ctx, c, segID)
+			if werr != nil {
+				return werr
+			}
 			sr.Repoint(c.FP, loc)
 			e.store.MarkDead(r.loc.Container, int64(r.loc.Size))
 			writtenHere[c.FP] = loc
@@ -355,7 +391,10 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 				recipe.Append(c.FP, c.Size, loc)
 				break
 			}
-			loc := w.Write(c, segID)
+			loc, werr := w.Write(ctx, c, segID)
+			if werr != nil {
+				return werr
+			}
 			sr.RegisterNew(c.FP, loc)
 			writtenHere[c.FP] = loc
 			stats.UniqueBytes += int64(c.Size)
@@ -371,4 +410,7 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 	return nil
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var (
+	_ engine.Engine  = (*Engine)(nil)
+	_ engine.Adopter = (*Engine)(nil)
+)

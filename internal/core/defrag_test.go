@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -86,8 +87,8 @@ func TestIdenticalSecondBackupFullyDedupes(t *testing.T) {
 	// should be rewritten, everything removed.
 	e, _ := New(testConfig(0.1, false))
 	data := randStream(6<<20, 11)
-	e.Backup("g0", bytes.NewReader(data))
-	_, st, err := e.Backup("g1", bytes.NewReader(data))
+	e.Backup(context.Background(), "g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}

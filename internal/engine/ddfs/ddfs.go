@@ -21,9 +21,11 @@
 package ddfs
 
 import (
+	"context"
 	"io"
 	"sync/atomic"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/chunker"
 	"repro/internal/cindex"
@@ -45,6 +47,9 @@ type Config struct {
 	LPCContainers  int  // locality-preserved cache capacity, in containers
 	ExpectedChunks int  // Bloom filter sizing
 	StoreData      bool // retain real chunk bytes (correctness mode)
+	// Backend supplies the physical container store. nil selects the
+	// in-memory backend matching StoreData (the historical behavior).
+	Backend blockstore.Backend
 }
 
 // DefaultConfig sizes an engine for roughly expectedLogicalBytes of total
@@ -94,7 +99,12 @@ func New(cfg Config) (*Engine, error) {
 // experiment wants several engines to share a timeline; engines never share
 // devices).
 func NewWithClock(cfg Config, clock *disk.Clock) (*Engine, error) {
-	store, err := container.NewStore(disk.NewDevice(cfg.DiskModel, clock, cfg.StoreData), cfg.ContainerCfg)
+	be := cfg.Backend
+	if be == nil {
+		be = blockstore.NewSim(cfg.StoreData)
+	}
+	// The device is purely the timing model; bytes live in the backend.
+	store, err := container.NewStoreWithBackend(disk.NewDevice(cfg.DiskModel, clock, false), cfg.ContainerCfg, be)
 	if err != nil {
 		return nil, err
 	}
@@ -128,21 +138,36 @@ func (e *Engine) Index() *cindex.Index { return e.resolver.Index() }
 func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
 
 // Backup implements engine.Engine.
-func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
-	return e.backup(label, r, nil)
+func (e *Engine) Backup(ctx context.Context, label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(ctx, label, r, nil)
 }
 
 // BackupStream implements engine.StreamBackupper: one backup ingested as a
 // concurrent stream, with all simulated I/O and CPU time charged to clk and
 // unique chunks written through a per-stream container writer.
-func (e *Engine) BackupStream(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
-	return e.backup(label, r, clk)
+func (e *Engine) BackupStream(ctx context.Context, label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
+	return e.backup(ctx, label, r, clk)
 }
+
+// Adopt implements engine.Adopter: it rebuilds the directory, index,
+// summary vector, and segment sequence from an already-populated backend
+// (the durable-store reopen path).
+func (e *Engine) Adopt(ctx context.Context) error {
+	if err := e.store.Adopt(ctx); err != nil {
+		return err
+	}
+	e.segSeq.Store(e.resolver.AdoptIndex())
+	return nil
+}
+
+// DropFromIndex purges all index and cache state derived from container cid
+// (fsck.IndexDropper) — call immediately before quarantining it.
+func (e *Engine) DropFromIndex(cid uint32) int { return e.resolver.DropFromIndex(cid) }
 
 // backup is the shared ingest body. clk == nil selects the serial path
 // (store frontier writer, engine master clock); a non-nil clk selects the
 // concurrent path (reserve-mode writer, per-stream timing).
-func (e *Engine) backup(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
+func (e *Engine) backup(ctx context.Context, label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, engine.BackupStats, error) {
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
 	timing := e.clock
@@ -157,15 +182,24 @@ func (e *Engine) backup(label string, r io.Reader, clk *disk.Clock) (*chunk.Reci
 	start := timing.Now()
 
 	logical, chunks, segs, err := engine.Pipeline(
-		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
-		timing, e.cfg.Cost, e.cfg.StoreData,
+		ctx, r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
+		timing, e.cfg.Cost, e.store.StoresData(),
 		func(seg *segment.Segment) error {
-			return e.processSegment(seg, recipe, &stats, w, sr)
+			return e.processSegment(ctx, seg, recipe, &stats, w, sr)
 		})
 	if err != nil {
+		// Leave the store consistent even on cancellation: seal the open
+		// container and flush the index outside the cancelled context, so
+		// everything already placed stays referenced (fsck-clean) and only
+		// this backup is lost.
+		if ferr := w.Flush(context.WithoutCancel(ctx)); ferr == nil {
+			sr.FlushIndex()
+		}
 		return nil, stats, err
 	}
-	w.Flush()
+	if err := w.Flush(ctx); err != nil {
+		return nil, stats, err
+	}
 	sr.FlushIndex()
 
 	stats.LogicalBytes = logical
@@ -179,7 +213,7 @@ func (e *Engine) backup(label string, r io.Reader, clk *disk.Clock) (*chunk.Reci
 // bucket-batched lookup (chunks sharing an index page cost one modeled page
 // read), then placed in stream order. Chunks that duplicate a chunk written
 // earlier in the same segment reference that fresh copy directly.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats, w *container.Writer, sr *engine.StreamResolver) error {
+func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats, w *container.Writer, sr *engine.StreamResolver) error {
 	segID := e.segSeq.Add(1)
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
 	var removedInSeg int64
@@ -197,7 +231,11 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 			stats.DedupedChunks++
 			removedInSeg += int64(c.Size)
 		} else {
-			loc = w.Write(c, segID)
+			var werr error
+			loc, werr = w.Write(ctx, c, segID)
+			if werr != nil {
+				return werr
+			}
 			sr.RegisterNew(c.FP, loc)
 			if writtenHere == nil {
 				writtenHere = make(map[chunk.Fingerprint]chunk.Location)
@@ -212,4 +250,7 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 	return nil
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var (
+	_ engine.Engine  = (*Engine)(nil)
+	_ engine.Adopter = (*Engine)(nil)
+)

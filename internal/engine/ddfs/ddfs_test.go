@@ -2,6 +2,7 @@ package ddfs
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestAllUniqueBackup(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := randStream(4<<20, 1)
-	_, st, err := e.Backup("g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +50,11 @@ func TestAllUniqueBackup(t *testing.T) {
 func TestIdenticalSecondBackupFullyDedupes(t *testing.T) {
 	e, _ := New(testConfig(false))
 	data := randStream(4<<20, 2)
-	_, st1, err := e.Backup("g0", bytes.NewReader(data))
+	_, st1, err := e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, st2, err := e.Backup("g1", bytes.NewReader(data))
+	rec, st2, err := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,8 +78,8 @@ func TestIdenticalSecondBackupFullyDedupes(t *testing.T) {
 func TestSecondBackupIsFasterThanFirst(t *testing.T) {
 	e, _ := New(testConfig(false))
 	data := randStream(8<<20, 3)
-	_, st1, _ := e.Backup("g0", bytes.NewReader(data))
-	_, st2, _ := e.Backup("g1", bytes.NewReader(data))
+	_, st1, _ := e.Backup(context.Background(), "g0", bytes.NewReader(data))
+	_, st2, _ := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if st2.ThroughputMBps() <= st1.ThroughputMBps() {
 		t.Fatalf("dedup of identical data should beat first write: %.1f <= %.1f",
 			st2.ThroughputMBps(), st1.ThroughputMBps())

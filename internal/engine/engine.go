@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -118,12 +119,24 @@ type Engine interface {
 	// Name identifies the engine ("ddfs-like", "silo-like", "defrag").
 	Name() string
 	// Backup deduplicates one full-backup stream, returning the recipe that
-	// restores it and per-backup statistics.
-	Backup(label string, r io.Reader) (*chunk.Recipe, BackupStats, error)
+	// restores it and per-backup statistics. Cancelling ctx aborts the
+	// backup between segments and before any backend write; the engine
+	// leaves the store consistent (sealed containers stay sealed, the index
+	// flushes) so an aborted backup is absent, not corrupt.
+	Backup(ctx context.Context, label string, r io.Reader) (*chunk.Recipe, BackupStats, error)
 	// Containers exposes the engine's container store for restores.
 	Containers() *container.Store
 	// Clock exposes the shared simulated clock.
 	Clock() *disk.Clock
+}
+
+// Adopter is implemented by engines that can rebuild their in-RAM state
+// (chunk index, summary vector, segment sequence) from an already-populated
+// container store — the reopen path of durable backends.
+type Adopter interface {
+	// Adopt ingests the container store's directory. It must be called on a
+	// freshly constructed engine, before any Backup.
+	Adopt(ctx context.Context) error
 }
 
 // Pipeline runs the shared front half of a backup — chunking, hashing, CPU
@@ -133,8 +146,12 @@ type Engine interface {
 // (ParallelPipeline); results are identical either way.
 //
 // keepData controls whether chunk bytes are retained into the segments
-// (true when the engine's container device stores data).
+// (true when the engine's container backend stores data).
+//
+// Cancelling ctx stops the pipeline at the next segment boundary with
+// ctx's error; segments already handed to process are fully applied.
 func Pipeline(
+	ctx context.Context,
 	r io.Reader,
 	kind chunker.Kind,
 	cp chunker.Params,
@@ -145,7 +162,7 @@ func Pipeline(
 	process func(*segment.Segment) error,
 ) (logicalBytes, chunks, segments int64, err error) {
 	if cost.Workers > 1 {
-		return ParallelPipeline(r, kind, cp, sp, clock, cost, keepData, cost.Workers, process)
+		return ParallelPipeline(ctx, r, kind, cp, sp, clock, cost, keepData, cost.Workers, process)
 	}
 	ck, err := chunker.New(kind, r, cp)
 	if err != nil {
@@ -158,6 +175,9 @@ func Pipeline(
 	emit := func(seg *segment.Segment) error {
 		if seg == nil {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		segments++
 		telSegments.Inc()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -87,7 +88,7 @@ func TestPipelineConservation(t *testing.T) {
 	var clk disk.Clock
 	var total int64
 	var segBytes int64
-	logical, chunks, segs, err := Pipeline(
+	logical, chunks, segs, err := Pipeline(context.Background(),
 		bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &clk, DefaultCostModel(), false,
 		func(s *segment.Segment) error {
@@ -119,7 +120,7 @@ func TestPipelineKeepData(t *testing.T) {
 	data := randBytes(1<<20, 2)
 	var clk disk.Clock
 	var rebuilt []byte
-	_, _, _, err := Pipeline(
+	_, _, _, err := Pipeline(context.Background(),
 		bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &clk, DefaultCostModel(), true,
 		func(s *segment.Segment) error {
@@ -148,7 +149,7 @@ func (failReader) Read([]byte) (int, error) { return 0, io.ErrClosedPipe }
 
 func TestPipelineErrorPropagation(t *testing.T) {
 	var clk disk.Clock
-	_, _, _, err := Pipeline(
+	_, _, _, err := Pipeline(context.Background(),
 		failReader{}, chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &clk, DefaultCostModel(), false,
 		func(*segment.Segment) error { return nil })
@@ -160,7 +161,7 @@ func TestPipelineErrorPropagation(t *testing.T) {
 func TestPipelineProcessError(t *testing.T) {
 	var clk disk.Clock
 	sentinel := io.ErrShortWrite
-	_, _, _, err := Pipeline(
+	_, _, _, err := Pipeline(context.Background(),
 		bytes.NewReader(randBytes(2<<20, 3)), chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &clk, DefaultCostModel(), false,
 		func(*segment.Segment) error { return sentinel })
@@ -171,12 +172,12 @@ func TestPipelineProcessError(t *testing.T) {
 
 func TestPipelineBadParams(t *testing.T) {
 	var clk disk.Clock
-	if _, _, _, err := Pipeline(bytes.NewReader(nil), chunker.KindGear,
+	if _, _, _, err := Pipeline(context.Background(), bytes.NewReader(nil), chunker.KindGear,
 		chunker.Params{}, segment.DefaultParams(), &clk, DefaultCostModel(), false,
 		func(*segment.Segment) error { return nil }); err == nil {
 		t.Fatal("bad chunk params must error")
 	}
-	if _, _, _, err := Pipeline(bytes.NewReader(nil), chunker.KindGear,
+	if _, _, _, err := Pipeline(context.Background(), bytes.NewReader(nil), chunker.KindGear,
 		chunker.DefaultParams(), segment.Params{}, &clk, DefaultCostModel(), false,
 		func(*segment.Segment) error { return nil }); err == nil {
 		t.Fatal("bad segment params must error")
@@ -220,9 +221,9 @@ func TestResolverDuplicatePath(t *testing.T) {
 	r, store, _ := newResolverRig(t)
 	var stats BackupStats
 	c := mkChunk(2)
-	loc := store.Write(c, 7)
+	loc := mustWrite(store, c, 7)
 	r.RegisterNew(c.FP, loc)
-	store.Flush()
+	store.Flush(context.Background())
 
 	got, dup := r.Resolve(c, &stats)
 	if !dup || got != loc {
@@ -245,11 +246,11 @@ func TestResolverPrefetchCoversNeighbours(t *testing.T) {
 	var cs []chunk.Chunk
 	for i := byte(10); i < 20; i++ {
 		c := mkChunk(i)
-		loc := store.Write(c, 1)
+		loc := mustWrite(store, c, 1)
 		r.RegisterNew(c.FP, loc)
 		cs = append(cs, c)
 	}
-	store.Flush()
+	store.Flush(context.Background())
 	// Resolving the first pays; the rest ride the prefetched metadata.
 	r.Resolve(cs[0], &stats)
 	for _, c := range cs[1:] {
@@ -269,15 +270,15 @@ func TestResolverRepointWinsOverStaleMetadata(t *testing.T) {
 	r, store, _ := newResolverRig(t)
 	var stats BackupStats
 	c := mkChunk(30)
-	oldLoc := store.Write(c, 1)
+	oldLoc := mustWrite(store, c, 1)
 	r.RegisterNew(c.FP, oldLoc)
-	store.Flush()
+	store.Flush(context.Background())
 	// Cache the old container metadata.
 	r.Resolve(c, &stats)
 	// Rewrite the chunk elsewhere.
-	newLoc := store.Write(c, 2)
+	newLoc := mustWrite(store, c, 2)
 	r.Repoint(c.FP, newLoc)
-	store.Flush()
+	store.Flush(context.Background())
 	got, dup := r.Resolve(c, &stats)
 	if !dup || got != newLoc {
 		t.Fatalf("Resolve after Repoint = %v, want the rewritten location %v", got, newLoc)
@@ -322,4 +323,14 @@ func TestAccountPartialSegment(t *testing.T) {
 	if stats.PartialRedundantBytes != 100 || stats.RemovedInPartialBytes != 100 {
 		t.Fatalf("clamping wrong: %+v", stats)
 	}
+}
+
+// mustWrite appends c through the store frontier; the in-memory backends
+// used by these tests cannot fail, so any error is a test bug.
+func mustWrite(s *container.Store, c chunk.Chunk, seg uint64) chunk.Location {
+	loc, err := s.Write(context.Background(), c, seg)
+	if err != nil {
+		panic(err)
+	}
+	return loc
 }

@@ -17,8 +17,10 @@
 package idedup
 
 import (
+	"context"
 	"io"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/chunker"
 	"repro/internal/cindex"
@@ -42,6 +44,9 @@ type Config struct {
 	// thresholds in this order of magnitude.
 	MinRun    int
 	StoreData bool
+	// Backend supplies the physical container store. nil selects the
+	// in-memory backend matching StoreData (the historical behavior).
+	Backend blockstore.Backend
 }
 
 // DefaultConfig returns an engine with MinRun 8 (~64 KiB of contiguous
@@ -79,7 +84,12 @@ func New(cfg Config) (*Engine, error) {
 
 // NewWithClock builds the engine over a caller-supplied clock.
 func NewWithClock(cfg Config, clock *disk.Clock) (*Engine, error) {
-	store, err := container.NewStore(disk.NewDevice(cfg.DiskModel, clock, cfg.StoreData), cfg.ContainerCfg)
+	be := cfg.Backend
+	if be == nil {
+		be = blockstore.NewSim(cfg.StoreData)
+	}
+	// The device is purely the timing model; bytes live in the backend.
+	store, err := container.NewStoreWithBackend(disk.NewDevice(cfg.DiskModel, clock, false), cfg.ContainerCfg, be)
 	if err != nil {
 		return nil, err
 	}
@@ -110,21 +120,26 @@ func (e *Engine) MinRun() int { return e.cfg.MinRun }
 func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
 
 // Backup implements engine.Engine.
-func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+func (e *Engine) Backup(ctx context.Context, label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
 	start := e.clock.Now()
 
 	logical, chunks, segs, err := engine.Pipeline(
-		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
-		e.clock, e.cfg.Cost, e.cfg.StoreData,
+		ctx, r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
+		e.clock, e.cfg.Cost, e.store.StoresData(),
 		func(seg *segment.Segment) error {
-			return e.processSegment(seg, recipe, &stats)
+			return e.processSegment(ctx, seg, recipe, &stats)
 		})
 	if err != nil {
+		// Keep the store consistent on abort: seal the open container
+		// outside the (possibly cancelled) context.
+		e.store.Flush(context.WithoutCancel(ctx)) //nolint:errcheck // best-effort cleanup
 		return nil, stats, err
 	}
-	e.store.Flush()
+	if err := e.store.Flush(ctx); err != nil {
+		return nil, stats, err
+	}
 
 	stats.LogicalBytes = logical
 	stats.Chunks = chunks
@@ -135,7 +150,7 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 
 // processSegment applies the run-length dedup filter to one segment. The error
 // return propagates future failing write paths through Backup.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
+func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
 	e.segSeq++
 	segID := e.segSeq
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
@@ -195,7 +210,10 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 				recipe.Append(c.FP, c.Size, loc)
 				continue
 			}
-			loc := e.store.Write(c, segID)
+			loc, werr := e.store.Write(ctx, c, segID)
+			if werr != nil {
+				return werr
+			}
 			e.ram[c.FP] = loc
 			writtenHere[c.FP] = loc
 			if rs[i].dup {

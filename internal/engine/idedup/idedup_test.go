@@ -2,6 +2,7 @@ package idedup
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestAllUniqueBackup(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := randStream(4<<20, 1)
-	_, st, err := e.Backup("g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +43,8 @@ func TestAllUniqueBackup(t *testing.T) {
 func TestIdenticalSecondBackupDedupesLongRuns(t *testing.T) {
 	e, _ := New(testConfig(8, false))
 	data := randStream(6<<20, 2)
-	e.Backup("g0", bytes.NewReader(data))
-	_, st, err := e.Backup("g1", bytes.NewReader(data))
+	e.Backup(context.Background(), "g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}

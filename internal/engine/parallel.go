@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"sync"
@@ -28,6 +29,7 @@ import (
 // raising CPUBandwidth). Results are bit-identical to Pipeline for the
 // same input.
 func ParallelPipeline(
+	ctx context.Context,
 	r io.Reader,
 	kind chunker.Kind,
 	cp chunker.Params,
@@ -46,7 +48,7 @@ func ParallelPipeline(
 		// overhead — run the serial pipeline.
 		serial := cost
 		serial.Workers = 0
-		return Pipeline(r, kind, cp, sp, clock, serial, keepData, process)
+		return Pipeline(ctx, r, kind, cp, sp, clock, serial, keepData, process)
 	}
 	cost.Workers = 0 // the charge below is already per-chunk; avoid re-dispatch
 
@@ -146,6 +148,9 @@ func ParallelPipeline(
 	emit := func(seg *segment.Segment) error {
 		if seg == nil {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		segments++
 		telSegments.Inc()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -27,7 +28,7 @@ func tracePipeline(t *testing.T, data []byte, workers int, keepData bool) *pipel
 	cost := DefaultCostModel()
 	cost.Workers = workers
 	var err error
-	tr.logical, tr.chunks, tr.segments, err = Pipeline(
+	tr.logical, tr.chunks, tr.segments, err = Pipeline(context.Background(),
 		bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &tr.clock, cost, keepData,
 		func(s *segment.Segment) error {
@@ -92,7 +93,7 @@ func TestParallelPipelineKeepData(t *testing.T) {
 	cost := DefaultCostModel()
 	cost.Workers = 4
 	var clk disk.Clock
-	_, _, _, err := Pipeline(
+	_, _, _, err := Pipeline(context.Background(),
 		bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &clk, cost, true,
 		func(s *segment.Segment) error {
@@ -117,7 +118,7 @@ func TestParallelPipelineErrorPropagation(t *testing.T) {
 	cost := DefaultCostModel()
 	cost.Workers = 4
 	var clk disk.Clock
-	_, _, _, err := Pipeline(
+	_, _, _, err := Pipeline(context.Background(),
 		failReader{}, chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &clk, cost, false,
 		func(*segment.Segment) error { return nil })
@@ -132,7 +133,7 @@ func TestParallelPipelineProcessError(t *testing.T) {
 	cost.Workers = 4
 	var clk disk.Clock
 	sentinel := io.ErrShortWrite
-	_, _, _, err := Pipeline(
+	_, _, _, err := Pipeline(context.Background(),
 		bytes.NewReader(randBytes(4<<20, 3)), chunker.KindGear, chunker.DefaultParams(),
 		segment.DefaultParams(), &clk, cost, false,
 		func(*segment.Segment) error { return sentinel })
@@ -157,7 +158,7 @@ func benchPipeline(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var clk disk.Clock
-		_, _, _, err := Pipeline(
+		_, _, _, err := Pipeline(context.Background(),
 			bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
 			segment.DefaultParams(), &clk, cost, false,
 			func(*segment.Segment) error { return nil })

@@ -291,6 +291,55 @@ func (r *Resolver) repoint(ih cindex.Handle, fp chunk.Fingerprint, loc chunk.Loc
 	r.mu.Unlock()
 }
 
+// AdoptIndex rebuilds the chunk index and summary vector from the container
+// store's directory — the reopen path for durable backends. No simulated
+// time is charged: a reopen recovers on-disk index state that already
+// exists; it does not perform new index writes. Containers are walked in ID
+// order, so when a fingerprint appears in several containers (a DeFrag
+// rewrite), the latest — authoritative — copy wins. It returns the highest
+// on-disk segment ID seen, letting engines resume their segment sequence
+// without colliding with recovered segments.
+func (r *Resolver) AdoptIndex() (maxSegment uint64) {
+	for id := 0; id < r.store.Slots(); id++ {
+		cid := uint32(id)
+		if !r.store.Sealed(cid) {
+			continue
+		}
+		for _, m := range r.store.PeekMeta(cid) {
+			r.index.Load(m.FP, chunk.Location{Container: cid, Segment: m.Segment, Offset: m.Offset, Size: m.Size})
+			r.filter.Add(m.FP)
+			if m.Segment > maxSegment {
+				maxSegment = m.Segment
+			}
+		}
+	}
+	return maxSegment
+}
+
+// DropFromIndex removes every index mapping that points into container cid
+// (chargeless; repair calls it immediately before quarantining cid, while
+// the container's metadata is still readable) and returns how many mappings
+// were dropped. The current-location table is purged of the container too.
+func (r *Resolver) DropFromIndex(cid uint32) int {
+	dropped := 0
+	for _, m := range r.store.PeekMeta(cid) {
+		if loc, ok := r.index.Peek(m.FP); ok && loc.Container == cid {
+			if r.index.Delete(m.FP) {
+				dropped++
+			}
+		}
+	}
+	r.mu.Lock()
+	r.lpc.Remove(cid) // OnEvict clears the container's lpcFPs entries
+	for fp, loc := range r.current {
+		if loc.Container == cid {
+			delete(r.current, fp)
+		}
+	}
+	r.mu.Unlock()
+	return dropped
+}
+
 // FlushIndex flushes buffered index writes (end of stream).
 func (r *Resolver) FlushIndex() { r.index.Flush() }
 

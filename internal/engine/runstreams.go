@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -30,7 +31,7 @@ type StreamResult struct {
 // timeline, and writes unique chunks through a per-stream container writer.
 type StreamBackupper interface {
 	Engine
-	BackupStream(label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, BackupStats, error)
+	BackupStream(ctx context.Context, label string, r io.Reader, clk *disk.Clock) (*chunk.Recipe, BackupStats, error)
 }
 
 // RunStreams ingests the given backup streams through e with at most
@@ -53,7 +54,7 @@ type StreamBackupper interface {
 // Duration is the elapsed master-clock time of the whole call under either
 // mode. The first stream error aborts scheduling of unstarted streams and is
 // returned (already-running streams drain first).
-func RunStreams(e Engine, streams []Stream, concurrency int) ([]StreamResult, BackupStats, error) {
+func RunStreams(ctx context.Context, e Engine, streams []Stream, concurrency int) ([]StreamResult, BackupStats, error) {
 	results := make([]StreamResult, len(streams))
 	master := e.Clock()
 	start := master.Now()
@@ -61,7 +62,7 @@ func RunStreams(e Engine, streams []Stream, concurrency int) ([]StreamResult, Ba
 	sb, canStream := e.(StreamBackupper)
 	if concurrency <= 1 || !canStream || len(streams) <= 1 {
 		for i, s := range streams {
-			recipe, stats, err := e.Backup(s.Label, s.R)
+			recipe, stats, err := e.Backup(ctx, s.Label, s.R)
 			results[i] = StreamResult{Recipe: recipe, Stats: stats, Err: err}
 			if err != nil {
 				break
@@ -97,7 +98,7 @@ func RunStreams(e Engine, streams []Stream, concurrency int) ([]StreamResult, Ba
 					mu.Unlock()
 					s := streams[i]
 					clocks[i].Advance(lane)
-					recipe, stats, err := sb.BackupStream(s.Label, s.R, &clocks[i])
+					recipe, stats, err := sb.BackupStream(ctx, s.Label, s.R, &clocks[i])
 					lane = clocks[i].Now()
 					results[i] = StreamResult{Recipe: recipe, Stats: stats, Err: err}
 					if err != nil {

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -69,7 +70,7 @@ func TestRunStreamsSerialEquivalence(t *testing.T) {
 			var wantStats []engine.BackupStats
 			var wantRefs []int
 			for _, s := range streamSet(t, nstreams, 1, 7) {
-				rec, st, err := e1.Backup(s.Label, s.R)
+				rec, st, err := e1.Backup(context.Background(), s.Label, s.R)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -78,7 +79,7 @@ func TestRunStreamsSerialEquivalence(t *testing.T) {
 			}
 
 			e2 := mk.make(t)
-			results, merged, err := engine.RunStreams(e2, streamSet(t, nstreams, 1, 7), 1)
+			results, merged, err := engine.RunStreams(context.Background(), e2, streamSet(t, nstreams, 1, 7), 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,7 +101,7 @@ func TestRunStreamsSerialEquivalence(t *testing.T) {
 				t.Errorf("merged.LogicalBytes = %d, want %d", merged.LogicalBytes, sumLogical)
 			}
 			if e1.Clock().Now() != e2.Clock().Now() {
-				t.Errorf("simulated time diverges: serial %v, RunStreams(1) %v",
+				t.Errorf("simulated time diverges: serial %v, RunStreams(context.Background(), 1) %v",
 					e1.Clock().Now(), e2.Clock().Now())
 			}
 		})
@@ -125,7 +126,7 @@ func TestRunStreamsConcurrentStress(t *testing.T) {
 			e := mk.make(t)
 			for round := 0; round < 3; round++ {
 				streams := streamSet(t, nstreams, round, 11)
-				results, merged, err := engine.RunStreams(e, streams, nstreams)
+				results, merged, err := engine.RunStreams(context.Background(), e, streams, nstreams)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -171,14 +172,14 @@ func TestRunStreamsDuplicateConvergence(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
 	e := newDDFS(t)
-	if _, merged, err := engine.RunStreams(e, streamSet(t, 4, 0, 23), 4); err != nil {
+	if _, merged, err := engine.RunStreams(context.Background(), e, streamSet(t, 4, 0, 23), 4); err != nil {
 		t.Fatal(err)
 	} else if merged.DedupedBytes != 0 && merged.UniqueBytes == 0 {
 		t.Fatalf("first round wrote nothing unique: %+v", merged)
 	}
 	// Second round: each user's stream mutates ~22% of files, so the bulk
 	// of every stream duplicates round one.
-	_, merged2, err := engine.RunStreams(e, streamSet(t, 4, 1, 23), 4)
+	_, merged2, err := engine.RunStreams(context.Background(), e, streamSet(t, 4, 1, 23), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

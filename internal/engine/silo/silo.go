@@ -21,8 +21,10 @@
 package silo
 
 import (
+	"context"
 	"io"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/chunker"
 	"repro/internal/cindex"
@@ -46,6 +48,9 @@ type Config struct {
 	BlockCache    int  // block-metadata cache capacity, in blocks
 	SigReps       int  // representative fingerprints per segment (k-min sketch)
 	StoreData     bool // retain real chunk bytes
+	// Backend supplies the physical container store. nil selects the
+	// in-memory backend matching StoreData (the historical behavior).
+	Backend blockstore.Backend
 }
 
 // DefaultConfig sizes the engine for roughly expectedLogicalBytes of total
@@ -137,7 +142,12 @@ func New(cfg Config) (*Engine, error) {
 
 // NewWithClock builds the engine over a caller-supplied clock.
 func NewWithClock(cfg Config, clock *disk.Clock) (*Engine, error) {
-	store, err := container.NewStore(disk.NewDevice(cfg.DiskModel, clock, cfg.StoreData), cfg.ContainerCfg)
+	be := cfg.Backend
+	if be == nil {
+		be = blockstore.NewSim(cfg.StoreData)
+	}
+	// The device is purely the timing model; bytes live in the backend.
+	store, err := container.NewStoreWithBackend(disk.NewDevice(cfg.DiskModel, clock, false), cfg.ContainerCfg, be)
 	if err != nil {
 		return nil, err
 	}
@@ -183,22 +193,27 @@ func (e *Engine) Clock() *disk.Clock { return e.clock }
 func (e *Engine) SetOracle(o *cindex.Oracle) { e.oracle = o }
 
 // Backup implements engine.Engine.
-func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+func (e *Engine) Backup(ctx context.Context, label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
 	start := e.clock.Now()
 
 	logical, chunks, segs, err := engine.Pipeline(
-		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
-		e.clock, e.cfg.Cost, e.cfg.StoreData,
+		ctx, r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
+		e.clock, e.cfg.Cost, e.store.StoresData(),
 		func(seg *segment.Segment) error {
-			return e.processSegment(seg, recipe, &stats)
+			return e.processSegment(ctx, seg, recipe, &stats)
 		})
 	if err != nil {
+		// Keep the store consistent on abort: seal the open container
+		// outside the (possibly cancelled) context.
+		e.store.Flush(context.WithoutCancel(ctx)) //nolint:errcheck // best-effort cleanup
 		return nil, stats, err
 	}
 	e.sealBlock() // end of stream: close the open block
-	e.store.Flush()
+	if err := e.store.Flush(ctx); err != nil {
+		return nil, stats, err
+	}
 
 	stats.LogicalBytes = logical
 	stats.Chunks = chunks
@@ -213,7 +228,7 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 
 // processSegment deduplicates one segment the SiLo way. The error
 // return propagates future failing write paths through Backup.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
+func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
 	e.segSeq++
 	segID := e.segSeq
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
@@ -241,7 +256,11 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 			stats.DedupedChunks++
 			removedInSeg += int64(c.Size)
 		} else {
-			loc = e.store.Write(c, segID)
+			var werr error
+			loc, werr = e.store.Write(ctx, c, segID)
+			if werr != nil {
+				return werr
+			}
 			stats.UniqueBytes += int64(c.Size)
 			stats.UniqueChunks++
 			wrote++

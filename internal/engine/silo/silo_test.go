@@ -2,6 +2,7 @@ package silo
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestAllUniqueBackup(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := randStream(4<<20, 1)
-	_, st, err := e.Backup("g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +43,8 @@ func TestAllUniqueBackup(t *testing.T) {
 func TestIdenticalSecondBackupMostlyDedupes(t *testing.T) {
 	e, _ := New(testConfig(false))
 	data := randStream(6<<20, 2)
-	e.Backup("g0", bytes.NewReader(data))
-	_, st, err := e.Backup("g1", bytes.NewReader(data))
+	e.Backup(context.Background(), "g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,9 +64,9 @@ func TestIdenticalSecondBackupMostlyDedupes(t *testing.T) {
 func TestBlockReadsCharged(t *testing.T) {
 	e, _ := New(testConfig(false))
 	data := randStream(6<<20, 3)
-	e.Backup("g0", bytes.NewReader(data))
+	e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	before := e.Clock().Now()
-	_, st, _ := e.Backup("g1", bytes.NewReader(data))
+	_, st, _ := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if st.BlockReads == 0 {
 		t.Fatal("re-backup should read sealed block metadata")
 	}
@@ -127,7 +128,7 @@ func TestSegmentsGroupedIntoBlocks(t *testing.T) {
 	cfg.BlockSegments = 2
 	e, _ := New(cfg)
 	data := randStream(8<<20, 11)
-	_, st, _ := e.Backup("g0", bytes.NewReader(data))
+	_, st, _ := e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	wantBlocks := int(st.Segments+1) / 2
 	if got := len(e.blocks); got != wantBlocks {
 		t.Fatalf("blocks = %d, want %d for %d segments", got, wantBlocks, st.Segments)

@@ -21,9 +21,11 @@
 package sparse
 
 import (
+	"context"
 	"io"
 	"sort"
 
+	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/chunker"
 	"repro/internal/cindex"
@@ -48,6 +50,9 @@ type Config struct {
 	MaxPerHook    int // manifest IDs remembered per hook (RAM bound)
 	ManifestCache int // manifest cache capacity
 	StoreData     bool
+	// Backend supplies the physical container store. nil selects the
+	// in-memory backend matching StoreData (the historical behavior).
+	Backend blockstore.Backend
 }
 
 // DefaultConfig sizes the engine for expectedLogicalBytes of ingest,
@@ -123,7 +128,12 @@ func New(cfg Config) (*Engine, error) {
 
 // NewWithClock builds the engine over a caller-supplied clock.
 func NewWithClock(cfg Config, clock *disk.Clock) (*Engine, error) {
-	store, err := container.NewStore(disk.NewDevice(cfg.DiskModel, clock, cfg.StoreData), cfg.ContainerCfg)
+	be := cfg.Backend
+	if be == nil {
+		be = blockstore.NewSim(cfg.StoreData)
+	}
+	// The device is purely the timing model; bytes live in the backend.
+	store, err := container.NewStoreWithBackend(disk.NewDevice(cfg.DiskModel, clock, false), cfg.ContainerCfg, be)
 	if err != nil {
 		return nil, err
 	}
@@ -177,21 +187,26 @@ func (e *Engine) isHook(fp chunk.Fingerprint) bool {
 }
 
 // Backup implements engine.Engine.
-func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
+func (e *Engine) Backup(ctx context.Context, label string, r io.Reader) (*chunk.Recipe, engine.BackupStats, error) {
 	stats := engine.BackupStats{Label: label}
 	recipe := &chunk.Recipe{Label: label}
 	start := e.clock.Now()
 
 	logical, chunks, segs, err := engine.Pipeline(
-		r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
-		e.clock, e.cfg.Cost, e.cfg.StoreData,
+		ctx, r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
+		e.clock, e.cfg.Cost, e.store.StoresData(),
 		func(seg *segment.Segment) error {
-			return e.processSegment(seg, recipe, &stats)
+			return e.processSegment(ctx, seg, recipe, &stats)
 		})
 	if err != nil {
+		// Keep the store consistent on abort: seal the open container
+		// outside the (possibly cancelled) context.
+		e.store.Flush(context.WithoutCancel(ctx)) //nolint:errcheck // best-effort cleanup
 		return nil, stats, err
 	}
-	e.store.Flush()
+	if err := e.store.Flush(ctx); err != nil {
+		return nil, stats, err
+	}
 
 	stats.LogicalBytes = logical
 	stats.Chunks = chunks
@@ -206,7 +221,7 @@ func (e *Engine) Backup(label string, r io.Reader) (*chunk.Recipe, engine.Backup
 
 // processSegment deduplicates one segment against its champion manifests. The error
 // return propagates future failing write paths through Backup.
-func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
+func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats) error {
 	e.segSeq++
 	segID := e.segSeq
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
@@ -256,7 +271,11 @@ func (e *Engine) processSegment(seg *segment.Segment, recipe *chunk.Recipe, stat
 			stats.DedupedChunks++
 			removedInSeg += int64(c.Size)
 		} else {
-			loc = e.store.Write(c, segID)
+			var werr error
+			loc, werr = e.store.Write(ctx, c, segID)
+			if werr != nil {
+				return werr
+			}
 			stats.UniqueBytes += int64(c.Size)
 			stats.UniqueChunks++
 		}

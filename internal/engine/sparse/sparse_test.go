@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestAllUniqueBackup(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := randStream(4<<20, 1)
-	_, st, err := e.Backup("g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,8 +46,8 @@ func TestAllUniqueBackup(t *testing.T) {
 func TestIdenticalSecondBackupMostlyDedupes(t *testing.T) {
 	e, _ := New(testConfig(false))
 	data := randStream(6<<20, 2)
-	e.Backup("g0", bytes.NewReader(data))
-	_, st, err := e.Backup("g1", bytes.NewReader(data))
+	e.Backup(context.Background(), "g0", bytes.NewReader(data))
+	_, st, err := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,9 +66,9 @@ func TestChampionLoadsCharged(t *testing.T) {
 	cfg.ManifestCache = 1 // force reloads
 	e, _ := New(cfg)
 	data := randStream(6<<20, 3)
-	e.Backup("g0", bytes.NewReader(data))
+	e.Backup(context.Background(), "g0", bytes.NewReader(data))
 	before := e.Clock().Now()
-	_, st, _ := e.Backup("g1", bytes.NewReader(data))
+	_, st, _ := e.Backup(context.Background(), "g1", bytes.NewReader(data))
 	if st.BlockReads == 0 {
 		t.Fatal("champion manifests should be read from disk")
 	}
@@ -155,7 +156,7 @@ func TestMaxPerHookBounded(t *testing.T) {
 	e, _ := New(cfg)
 	data := randStream(4<<20, 9)
 	for g := 0; g < 5; g++ {
-		e.Backup("g", bytes.NewReader(data))
+		e.Backup(context.Background(), "g", bytes.NewReader(data))
 	}
 	for hook, ids := range e.sparse {
 		if len(ids) > 2 {

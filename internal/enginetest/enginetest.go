@@ -6,6 +6,7 @@ package enginetest
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -65,7 +66,7 @@ func RunGenerations(t *testing.T, eng engine.Engine, cfg workload.Config, gens i
 		if err != nil {
 			t.Fatal(err)
 		}
-		rec, st, err := eng.Backup(b.Label, bytes.NewReader(data))
+		rec, st, err := eng.Backup(context.Background(), b.Label, bytes.NewReader(data))
 		if err != nil {
 			t.Fatalf("gen %d: %v", g, err)
 		}
@@ -86,7 +87,7 @@ func VerifyRestores(t *testing.T, eng engine.Engine, gens []Generation) {
 	rcfg := restore.DefaultConfig()
 	rcfg.Verify = true
 	for g, gr := range gens {
-		if err := restore.VerifyAgainst(eng.Containers(), gr.Recipe, rcfg, gr.Data); err != nil {
+		if err := restore.VerifyAgainst(context.Background(), eng.Containers(), gr.Recipe, rcfg, gr.Data); err != nil {
 			t.Fatalf("generation %d restore: %v", g, err)
 		}
 	}

@@ -12,15 +12,25 @@
 //     the container's metadata records exactly that fingerprint and size.
 //  3. Every recipe reference resolves to a sealed container entry with a
 //     matching fingerprint and size.
-//  4. On data-storing devices, every chunk referenced by a recipe hashes to
-//     its fingerprint.
+//  4. On data-storing backends, every chunk referenced by a recipe hashes to
+//     its fingerprint, and every container's data section is readable at its
+//     recorded length (torn writes surface here as blockstore.ErrCorrupt).
 //
-// All reads go through the shadow metadata (PeekMeta) and charge no
-// simulated time: fsck is measurement apparatus.
+// All reads go through the shadow metadata (PeekMeta) and uncharged data
+// fetches (PeekData): fsck is measurement apparatus and charges no simulated
+// time.
+//
+// Repair is the destructive companion: containers that fail invariants are
+// quarantined out of the store (the durable file backend moves their files
+// into quarantine/), their fingerprints are dropped from the chunk index so
+// future backups re-store the data, and every recipe that referenced them is
+// reported as a lost backup.
 package fsck
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/chunk"
 	"repro/internal/cindex"
@@ -33,7 +43,7 @@ type Report struct {
 	MetaEntries  int64
 	IndexEntries int // index entries validated (0 if no index given)
 	RecipeRefs   int64
-	HashedChunks int64 // content-verified chunks (data-storing device only)
+	HashedChunks int64 // content-verified chunks (data-storing backend only)
 	Problems     []string
 }
 
@@ -70,19 +80,27 @@ type entryVal struct {
 
 // Check validates the store, optionally an index (nil to skip), and a set
 // of recipes. verifyData additionally re-hashes every recipe-referenced
-// chunk (requires a data-storing device).
-func Check(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe, verifyData bool) (*Report, error) {
-	if verifyData && !store.Device().StoresData() {
-		return nil, fmt.Errorf("fsck: verifyData requires a data-storing device")
+// chunk and validates every container's data-section length (requires a
+// data-storing backend).
+func Check(ctx context.Context, store *container.Store, index *cindex.Index, recipes []*chunk.Recipe, verifyData bool) (*Report, error) {
+	if verifyData && !store.StoresData() {
+		return nil, fmt.Errorf("fsck: verifyData requires a data-storing backend")
 	}
 	rep := &Report{Containers: store.NumContainers()}
 
 	// Pass 1: container metadata well-formedness; build the entry table.
 	entries := make(map[entryKey]entryVal, 4096)
 	cfg := store.Config()
-	for id := 0; id < store.NumContainers(); id++ {
+	for id := 0; id < store.Slots(); id++ {
 		cid := uint32(id)
+		if !store.Sealed(cid) {
+			continue // quarantined or never sealed
+		}
 		metas := store.PeekMeta(cid)
+		// Meta offsets are absolute device offsets; the container's data
+		// section spans [dataStart, dataStart+fill).
+		dataStart := store.DataStart(cid)
+		dataEnd := dataStart + store.DataFill(cid)
 		var prevEnd int64 = -1
 		for i, m := range metas {
 			rep.MetaEntries++
@@ -92,6 +110,10 @@ func Check(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe,
 			}
 			if int64(i) >= int64(cfg.MaxChunks) {
 				rep.addf("container %d: more entries than MaxChunks", cid)
+			}
+			if m.Offset < dataStart || m.Offset+int64(m.Size) > dataEnd {
+				rep.addf("container %d entry %d: [%d,%d) outside data section [%d,%d)",
+					cid, i, m.Offset, m.Offset+int64(m.Size), dataStart, dataEnd)
 			}
 			if prevEnd >= 0 && m.Offset < prevEnd {
 				rep.addf("container %d entry %d: offset %d overlaps previous end %d", cid, i, m.Offset, prevEnd)
@@ -124,10 +146,13 @@ func Check(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe,
 		})
 	}
 
-	// Pass 3: recipe references resolve; optionally re-hash content.
+	// Pass 3: recipe references resolve; optionally re-hash content. A
+	// container whose data section fails to read (torn write, backend fault)
+	// is one problem, not one per referenced chunk.
 	for _, rec := range recipes {
 		var data []byte
 		lastContainer := uint32(0xFFFFFFFF)
+		dataOK := false
 		for i := range rec.Refs {
 			ref := &rec.Refs[i]
 			rep.RecipeRefs++
@@ -146,8 +171,16 @@ func Check(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe,
 			}
 			if verifyData {
 				if ref.Loc.Container != lastContainer {
-					data = store.PeekData(ref.Loc.Container)
 					lastContainer = ref.Loc.Container
+					var err error
+					data, err = store.PeekData(ctx, ref.Loc.Container)
+					dataOK = err == nil
+					if err != nil {
+						rep.addf("container %d: data section unreadable: %v", ref.Loc.Container, err)
+					}
+				}
+				if !dataOK {
+					continue
 				}
 				piece := store.Extract(data, ref.Loc)
 				if chunk.Of(piece) != ref.FP {
@@ -158,4 +191,119 @@ func Check(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe,
 		}
 	}
 	return rep, nil
+}
+
+// IndexDropper purges all index state derived from one container — the
+// chunk-index entries, sampled/current tables, and metadata caches that
+// would otherwise keep routing dedup hits into a quarantined container.
+// Engine resolvers implement it.
+type IndexDropper interface {
+	DropFromIndex(cid uint32) int
+}
+
+// RepairResult summarizes one repair pass.
+type RepairResult struct {
+	Quarantined  []uint32          // containers removed from the store, ascending
+	Reasons      map[uint32]string // why each was quarantined
+	IndexDropped int               // index entries purged
+	LostBackups  []string          // labels of recipes that referenced a quarantined container
+}
+
+func (r *RepairResult) String() string {
+	return fmt.Sprintf("fsck repair: quarantined %d containers, dropped %d index entries, %d backups lost",
+		len(r.Quarantined), r.IndexDropped, len(r.LostBackups))
+}
+
+// Repair scans every sealed container and quarantines the ones that fail
+// invariants: malformed metadata (zero-size, overlapping, or out-of-section
+// entries) and — on data-storing backends, when verifyData is set —
+// unreadable or torn data sections and content-hash mismatches. For each
+// quarantined container the dropper (pass nil if no index is attached)
+// purges derived index state BEFORE the container leaves the store, and any
+// recipe referencing it is reported in LostBackups.
+//
+// Repair is deliberately container-granular: one bad chunk condemns its
+// container, the unit of placement and of durability in this store.
+func Repair(ctx context.Context, store *container.Store, drop IndexDropper, recipes []*chunk.Recipe, verifyData bool) (*RepairResult, error) {
+	if verifyData && !store.StoresData() {
+		return nil, fmt.Errorf("fsck: verifyData requires a data-storing backend")
+	}
+	res := &RepairResult{Reasons: make(map[uint32]string)}
+
+	condemn := func(cid uint32, reason string) {
+		if _, dup := res.Reasons[cid]; !dup {
+			res.Reasons[cid] = reason
+		}
+	}
+	for id := 0; id < store.Slots(); id++ {
+		cid := uint32(id)
+		if !store.Sealed(cid) {
+			continue
+		}
+		metas := store.PeekMeta(cid)
+		dataStart := store.DataStart(cid)
+		dataEnd := dataStart + store.DataFill(cid)
+		var prevEnd int64 = -1
+		for i, m := range metas {
+			if m.Size == 0 {
+				condemn(cid, fmt.Sprintf("entry %d: zero size", i))
+			}
+			if m.Offset < dataStart || m.Offset+int64(m.Size) > dataEnd {
+				condemn(cid, fmt.Sprintf("entry %d outside data section", i))
+			}
+			if prevEnd >= 0 && m.Offset < prevEnd {
+				condemn(cid, fmt.Sprintf("entry %d overlaps previous", i))
+			}
+			prevEnd = m.Offset + int64(m.Size)
+		}
+		if _, bad := res.Reasons[cid]; bad || !verifyData {
+			continue
+		}
+		data, err := store.PeekData(ctx, cid)
+		if err != nil {
+			condemn(cid, fmt.Sprintf("data section unreadable: %v", err))
+			continue
+		}
+		for i, m := range metas {
+			loc := chunk.Location{Container: cid, Segment: m.Segment, Offset: m.Offset, Size: m.Size}
+			if chunk.Of(store.Extract(data, loc)) != m.FP {
+				condemn(cid, fmt.Sprintf("entry %d: content hash mismatch", i))
+				break
+			}
+		}
+	}
+
+	for cid := range res.Reasons {
+		res.Quarantined = append(res.Quarantined, cid)
+	}
+	sort.Slice(res.Quarantined, func(i, j int) bool { return res.Quarantined[i] < res.Quarantined[j] })
+
+	// Purge derived index state while the container's metadata is still
+	// readable, then quarantine.
+	for _, cid := range res.Quarantined {
+		if drop != nil {
+			res.IndexDropped += drop.DropFromIndex(cid)
+		}
+		if err := store.Quarantine(ctx, cid, res.Reasons[cid]); err != nil {
+			return res, fmt.Errorf("fsck: quarantining container %d: %w", cid, err)
+		}
+	}
+
+	// Report every retained backup whose recipe crosses a quarantined
+	// container: those streams are no longer fully restorable.
+	if len(res.Quarantined) > 0 {
+		gone := make(map[uint32]bool, len(res.Quarantined))
+		for _, cid := range res.Quarantined {
+			gone[cid] = true
+		}
+		for _, rec := range recipes {
+			for i := range rec.Refs {
+				if gone[rec.Refs[i].Loc.Container] {
+					res.LostBackups = append(res.LostBackups, rec.Label)
+					break
+				}
+			}
+		}
+	}
+	return res, nil
 }

@@ -2,6 +2,7 @@ package fsck
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -35,18 +36,18 @@ func buildClean(t *testing.T, s *container.Store, ix *cindex.Index) *chunk.Recip
 	for i := 0; i < 12; i++ {
 		data := bytes.Repeat([]byte{byte(i + 1)}, 500)
 		c := chunk.New(data)
-		loc := s.Write(c, uint64(i/4+1))
+		loc := mustWrite(s, c, uint64(i/4+1))
 		ix.Insert(c.FP, loc)
 		rec.Append(c.FP, c.Size, loc)
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	return rec
 }
 
 func TestCleanStorePasses(t *testing.T) {
 	s, ix := rig(t, true)
 	rec := buildClean(t, s, ix)
-	rep, err := Check(s, ix, []*chunk.Recipe{rec}, true)
+	rep, err := Check(context.Background(), s, ix, []*chunk.Recipe{rec}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestCleanStorePasses(t *testing.T) {
 func TestVerifyDataRequiresStoringDevice(t *testing.T) {
 	s, ix := rig(t, false)
 	buildClean(t, s, ix)
-	if _, err := Check(s, ix, nil, true); err == nil {
+	if _, err := Check(context.Background(), s, ix, nil, true); err == nil {
 		t.Fatal("verifyData on hole device must error")
 	}
 }
@@ -74,7 +75,7 @@ func TestDetectsBogusIndexEntry(t *testing.T) {
 	buildClean(t, s, ix)
 	// Index entry pointing at an offset with no metadata entry.
 	ix.Insert(chunk.Of([]byte("ghost")), chunk.Location{Container: 0, Offset: 99999, Size: 10})
-	rep, err := Check(s, ix, nil, false)
+	rep, err := Check(context.Background(), s, ix, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestDetectsIndexFingerprintMismatch(t *testing.T) {
 	rec := buildClean(t, s, ix)
 	// Repoint an index entry at a different chunk's location.
 	ix.Update(rec.Refs[0].FP, rec.Refs[1].Loc)
-	rep, _ := Check(s, ix, nil, false)
+	rep, _ := Check(context.Background(), s, ix, nil, false)
 	if rep.OK() {
 		t.Fatal("fingerprint mismatch not detected")
 	}
@@ -98,7 +99,7 @@ func TestDetectsCorruptRecipeRef(t *testing.T) {
 	s, ix := rig(t, false)
 	rec := buildClean(t, s, ix)
 	rec.Refs[3].Loc.Offset += 7 // point into the middle of a chunk
-	rep, _ := Check(s, ix, []*chunk.Recipe{rec}, false)
+	rep, _ := Check(context.Background(), s, ix, []*chunk.Recipe{rec}, false)
 	if rep.OK() {
 		t.Fatal("corrupt recipe ref not detected")
 	}
@@ -108,7 +109,7 @@ func TestDetectsUnsealedReference(t *testing.T) {
 	s, ix := rig(t, false)
 	rec := buildClean(t, s, ix)
 	rec.Refs[0].Loc.Container = 999
-	rep, _ := Check(s, ix, []*chunk.Recipe{rec}, false)
+	rep, _ := Check(context.Background(), s, ix, []*chunk.Recipe{rec}, false)
 	if rep.OK() {
 		t.Fatal("unsealed container reference not detected")
 	}
@@ -120,7 +121,7 @@ func TestDetectsContentCorruption(t *testing.T) {
 	// Claim a different fingerprint for a valid location/size pair: the
 	// metadata check catches the lie before hashing even runs.
 	rec.Refs[2].FP = chunk.Of([]byte("lies"))
-	rep, _ := Check(s, ix, []*chunk.Recipe{rec}, true)
+	rep, _ := Check(context.Background(), s, ix, []*chunk.Recipe{rec}, true)
 	if rep.OK() {
 		t.Fatal("content lie not detected")
 	}
@@ -137,7 +138,7 @@ func TestProblemListCapped(t *testing.T) {
 		r.Loc.Offset += int64(i + 1)
 		bad.Refs = append(bad.Refs, r)
 	}
-	rep, _ := Check(s, ix, []*chunk.Recipe{&bad}, false)
+	rep, _ := Check(context.Background(), s, ix, []*chunk.Recipe{&bad}, false)
 	if len(rep.Problems) > 100 {
 		t.Fatalf("problem list not capped: %d", len(rep.Problems))
 	}
@@ -157,10 +158,10 @@ func TestEngineAndGCLeaveConsistentState(t *testing.T) {
 	for _, g := range gens {
 		recipes = append(recipes, g.Recipe)
 	}
-	if _, err := gc.Collect(eng.Containers(), eng.Index(), recipes, 0.7); err != nil {
+	if _, err := gc.Collect(context.Background(), eng.Containers(), eng.Index(), recipes, 0.7); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Check(eng.Containers(), eng.Index(), recipes, true)
+	rep, err := Check(context.Background(), eng.Containers(), eng.Index(), recipes, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,4 +175,14 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// mustWrite appends c through the store frontier; the in-memory backends
+// used by these tests cannot fail, so any error is a test bug.
+func mustWrite(s *container.Store, c chunk.Chunk, seg uint64) chunk.Location {
+	loc, err := s.Write(context.Background(), c, seg)
+	if err != nil {
+		panic(err)
+	}
+	return loc
 }

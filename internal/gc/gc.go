@@ -15,6 +15,7 @@
 package gc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chunk"
@@ -53,13 +54,13 @@ type copyKey struct {
 // Collect charges the store's simulated clock for the container reads and
 // the rewritten data (a real collector does this I/O), so experiments can
 // price GC too.
-func Collect(store *container.Store, index *cindex.Index, recipes []*chunk.Recipe, threshold float64) (Result, error) {
+func Collect(ctx context.Context, store *container.Store, index *cindex.Index, recipes []*chunk.Recipe, threshold float64) (Result, error) {
 	if threshold < 0 || threshold > 1 {
 		return Result{}, fmt.Errorf("gc: threshold must be in [0,1], got %v", threshold)
 	}
 	var res Result
-	n := store.NumContainers()
-	res.ContainersScanned = n
+	n := store.Slots()
+	res.ContainersScanned = store.NumContainers()
 	if n == 0 {
 		return res, nil
 	}
@@ -92,6 +93,9 @@ func Collect(store *container.Store, index *cindex.Index, recipes []*chunk.Recip
 	}
 	lastID := uint32(n - 1)
 	for id := uint32(0); id < uint32(n); id++ {
+		if !store.Sealed(id) {
+			continue // quarantined or never sealed: nothing to scan
+		}
 		live, total := liveOf(id)
 		if total == 0 {
 			continue
@@ -114,10 +118,14 @@ func Collect(store *container.Store, index *cindex.Index, recipes []*chunk.Recip
 		}
 		metas := store.PeekMeta(id)
 		var data []byte
-		if store.Device().StoresData() {
-			data = store.ReadData(id)
+		var err error
+		if store.StoresData() {
+			data, err = store.ReadData(ctx, id)
 		} else {
-			store.ReadData(id) // charge the read even in metadata-only mode
+			_, err = store.ReadData(ctx, id) // charge the read even in metadata-only mode
+		}
+		if err != nil {
+			return res, fmt.Errorf("gc: reading container %d: %w", id, err)
 		}
 		var movedBytes int64
 		for _, m := range metas {
@@ -135,7 +143,10 @@ func Collect(store *container.Store, index *cindex.Index, recipes []*chunk.Recip
 			} else {
 				c = chunk.Meta(m.FP, m.Size)
 			}
-			newLoc := store.Write(c, m.Segment)
+			newLoc, werr := store.Write(ctx, c, m.Segment)
+			if werr != nil {
+				return res, fmt.Errorf("gc: rewriting chunk from container %d: %w", id, werr)
+			}
 			moved[key] = newLoc
 			if authoritative {
 				index.Update(m.FP, newLoc)
@@ -153,7 +164,9 @@ func Collect(store *container.Store, index *cindex.Index, recipes []*chunk.Recip
 		store.MarkDead(id, total)
 		res.ContainersCollected++
 	}
-	store.Flush()
+	if err := store.Flush(ctx); err != nil {
+		return res, fmt.Errorf("gc: sealing moved chunks: %w", err)
+	}
 	index.Flush()
 
 	// Patch retained recipes to the moved copies.

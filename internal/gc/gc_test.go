@@ -2,6 +2,7 @@ package gc
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/chunk"
@@ -31,7 +32,7 @@ func rig(t *testing.T, storeData bool) (*container.Store, *cindex.Index) {
 
 func put(s *container.Store, ix *cindex.Index, data []byte, seg uint64) (chunk.Fingerprint, chunk.Location) {
 	c := chunk.New(data)
-	loc := s.Write(c, seg)
+	loc := mustWrite(s, c, seg)
 	ix.Insert(c.FP, loc)
 	return c.FP, loc
 }
@@ -39,7 +40,7 @@ func put(s *container.Store, ix *cindex.Index, data []byte, seg uint64) (chunk.F
 func TestThresholdValidation(t *testing.T) {
 	s, ix := rig(t, false)
 	for _, bad := range []float64{-0.1, 1.1} {
-		if _, err := Collect(s, ix, nil, bad); err == nil {
+		if _, err := Collect(context.Background(), s, ix, nil, bad); err == nil {
 			t.Errorf("threshold %v should fail", bad)
 		}
 	}
@@ -47,7 +48,7 @@ func TestThresholdValidation(t *testing.T) {
 
 func TestEmptyStoreNoop(t *testing.T) {
 	s, ix := rig(t, false)
-	res, err := Collect(s, ix, nil, 0.5)
+	res, err := Collect(context.Background(), s, ix, nil, 0.5)
 	if err != nil || res.ContainersCollected != 0 {
 		t.Fatalf("empty collect: %v %+v", err, res)
 	}
@@ -60,8 +61,8 @@ func TestFullyLiveContainersUntouched(t *testing.T) {
 		fp, loc := put(s, ix, bytes.Repeat([]byte{byte(i)}, 300), 1)
 		rec.Append(fp, 300, loc)
 	}
-	s.Flush()
-	res, err := Collect(s, ix, []*chunk.Recipe{&rec}, 0.5)
+	s.Flush(context.Background())
+	res, err := Collect(context.Background(), s, ix, []*chunk.Recipe{&rec}, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,18 +76,18 @@ func TestGarbageCollected(t *testing.T) {
 	// Container 0: two chunks; one will be superseded.
 	fpDead, _ := put(s, ix, bytes.Repeat([]byte{1}, 900), 1)
 	fpLive, locLive := put(s, ix, bytes.Repeat([]byte{2}, 900), 1)
-	s.Flush()
+	s.Flush(context.Background())
 	// Supersede fpDead with a copy in container 1 (a rewrite).
 	cDead := chunk.New(bytes.Repeat([]byte{1}, 900))
-	newLoc := s.Write(cDead, 2)
+	newLoc := mustWrite(s, cDead, 2)
 	ix.Update(fpDead, newLoc)
 	put(s, ix, bytes.Repeat([]byte{3}, 900), 2)
-	s.Flush()
+	s.Flush(context.Background())
 
 	var rec chunk.Recipe
 	rec.Append(fpLive, 900, locLive) // pin the live copy in container 0
 
-	res, err := Collect(s, ix, []*chunk.Recipe{&rec}, 0.9)
+	res, err := Collect(context.Background(), s, ix, []*chunk.Recipe{&rec}, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,10 @@ func TestGarbageCollected(t *testing.T) {
 		t.Fatalf("index/recipe disagree after GC: %v vs %v", loc, rec.Refs[0].Loc)
 	}
 	// The moved copy's content must read back intact.
-	got := s.ReadChunk(rec.Refs[0].Loc)
+	got, err := s.ReadChunk(context.Background(), rec.Refs[0].Loc)
+	if err != nil {
+		t.Fatalf("ReadChunk: %v", err)
+	}
 	if !bytes.Equal(got, bytes.Repeat([]byte{2}, 900)) {
 		t.Fatal("moved chunk corrupted")
 	}
@@ -133,7 +137,7 @@ func TestEndToEndWithDeFrag(t *testing.T) {
 	for _, g := range gens {
 		recipes = append(recipes, g.Recipe)
 	}
-	res, err := Collect(eng.Containers(), eng.Index(), recipes, 0.6)
+	res, err := Collect(context.Background(), eng.Containers(), eng.Index(), recipes, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,13 +146,13 @@ func TestEndToEndWithDeFrag(t *testing.T) {
 	rcfg := restore.DefaultConfig()
 	rcfg.Verify = true
 	for i, g := range gens {
-		if err := restore.VerifyAgainst(eng.Containers(), g.Recipe, rcfg, g.Data); err != nil {
+		if err := restore.VerifyAgainst(context.Background(), eng.Containers(), g.Recipe, rcfg, g.Data); err != nil {
 			t.Fatalf("generation %d after GC: %v", i, err)
 		}
 	}
 	// And the engine must keep working after GC: one more backup + restore.
 	more := enginetest.RunGenerations(t, eng, enginetest.SmallConfig(32), 1)
-	if err := restore.VerifyAgainst(eng.Containers(), more[0].Recipe, rcfg, more[0].Data); err != nil {
+	if err := restore.VerifyAgainst(context.Background(), eng.Containers(), more[0].Recipe, rcfg, more[0].Data); err != nil {
 		t.Fatalf("post-GC backup: %v", err)
 	}
 }
@@ -163,7 +167,7 @@ func TestRetentionExpiryEnablesReclaim(t *testing.T) {
 		t.Fatal(err)
 	}
 	enginetest.RunGenerations(t, eng, enginetest.SmallConfig(33), 6)
-	resAll, err := Collect(eng.Containers(), eng.Index(), nil, 1.0)
+	resAll, err := Collect(context.Background(), eng.Containers(), eng.Index(), nil, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,4 +177,14 @@ func TestRetentionExpiryEnablesReclaim(t *testing.T) {
 	if resAll.BytesReclaimed == 0 {
 		t.Fatal("no bytes reclaimed")
 	}
+}
+
+// mustWrite appends c through the store frontier; the in-memory backends
+// used by these tests cannot fail, so any error is a test bug.
+func mustWrite(s *container.Store, c chunk.Chunk, seg uint64) chunk.Location {
+	loc, err := s.Write(context.Background(), c, seg)
+	if err != nil {
+		panic(err)
+	}
+	return loc
 }

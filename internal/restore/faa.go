@@ -33,7 +33,7 @@ func DefaultFAAConfig() FAAConfig { return FAAConfig{AreaBytes: 32 << 20} }
 // guaranteed read per container per window — which of the two wins depends
 // on the fragmentation structure; RunRestoreAblation in the public API
 // compares them.
-func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Writer) (Stats, error) {
+func RunFAA(ctx context.Context, store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Writer) (Stats, error) {
 	if cfg.AreaBytes < 1 {
 		cfg.AreaBytes = 1
 	}
@@ -43,7 +43,7 @@ func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Wr
 	stats := Stats{Label: recipe.Label, Fragments: recipe.Fragments()}
 	clock := store.Device().Clock()
 	start := clock.Now()
-	_, span := telemetry.StartSpan(context.Background(), "restore.faa")
+	ctx, span := telemetry.StartSpan(ctx, "restore.faa")
 	defer span.End()
 	telFragments.Observe(float64(stats.Fragments))
 
@@ -72,7 +72,11 @@ func RunFAA(store *container.Store, recipe *chunk.Recipe, cfg FAAConfig, w io.Wr
 			if !store.Sealed(cid) {
 				return stats, fmt.Errorf("restore: recipe references unsealed container %d", cid)
 			}
-			containerData[cid] = store.ReadData(cid)
+			data, err := store.ReadData(ctx, cid)
+			if err != nil {
+				return stats, err
+			}
+			containerData[cid] = data
 			stats.ContainerReads++
 			telContainerReads.Inc()
 		}

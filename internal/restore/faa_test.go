@@ -2,6 +2,7 @@ package restore
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/chunk"
@@ -16,7 +17,7 @@ func TestFAARoundTrip(t *testing.T) {
 		want.Write(d)
 	}
 	var got bytes.Buffer
-	st, err := RunFAA(s, rec, FAAConfig{AreaBytes: 1500, Verify: true}, &got)
+	st, err := RunFAA(context.Background(), s, rec, FAAConfig{AreaBytes: 1500, Verify: true}, &got)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestFAAReadsEachContainerOncePerWindow(t *testing.T) {
 	}
 	// A window covering the whole recipe: each container read exactly once
 	// despite the pathological interleave.
-	st, err := RunFAA(s, frag, FAAConfig{AreaBytes: 1 << 30}, nil)
+	st, err := RunFAA(context.Background(), s, frag, FAAConfig{AreaBytes: 1 << 30}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFAAReadsEachContainerOncePerWindow(t *testing.T) {
 		t.Fatalf("whole-recipe window read %d containers, want %d", st.ContainerReads, s.NumContainers())
 	}
 	// The LRU cache with capacity 1 thrashes on the same recipe.
-	lru, err := Run(s, frag, Config{CacheContainers: 1}, nil)
+	lru, err := Run(context.Background(), s, frag, Config{CacheContainers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,8 +67,8 @@ func TestFAASmallWindowDegrades(t *testing.T) {
 	for i := 0; i < n/2; i++ {
 		frag.Refs = append(frag.Refs, seq.Refs[i], seq.Refs[n/2+i])
 	}
-	big, _ := RunFAA(s, frag, FAAConfig{AreaBytes: 1 << 30}, nil)
-	small, _ := RunFAA(s, frag, FAAConfig{AreaBytes: 700}, nil)
+	big, _ := RunFAA(context.Background(), s, frag, FAAConfig{AreaBytes: 1 << 30}, nil)
+	small, _ := RunFAA(context.Background(), s, frag, FAAConfig{AreaBytes: 700}, nil)
 	if small.ContainerReads <= big.ContainerReads {
 		t.Fatalf("smaller area should re-read containers: %d <= %d", small.ContainerReads, big.ContainerReads)
 	}
@@ -76,7 +77,7 @@ func TestFAASmallWindowDegrades(t *testing.T) {
 func TestFAAVerifyRequiresDataDevice(t *testing.T) {
 	s := rig(t, false)
 	rec := ingest(t, s, "v", mkDatas(2, 100))
-	if _, err := RunFAA(s, rec, FAAConfig{AreaBytes: 1 << 20, Verify: true}, nil); err == nil {
+	if _, err := RunFAA(context.Background(), s, rec, FAAConfig{AreaBytes: 1 << 20, Verify: true}, nil); err == nil {
 		t.Fatal("Verify on hole device must error")
 	}
 }
@@ -84,16 +85,16 @@ func TestFAAVerifyRequiresDataDevice(t *testing.T) {
 func TestFAAUnsealedRejected(t *testing.T) {
 	s := rig(t, false)
 	rec := &chunk.Recipe{Label: "u"}
-	loc := s.Write(chunk.New([]byte("pending")), 0)
+	loc := mustWrite(s, chunk.New([]byte("pending")), 0)
 	rec.Append(chunk.Of([]byte("pending")), 7, loc)
-	if _, err := RunFAA(s, rec, DefaultFAAConfig(), nil); err == nil {
+	if _, err := RunFAA(context.Background(), s, rec, DefaultFAAConfig(), nil); err == nil {
 		t.Fatal("unsealed container must be rejected")
 	}
 }
 
 func TestFAAEmptyRecipeAndClamp(t *testing.T) {
 	s := rig(t, false)
-	st, err := RunFAA(s, &chunk.Recipe{Label: "e"}, FAAConfig{AreaBytes: 0}, nil)
+	st, err := RunFAA(context.Background(), s, &chunk.Recipe{Label: "e"}, FAAConfig{AreaBytes: 0}, nil)
 	if err != nil || st.Chunks != 0 {
 		t.Fatalf("empty FAA restore: %v %+v", err, st)
 	}
@@ -117,7 +118,7 @@ func TestFAAOversizedChunkMidStream(t *testing.T) {
 		want.Write(d)
 	}
 	var out bytes.Buffer
-	st, err := RunFAA(s, rec, FAAConfig{AreaBytes: 500, Verify: true}, &out)
+	st, err := RunFAA(context.Background(), s, rec, FAAConfig{AreaBytes: 500, Verify: true}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestFAAOversizedChunkStillRestores(t *testing.T) {
 	rec := ingest(t, s, "big", [][]byte{data})
 	var out bytes.Buffer
 	// Area smaller than the chunk: the window must still admit one chunk.
-	if _, err := RunFAA(s, rec, FAAConfig{AreaBytes: 100, Verify: true}, &out); err != nil {
+	if _, err := RunFAA(context.Background(), s, rec, FAAConfig{AreaBytes: 100, Verify: true}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), data) {

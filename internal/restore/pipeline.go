@@ -71,7 +71,7 @@ func DefaultPipelineConfig() PipelineConfig {
 //
 // With PolicyLRU, Workers <= 1, Coalesce and ChunkCache off, the resulting
 // Stats are bit-identical to Run — pinned by TestSerialPipelinedMatchesRun.
-func RunPipelined(store *container.Store, recipe *chunk.Recipe, cfg PipelineConfig, w io.Writer) (Stats, error) {
+func RunPipelined(ctx context.Context, store *container.Store, recipe *chunk.Recipe, cfg PipelineConfig, w io.Writer) (Stats, error) {
 	if cfg.CacheContainers < 1 {
 		cfg.CacheContainers = 1
 	}
@@ -85,10 +85,10 @@ func RunPipelined(store *container.Store, recipe *chunk.Recipe, cfg PipelineConf
 		return Stats{}, err
 	}
 
-	_, span := telemetry.StartSpan(context.Background(), "restore.pipeline")
+	ctx, span := telemetry.StartSpan(ctx, "restore.pipeline")
 	defer span.End()
 
-	_, pspan := telemetry.StartSpan(context.Background(), "restore.plan")
+	_, pspan := telemetry.StartSpan(ctx, "restore.plan")
 	plan, err := buildPlan(store, recipe.Refs, cfg.CacheContainers, cfg.Policy, cfg.Coalesce, cfg.MaxCoalesce)
 	pspan.End()
 	if err != nil {
@@ -121,7 +121,7 @@ func RunPipelined(store *container.Store, recipe *chunk.Recipe, cfg PipelineConf
 	if cfg.Workers == 1 {
 		// Serial: extent reads charge the store clock at the instant the
 		// assembler needs them, exactly like the legacy path.
-		if err := as.run(func(e *extent) [][]byte { return store.ReadDataRange(e.ids) }); err != nil {
+		if err := as.run(func(e *extent) ([][]byte, error) { return store.ReadDataRange(ctx, e.ids) }); err != nil {
 			return stats, err
 		}
 	} else {
@@ -129,7 +129,7 @@ func RunPipelined(store *container.Store, recipe *chunk.Recipe, cfg PipelineConf
 		// deterministic schedule order, then run the wall-clock pipeline
 		// with uncharged fetches.
 		chargeLanes(store, plan, cfg.Workers)
-		if err := as.runParallel(); err != nil {
+		if err := as.runParallel(ctx); err != nil {
 			return stats, err
 		}
 	}
@@ -185,7 +185,7 @@ type assembly struct {
 	w     io.Writer
 	stats *Stats
 
-	whole      map[uint32][]byte          // whole-container cache mode
+	whole      map[uint32][]byte           // whole-container cache mode
 	chunks     map[uint32]map[int64][]byte // chunk-level cache mode: offset → bytes
 	refLocs    map[uint32][]chunk.Location
 	cacheBytes int64
@@ -195,7 +195,7 @@ type assembly struct {
 // the moment its first container is needed. Containers of a coalesced
 // extent that install later wait in a staging buffer bounded by
 // MaxCoalesce.
-func (as *assembly) run(fetchExtent func(e *extent) [][]byte) error {
+func (as *assembly) run(fetchExtent func(e *extent) ([][]byte, error)) error {
 	staged := make(map[uint32][]byte)
 	for i := range as.refs {
 		ref := &as.refs[i]
@@ -204,7 +204,10 @@ func (as *assembly) run(fetchExtent func(e *extent) [][]byte) error {
 			f := &as.plan.fetches[fx]
 			e := &as.plan.extents[f.extent]
 			if fx == e.lo {
-				datas := fetchExtent(e)
+				datas, err := fetchExtent(e)
+				if err != nil {
+					return err
+				}
 				for k, cid := range e.ids {
 					staged[cid] = datas[k]
 				}
@@ -288,10 +291,14 @@ func (as *assembly) piece(id uint32, ref *chunk.Ref) []byte {
 // extents in order, Workers fetcher goroutines materialize their data (time
 // was already charged by chargeLanes), and the assembler consumes results
 // strictly in schedule order through per-job reorder channels.
-func (as *assembly) runParallel() error {
+func (as *assembly) runParallel(ctx context.Context) error {
+	type fetchResult struct {
+		datas [][]byte
+		err   error
+	}
 	type fetchJob struct {
 		ids []uint32
-		out chan [][]byte
+		out chan fetchResult
 	}
 	depth := as.cfg.Workers * 2
 	pending := make(chan *fetchJob, depth)
@@ -301,7 +308,7 @@ func (as *assembly) runParallel() error {
 		defer close(pending)
 		defer close(jobs)
 		for ei := range as.plan.extents {
-			j := &fetchJob{ids: as.plan.extents[ei].ids, out: make(chan [][]byte, 1)}
+			j := &fetchJob{ids: as.plan.extents[ei].ids, out: make(chan fetchResult, 1)}
 			telPrefetchDepth.Observe(float64(inFlight.Add(1)))
 			pending <- j
 			jobs <- j
@@ -310,15 +317,16 @@ func (as *assembly) runParallel() error {
 	for k := 0; k < as.cfg.Workers; k++ {
 		go func() {
 			for j := range jobs {
-				j.out <- as.store.PeekDataRange(j.ids)
+				datas, err := as.store.PeekDataRange(ctx, j.ids)
+				j.out <- fetchResult{datas: datas, err: err}
 			}
 		}()
 	}
-	err := as.run(func(e *extent) [][]byte {
+	err := as.run(func(e *extent) ([][]byte, error) {
 		j := <-pending
-		datas := <-j.out
+		res := <-j.out
 		inFlight.Add(-1)
-		return datas
+		return res.datas, res.err
 	})
 	if err != nil {
 		// Drain so the scheduler and fetchers can exit; the store outlives

@@ -2,6 +2,7 @@ package restore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"reflect"
@@ -60,11 +61,11 @@ func TestSerialPipelinedMatchesRun(t *testing.T) {
 			frag2 := interleave(seq2, "frag")
 
 			var out1, out2 bytes.Buffer
-			legacy, err := Run(s1, frag1, Config{CacheContainers: tc.cache, Verify: true}, &out1)
+			legacy, err := Run(context.Background(), s1, frag1, Config{CacheContainers: tc.cache, Verify: true}, &out1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			pipe, err := RunPipelined(s2, frag2,
+			pipe, err := RunPipelined(context.Background(), s2, frag2,
 				PipelineConfig{CacheContainers: tc.cache, Policy: PolicyLRU, Workers: 1, Verify: true}, &out2)
 			if err != nil {
 				t.Fatal(err)
@@ -104,7 +105,7 @@ func TestPipelinedRoundTripAllModes(t *testing.T) {
 			frag := interleave(seq, "frag")
 			want := wantBytes(datas, frag, seq)
 			if err := VerifyAgainstFunc(func(w io.Writer) (Stats, error) {
-				return RunPipelined(s, frag, tc.cfg, w)
+				return RunPipelined(context.Background(), s, frag, tc.cfg, w)
 			}, want); err != nil {
 				t.Fatal(err)
 			}
@@ -122,11 +123,11 @@ func TestCoalescingReducesExtentReads(t *testing.T) {
 	rec1 := ingest(t, s1, "seq", datas)
 	rec2 := ingest(t, s2, "seq", datas)
 
-	plain, err := RunPipelined(s1, rec1, PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1}, nil)
+	plain, err := RunPipelined(context.Background(), s1, rec1, PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	coalesced, err := RunPipelined(s2, rec2, PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, Coalesce: true}, nil)
+	coalesced, err := RunPipelined(context.Background(), s2, rec2, PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, Coalesce: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +161,11 @@ func TestParallelLanesShortenSimulatedTime(t *testing.T) {
 	frag1 := interleave(seq1, "frag")
 	frag2 := interleave(seq2, "frag")
 
-	serial, err := RunPipelined(s1, frag1, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 1}, nil)
+	serial, err := RunPipelined(context.Background(), s1, frag1, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunPipelined(s2, frag2, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 4}, nil)
+	parallel, err := RunPipelined(context.Background(), s2, frag2, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 4}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestParallelTimingDeterministic(t *testing.T) {
 		datas := mkDatas(60, 300)
 		seq := ingest(t, s, "base", datas)
 		frag := interleave(seq, "frag")
-		st, err := RunPipelined(s, frag, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 4, Coalesce: true}, nil)
+		st, err := RunPipelined(context.Background(), s, frag, PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 4, Coalesce: true}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +211,7 @@ func TestChunkCacheBoundsMemory(t *testing.T) {
 	for i := 0; i < len(seq.Refs); i += 4 {
 		sparse.Refs = append(sparse.Refs, seq.Refs[i])
 	}
-	st, err := RunPipelined(s, sparse,
+	st, err := RunPipelined(context.Background(), s, sparse,
 		PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, ChunkCache: true, Verify: true}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +224,7 @@ func TestChunkCacheBoundsMemory(t *testing.T) {
 		t.Fatalf("chunk cache footprint %d should undercut whole-container %d",
 			st.PeakCacheBytes, wholeFootprint)
 	}
-	whole, err := RunPipelined(s, sparse,
+	whole, err := RunPipelined(context.Background(), s, sparse,
 		PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +250,7 @@ func TestPipelinedConcurrentStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			var out bytes.Buffer
-			st, err := RunPipelined(s, frag,
+			st, err := RunPipelined(context.Background(), s, frag,
 				PipelineConfig{CacheContainers: 3, Policy: PolicyOPT, Workers: 8, Coalesce: true, Verify: true}, &out)
 			if err != nil {
 				errs <- err
@@ -274,9 +275,9 @@ func TestPipelinedConcurrentStress(t *testing.T) {
 func TestPipelinedRejectsUnsealedAndHoleVerify(t *testing.T) {
 	s := rig(t, false)
 	rec := &chunk.Recipe{Label: "u"}
-	loc := s.Write(chunk.New([]byte("pending")), 0)
+	loc := mustWrite(s, chunk.New([]byte("pending")), 0)
 	rec.Append(chunk.Of([]byte("pending")), 7, loc)
-	if _, err := RunPipelined(s, rec, DefaultPipelineConfig(), nil); err == nil {
+	if _, err := RunPipelined(context.Background(), s, rec, DefaultPipelineConfig(), nil); err == nil {
 		t.Fatal("unsealed container must be rejected")
 	}
 
@@ -284,7 +285,7 @@ func TestPipelinedRejectsUnsealedAndHoleVerify(t *testing.T) {
 	rec2 := ingest(t, s2, "v", mkDatas(2, 100))
 	cfg := DefaultPipelineConfig()
 	cfg.Verify = true
-	if _, err := RunPipelined(s2, rec2, cfg, nil); err == nil {
+	if _, err := RunPipelined(context.Background(), s2, rec2, cfg, nil); err == nil {
 		t.Fatal("Verify on hole device must error")
 	}
 }
@@ -292,7 +293,7 @@ func TestPipelinedRejectsUnsealedAndHoleVerify(t *testing.T) {
 func TestPipelinedEmptyRecipe(t *testing.T) {
 	s := rig(t, false)
 	for _, workers := range []int{1, 4} {
-		st, err := RunPipelined(s, &chunk.Recipe{Label: "empty"},
+		st, err := RunPipelined(context.Background(), s, &chunk.Recipe{Label: "empty"},
 			PipelineConfig{CacheContainers: 4, Workers: workers}, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -309,13 +310,13 @@ func TestPipelinedVerifyCatchesCorruption(t *testing.T) {
 	rec.Refs[1].FP = chunk.Of([]byte("not the real content"))
 	cfg := DefaultPipelineConfig()
 	cfg.Verify = true
-	if _, err := RunPipelined(s, rec, cfg, nil); err == nil {
+	if _, err := RunPipelined(context.Background(), s, rec, cfg, nil); err == nil {
 		t.Fatal("fingerprint mismatch must be detected")
 	}
 	// Same under parallel lanes: the early error must not deadlock the
 	// scheduler or fetchers.
 	cfg.Workers = 8
-	if _, err := RunPipelined(s, rec, cfg, nil); err == nil {
+	if _, err := RunPipelined(context.Background(), s, rec, cfg, nil); err == nil {
 		t.Fatal("fingerprint mismatch must be detected in parallel mode")
 	}
 }

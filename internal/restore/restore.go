@@ -98,8 +98,8 @@ func (s Stats) String() string {
 // zero-filled data would "verify" garbage silently. Shared by every restore
 // mode (Run, RunFAA, RunPipelined).
 func checkVerify(store *container.Store, verify bool) error {
-	if verify && !store.Device().StoresData() {
-		return fmt.Errorf("restore: Verify requires a data-storing device")
+	if verify && !store.StoresData() {
+		return fmt.Errorf("restore: Verify requires a data-storing backend")
 	}
 	return nil
 }
@@ -113,7 +113,7 @@ func checkVerify(store *container.Store, verify bool) error {
 // carries the partial counts). The telemetry counters are mirrored by
 // lru.Instrument from those same counters, so Stats and /metrics cannot
 // drift.
-func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) (stats Stats, err error) {
+func Run(ctx context.Context, store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) (stats Stats, err error) {
 	if cfg.CacheContainers < 1 {
 		cfg.CacheContainers = 1
 	}
@@ -123,7 +123,7 @@ func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) 
 	stats = Stats{Label: recipe.Label, Fragments: recipe.Fragments()}
 	clock := store.Device().Clock()
 	start := clock.Now()
-	_, span := telemetry.StartSpan(context.Background(), "restore.run")
+	ctx, span := telemetry.StartSpan(ctx, "restore.run")
 	defer span.End()
 	telFragments.Observe(float64(stats.Fragments))
 
@@ -143,7 +143,10 @@ func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) 
 		}
 		data, ok := cache.Get(ref.Loc.Container)
 		if !ok {
-			data = store.ReadData(ref.Loc.Container)
+			data, err = store.ReadData(ctx, ref.Loc.Container)
+			if err != nil {
+				return stats, err
+			}
 			telContainerReads.Inc()
 			cache.Put(ref.Loc.Container, data)
 		}
@@ -171,9 +174,9 @@ func Run(store *container.Store, recipe *chunk.Recipe, cfg Config, w io.Writer) 
 // VerifyAgainst restores the recipe and compares the byte stream with want,
 // returning an error on any divergence. Test helper for end-to-end
 // correctness runs.
-func VerifyAgainst(store *container.Store, recipe *chunk.Recipe, cfg Config, want []byte) error {
+func VerifyAgainst(ctx context.Context, store *container.Store, recipe *chunk.Recipe, cfg Config, want []byte) error {
 	return VerifyAgainstFunc(func(w io.Writer) (Stats, error) {
-		return Run(store, recipe, cfg, w)
+		return Run(ctx, store, recipe, cfg, w)
 	}, want)
 }
 

@@ -2,6 +2,7 @@ package restore
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/chunk"
@@ -26,10 +27,10 @@ func ingest(t *testing.T, s *container.Store, label string, datas [][]byte) *chu
 	t.Helper()
 	rec := &chunk.Recipe{Label: label}
 	for i, d := range datas {
-		loc := s.Write(chunk.New(d), uint64(i))
+		loc := mustWrite(s, chunk.New(d), uint64(i))
 		rec.Append(chunk.Of(d), uint32(len(d)), loc)
 	}
-	s.Flush()
+	s.Flush(context.Background())
 	return rec
 }
 
@@ -55,7 +56,7 @@ func TestRoundTrip(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Verify = true
-	if err := VerifyAgainst(s, rec, cfg, want.Bytes()); err != nil {
+	if err := VerifyAgainst(context.Background(), s, rec, cfg, want.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,7 +65,7 @@ func TestStatsFields(t *testing.T) {
 	s := rig(t, true)
 	datas := mkDatas(20, 300)
 	rec := ingest(t, s, "st", datas)
-	st, err := Run(s, rec, DefaultConfig(), nil)
+	st, err := Run(context.Background(), s, rec, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestSequentialRecipeReadsEachContainerOnce(t *testing.T) {
 	s := rig(t, false)
 	datas := mkDatas(40, 300) // ~13 chunks per 4KB container
 	rec := ingest(t, s, "seq", datas)
-	st, err := Run(s, rec, DefaultConfig(), nil)
+	st, err := Run(context.Background(), s, rec, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,8 +113,8 @@ func TestFragmentedRecipeThrashesCache(t *testing.T) {
 		frag.Refs = append(frag.Refs, seq.Refs[i], seq.Refs[n/2+i])
 	}
 	cfg := Config{CacheContainers: 1}
-	stSeq, _ := Run(s, seq, cfg, nil)
-	stFrag, _ := Run(s, frag, cfg, nil)
+	stSeq, _ := Run(context.Background(), s, seq, cfg, nil)
+	stFrag, _ := Run(context.Background(), s, frag, cfg, nil)
 	if stFrag.ContainerReads <= stSeq.ContainerReads {
 		t.Fatalf("interleaved recipe should thrash: %d <= %d reads",
 			stFrag.ContainerReads, stSeq.ContainerReads)
@@ -128,7 +129,7 @@ func TestVerifyRequiresDataDevice(t *testing.T) {
 	rec := ingest(t, s, "v", mkDatas(2, 100))
 	cfg := DefaultConfig()
 	cfg.Verify = true
-	if _, err := Run(s, rec, cfg, nil); err == nil {
+	if _, err := Run(context.Background(), s, rec, cfg, nil); err == nil {
 		t.Fatal("Verify on hole device must error")
 	}
 }
@@ -140,7 +141,7 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	rec.Refs[1].FP = chunk.Of([]byte("not the real content"))
 	cfg := DefaultConfig()
 	cfg.Verify = true
-	if _, err := Run(s, rec, cfg, nil); err == nil {
+	if _, err := Run(context.Background(), s, rec, cfg, nil); err == nil {
 		t.Fatal("fingerprint mismatch must be detected")
 	}
 }
@@ -148,17 +149,17 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 func TestUnsealedContainerRejected(t *testing.T) {
 	s := rig(t, false)
 	rec := &chunk.Recipe{Label: "u"}
-	loc := s.Write(chunk.New([]byte("pending")), 0)
+	loc := mustWrite(s, chunk.New([]byte("pending")), 0)
 	rec.Append(chunk.Of([]byte("pending")), 7, loc)
 	// No flush: container 0 unsealed.
-	if _, err := Run(s, rec, DefaultConfig(), nil); err == nil {
+	if _, err := Run(context.Background(), s, rec, DefaultConfig(), nil); err == nil {
 		t.Fatal("unsealed container must be rejected")
 	}
 }
 
 func TestEmptyRecipe(t *testing.T) {
 	s := rig(t, false)
-	st, err := Run(s, &chunk.Recipe{Label: "empty"}, DefaultConfig(), nil)
+	st, err := Run(context.Background(), s, &chunk.Recipe{Label: "empty"}, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestEmptyRecipe(t *testing.T) {
 func TestCacheCapacityClamp(t *testing.T) {
 	s := rig(t, false)
 	rec := ingest(t, s, "cl", mkDatas(5, 100))
-	if _, err := Run(s, rec, Config{CacheContainers: 0}, nil); err != nil {
+	if _, err := Run(context.Background(), s, rec, Config{CacheContainers: 0}, nil); err != nil {
 		t.Fatalf("zero cache config should clamp, got %v", err)
 	}
 }
@@ -180,7 +181,7 @@ func TestWriterReceivesStream(t *testing.T) {
 	datas := mkDatas(10, 123)
 	rec := ingest(t, s, "w", datas)
 	var buf bytes.Buffer
-	if _, err := Run(s, rec, DefaultConfig(), &buf); err != nil {
+	if _, err := Run(context.Background(), s, rec, DefaultConfig(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	var want bytes.Buffer
@@ -190,4 +191,14 @@ func TestWriterReceivesStream(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
 		t.Fatal("writer output differs")
 	}
+}
+
+// mustWrite appends c through the store frontier; the in-memory backends
+// used by these tests cannot fail, so any error is a test bug.
+func mustWrite(s *container.Store, c chunk.Chunk, seg uint64) chunk.Location {
+	loc, err := s.Write(context.Background(), c, seg)
+	if err != nil {
+		panic(err)
+	}
+	return loc
 }

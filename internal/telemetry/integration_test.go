@@ -8,6 +8,7 @@ package telemetry_test
 // metric families the paper's figures are read from.
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -34,12 +35,12 @@ func runDefragBackups(t *testing.T, gens int) int64 {
 	var chunks int64
 	for g := 0; g < gens; g++ {
 		bk := sched.Next()
-		b, err := store.Backup(bk.Label, bk.Stream)
+		b, err := store.Backup(context.Background(), bk.Label, bk.Stream)
 		if err != nil {
 			t.Fatal(err)
 		}
 		chunks += int64(b.Stats.Chunks)
-		if _, err := store.Restore(b, nil, false); err != nil {
+		if _, err := store.Restore(context.Background(), b, nil, false); err != nil {
 			t.Fatal(err)
 		}
 	}

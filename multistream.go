@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -97,7 +98,7 @@ func RunMultiStreamBench(cfg ExperimentConfig, kind EngineKind, levels []int) (*
 			for i, bk := range round {
 				inputs[i] = StreamInput{Label: bk.Label, Stream: bk.Stream}
 			}
-			_, merged, err := store.BackupStreams(inputs, level)
+			_, merged, err := store.BackupStreams(context.Background(), inputs, level)
 			if err != nil {
 				return nil, fmt.Errorf("level %d round %d: %w", level, r, err)
 			}

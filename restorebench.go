@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
@@ -96,23 +97,23 @@ func RunRestoreBench(cfg ExperimentConfig, kind EngineKind, cacheContainers, wor
 	areaBytes := int64(cacheContainers) << 22
 	for g := 0; g < cfg.Generations; g++ {
 		bk := sched.Next()
-		b, err := store.Backup(bk.Label, bk.Stream)
+		b, err := store.Backup(context.Background(), bk.Label, bk.Stream)
 		if err != nil {
 			return nil, err
 		}
-		lru, err := store.RestoreWith(b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreLRU, Workers: 1})
+		lru, err := store.RestoreWith(context.Background(), b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreLRU, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
-		opt, err := store.RestoreWith(b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: 1})
+		opt, err := store.RestoreWith(context.Background(), b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
-		faa, err := store.RestoreFAA(b, nil, areaBytes, false)
+		faa, err := store.RestoreFAA(context.Background(), b, nil, areaBytes, false)
 		if err != nil {
 			return nil, err
 		}
-		pipe, err := store.RestoreWith(b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: workers, Coalesce: true})
+		pipe, err := store.RestoreWith(context.Background(), b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: workers, Coalesce: true})
 		if err != nil {
 			return nil, err
 		}

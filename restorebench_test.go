@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 )
@@ -63,7 +64,7 @@ func TestRestoreWithOptionsRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte("restore-with options round trip "), 4096)
-	b, err := store.Backup("b1", bytes.NewReader(payload))
+	b, err := store.Backup(context.Background(), "b1", bytes.NewReader(payload))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRestoreWithOptionsRoundTrip(t *testing.T) {
 		{Policy: RestoreOPT, Workers: 4, Coalesce: true, ChunkCache: true, Verify: true},
 	} {
 		var out bytes.Buffer
-		st, err := store.RestoreWith(b, &out, opts)
+		st, err := store.RestoreWith(context.Background(), b, &out, opts)
 		if err != nil {
 			t.Fatalf("opts %+v: %v", opts, err)
 		}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
@@ -50,7 +51,7 @@ func RunTrajectory(cfg ExperimentConfig, kind EngineKind) ([]TrajectoryPoint, er
 	points := make([]TrajectoryPoint, 0, cfg.Generations)
 	for g := 0; g < cfg.Generations; g++ {
 		bk := sched.Next()
-		b, err := store.Backup(bk.Label, bk.Stream)
+		b, err := store.Backup(context.Background(), bk.Label, bk.Stream)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +59,7 @@ func RunTrajectory(cfg ExperimentConfig, kind EngineKind) ([]TrajectoryPoint, er
 		if cfg.RestoreCache > 0 {
 			ropts.CacheContainers = cfg.RestoreCache
 		}
-		rst, err := store.RestoreWith(b, nil, ropts)
+		rst, err := store.RestoreWith(context.Background(), b, nil, ropts)
 		if err != nil {
 			return nil, err
 		}
