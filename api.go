@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/blockstore"
@@ -224,12 +225,21 @@ func (o Options) withDefaults() Options {
 }
 
 // Store is a deduplicating backup store over a simulated disk.
+//
+// The batch entry points (Backup, BackupStreams, Compact, …) are written
+// for one caller at a time, as the CLIs use them. The network service path
+// instead goes through IngestStream (see session.go), which is safe for
+// concurrent use; mu guards the retained-backup bookkeeping those
+// concurrent commits share, and ingestMu serializes whole-engine ingests
+// for engines without a concurrent-stream path.
 type Store struct {
 	opts   Options
 	eng    engine.Engine
 	oracle *cindex.Oracle
 	be     blockstore.Backend
 
+	mu        sync.RWMutex // guards backups, logical, recipeSeq, closed
+	ingestMu  sync.Mutex   // serializes eng.Backup for non-stream engines
 	backups   []*Backup
 	logical   int64
 	recipeSeq int
@@ -418,6 +428,8 @@ func (s *Store) BackendName() string { return s.be.Name() }
 // the second call and for the in-memory backend is equivalent to dropping
 // the Store.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
@@ -528,14 +540,23 @@ func (s *Store) Backup(ctx context.Context, label string, r io.Reader) (*Backup,
 	}
 	span.SetSim(st.Duration)
 	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
-	s.backups = append(s.backups, b)
-	s.logical += st.LogicalBytes
-	if s.durable() {
-		if err := s.persistBackup(b); err != nil {
-			return b, fmt.Errorf("repro: persisting backup %q: %w", label, err)
-		}
+	if err := s.commitBackup(b); err != nil {
+		return b, fmt.Errorf("repro: persisting backup %q: %w", label, err)
 	}
 	return b, nil
+}
+
+// commitBackup records b in the retained set (and, on durable backends,
+// persists its recipe and the backup manifest). Safe for concurrent use.
+func (s *Store) commitBackup(b *Backup) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backups = append(s.backups, b)
+	s.logical += b.Stats.LogicalBytes
+	if s.durable() {
+		return s.persistBackup(b)
+	}
+	return nil
 }
 
 // StreamInput is one labeled backup stream for BackupStreams.
@@ -571,29 +592,47 @@ func (s *Store) BackupStreams(ctx context.Context, inputs []StreamInput, concurr
 		}
 		telBackups.Inc()
 		b := &Backup{Label: inputs[i].Label, Stats: fromEngineStats(results[i].Stats), recipe: results[i].Recipe}
-		s.backups = append(s.backups, b)
-		s.logical += results[i].Stats.LogicalBytes
 		backups = append(backups, b)
-		if s.durable() {
-			if perr := s.persistBackup(b); perr != nil && err == nil {
-				err = fmt.Errorf("repro: persisting backup %q: %w", b.Label, perr)
-			}
+		if perr := s.commitBackup(b); perr != nil && err == nil {
+			err = fmt.Errorf("repro: persisting backup %q: %w", b.Label, perr)
 		}
 	}
 	return backups, fromEngineStats(merged), err
 }
 
-// Backups returns all backups ingested so far, in order.
-func (s *Store) Backups() []*Backup { return s.backups }
+// Backups returns all backups ingested so far, in order. The returned
+// slice is a snapshot; concurrent ingests do not mutate it.
+func (s *Store) Backups() []*Backup {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Backup, len(s.backups))
+	copy(out, s.backups)
+	return out
+}
+
+// FindBackup returns the retained backup with the given label, or nil.
+func (s *Store) FindBackup(label string) *Backup {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, b := range s.backups {
+		if b.Label == label {
+			return b
+		}
+	}
+	return nil
+}
 
 // Forget drops a backup from the retained set. Its chunks stay on disk
 // until a later Compact finds them unreferenced (dedup stores cannot free
 // shared chunks eagerly — that is what retention-aware garbage collection
 // is for). Returns false if no backup has the label.
 func (s *Store) Forget(label string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, b := range s.backups {
 		if b.Label == label {
-			s.backups = append(s.backups[:i], s.backups[i+1:]...)
+			s.backups = append(s.backups[:i:i], s.backups[i+1:]...)
+			s.logical -= b.Stats.LogicalBytes
 			if s.durable() {
 				if b.recipeFile != "" {
 					os.Remove(filepath.Join(s.opts.Dir, recipeDirName, b.recipeFile)) //nolint:errcheck // best-effort
@@ -764,10 +803,7 @@ func (s *Store) Compact(ctx context.Context, threshold float64) (CompactStats, e
 	if !ok {
 		return CompactStats{}, fmt.Errorf("repro: engine %s does not support compaction", s.eng.Name())
 	}
-	recipes := make([]*chunk.Recipe, len(s.backups))
-	for i, b := range s.backups {
-		recipes[i] = b.recipe
-	}
+	recipes := s.snapshotRecipes()
 	res, err := gc.Collect(ctx, s.eng.Containers(), eng.Index(), recipes, threshold)
 	if err != nil {
 		return CompactStats{}, err
@@ -805,11 +841,7 @@ func (s *Store) Check(ctx context.Context, verifyData bool) (CheckReport, error)
 	if eng, ok := s.eng.(interface{ Index() *cindex.Index }); ok {
 		index = eng.Index()
 	}
-	recipes := make([]*chunk.Recipe, len(s.backups))
-	for i, b := range s.backups {
-		recipes[i] = b.recipe
-	}
-	rep, err := fsck.Check(ctx, s.eng.Containers(), index, recipes, verifyData)
+	rep, err := fsck.Check(ctx, s.eng.Containers(), index, s.snapshotRecipes(), verifyData)
 	if err != nil {
 		return CheckReport{}, err
 	}
@@ -849,11 +881,7 @@ func (s *Store) Repair(ctx context.Context, verifyData bool) (RepairReport, erro
 	if d, ok := s.eng.(fsck.IndexDropper); ok {
 		drop = d
 	}
-	recipes := make([]*chunk.Recipe, len(s.backups))
-	for i, b := range s.backups {
-		recipes[i] = b.recipe
-	}
-	res, err := fsck.Repair(ctx, s.eng.Containers(), drop, recipes, verifyData)
+	res, err := fsck.Repair(ctx, s.eng.Containers(), drop, s.snapshotRecipes(), verifyData)
 	if res == nil {
 		return RepairReport{}, err
 	}
@@ -864,6 +892,8 @@ func (s *Store) Repair(ctx context.Context, verifyData bool) (RepairReport, erro
 		LostBackups:  res.LostBackups,
 	}
 	if len(res.LostBackups) > 0 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		lost := make(map[string]bool, len(res.LostBackups))
 		for _, l := range res.LostBackups {
 			lost[l] = true
@@ -886,15 +916,29 @@ func (s *Store) Repair(ctx context.Context, verifyData bool) (RepairReport, erro
 	return rep, err
 }
 
+// snapshotRecipes copies the retained backups' recipes under the lock.
+func (s *Store) snapshotRecipes() []*chunk.Recipe {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	recipes := make([]*chunk.Recipe, len(s.backups))
+	for i, b := range s.backups {
+		recipes[i] = b.recipe
+	}
+	return recipes
+}
+
 // Stats returns current storage statistics.
 func (s *Store) Stats() StoreStats {
 	stored := s.eng.Containers().StoredBytes()
+	s.mu.RLock()
+	logical := s.logical
+	s.mu.RUnlock()
 	cr := 0.0
 	if stored > 0 {
-		cr = float64(s.logical) / float64(stored)
+		cr = float64(logical) / float64(stored)
 	}
 	return StoreStats{
-		LogicalBytes:     s.logical,
+		LogicalBytes:     logical,
 		StoredBytes:      stored,
 		Containers:       s.eng.Containers().NumContainers(),
 		Utilization:      s.eng.Containers().Utilization(),

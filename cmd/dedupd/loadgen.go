@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/workload"
+)
+
+// loadgenParams configures the -loadgen client mode.
+type loadgenParams struct {
+	addr        string
+	tenants     int
+	gens        int
+	files       int
+	fileKB      int64
+	seed        int64
+	out         string
+	mode        string
+	skipRestore bool
+}
+
+// opRecord is one client-observed operation in the BENCH_PR5 trajectory.
+type opRecord struct {
+	Tenant      string  `json:"tenant"`
+	Label       string  `json:"label"`
+	Op          string  `json:"op"` // "backup" or "restore"
+	Bytes       int64   `json:"bytes"`
+	WallSeconds float64 `json:"wallSeconds"`
+	MBps        float64 `json:"mbps"`
+	Retries429  int     `json:"retries429,omitempty"`
+	Verified    bool    `json:"verified,omitempty"`
+}
+
+type loadgenSummary struct {
+	IngestBytes    int64   `json:"ingestBytes"`
+	IngestSeconds  float64 `json:"ingestSeconds"`
+	IngestMBps     float64 `json:"ingestMBps"`
+	LatencyP50     float64 `json:"latencyP50Seconds"`
+	LatencyP95     float64 `json:"latencyP95Seconds"`
+	Rejected429    int     `json:"rejected429"`
+	RestoreBytes   int64   `json:"restoreBytes"`
+	RestoreSeconds float64 `json:"restoreSeconds"`
+	RestoreMBps    float64 `json:"restoreMBps"`
+	AllVerified    bool    `json:"allVerified"`
+}
+
+type loadgenReport struct {
+	Config struct {
+		Addr    string `json:"addr"`
+		Tenants int    `json:"tenants"`
+		Gens    int    `json:"gens"`
+		Files   int    `json:"files"`
+		FileKB  int64  `json:"fileKB"`
+		Seed    int64  `json:"seed"`
+		Mode    string `json:"restoreMode"`
+	} `json:"config"`
+	Ops     []opRecord     `json:"ops"`
+	Summary loadgenSummary `json:"summary"`
+}
+
+// tenantRun drives one tenant: gens sequential backup generations of a
+// seeded synthetic file system, uploaded over HTTP, content-hashed on the
+// way out so restores can be verified bit-identical later.
+type tenantRun struct {
+	id     int
+	name   string
+	labels []string
+	hashes []string
+	ops    []opRecord
+	err    error
+}
+
+func runLoadgen(p loadgenParams) error {
+	if p.tenants < 1 || p.gens < 1 {
+		return fmt.Errorf("loadgen: need at least 1 tenant and 1 generation")
+	}
+	base := "http://" + p.addr
+	client := &http.Client{}
+	if err := waitHealthy(client, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	runs := make([]*tenantRun, p.tenants)
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for t := 0; t < p.tenants; t++ {
+		runs[t] = &tenantRun{id: t, name: fmt.Sprintf("t%d", t)}
+		wg.Add(1)
+		go func(tr *tenantRun) {
+			defer wg.Done()
+			tr.err = tr.ingest(client, base, p)
+		}(runs[t])
+	}
+	wg.Wait()
+	ingestWall := time.Since(wallStart).Seconds()
+	for _, tr := range runs {
+		if tr.err != nil {
+			return fmt.Errorf("loadgen: tenant %s: %w", tr.name, tr.err)
+		}
+	}
+
+	rep := loadgenReport{}
+	rep.Config.Addr = p.addr
+	rep.Config.Tenants = p.tenants
+	rep.Config.Gens = p.gens
+	rep.Config.Files = p.files
+	rep.Config.FileKB = p.fileKB
+	rep.Config.Seed = p.seed
+	rep.Config.Mode = p.mode
+	rep.Summary.AllVerified = true
+
+	var latencies []float64
+	for _, tr := range runs {
+		for _, op := range tr.ops {
+			rep.Ops = append(rep.Ops, op)
+			rep.Summary.IngestBytes += op.Bytes
+			rep.Summary.Rejected429 += op.Retries429
+			latencies = append(latencies, op.WallSeconds)
+		}
+	}
+	rep.Summary.IngestSeconds = ingestWall
+	if ingestWall > 0 {
+		rep.Summary.IngestMBps = float64(rep.Summary.IngestBytes) / ingestWall / 1e6
+	}
+	sort.Float64s(latencies)
+	rep.Summary.LatencyP50 = percentile(latencies, 0.50)
+	rep.Summary.LatencyP95 = percentile(latencies, 0.95)
+
+	// Restore phase: every tenant's every generation, streamed back and
+	// compared against the content hash recorded at upload time.
+	if !p.skipRestore {
+		restoreStart := time.Now()
+		for _, tr := range runs {
+			for g, lbl := range tr.labels {
+				op, err := restoreVerify(client, base, tr, g, lbl, p.mode)
+				if err != nil {
+					return fmt.Errorf("loadgen: restore %s: %w", lbl, err)
+				}
+				rep.Ops = append(rep.Ops, op)
+				rep.Summary.RestoreBytes += op.Bytes
+				if !op.Verified {
+					rep.Summary.AllVerified = false
+				}
+			}
+		}
+		rep.Summary.RestoreSeconds = time.Since(restoreStart).Seconds()
+		if rep.Summary.RestoreSeconds > 0 {
+			rep.Summary.RestoreMBps = float64(rep.Summary.RestoreBytes) / rep.Summary.RestoreSeconds / 1e6
+		}
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := blockstore.WriteFileAtomic(p.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d tenants × %d gens: %.1f MB ingested at %.1f MB/s "+
+		"(p50 %.3fs, p95 %.3fs, %d×429)",
+		p.tenants, p.gens, float64(rep.Summary.IngestBytes)/1e6, rep.Summary.IngestMBps,
+		rep.Summary.LatencyP50, rep.Summary.LatencyP95, rep.Summary.Rejected429)
+	if !p.skipRestore {
+		fmt.Printf("; %.1f MB restored at %.1f MB/s, verified=%v",
+			float64(rep.Summary.RestoreBytes)/1e6, rep.Summary.RestoreMBps, rep.Summary.AllVerified)
+	}
+	fmt.Printf("; trajectory → %s\n", p.out)
+	if !rep.Summary.AllVerified {
+		return fmt.Errorf("loadgen: restored content diverged from uploaded content")
+	}
+	return nil
+}
+
+// ingest uploads this tenant's generations sequentially (tenants run
+// concurrently with each other). A 429 is retried after the server's
+// Retry-After hint; every retry is counted into the trajectory.
+func (tr *tenantRun) ingest(client *http.Client, base string, p loadgenParams) error {
+	cfg := workload.DefaultConfig(p.seed*1000003 + int64(tr.id)*7919)
+	cfg.NumFiles = p.files
+	cfg.MeanFileSize = p.fileKB << 10
+	sched, err := workload.NewSingle(cfg)
+	if err != nil {
+		return err
+	}
+	for g := 0; g < p.gens; g++ {
+		bk := sched.Next()
+		// Materialize the stream so a 429 retry can replay it, and hash it
+		// for the restore-verify phase.
+		data, err := io.ReadAll(bk.Stream)
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		label := fmt.Sprintf("%s/%s", tr.name, bk.Label)
+
+		start := time.Now()
+		retries := 0
+		for {
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/backups/"+label, bytes.NewReader(data))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("X-Tenant", tr.name)
+			req.Header.Set("Content-Type", "application/octet-stream")
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close() //nolint:errcheck // read fully above
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retries++
+				if retries > 100 {
+					return fmt.Errorf("backup %s: still 429 after %d retries", label, retries)
+				}
+				time.Sleep(retryAfter(resp))
+				continue
+			}
+			if resp.StatusCode != http.StatusCreated {
+				return fmt.Errorf("backup %s: %s: %s", label, resp.Status, bytes.TrimSpace(body))
+			}
+			break
+		}
+		wall := time.Since(start).Seconds()
+		mbps := 0.0
+		if wall > 0 {
+			mbps = float64(len(data)) / wall / 1e6
+		}
+		tr.labels = append(tr.labels, label)
+		tr.hashes = append(tr.hashes, hex.EncodeToString(sum[:]))
+		tr.ops = append(tr.ops, opRecord{
+			Tenant: tr.name, Label: label, Op: "backup",
+			Bytes: int64(len(data)), WallSeconds: wall, MBps: mbps, Retries429: retries,
+		})
+	}
+	return nil
+}
+
+// restoreVerify streams one backup back and compares its content hash with
+// the hash recorded at upload time.
+func restoreVerify(client *http.Client, base string, tr *tenantRun, g int, label, mode string) (opRecord, error) {
+	url := fmt.Sprintf("%s/v1/backups/%s/restore?mode=%s", base, label, mode)
+	start := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return opRecord{}, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return opRecord{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	h := sha256.New()
+	n, err := io.Copy(h, resp.Body)
+	if err != nil {
+		return opRecord{}, err
+	}
+	wall := time.Since(start).Seconds()
+	mbps := 0.0
+	if wall > 0 {
+		mbps = float64(n) / wall / 1e6
+	}
+	got := hex.EncodeToString(h.Sum(nil))
+	verified := got == tr.hashes[g]
+	if !verified {
+		fmt.Fprintf(os.Stderr, "loadgen: %s: restored hash %s != uploaded %s\n", label, got[:12], tr.hashes[g][:12])
+	}
+	return opRecord{
+		Tenant: tr.name, Label: label, Op: "restore",
+		Bytes: n, WallSeconds: wall, MBps: mbps, Verified: verified,
+	}, nil
+}
+
+// retryAfter parses the server's Retry-After hint (seconds), defaulting to
+// a short client-side backoff.
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if d, err := time.ParseDuration(v + "s"); err == nil && d > 0 {
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			return d
+		}
+	}
+	return 100 * time.Millisecond
+}
+
+// waitHealthy polls /healthz until the server answers or the budget runs out.
+func waitHealthy(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close() //nolint:errcheck // health probe
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: server at %s not reachable: %w", base, err)
+			}
+			return fmt.Errorf("loadgen: server at %s not healthy", base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// percentile returns the p-quantile of sorted (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,186 @@
+// Command dedupd serves a deduplicating backup store over HTTP: streaming
+// multi-tenant ingest and restore on top of the repro engines, with
+// per-tenant backpressure and graceful drain. It doubles as its own load
+// generator (-loadgen), a seeded client that replays synthetic tenant
+// streams against a running server and writes a throughput/latency
+// trajectory.
+//
+// Server:
+//
+//	dedupd -addr 127.0.0.1:8080 -engine defrag -backend file -store.dir /tmp/st
+//
+// Endpoints: POST /v1/backups/{label}, GET /v1/backups[/{label}[/restore]],
+// DELETE /v1/backups/{label}, POST /v1/compact|check|repair, GET /v1/stats,
+// GET /healthz. See README "Serving".
+//
+// SIGINT/SIGTERM triggers a graceful drain: new requests get 503, in-flight
+// ingests are cancelled at a segment boundary (the store stays fsck-clean),
+// then the store is closed (manifest checkpoint, WAL fold).
+//
+// Load generator (against an already-running server):
+//
+//	dedupd -loadgen -addr 127.0.0.1:8080 -loadgen.tenants 4 -loadgen.gens 3 \
+//	       -loadgen.out BENCH_PR5.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() { cli.Main("dedupd", realMain) }
+
+type serverParams struct {
+	addr       string
+	engineName string
+	alpha      float64
+	backend    string
+	storeDir   string
+	expectedGB float64
+	storeData  bool
+	workers    int
+
+	tenantInflight int
+	totalInflight  int
+	tenantBWMBps   float64
+	drainTimeout   time.Duration
+	crashAfter     int
+}
+
+func realMain() error {
+	var (
+		p       serverParams
+		loadgen = flag.Bool("loadgen", false, "run as load-generating client instead of server")
+		lg      loadgenParams
+
+		telAddr   = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
+		telEvents = flag.String("telemetry.events", "", "write JSONL span events to this file")
+	)
+	flag.StringVar(&p.addr, "addr", "127.0.0.1:8080", "listen address (server) or target address (loadgen)")
+	flag.StringVar(&p.engineName, "engine", "defrag", "engine: defrag, ddfs, silo, sparse, idedup")
+	flag.Float64Var(&p.alpha, "alpha", 0.1, "DeFrag SPL threshold α")
+	flag.StringVar(&p.backend, "backend", "sim", "storage backend: sim (in-memory) or file (durable directory store)")
+	flag.StringVar(&p.storeDir, "store.dir", "", "file backend root directory (required for -backend file)")
+	flag.Float64Var(&p.expectedGB, "expected.gb", 1, "expected total ingest in GiB (sizes caches, Bloom filter, index)")
+	flag.BoolVar(&p.storeData, "store.data", true, "store real chunk bytes so restores return content (disable for timing-only runs)")
+	flag.IntVar(&p.workers, "workers", 0, "parallel fingerprinting workers per stream (0 = serial)")
+	flag.IntVar(&p.tenantInflight, "tenant.inflight", 4, "max concurrent ingests per tenant before 429")
+	flag.IntVar(&p.totalInflight, "max.inflight", 32, "max concurrent ingests server-wide before 429")
+	flag.Float64Var(&p.tenantBWMBps, "tenant.bw.mbps", 0, "per-tenant aggregate upload bandwidth cap in MB/s (0 = unlimited)")
+	flag.DurationVar(&p.drainTimeout, "drain.timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	flag.IntVar(&p.crashAfter, "crash.after", 0, "exit without closing the store after N committed ingests (crash-recovery testing, like dedupsim's)")
+
+	flag.IntVar(&lg.tenants, "loadgen.tenants", 4, "loadgen: concurrent tenant streams")
+	flag.IntVar(&lg.gens, "loadgen.gens", 3, "loadgen: backup generations per tenant")
+	flag.IntVar(&lg.files, "loadgen.files", 16, "loadgen: files per tenant file system")
+	flag.Int64Var(&lg.fileKB, "loadgen.filekb", 256, "loadgen: mean file size in KiB")
+	flag.Int64Var(&lg.seed, "seed", 1, "loadgen: workload seed")
+	flag.StringVar(&lg.out, "loadgen.out", "BENCH_PR5.json", "loadgen: write the run trajectory to this file")
+	flag.StringVar(&lg.mode, "loadgen.restore.mode", "pipelined", "loadgen: restore mode to verify with (lru, opt, pipelined, faa)")
+	flag.BoolVar(&lg.skipRestore, "loadgen.norestore", false, "loadgen: skip the restore+verify phase")
+	flag.Parse()
+
+	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	if a := ep.Addr(); a != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
+	}
+	if *loadgen {
+		lg.addr = p.addr
+		return runLoadgen(lg)
+	}
+	return runServer(p)
+}
+
+func runServer(p serverParams) error {
+	kind, err := repro.ParseEngineKind(p.engineName)
+	if err != nil {
+		return err
+	}
+	bkind, err := repro.ParseBackendKind(p.backend)
+	if err != nil {
+		return err
+	}
+	store, err := repro.Open(repro.Options{
+		Engine:        kind,
+		Alpha:         p.alpha,
+		ExpectedBytes: int64(p.expectedGB * (1 << 30)),
+		StoreData:     p.storeData,
+		Workers:       p.workers,
+		Backend:       bkind,
+		Dir:           p.storeDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	scfg := serve.Config{
+		Store:             store,
+		MaxTenantInflight: p.tenantInflight,
+		MaxTotalInflight:  p.totalInflight,
+		TenantBandwidth:   p.tenantBWMBps * 1e6,
+	}
+	if p.crashAfter > 0 {
+		scfg.OnIngest = func(n int) {
+			if n >= p.crashAfter {
+				// Simulated crash: exit without closing the store, so neither
+				// the backend manifest nor the WAL gets a clean shutdown. A
+				// later reopen must recover from the WAL alone.
+				fmt.Fprintf(os.Stderr, "dedupd: simulating crash after ingest %d\n", n)
+				os.Exit(0)
+			}
+		}
+	}
+	srv := serve.New(scfg)
+	httpSrv := &http.Server{Addr: p.addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "dedupd: serving on http://%s (engine %s, backend %s)\n",
+		p.addr, store.Engine(), store.BackendName())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		store.Close() //nolint:errcheck // listen failure surfaces first
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dedupd: %v: draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), p.drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)    // cancel in-flight ingests, wait for handlers
+	httpErr := httpSrv.Shutdown(ctx) //nolint:contextcheck // same deadline
+	closeErr := store.Close()        // manifest checkpoint + WAL fold
+	fmt.Fprintln(os.Stderr, "dedupd: drained, store closed")
+	if drainErr != nil {
+		return drainErr
+	}
+	if httpErr != nil {
+		return httpErr
+	}
+	return closeErr
+}

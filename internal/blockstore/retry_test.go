@@ -1,0 +1,170 @@
+package blockstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// scriptBackend fails each operation according to a script of errors (nil =
+// success), consumed one per attempt; past the end it succeeds. It counts
+// attempts so tests can assert exactly how often the retry layer re-issued.
+type scriptBackend struct {
+	Backend
+	script   []error
+	attempts int
+}
+
+func (s *scriptBackend) step() error {
+	i := s.attempts
+	s.attempts++
+	if i < len(s.script) {
+		return s.script[i]
+	}
+	return nil
+}
+
+func (s *scriptBackend) Seal(ctx context.Context, info ContainerInfo, data []byte) error {
+	if err := s.step(); err != nil {
+		return err
+	}
+	return s.Backend.Seal(ctx, info, data)
+}
+
+func (s *scriptBackend) ReadData(ctx context.Context, id uint32) ([]byte, error) {
+	if err := s.step(); err != nil {
+		return nil, err
+	}
+	return s.Backend.ReadData(ctx, id)
+}
+
+var errPermanent = errors.New("disk on fire")
+
+// TestRetryTable drives the retry wrapper through its edge cases with a
+// scripted backend: success after k transient failures, attempt exhaustion,
+// non-transient passthrough (no retry spent on it), and mixed scripts.
+func TestRetryTable(t *testing.T) {
+	transient := func() error { return Transient(fmt.Errorf("EIO")) }
+	cases := []struct {
+		name         string
+		script       []error
+		maxAttempts  int
+		wantErr      bool
+		wantTrans    bool // surviving error still reports transient
+		wantAttempts int
+	}{
+		{
+			name:         "first try succeeds",
+			script:       nil,
+			maxAttempts:  3,
+			wantAttempts: 1,
+		},
+		{
+			name:         "transient then success",
+			script:       []error{transient()},
+			maxAttempts:  3,
+			wantAttempts: 2,
+		},
+		{
+			name:         "succeeds on the last allowed attempt",
+			script:       []error{transient(), transient()},
+			maxAttempts:  3,
+			wantAttempts: 3,
+		},
+		{
+			name:         "exhausted retries surface the transient error",
+			script:       []error{transient(), transient(), transient()},
+			maxAttempts:  3,
+			wantErr:      true,
+			wantTrans:    true,
+			wantAttempts: 3, // not 4: the policy bounds total tries, not retries
+		},
+		{
+			name:         "non-transient error passes straight through",
+			script:       []error{errPermanent},
+			maxAttempts:  5,
+			wantErr:      true,
+			wantAttempts: 1,
+		},
+		{
+			name:         "transient then non-transient stops retrying",
+			script:       []error{transient(), errPermanent},
+			maxAttempts:  5,
+			wantErr:      true,
+			wantAttempts: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sb := &scriptBackend{Backend: NewSim(true), script: tc.script}
+			rb := WithRetry(sb, RetryPolicy{MaxAttempts: tc.maxAttempts, BaseDelay: time.Microsecond})
+			info, data := mkInfo(0, 2)
+			err := rb.Seal(context.Background(), info, data)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if tc.wantTrans && !IsTransient(err) {
+				t.Fatalf("surviving error lost its transient marker: %v", err)
+			}
+			if err != nil && !tc.wantTrans && tc.wantErr && !errors.Is(err, errPermanent) {
+				t.Fatalf("expected the permanent error back, got %v", err)
+			}
+			if sb.attempts != tc.wantAttempts {
+				t.Fatalf("backend saw %d attempts, want %d", sb.attempts, tc.wantAttempts)
+			}
+		})
+	}
+}
+
+// TestRetryCancelledMidBackoff cancels the context while the wrapper is
+// sleeping between attempts: the call must return ctx's error promptly and
+// stop re-issuing the operation.
+func TestRetryCancelledMidBackoff(t *testing.T) {
+	sb := &scriptBackend{
+		Backend: NewSim(true),
+		script:  []error{Transient(errors.New("EIO")), Transient(errors.New("EIO")), Transient(errors.New("EIO"))},
+	}
+	// A long backoff so cancellation lands inside the sleep, not between ops.
+	rb := WithRetry(sb, RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	info, data := mkInfo(0, 2)
+	start := time.Now()
+	err := rb.Seal(ctx, info, data)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled out of the backoff sleep, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v; the backoff sleep did not observe ctx", el)
+	}
+	if sb.attempts != 1 {
+		t.Fatalf("backend saw %d attempts; cancellation mid-backoff must not re-issue", sb.attempts)
+	}
+}
+
+// TestRetryReadDataPath checks the read path retries independently of Seal
+// and returns the recovered data.
+func TestRetryReadDataPath(t *testing.T) {
+	inner := NewSim(true)
+	info, data := mkInfo(3, 4)
+	if err := inner.Seal(context.Background(), info, data); err != nil {
+		t.Fatal(err)
+	}
+	sb := &scriptBackend{Backend: inner, script: []error{Transient(errors.New("EIO"))}}
+	rb := WithRetry(sb, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond})
+	got, err := rb.ReadData(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("recovered %d bytes, want %d", len(got), len(data))
+	}
+	if sb.attempts != 2 {
+		t.Fatalf("backend saw %d attempts, want 2", sb.attempts)
+	}
+}

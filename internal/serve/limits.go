@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+)
+
+// limiter is the session manager's admission ledger: per-tenant and
+// server-wide in-flight ingest counts (hard 429 beyond the caps) plus an
+// optional per-tenant token-bucket bandwidth throttle shared by all of a
+// tenant's concurrent uploads.
+type limiter struct {
+	perTenant int
+	total     int
+	bandwidth float64 // bytes/second per tenant; 0 = unthrottled
+
+	mu       sync.Mutex
+	inflight map[string]int
+	buckets  map[string]*bucket
+	used     int
+}
+
+func newLimiter(perTenant, total int, bandwidth float64) *limiter {
+	return &limiter{
+		perTenant: perTenant,
+		total:     total,
+		bandwidth: bandwidth,
+		inflight:  make(map[string]int),
+		buckets:   make(map[string]*bucket),
+	}
+}
+
+// acquire claims one ingest slot for the tenant. It never blocks: when the
+// tenant or the server is at its cap the claim is refused, and the caller
+// turns that into a 429 — backpressure is the client's problem by design,
+// the server holds no upload queue.
+func (l *limiter) acquire(tenant string) (release func(), ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[tenant] >= l.perTenant || l.used >= l.total {
+		return nil, false
+	}
+	l.inflight[tenant]++
+	l.used++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			l.inflight[tenant]--
+			if l.inflight[tenant] == 0 {
+				delete(l.inflight, tenant)
+			}
+			l.used--
+		})
+	}, true
+}
+
+// throttle wraps r in the tenant's shared token bucket (no-op when
+// bandwidth is unlimited).
+func (l *limiter) throttle(ctx context.Context, tenant string, r io.Reader) io.Reader {
+	if l.bandwidth <= 0 {
+		return r
+	}
+	l.mu.Lock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = newBucket(l.bandwidth)
+		l.buckets[tenant] = b
+	}
+	l.mu.Unlock()
+	return &throttledReader{ctx: ctx, r: r, b: b}
+}
+
+// snapshot reports current per-tenant in-flight counts.
+func (l *limiter) snapshot() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.inflight))
+	for t, n := range l.inflight {
+		out[t] = n
+	}
+	return out
+}
+
+// bucket is a token bucket refilled continuously at rate bytes/second, with
+// one second of burst. All of a tenant's streams draw from the same bucket,
+// so the cap is aggregate, not per-connection.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	tokens float64
+	max    float64
+	last   time.Time
+}
+
+func newBucket(rate float64) *bucket {
+	return &bucket{rate: rate, tokens: rate, max: rate, last: time.Now()}
+}
+
+// wait blocks until n tokens are available (or ctx is done) and consumes
+// them. n may exceed the burst size; the debt is paid down over time.
+func (b *bucket) wait(ctx context.Context, n float64) error {
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+		b.last = now
+		if b.tokens >= n {
+			b.tokens -= n
+			b.mu.Unlock()
+			return nil
+		}
+		need := n - b.tokens
+		b.mu.Unlock()
+		d := time.Duration(need / b.rate * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
+// throttledReader meters reads through the bucket in at most 64 KiB bites
+// so a huge Read cannot stall past its fair share.
+type throttledReader struct {
+	ctx context.Context
+	r   io.Reader
+	b   *bucket
+}
+
+func (t *throttledReader) Read(p []byte) (int, error) {
+	const bite = 64 << 10
+	if len(p) > bite {
+		p = p[:bite]
+	}
+	n, err := t.r.Read(p)
+	if n > 0 {
+		// Charge for what actually arrived; the wait paces the next read.
+		if werr := t.b.wait(t.ctx, float64(n)); werr != nil {
+			return n, werr
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,511 @@
+// Package serve exposes a repro.Store as a streaming multi-tenant HTTP
+// service: the network front end of the dedup engines.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST   /v1/backups/{label}          ingest: chunked request body → Store.IngestStream
+//	GET    /v1/backups                  list retained backups
+//	GET    /v1/backups/{label}          one backup's stats
+//	GET    /v1/backups/{label}/restore  restore: streamed response body (?mode=&cache=&workers=&verify=)
+//	DELETE /v1/backups/{label}          forget
+//	POST   /v1/compact                  garbage-collect (?threshold=)
+//	POST   /v1/check                    fsck (?verify=)
+//	POST   /v1/repair                   quarantine invariant-failing containers (?verify=)
+//	GET    /v1/stats                    storage + server statistics
+//	GET    /healthz                     liveness
+//
+// Labels may contain slashes (the workload generator's "u0/g01" shape); the
+// "/restore" suffix is reserved and routed to the restore handler.
+//
+// Multi-tenancy: every request carries a tenant identity in the X-Tenant
+// header (default "default"). Each tenant gets an independent in-flight
+// ingest budget and an optional token-bucket bandwidth cap; exceeding the
+// in-flight budget (or the server-wide one) returns 429 with a Retry-After
+// hint — the client owns the backoff, the server never queues uploads.
+// Concurrent uploads from all tenants multiplex onto the engine's
+// multi-stream ingest path via Store.IngestStream, each as its own
+// simulated-clock lane.
+//
+// Maintenance operations (forget/compact/repair) take the session manager's
+// exclusive gate: they wait for in-flight ingests and restores to finish and
+// hold new ones out while they run, because they rewrite recipes and drop
+// containers that concurrent streams may touch.
+//
+// Shutdown drains: new work is refused with 503, in-flight ingest contexts
+// are cancelled so engines abort at the next segment boundary (the
+// cancelled-ingest path — sealed containers stay sealed, the index flushes,
+// the store is fsck-clean), and handlers are waited for.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+)
+
+// Telemetry: the serve.* surface on the PR-1 /metrics endpoint.
+var (
+	telIngests = telemetry.NewCounter(telemetry.Name("serve_requests_total", "route", "ingest"),
+		"HTTP requests, by route")
+	telRestoreReqs = telemetry.NewCounter(telemetry.Name("serve_requests_total", "route", "restore"), "")
+	telAdminReqs   = telemetry.NewCounter(telemetry.Name("serve_requests_total", "route", "admin"), "")
+	telRejected    = telemetry.NewCounter("serve_backpressure_429_total",
+		"ingest requests refused because an in-flight limit was reached")
+	telErrors = telemetry.NewCounter("serve_http_errors_total",
+		"requests that finished with a 4xx/5xx status (429s counted separately)")
+	telIngestBytes = telemetry.NewCounter("serve_ingest_bytes_total",
+		"logical bytes accepted over HTTP ingest")
+	telRestoreBytes = telemetry.NewCounter("serve_restore_bytes_total",
+		"bytes streamed out of HTTP restores")
+	telInflight = telemetry.NewGauge("serve_inflight_requests",
+		"requests currently being served")
+	telIngestSeconds = telemetry.NewHistogram("serve_ingest_seconds",
+		"wall-clock seconds per HTTP ingest",
+		[]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60})
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the open store to serve. The server does not close it.
+	Store *repro.Store
+	// MaxTenantInflight caps concurrent ingests per tenant (default 4);
+	// the cap'th+1 concurrent upload gets 429.
+	MaxTenantInflight int
+	// MaxTotalInflight caps concurrent ingests server-wide (default 32).
+	MaxTotalInflight int
+	// TenantBandwidth throttles each tenant's aggregate upload rate in
+	// bytes/second through a token bucket. 0 means unthrottled.
+	TenantBandwidth float64
+	// RestoreVerify forces fingerprint verification on every restore
+	// regardless of the request's ?verify= (requires a data-storing store).
+	RestoreVerify bool
+	// OnIngest, when set, runs after each successfully committed ingest
+	// with the total committed so far. dedupd wires its -crash.after
+	// machinery (die without closing the store, for recovery testing)
+	// through this hook.
+	OnIngest func(completed int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTenantInflight <= 0 {
+		c.MaxTenantInflight = 4
+	}
+	if c.MaxTotalInflight <= 0 {
+		c.MaxTotalInflight = 32
+	}
+	return c
+}
+
+// Server is the HTTP front end. It implements http.Handler; run it under
+// any http.Server. Use Shutdown for a graceful drain.
+type Server struct {
+	cfg   Config
+	store *repro.Store
+	mux   *http.ServeMux
+
+	base     context.Context // cancelled by Shutdown: aborts in-flight ingests
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup // in-flight request handlers
+	maint    sync.RWMutex   // stream ops hold R; maintenance ops hold W
+	limits   *limiter
+	mu       sync.Mutex
+	draining bool
+	ingested int // successful ingests, for the OnIngest hook
+}
+
+// New builds a Server over an open store.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		store:  cfg.Store,
+		base:   base,
+		cancel: cancel,
+		limits: newLimiter(cfg.MaxTenantInflight, cfg.MaxTotalInflight, cfg.TenantBandwidth),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/backups/", s.handleIngest)
+	mux.HandleFunc("GET /v1/backups/", s.handleBackupGet)
+	mux.HandleFunc("DELETE /v1/backups/", s.handleForget)
+	mux.HandleFunc("GET /v1/backups", s.handleList)
+	mux.HandleFunc("GET /v1/backups/{$}", s.handleList)
+	mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	telInflight.Add(1)
+	defer telInflight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new requests are refused with 503, in-flight
+// ingests are cancelled (they abort at the next segment boundary, leaving
+// the store fsck-clean), and all handlers are waited for until ctx expires.
+// The store itself stays open; the caller closes it after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// enter registers a request with the drain tracker; it reports false (and
+// writes 503) when the server is draining.
+func (s *Server) enter(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// label extracts the backup label from a /v1/backups/… path.
+func label(r *http.Request) string {
+	return strings.TrimPrefix(r.URL.Path, "/v1/backups/")
+}
+
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// joinContext derives a context cancelled when either the request context
+// or the server's drain context is done.
+func (s *Server) joinContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.base, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code != http.StatusTooManyRequests {
+		telErrors.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)}) //nolint:errcheck // best-effort error body
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
+}
+
+// BackupInfo is the wire form of one retained backup.
+type BackupInfo struct {
+	Label     string            `json:"label"`
+	Chunks    int               `json:"chunks"`
+	Fragments int               `json:"fragments"`
+	Stats     repro.BackupStats `json:"stats"`
+}
+
+func backupInfo(b *repro.Backup) BackupInfo {
+	return BackupInfo{Label: b.Label, Chunks: b.Chunks(), Fragments: b.Fragments(), Stats: b.Stats}
+}
+
+// handleIngest streams the request body into the store under the tenant's
+// in-flight and bandwidth budgets.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	telIngests.Inc()
+	lbl := label(r)
+	if lbl == "" {
+		httpError(w, http.StatusBadRequest, "missing backup label")
+		return
+	}
+	if strings.HasSuffix(lbl, "/restore") {
+		httpError(w, http.StatusBadRequest, "label suffix %q is reserved", "/restore")
+		return
+	}
+	ten := tenant(r)
+	release, ok := s.limits.acquire(ten)
+	if !ok {
+		telRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"tenant %q at its in-flight ingest limit", ten)
+		return
+	}
+	defer release()
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	s.maint.RLock()
+	defer s.maint.RUnlock()
+
+	ctx, cancel := s.joinContext(r)
+	defer cancel()
+	start := time.Now()
+	body := s.limits.throttle(ctx, ten, r.Body)
+	b, err := s.store.IngestStream(ctx, lbl, body)
+	telIngestSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled by client disconnect or drain: the engine aborted at
+			// a segment boundary and the store is consistent; 499-style.
+			httpError(w, http.StatusServiceUnavailable, "ingest cancelled: %v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "ingest failed: %v", err)
+		return
+	}
+	telIngestBytes.Add(b.Stats.LogicalBytes)
+	writeJSON(w, http.StatusCreated, backupInfo(b))
+	if s.cfg.OnIngest != nil {
+		s.mu.Lock()
+		s.ingested++
+		n := s.ingested
+		s.mu.Unlock()
+		s.cfg.OnIngest(n)
+	}
+}
+
+// restoreOptions parses ?mode=&cache=&workers=&verify= into RestoreOptions.
+// mode faa is handled by the caller (different Store entry point).
+func restoreOptions(r *http.Request, forceVerify bool) (repro.RestoreOptions, string, error) {
+	q := r.URL.Query()
+	mode := q.Get("mode")
+	opts := repro.DefaultRestoreOptions()
+	opts.Verify = forceVerify || q.Get("verify") == "1" || q.Get("verify") == "true"
+	if c := q.Get("cache"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			return opts, mode, fmt.Errorf("bad cache %q", c)
+		}
+		if n > 0 {
+			opts.CacheContainers = n
+		}
+	}
+	if ws := q.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil || n < 0 {
+			return opts, mode, fmt.Errorf("bad workers %q", ws)
+		}
+		opts.Workers = n
+	}
+	switch mode {
+	case "", "lru", "faa":
+	case "opt":
+		opts.Policy = repro.RestoreOPT
+	case "pipelined":
+		opts.Policy = repro.RestoreOPT
+		opts.Coalesce = true
+		if opts.Workers < 1 {
+			opts.Workers = 1
+		}
+	default:
+		return opts, mode, fmt.Errorf("unknown mode %q (want lru, opt, pipelined or faa)", mode)
+	}
+	return opts, mode, nil
+}
+
+// handleBackupGet serves both GET /v1/backups/{label} (stats) and
+// GET /v1/backups/{label}/restore (streamed content).
+func (s *Server) handleBackupGet(w http.ResponseWriter, r *http.Request) {
+	lbl := label(r)
+	if rest, ok := strings.CutSuffix(lbl, "/restore"); ok {
+		s.restore(w, r, rest)
+		return
+	}
+	telAdminReqs.Inc()
+	b := s.store.FindBackup(lbl)
+	if b == nil {
+		httpError(w, http.StatusNotFound, "no backup %q", lbl)
+		return
+	}
+	writeJSON(w, http.StatusOK, backupInfo(b))
+}
+
+// countingWriter tallies the bytes a restore streams out.
+type countingWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *Server) restore(w http.ResponseWriter, r *http.Request, lbl string) {
+	telRestoreReqs.Inc()
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	s.maint.RLock()
+	defer s.maint.RUnlock()
+	b := s.store.FindBackup(lbl)
+	if b == nil {
+		httpError(w, http.StatusNotFound, "no backup %q", lbl)
+		return
+	}
+	opts, mode, err := restoreOptions(r, s.cfg.RestoreVerify)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.joinContext(r)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Backup-Label", b.Label)
+	cw := &countingWriter{w: w}
+	var st repro.RestoreStats
+	if mode == "faa" {
+		st, err = s.store.RestoreFAA(ctx, b, cw, int64(opts.CacheContainers)<<22, opts.Verify)
+	} else {
+		st, err = s.store.RestoreWith(ctx, b, cw, opts)
+	}
+	telRestoreBytes.Add(cw.n)
+	if err != nil {
+		// Headers may already be out; if nothing was written yet we can
+		// still send a clean error status.
+		if cw.n == 0 {
+			httpError(w, http.StatusInternalServerError, "restore failed: %v", err)
+		}
+		return
+	}
+	_ = st
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	telAdminReqs.Inc()
+	bs := s.store.Backups()
+	out := make([]BackupInfo, len(bs))
+	for i, b := range bs {
+		out[i] = backupInfo(b)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// exclusive runs fn under the maintenance gate: it waits out in-flight
+// streams and blocks new ones for the duration.
+func (s *Server) exclusive(w http.ResponseWriter, fn func() (any, error)) {
+	telAdminReqs.Inc()
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	s.maint.Lock()
+	defer s.maint.Unlock()
+	v, err := fn()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
+	lbl := label(r)
+	s.exclusive(w, func() (any, error) {
+		if !s.store.Forget(lbl) {
+			return nil, fmt.Errorf("no backup %q", lbl)
+		}
+		return map[string]string{"forgotten": lbl}, nil
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	threshold := 0.5
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil || v <= 0 || v > 1 {
+			httpError(w, http.StatusBadRequest, "bad threshold %q", t)
+			return
+		}
+		threshold = v
+	}
+	s.exclusive(w, func() (any, error) {
+		return s.store.Compact(context.Background(), threshold)
+	})
+}
+
+func verifyParam(r *http.Request) bool {
+	v := r.URL.Query().Get("verify")
+	return v == "1" || v == "true"
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	verify := verifyParam(r)
+	s.exclusive(w, func() (any, error) {
+		return s.store.Check(context.Background(), verify)
+	})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	verify := verifyParam(r)
+	s.exclusive(w, func() (any, error) {
+		return s.store.Repair(context.Background(), verify)
+	})
+}
+
+// StatsView is the /v1/stats response.
+type StatsView struct {
+	Engine        string           `json:"engine"`
+	Backend       string           `json:"backend"`
+	Storage       repro.StoreStats `json:"storage"`
+	Backups       int              `json:"backups"`
+	SimulatedSecs float64          `json:"simulatedSeconds"`
+	Draining      bool             `json:"draining"`
+	Tenants       map[string]int   `json:"tenantsInflight"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	telAdminReqs.Inc()
+	writeJSON(w, http.StatusOK, StatsView{
+		Engine:        s.store.Engine(),
+		Backend:       s.store.BackendName(),
+		Storage:       s.store.Stats(),
+		Backups:       len(s.store.Backups()),
+		SimulatedSecs: s.store.SimulatedTime().Seconds(),
+		Draining:      s.Draining(),
+		Tenants:       s.limits.snapshot(),
+	})
+}

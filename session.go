@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/disk"
+	"repro/internal/engine"
+	"repro/internal/telemetry"
+)
+
+// IngestStream ingests one labeled backup stream and is safe for concurrent
+// use — it is the Store entry point for the network service (internal/serve),
+// where many client uploads are in flight at once.
+//
+// Engines with a concurrent ingest path (DeFrag, DDFS-Like; see
+// engine.StreamBackupper) run each call as one lane of the PR-2 multi-stream
+// timing model: the lane's simulated clock starts at the master clock's
+// current reading, the stream pays its costs on that lane while sharing the
+// index shards, Bloom filter and container store, and on commit the master
+// clock advances to the lane's finish time if it is ahead — K concurrent
+// uploads cost the slowest lane, not the sum, exactly as BackupStreams
+// charges a round. Engines without concurrent ingest are serialized on an
+// internal mutex, so correctness never depends on the engine kind.
+//
+// Cancelling ctx aborts the backup between segments; the store stays
+// consistent and the aborted backup is simply absent (the cancelled-ingest
+// contract of Store.Backup).
+func (s *Store) IngestStream(ctx context.Context, label string, r io.Reader) (*Backup, error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.ingest_stream")
+	defer span.End()
+	telBackups.Inc()
+
+	sb, ok := s.eng.(engine.StreamBackupper)
+	if !ok {
+		return s.ingestSerial(ctx, label, r)
+	}
+
+	master := s.eng.Clock()
+	var lane disk.Clock
+	lane.Advance(master.Now())
+	rec, st, err := sb.BackupStream(ctx, label, r, &lane)
+	if err != nil {
+		return nil, err
+	}
+	span.SetSim(st.Duration)
+	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
+
+	// Commit under the store lock: retained-set bookkeeping, durable
+	// persistence, and the master-clock advance are one atomic step, so
+	// concurrent lanes cannot interleave half-committed state.
+	s.mu.Lock()
+	if d := lane.Now() - master.Now(); d > 0 {
+		master.Advance(d)
+	}
+	s.backups = append(s.backups, b)
+	s.logical += st.LogicalBytes
+	var perr error
+	if s.durable() {
+		perr = s.persistBackup(b)
+	}
+	s.mu.Unlock()
+	if perr != nil {
+		return b, fmt.Errorf("repro: persisting backup %q: %w", label, perr)
+	}
+	return b, nil
+}
+
+// ingestSerial is the IngestStream fallback for engines whose ingest path
+// is single-threaded: whole backups run back-to-back under ingestMu.
+func (s *Store) ingestSerial(ctx context.Context, label string, r io.Reader) (*Backup, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	rec, st, err := s.eng.Backup(ctx, label, r)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
+	if err := s.commitBackup(b); err != nil {
+		return b, fmt.Errorf("repro: persisting backup %q: %w", label, err)
+	}
+	return b, nil
+}
