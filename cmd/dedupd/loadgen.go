@@ -8,12 +8,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/blockstore"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -26,11 +30,17 @@ type loadgenParams struct {
 	fileKB      int64
 	seed        int64
 	out         string
+	stagesOut   string
+	sweep       string
 	mode        string
 	skipRestore bool
 }
 
 // opRecord is one client-observed operation in the BENCH_PR5 trajectory.
+// Failed operations are recorded too (Status + Error), not silently dropped:
+// the trajectory is the debugging artifact, and Trace is the W3C trace ID the
+// client minted for the request — paste it into /debug/traces to pull the
+// server-side span tree.
 type opRecord struct {
 	Tenant      string  `json:"tenant"`
 	Label       string  `json:"label"`
@@ -38,6 +48,9 @@ type opRecord struct {
 	Bytes       int64   `json:"bytes"`
 	WallSeconds float64 `json:"wallSeconds"`
 	MBps        float64 `json:"mbps"`
+	Status      int     `json:"status,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Trace       string  `json:"trace,omitempty"`
 	Retries429  int     `json:"retries429,omitempty"`
 	Verified    bool    `json:"verified,omitempty"`
 }
@@ -48,25 +61,62 @@ type loadgenSummary struct {
 	IngestMBps     float64 `json:"ingestMBps"`
 	LatencyP50     float64 `json:"latencyP50Seconds"`
 	LatencyP95     float64 `json:"latencyP95Seconds"`
+	LatencyP99     float64 `json:"latencyP99Seconds"`
 	Rejected429    int     `json:"rejected429"`
+	Failed         int     `json:"failedOps"`
 	RestoreBytes   int64   `json:"restoreBytes"`
 	RestoreSeconds float64 `json:"restoreSeconds"`
 	RestoreMBps    float64 `json:"restoreMBps"`
 	AllVerified    bool    `json:"allVerified"`
 }
 
+type loadgenConfig struct {
+	Addr    string `json:"addr"`
+	Tenants int    `json:"tenants"`
+	Gens    int    `json:"gens"`
+	Files   int    `json:"files"`
+	FileKB  int64  `json:"fileKB"`
+	Seed    int64  `json:"seed"`
+	Mode    string `json:"restoreMode"`
+}
+
 type loadgenReport struct {
-	Config struct {
-		Addr    string `json:"addr"`
-		Tenants int    `json:"tenants"`
-		Gens    int    `json:"gens"`
-		Files   int    `json:"files"`
-		FileKB  int64  `json:"fileKB"`
-		Seed    int64  `json:"seed"`
-		Mode    string `json:"restoreMode"`
-	} `json:"config"`
+	Config  loadgenConfig  `json:"config"`
 	Ops     []opRecord     `json:"ops"`
 	Summary loadgenSummary `json:"summary"`
+}
+
+// stagePhase is one entry of the BENCH_PR6 per-stage breakdown: the
+// server-side stage wall-time deltas accumulated while this phase's ingest
+// ran, as absolute nanoseconds and as shares of the stage total.
+type stagePhase struct {
+	Phase       string             `json:"phase"`
+	Streams     int                `json:"streams"`
+	Gens        int                `json:"gens"`
+	IngestBytes int64              `json:"ingestBytes"`
+	WallSeconds float64            `json:"wallSeconds"`
+	MBps        float64            `json:"mbps"`
+	StageNanos  map[string]int64   `json:"stageNanos"`
+	StageShares map[string]float64 `json:"stageShares"`
+	// TopStage is the stage with the largest share of this phase's stage time.
+	TopStage string `json:"topStage"`
+}
+
+// stageReport is BENCH_PR6.json: where the pipeline's wall time goes per
+// stream count, from the always-on per-stage counters on /v1/stats.
+type stageReport struct {
+	Config     loadgenConfig `json:"config"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Phases     []stagePhase  `json:"phases"`
+	// SerialBottleneck names the dominant stage at the highest stream count —
+	// the place added streams serialize (resolver-mutex wait is charged to
+	// "lookup", so index contention surfaces there).
+	SerialBottleneck string `json:"serialBottleneck"`
+	TraceCheck       struct {
+		ClientTrace        string `json:"clientTrace"`
+		FoundInDebugTraces bool   `json:"foundInDebugTraces"`
+	} `json:"traceCheck"`
+	Note string `json:"note"`
 }
 
 // tenantRun drives one tenant: gens sequential backup generations of a
@@ -78,12 +128,17 @@ type tenantRun struct {
 	labels []string
 	hashes []string
 	ops    []opRecord
-	err    error
+	failed int
+	err    error // transport-level failure (op-level failures live in ops)
 }
 
 func runLoadgen(p loadgenParams) error {
 	if p.tenants < 1 || p.gens < 1 {
 		return fmt.Errorf("loadgen: need at least 1 tenant and 1 generation")
+	}
+	sweep, err := parseSweep(p.sweep)
+	if err != nil {
+		return err
 	}
 	base := "http://" + p.addr
 	client := &http.Client{}
@@ -91,34 +146,33 @@ func runLoadgen(p loadgenParams) error {
 		return err
 	}
 
-	runs := make([]*tenantRun, p.tenants)
-	var wg sync.WaitGroup
-	wallStart := time.Now()
-	for t := 0; t < p.tenants; t++ {
-		runs[t] = &tenantRun{id: t, name: fmt.Sprintf("t%d", t)}
-		wg.Add(1)
-		go func(tr *tenantRun) {
-			defer wg.Done()
-			tr.err = tr.ingest(client, base, p)
-		}(runs[t])
+	stages := stageReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	stages.Note = "stageNanos are server-side cumulative per-stage wall-time deltas over each phase's ingest; " +
+		"lookup includes resolver-mutex wait, so cross-stream index serialization is charged there"
+
+	// Main phase: p.tenants concurrent streams, ops recorded in full.
+	before, err := fetchStageNanos(client, base)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
+	wallStart := time.Now()
+	runs, err := runIngestPhase(client, base, p, p.tenants, 0, "t")
+	if err != nil {
+		return err
+	}
 	ingestWall := time.Since(wallStart).Seconds()
-	for _, tr := range runs {
-		if tr.err != nil {
-			return fmt.Errorf("loadgen: tenant %s: %w", tr.name, tr.err)
-		}
+	after, err := fetchStageNanos(client, base)
+	if err != nil {
+		return err
 	}
 
 	rep := loadgenReport{}
-	rep.Config.Addr = p.addr
-	rep.Config.Tenants = p.tenants
-	rep.Config.Gens = p.gens
-	rep.Config.Files = p.files
-	rep.Config.FileKB = p.fileKB
-	rep.Config.Seed = p.seed
-	rep.Config.Mode = p.mode
+	rep.Config = loadgenConfig{
+		Addr: p.addr, Tenants: p.tenants, Gens: p.gens,
+		Files: p.files, FileKB: p.fileKB, Seed: p.seed, Mode: p.mode,
+	}
 	rep.Summary.AllVerified = true
+	stages.Config = rep.Config
 
 	var latencies []float64
 	for _, tr := range runs {
@@ -128,6 +182,7 @@ func runLoadgen(p loadgenParams) error {
 			rep.Summary.Rejected429 += op.Retries429
 			latencies = append(latencies, op.WallSeconds)
 		}
+		rep.Summary.Failed += tr.failed
 	}
 	rep.Summary.IngestSeconds = ingestWall
 	if ingestWall > 0 {
@@ -136,6 +191,68 @@ func runLoadgen(p loadgenParams) error {
 	sort.Float64s(latencies)
 	rep.Summary.LatencyP50 = percentile(latencies, 0.50)
 	rep.Summary.LatencyP95 = percentile(latencies, 0.95)
+	rep.Summary.LatencyP99 = percentile(latencies, 0.99)
+
+	stages.Phases = append(stages.Phases,
+		makePhase("main", p.tenants, p.gens, rep.Summary.IngestBytes, ingestWall, before, after))
+
+	// Sweep phases: extra ingest-only rounds at the requested stream counts,
+	// each with fresh labels and fresh content (different seeds), bracketted
+	// by /v1/stats stage-counter reads.
+	for i, streams := range sweep {
+		sb, err := fetchStageNanos(client, base)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		sruns, err := runIngestPhase(client, base, p, streams, (i+1)*10000, fmt.Sprintf("s%d-t", streams))
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0).Seconds()
+		sa, err := fetchStageNanos(client, base)
+		if err != nil {
+			return err
+		}
+		var phaseBytes int64
+		for _, tr := range sruns {
+			phaseBytes += tenantBytes(tr)
+			rep.Summary.Failed += tr.failed
+		}
+		stages.Phases = append(stages.Phases,
+			makePhase(fmt.Sprintf("sweep-%d", streams), streams, p.gens, phaseBytes, wall, sb, sa))
+	}
+	if n := len(stages.Phases); n > 0 {
+		maxPhase := stages.Phases[0]
+		for _, ph := range stages.Phases[1:] {
+			if ph.Streams > maxPhase.Streams {
+				maxPhase = ph
+			}
+		}
+		stages.SerialBottleneck = maxPhase.TopStage
+	}
+
+	// Trace round-trip check: the first backup's client-minted trace ID must
+	// appear in the server's tail-captured /debug/traces (the warmup policy
+	// always retains the first requests).
+	for _, tr := range runs {
+		for _, op := range tr.ops {
+			if op.Trace != "" {
+				stages.TraceCheck.ClientTrace = op.Trace
+				break
+			}
+		}
+		if stages.TraceCheck.ClientTrace != "" {
+			break
+		}
+	}
+	if stages.TraceCheck.ClientTrace != "" {
+		found, err := traceRetained(client, base, stages.TraceCheck.ClientTrace)
+		if err != nil {
+			telemetry.Logger().Warn("loadgen: /debug/traces check failed", "err", err)
+		}
+		stages.TraceCheck.FoundInDebugTraces = found
+	}
 
 	// Restore phase: every tenant's every generation, streamed back and
 	// compared against the content hash recorded at upload time.
@@ -144,10 +261,14 @@ func runLoadgen(p loadgenParams) error {
 		for _, tr := range runs {
 			for g, lbl := range tr.labels {
 				op, err := restoreVerify(client, base, tr, g, lbl, p.mode)
-				if err != nil {
-					return fmt.Errorf("loadgen: restore %s: %w", lbl, err)
-				}
 				rep.Ops = append(rep.Ops, op)
+				if err != nil {
+					rep.Summary.Failed++
+					rep.Summary.AllVerified = false
+					telemetry.Logger().Error("loadgen: restore failed",
+						"label", lbl, "trace", op.Trace, "err", err)
+					continue
+				}
 				rep.Summary.RestoreBytes += op.Bytes
 				if !op.Verified {
 					rep.Summary.AllVerified = false
@@ -167,24 +288,159 @@ func runLoadgen(p loadgenParams) error {
 	if err := blockstore.WriteFileAtomic(p.out, blob, 0o644); err != nil {
 		return err
 	}
+	sblob, err := json.MarshalIndent(&stages, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := blockstore.WriteFileAtomic(p.stagesOut, sblob, 0o644); err != nil {
+		return err
+	}
 	fmt.Printf("loadgen: %d tenants × %d gens: %.1f MB ingested at %.1f MB/s "+
-		"(p50 %.3fs, p95 %.3fs, %d×429)",
+		"(p50 %.3fs, p95 %.3fs, p99 %.3fs, %d×429, %d failed)",
 		p.tenants, p.gens, float64(rep.Summary.IngestBytes)/1e6, rep.Summary.IngestMBps,
-		rep.Summary.LatencyP50, rep.Summary.LatencyP95, rep.Summary.Rejected429)
+		rep.Summary.LatencyP50, rep.Summary.LatencyP95, rep.Summary.LatencyP99,
+		rep.Summary.Rejected429, rep.Summary.Failed)
 	if !p.skipRestore {
 		fmt.Printf("; %.1f MB restored at %.1f MB/s, verified=%v",
 			float64(rep.Summary.RestoreBytes)/1e6, rep.Summary.RestoreMBps, rep.Summary.AllVerified)
 	}
-	fmt.Printf("; trajectory → %s\n", p.out)
+	fmt.Printf("; trajectory → %s, stages → %s (bottleneck: %s, trace round-trip: %v)\n",
+		p.out, p.stagesOut, stages.SerialBottleneck, stages.TraceCheck.FoundInDebugTraces)
+	if rep.Summary.Failed > 0 {
+		return fmt.Errorf("loadgen: %d operations failed (see %s)", rep.Summary.Failed, p.out)
+	}
 	if !rep.Summary.AllVerified {
 		return fmt.Errorf("loadgen: restored content diverged from uploaded content")
 	}
 	return nil
 }
 
+// parseSweep parses "1,2,4" into stream counts.
+func parseSweep(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("loadgen: bad -loadgen.sweep entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runIngestPhase uploads gens generations from `streams` concurrent tenants
+// named prefix0..prefixN-1, with workload seeds offset by idBase so every
+// phase ingests fresh content.
+func runIngestPhase(client *http.Client, base string, p loadgenParams, streams, idBase int, prefix string) ([]*tenantRun, error) {
+	runs := make([]*tenantRun, streams)
+	var wg sync.WaitGroup
+	for t := 0; t < streams; t++ {
+		runs[t] = &tenantRun{id: idBase + t, name: fmt.Sprintf("%s%d", prefix, t)}
+		wg.Add(1)
+		go func(tr *tenantRun) {
+			defer wg.Done()
+			tr.err = tr.ingest(client, base, p)
+		}(runs[t])
+	}
+	wg.Wait()
+	for _, tr := range runs {
+		if tr.err != nil {
+			return nil, fmt.Errorf("loadgen: tenant %s: %w", tr.name, tr.err)
+		}
+	}
+	return runs, nil
+}
+
+func tenantBytes(tr *tenantRun) int64 {
+	var n int64
+	for _, op := range tr.ops {
+		if op.Op == "backup" && op.Error == "" {
+			n += op.Bytes
+		}
+	}
+	return n
+}
+
+// fetchStageNanos reads the cumulative per-stage wall-time counters from the
+// server's /v1/stats.
+func fetchStageNanos(client *http.Client, base string) (map[string]int64, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats: %w", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: stats: %s", resp.Status)
+	}
+	var sv serve.StatsView
+	if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
+		return nil, fmt.Errorf("loadgen: stats: %w", err)
+	}
+	if sv.Stages == nil {
+		sv.Stages = map[string]int64{}
+	}
+	return sv.Stages, nil
+}
+
+// makePhase folds the before/after stage counters into one breakdown entry.
+func makePhase(name string, streams, gens int, bytes int64, wall float64, before, after map[string]int64) stagePhase {
+	ph := stagePhase{
+		Phase: name, Streams: streams, Gens: gens,
+		IngestBytes: bytes, WallSeconds: wall,
+		StageNanos:  map[string]int64{},
+		StageShares: map[string]float64{},
+	}
+	if wall > 0 {
+		ph.MBps = float64(bytes) / wall / 1e6
+	}
+	var total int64
+	for stage, a := range after {
+		if d := a - before[stage]; d > 0 {
+			ph.StageNanos[stage] = d
+			total += d
+		}
+	}
+	var topNS int64
+	for stage, d := range ph.StageNanos {
+		ph.StageShares[stage] = float64(d) / float64(total)
+		if d > topNS {
+			topNS, ph.TopStage = d, stage
+		}
+	}
+	return ph
+}
+
+// traceRetained reports whether /debug/traces holds a span tree of the given
+// trace ID.
+func traceRetained(client *http.Client, base, trace string) (bool, error) {
+	resp, err := client.Get(base + "/debug/traces")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("/debug/traces: %s", resp.Status)
+	}
+	var view telemetry.TracesView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return false, err
+	}
+	for _, tr := range view.Traces {
+		if tr.Trace == trace {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // ingest uploads this tenant's generations sequentially (tenants run
 // concurrently with each other). A 429 is retried after the server's
-// Retry-After hint; every retry is counted into the trajectory.
+// Retry-After hint; every retry is counted into the trajectory. Failed
+// uploads are recorded as failed ops (status + error + trace) and the run
+// moves on — one bad generation shouldn't hide the rest of the trajectory.
 func (tr *tenantRun) ingest(client *http.Client, base string, p loadgenParams) error {
 	cfg := workload.DefaultConfig(p.seed*1000003 + int64(tr.id)*7919)
 	cfg.NumFiles = p.files
@@ -204,8 +460,18 @@ func (tr *tenantRun) ingest(client *http.Client, base string, p loadgenParams) e
 		sum := sha256.Sum256(data)
 		label := fmt.Sprintf("%s/%s", tr.name, bk.Label)
 
+		// The client is the trace root: every attempt carries a W3C
+		// traceparent, so the server's serve.ingest span tree joins this
+		// trace and /debug/traces can be searched by the recorded ID.
+		traceID := telemetry.NewTraceID()
+		rootSpan := telemetry.NewSpanID()
+
 		start := time.Now()
 		retries := 0
+		op := opRecord{
+			Tenant: tr.name, Label: label, Op: "backup",
+			Bytes: int64(len(data)), Trace: traceID.String(),
+		}
 		for {
 			req, err := http.NewRequest(http.MethodPost, base+"/v1/backups/"+label, bytes.NewReader(data))
 			if err != nil {
@@ -213,73 +479,96 @@ func (tr *tenantRun) ingest(client *http.Client, base string, p loadgenParams) e
 			}
 			req.Header.Set("X-Tenant", tr.name)
 			req.Header.Set("Content-Type", "application/octet-stream")
+			req.Header.Set("traceparent", telemetry.FormatTraceParent(traceID, rootSpan))
 			resp, err := client.Do(req)
 			if err != nil {
-				return err
+				op.Error = err.Error()
+				break
 			}
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close() //nolint:errcheck // read fully above
+			op.Status = resp.StatusCode
 			if resp.StatusCode == http.StatusTooManyRequests {
 				retries++
 				if retries > 100 {
-					return fmt.Errorf("backup %s: still 429 after %d retries", label, retries)
+					op.Error = fmt.Sprintf("still 429 after %d retries", retries)
+					break
 				}
 				time.Sleep(retryAfter(resp))
 				continue
 			}
 			if resp.StatusCode != http.StatusCreated {
-				return fmt.Errorf("backup %s: %s: %s", label, resp.Status, bytes.TrimSpace(body))
+				op.Error = fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(body))
 			}
 			break
 		}
 		wall := time.Since(start).Seconds()
-		mbps := 0.0
+		op.WallSeconds = wall
+		op.Retries429 = retries
 		if wall > 0 {
-			mbps = float64(len(data)) / wall / 1e6
+			op.MBps = float64(len(data)) / wall / 1e6
 		}
-		tr.labels = append(tr.labels, label)
-		tr.hashes = append(tr.hashes, hex.EncodeToString(sum[:]))
-		tr.ops = append(tr.ops, opRecord{
-			Tenant: tr.name, Label: label, Op: "backup",
-			Bytes: int64(len(data)), WallSeconds: wall, MBps: mbps, Retries429: retries,
-		})
+		if op.Error != "" {
+			tr.failed++
+			telemetry.Logger().Error("loadgen: backup failed",
+				"label", label, "status", op.Status, "trace", op.Trace, "err", op.Error)
+		} else {
+			tr.labels = append(tr.labels, label)
+			tr.hashes = append(tr.hashes, hex.EncodeToString(sum[:]))
+		}
+		tr.ops = append(tr.ops, op)
 	}
 	return nil
 }
 
 // restoreVerify streams one backup back and compares its content hash with
-// the hash recorded at upload time.
+// the hash recorded at upload time. The returned opRecord is always
+// populated (with Status/Error on failure) so the trajectory records the
+// attempt either way.
 func restoreVerify(client *http.Client, base string, tr *tenantRun, g int, label, mode string) (opRecord, error) {
+	traceID := telemetry.NewTraceID()
+	rootSpan := telemetry.NewSpanID()
+	op := opRecord{Tenant: tr.name, Label: label, Op: "restore", Trace: traceID.String()}
 	url := fmt.Sprintf("%s/v1/backups/%s/restore?mode=%s", base, label, mode)
-	start := time.Now()
-	resp, err := client.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return opRecord{}, err
+		op.Error = err.Error()
+		return op, err
+	}
+	req.Header.Set("X-Tenant", tr.name)
+	req.Header.Set("traceparent", telemetry.FormatTraceParent(traceID, rootSpan))
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		op.Error = err.Error()
+		return op, err
 	}
 	defer resp.Body.Close() //nolint:errcheck // read-only
+	op.Status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return opRecord{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+		op.Error = fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(body))
+		return op, fmt.Errorf("%s", op.Error)
 	}
 	h := sha256.New()
 	n, err := io.Copy(h, resp.Body)
 	if err != nil {
-		return opRecord{}, err
+		op.Error = err.Error()
+		return op, err
 	}
 	wall := time.Since(start).Seconds()
-	mbps := 0.0
+	op.Bytes = n
+	op.WallSeconds = wall
 	if wall > 0 {
-		mbps = float64(n) / wall / 1e6
+		op.MBps = float64(n) / wall / 1e6
 	}
 	got := hex.EncodeToString(h.Sum(nil))
-	verified := got == tr.hashes[g]
-	if !verified {
-		fmt.Fprintf(os.Stderr, "loadgen: %s: restored hash %s != uploaded %s\n", label, got[:12], tr.hashes[g][:12])
+	op.Verified = got == tr.hashes[g]
+	if !op.Verified {
+		telemetry.Logger().Error("loadgen: restored content hash mismatch",
+			"label", label, "trace", op.Trace, "got", got[:12], "want", tr.hashes[g][:12])
 	}
-	return opRecord{
-		Tenant: tr.name, Label: label, Op: "restore",
-		Bytes: n, WallSeconds: wall, MBps: mbps, Verified: verified,
-	}, nil
+	return op, nil
 }
 
 // retryAfter parses the server's Retry-After hint (seconds), defaulting to

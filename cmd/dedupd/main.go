@@ -27,7 +27,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -88,17 +87,25 @@ func realMain() error {
 	flag.Int64Var(&lg.fileKB, "loadgen.filekb", 256, "loadgen: mean file size in KiB")
 	flag.Int64Var(&lg.seed, "seed", 1, "loadgen: workload seed")
 	flag.StringVar(&lg.out, "loadgen.out", "BENCH_PR5.json", "loadgen: write the run trajectory to this file")
+	flag.StringVar(&lg.stagesOut, "loadgen.stages.out", "BENCH_PR6.json", "loadgen: write the per-stage time breakdown to this file")
+	flag.StringVar(&lg.sweep, "loadgen.sweep", "", "loadgen: extra ingest-only phases at these stream counts for the stage sweep (e.g. \"1,2,8\")")
 	flag.StringVar(&lg.mode, "loadgen.restore.mode", "pipelined", "loadgen: restore mode to verify with (lru, opt, pipelined, faa)")
 	flag.BoolVar(&lg.skipRestore, "loadgen.norestore", false, "loadgen: skip the restore+verify phase")
+	logLevel := flag.String("log.level", "info", "structured log level: debug, info, warn, error")
+	noTracing := flag.Bool("tracing.off", false, "disable span tracing (stage counters stay on)")
 	flag.Parse()
 
+	telemetry.SetLogLevel(telemetry.ParseLogLevel(*logLevel))
+	if *noTracing {
+		telemetry.SetTracing(false)
+	}
 	ep, err := telemetry.StartEndpoint(*telAddr, *telEvents)
 	if err != nil {
 		return err
 	}
 	defer ep.Close()
 	if a := ep.Addr(); a != "" {
-		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
+		telemetry.Logger().Info("telemetry endpoint up", "url", "http://"+a+"/metrics")
 	}
 	if *loadgen {
 		lg.addr = p.addr
@@ -141,7 +148,7 @@ func runServer(p serverParams) error {
 				// Simulated crash: exit without closing the store, so neither
 				// the backend manifest nor the WAL gets a clean shutdown. A
 				// later reopen must recover from the WAL alone.
-				fmt.Fprintf(os.Stderr, "dedupd: simulating crash after ingest %d\n", n)
+				telemetry.Logger().Warn("simulating crash", "after_ingest", n)
 				os.Exit(0)
 			}
 		}
@@ -157,8 +164,8 @@ func runServer(p serverParams) error {
 		}
 		errCh <- nil
 	}()
-	fmt.Fprintf(os.Stderr, "dedupd: serving on http://%s (engine %s, backend %s)\n",
-		p.addr, store.Engine(), store.BackendName())
+	telemetry.Logger().Info("dedupd serving",
+		"url", "http://"+p.addr, "engine", store.Engine(), "backend", store.BackendName())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -167,7 +174,7 @@ func runServer(p serverParams) error {
 		store.Close() //nolint:errcheck // listen failure surfaces first
 		return err
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "dedupd: %v: draining\n", s)
+		telemetry.Logger().Info("draining", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), p.drainTimeout)
@@ -175,7 +182,7 @@ func runServer(p serverParams) error {
 	drainErr := srv.Shutdown(ctx)    // cancel in-flight ingests, wait for handlers
 	httpErr := httpSrv.Shutdown(ctx) //nolint:contextcheck // same deadline
 	closeErr := store.Close()        // manifest checkpoint + WAL fold
-	fmt.Fprintln(os.Stderr, "dedupd: drained, store closed")
+	telemetry.Logger().Info("drained, store closed")
 	if drainErr != nil {
 		return drainErr
 	}

@@ -43,11 +43,23 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/blockstore"
 	"repro/internal/chunk"
 	"repro/internal/disk"
 	"repro/internal/telemetry"
+)
+
+// Per-stage wall clocks of the container layer (the always-on layer; see
+// telemetry/stage.go). "seal" is the in-RAM work of closing a container
+// (device accounting, directory Info assembly, metadata copy);
+// "backend_write" is the blockstore persist of the sealed container;
+// "container_read" is a backend data-section fetch on the restore path.
+var (
+	stageSeal          = telemetry.Stage("seal")
+	stageBackendWrite  = telemetry.Stage("backend_write")
+	stageContainerRead = telemetry.Stage("container_read")
 )
 
 // Live telemetry of container-log activity across all stores in the
@@ -199,7 +211,10 @@ func (s *Store) allocID() uint32 {
 // seal persists a flushed container to the backend and publishes it into
 // the shadow directory.
 func (s *Store) seal(ctx context.Context, info Info, data []byte) error {
-	if err := s.be.Seal(ctx, toBackendInfo(info), data); err != nil {
+	t0 := time.Now()
+	err := s.be.Seal(ctx, toBackendInfo(info), data)
+	stageBackendWrite.Observe(t0)
+	if err != nil {
 		return fmt.Errorf("container: seal %d: %w", info.ID, err)
 	}
 	s.mu.Lock()
@@ -396,6 +411,7 @@ func (w *Writer) Flush(ctx context.Context) error {
 		w.hasOpen = false
 		return nil
 	}
+	t0 := time.Now()
 	var end int64
 	if w.reserve {
 		// Seal in place inside the reserved extent: metadata section padded
@@ -420,6 +436,7 @@ func (w *Writer) Flush(ctx context.Context) error {
 		Entries:  append([]Meta(nil), w.meta...),
 	}
 	w.hasOpen = false
+	stageSeal.Observe(t0) // pre-seal close work only; the backend persist is "backend_write"
 	return w.s.seal(ctx, info, w.data)
 }
 
@@ -474,7 +491,9 @@ func (s *Store) DataStart(id uint32) int64 { return s.info(id).DataStart(s.cfg) 
 // write surfacing (blockstore.ErrCorrupt).
 func (s *Store) fetchData(ctx context.Context, id uint32) ([]byte, error) {
 	info := s.info(id)
+	t0 := time.Now()
 	data, err := s.be.ReadData(ctx, id)
+	stageContainerRead.Observe(t0)
 	if err != nil {
 		return nil, fmt.Errorf("container %d: %w", id, err)
 	}
@@ -546,7 +565,9 @@ func (s *Store) RangeSpan(ids []uint32) (off, n int64) { return s.rangeSpan(ids)
 // fetchDataRange pulls several containers' data sections from the backend
 // with per-container length validation.
 func (s *Store) fetchDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	t0 := time.Now()
 	out, err := s.be.ReadDataRange(ctx, ids)
+	stageContainerRead.Observe(t0)
 	if err != nil {
 		return nil, err
 	}

@@ -184,13 +184,16 @@ func Pipeline(
 		return process(seg)
 	}
 	for {
+		t0 := time.Now()
 		raw, cerr := ck.Next()
+		stageChunk.Observe(t0)
 		if cerr == io.EOF {
 			break
 		}
 		if cerr != nil {
 			return logicalBytes, chunks, segments, cerr
 		}
+		t1 := time.Now()
 		var c chunk.Chunk
 		if keepData {
 			c = chunk.New(append([]byte(nil), raw...))
@@ -198,6 +201,7 @@ func Pipeline(
 			c = chunk.New(raw)
 			c.Data = nil
 		}
+		stageHash.Observe(t1)
 		cost.ChargeCPU(clock, int64(c.Size))
 		logicalBytes += int64(c.Size)
 		chunks++

@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/chunker"
@@ -90,6 +91,7 @@ func ParallelPipeline(
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				t0 := time.Now()
 				out := j.res[:0]
 				start := 0
 				for _, end := range j.ends {
@@ -101,6 +103,7 @@ func ParallelPipeline(
 					start = end
 				}
 				j.res = out
+				stageHash.Observe(t0) // one observation per batch of chunks
 				j.out <- out
 			}
 		}()
@@ -126,7 +129,9 @@ func ParallelPipeline(
 			cur = getJob()
 		}
 		for {
+			t0 := time.Now()
 			raw, cerr := ck.Next()
+			stageChunk.Observe(t0)
 			if cerr == io.EOF {
 				flush()
 				return

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/bloom"
 	"repro/internal/chunk"
@@ -104,6 +105,7 @@ func (sr *StreamResolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Loca
 }
 
 func (r *Resolver) resolve(c chunk.Chunk, stats *BackupStats, ih cindex.Handle, readMeta func(uint32) []container.Meta) (chunk.Location, bool) {
+	defer stageLookup.Observe(time.Now())
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	// 0. Current-location table (RAM, free): chunks whose newest copy is a
@@ -174,6 +176,7 @@ func (sr *StreamResolver) ResolveBatch(chunks []chunk.Chunk, stats *BackupStats)
 }
 
 func (r *Resolver) resolveBatch(chunks []chunk.Chunk, stats *BackupStats, ih cindex.Handle, readMeta func(uint32) []container.Meta) []Resolution {
+	defer stageLookup.Observe(time.Now())
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Resolution, len(chunks))

@@ -2,6 +2,17 @@ package engine
 
 import "repro/internal/telemetry"
 
+// Per-stage wall clocks of the shared ingest pipeline (the always-on layer;
+// see telemetry/stage.go). "chunk" is CDC boundary detection, "hash" is
+// SHA-256 fingerprinting (plus the chunk-copy it amortizes), "lookup" is
+// duplicate identification through the resolver (including resolver-mutex
+// wait, so multi-stream serialization on the shared index shows up here).
+var (
+	stageChunk  = telemetry.Stage("chunk")
+	stageHash   = telemetry.Stage("hash")
+	stageLookup = telemetry.Stage("lookup")
+)
+
 // Live telemetry of the shared backup pipeline and the DDFS resolver
 // machinery. These are process-wide instruments on the telemetry Default
 // registry (every engine in the process adds to them); the per-backup

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/container"
@@ -221,14 +222,19 @@ func (as *assembly) run(fetchExtent func(e *extent) ([][]byte, error)) error {
 		} else {
 			as.stats.CacheHits++
 		}
+		t0 := time.Now()
 		piece := as.piece(id, ref)
 		if as.cfg.Verify {
 			if got := chunk.Of(piece); got != ref.FP {
 				return fmt.Errorf("restore: chunk %d fingerprint mismatch (%s != %s)", i, got.Short(), ref.FP.Short())
 			}
 		}
+		stageDecode.Observe(t0)
 		if as.w != nil {
-			if _, err := as.w.Write(piece); err != nil {
+			t1 := time.Now()
+			_, err := as.w.Write(piece)
+			stageCopy.Observe(t1)
+			if err != nil {
 				return err
 			}
 		}

@@ -45,6 +45,16 @@ var (
 		telemetry.CountBuckets)
 )
 
+// Per-stage wall clocks of the restore hot path (the always-on layer; see
+// telemetry/stage.go). "decode" is chunk extraction from fetched container
+// data plus optional fingerprint verification; "copy" is writing the
+// reconstructed bytes to the caller's sink. Container fetches themselves are
+// the container layer's "container_read" stage.
+var (
+	stageDecode = telemetry.Stage("decode")
+	stageCopy   = telemetry.Stage("copy")
+)
+
 // Config parameterizes a restore run.
 type Config struct {
 	// CacheContainers is the restore cache capacity in containers.
@@ -150,14 +160,19 @@ func Run(ctx context.Context, store *container.Store, recipe *chunk.Recipe, cfg 
 			telContainerReads.Inc()
 			cache.Put(ref.Loc.Container, data)
 		}
+		t0 := time.Now()
 		piece := store.Extract(data, ref.Loc)
 		if cfg.Verify {
 			if got := chunk.Of(piece); got != ref.FP {
 				return stats, fmt.Errorf("restore: chunk %d fingerprint mismatch (%s != %s)", i, got.Short(), ref.FP.Short())
 			}
 		}
+		stageDecode.Observe(t0)
 		if w != nil {
-			if _, err := w.Write(piece); err != nil {
+			t1 := time.Now()
+			_, err := w.Write(piece)
+			stageCopy.Observe(t1)
+			if err != nil {
 				return stats, err
 			}
 		}

@@ -11,8 +11,16 @@
 //	POST   /v1/compact                  garbage-collect (?threshold=)
 //	POST   /v1/check                    fsck (?verify=)
 //	POST   /v1/repair                   quarantine invariant-failing containers (?verify=)
-//	GET    /v1/stats                    storage + server statistics
+//	GET    /v1/stats                    storage + server statistics (incl. stage timings + SLOs)
 //	GET    /healthz                     liveness
+//	GET    /metrics                     Prometheus exposition (telemetry Default registry)
+//	GET    /debug/traces                tail-captured slow/errored request span trees
+//	GET    /debug/snapshot, /debug/pprof/*  further telemetry surface
+//
+// Streaming requests may carry a W3C `traceparent` header; the server joins
+// the caller's trace (its serve.ingest/serve.restore span tree becomes a
+// child of the client span) and echoes its own position back in the
+// response's traceparent header.
 //
 // Labels may contain slashes (the workload generator's "u0/g01" shape); the
 // "/restore" suffix is reserved and routed to the restore handler.
@@ -41,6 +49,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -116,6 +125,7 @@ type Server struct {
 	wg       sync.WaitGroup // in-flight request handlers
 	maint    sync.RWMutex   // stream ops hold R; maintenance ops hold W
 	limits   *limiter
+	slo      *sloTracker
 	mu       sync.Mutex
 	draining bool
 	ingested int // successful ingests, for the OnIngest hook
@@ -131,6 +141,7 @@ func New(cfg Config) *Server {
 		base:   base,
 		cancel: cancel,
 		limits: newLimiter(cfg.MaxTenantInflight, cfg.MaxTotalInflight, cfg.TenantBandwidth),
+		slo:    newSLOTracker(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/backups/", s.handleIngest)
@@ -145,14 +156,67 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// The observability surface rides on the service port too, so a loadgen
+	// run (or an operator with one address) can scrape /metrics and pull
+	// /debug/traces without the separate -telemetry listener.
+	th := telemetry.Default().Handler()
+	mux.Handle("GET /metrics", th)
+	mux.Handle("GET /debug/", th)
 	s.mux = mux
 	return s
+}
+
+// statusRecorder captures the response status for SLO accounting and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// observed reports whether a request path counts against the service SLOs
+// (the observability and liveness surface does not).
+func observed(path string) bool {
+	return !strings.HasPrefix(path, "/debug/") &&
+		path != "/metrics" && path != "/healthz"
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	telInflight.Add(1)
 	defer telInflight.Add(-1)
-	s.mux.ServeHTTP(w, r)
+	if !observed(r.URL.Path) {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sr, r)
+	dur := time.Since(start)
+	ten := tenant(r)
+	s.slo.Record(ten, sr.code, dur)
+
+	attrs := []any{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("tenant", ten),
+		slog.Int("status", sr.code),
+		slog.Duration("dur", dur),
+	}
+	if tid, sid, ok := telemetry.ParseTraceParent(r.Header.Get("traceparent")); ok {
+		_ = sid
+		attrs = append(attrs, slog.String("trace", tid.String()))
+	}
+	switch {
+	case sr.code >= 500:
+		telemetry.Logger().Warn("request failed", attrs...)
+	case sr.code >= 400:
+		telemetry.Logger().Debug("request rejected", attrs...)
+	default:
+		telemetry.Logger().Debug("request", attrs...)
+	}
 }
 
 // Shutdown drains the server: new requests are refused with 503, in-flight
@@ -209,12 +273,37 @@ func tenant(r *http.Request) string {
 	return "default"
 }
 
-// joinContext derives a context cancelled when either the request context
-// or the server's drain context is done.
-func (s *Server) joinContext(r *http.Request) (context.Context, context.CancelFunc) {
-	ctx, cancel := context.WithCancel(r.Context())
+// joinContext derives a context cancelled when either ctx (normally the
+// request context, possibly already carrying trace identity) or the server's
+// drain context is done.
+func (s *Server) joinContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
 	stop := context.AfterFunc(s.base, cancel)
 	return ctx, func() { stop(); cancel() }
+}
+
+// traceContext returns the request context joined to the client's W3C
+// traceparent, if the header carries a valid one: the server-side span tree
+// then hangs off the caller's trace instead of starting a fresh one.
+func traceContext(r *http.Request) context.Context {
+	ctx := r.Context()
+	if tid, sid, ok := telemetry.ParseTraceParent(r.Header.Get("traceparent")); ok {
+		ctx = telemetry.ContextWithRemoteParent(ctx, tid, sid)
+	}
+	return ctx
+}
+
+// startRequestSpan opens the handler-level span for a streaming route and
+// echoes the server's trace position back in the response traceparent
+// header (before the body commits it).
+func startRequestSpan(w http.ResponseWriter, r *http.Request, name, lbl, ten string) (context.Context, *telemetry.Span) {
+	ctx, span := telemetry.StartSpan(traceContext(r), name)
+	if span != nil {
+		span.SetAttr("label", lbl)
+		span.SetAttr("tenant", ten)
+		w.Header().Set("traceparent", telemetry.FormatTraceParent(span.Trace(), span.ID()))
+	}
+	return ctx, span
 }
 
 type errorBody struct {
@@ -278,13 +367,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.maint.RLock()
 	defer s.maint.RUnlock()
 
-	ctx, cancel := s.joinContext(r)
+	sctx, span := startRequestSpan(w, r, "serve.ingest", lbl, ten)
+	defer span.End()
+	ctx, cancel := s.joinContext(sctx)
 	defer cancel()
 	start := time.Now()
 	body := s.limits.throttle(ctx, ten, r.Body)
 	b, err := s.store.IngestStream(ctx, lbl, body)
 	telIngestSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
+		span.SetError(err)
 		if ctx.Err() != nil {
 			// Cancelled by client disconnect or drain: the engine aborted at
 			// a segment boundary and the store is consistent; 499-style.
@@ -294,6 +386,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "ingest failed: %v", err)
 		return
 	}
+	span.SetAttr("bytes", b.Stats.LogicalBytes)
 	telIngestBytes.Add(b.Stats.LogicalBytes)
 	writeJSON(w, http.StatusCreated, backupInfo(b))
 	if s.cfg.OnIngest != nil {
@@ -391,7 +484,9 @@ func (s *Server) restore(w http.ResponseWriter, r *http.Request, lbl string) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, cancel := s.joinContext(r)
+	sctx, span := startRequestSpan(w, r, "serve.restore", lbl, tenant(r))
+	defer span.End()
+	ctx, cancel := s.joinContext(sctx)
 	defer cancel()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Backup-Label", b.Label)
@@ -402,8 +497,10 @@ func (s *Server) restore(w http.ResponseWriter, r *http.Request, lbl string) {
 	} else {
 		st, err = s.store.RestoreWith(ctx, b, cw, opts)
 	}
+	span.SetAttr("bytes", cw.n)
 	telRestoreBytes.Add(cw.n)
 	if err != nil {
+		span.SetError(err)
 		// Headers may already be out; if nothing was written yet we can
 		// still send a clean error status.
 		if cw.n == 0 {
@@ -486,7 +583,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// StatsView is the /v1/stats response.
+// StatsView is the /v1/stats response. Stages is the always-on per-stage
+// cumulative wall time of the pipeline (nanoseconds, process-wide) — the
+// loadgen sweep diffs it across phases to attribute time; SLO is the
+// per-tenant SLI/SLO summary.
 type StatsView struct {
 	Engine        string           `json:"engine"`
 	Backend       string           `json:"backend"`
@@ -495,6 +595,8 @@ type StatsView struct {
 	SimulatedSecs float64          `json:"simulatedSeconds"`
 	Draining      bool             `json:"draining"`
 	Tenants       map[string]int   `json:"tenantsInflight"`
+	Stages        map[string]int64 `json:"stageNanos"`
+	SLO           SLOView          `json:"slo"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -507,5 +609,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SimulatedSecs: s.store.SimulatedTime().Seconds(),
 		Draining:      s.Draining(),
 		Tenants:       s.limits.snapshot(),
+		Stages:        telemetry.StageTotals(),
+		SLO:           s.slo.View(),
 	})
 }

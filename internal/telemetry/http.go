@@ -11,20 +11,29 @@ import (
 
 // Handler returns the registry's HTTP surface:
 //
-//	/metrics         Prometheus text exposition format
+//	/metrics         Prometheus text exposition format (runtime metrics refreshed per scrape)
 //	/debug/snapshot  the full instrument Snapshot as JSON
+//	/debug/traces    tail-captured slow/errored request span trees as JSON
 //	/debug/pprof/*   the standard net/http/pprof profiles
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		r.CollectRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		r.CollectRuntime()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Traces())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -36,7 +45,7 @@ func (r *Registry) Handler() http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "telemetry endpoint — routes: /metrics /debug/snapshot /debug/pprof/")
+		fmt.Fprintln(w, "telemetry endpoint — routes: /metrics /debug/snapshot /debug/traces /debug/pprof/")
 	})
 	return mux
 }

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Go runtime metrics, collected on scrape (not on a timer): goroutine
+// count, heap bytes, GC pause distribution, GOMAXPROCS and a build_info
+// gauge. CollectRuntime is called by the /metrics and /debug/snapshot
+// handlers right before rendering, so the exported values are as fresh as
+// the scrape without any background goroutine.
+
+type runtimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+var rtc runtimeCollector
+
+// CollectRuntime refreshes the registry's Go runtime instruments:
+//
+//	go_goroutines            gauge   current goroutine count
+//	go_heap_alloc_bytes      gauge   live heap bytes (MemStats.HeapAlloc)
+//	go_heap_sys_bytes        gauge   heap memory obtained from the OS
+//	go_gomaxprocs            gauge   scheduler parallelism
+//	go_gc_cycles             gauge   completed GC cycles
+//	go_gc_pause_seconds      histogram  stop-the-world pause durations
+//	build_info{...}          gauge 1  Go version and module path labels
+func (r *Registry) CollectRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	r.Gauge("go_goroutines", "current number of goroutines").
+		Set(float64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects").
+		Set(float64(ms.HeapAlloc))
+	r.Gauge("go_heap_sys_bytes", "heap memory obtained from the OS").
+		Set(float64(ms.HeapSys))
+	r.Gauge("go_gomaxprocs", "GOMAXPROCS at scrape time").
+		Set(float64(runtime.GOMAXPROCS(0)))
+	r.Gauge("go_gc_cycles", "completed GC cycles").
+		Set(float64(ms.NumGC))
+
+	// New GC pauses since the previous scrape land in the pause histogram.
+	// MemStats keeps the last 256 pauses in a ring; a scrape gap longer
+	// than 256 cycles loses the overwritten ones (harmless for a trend
+	// histogram).
+	pauses := r.Histogram("go_gc_pause_seconds",
+		"garbage-collector stop-the-world pause durations", DurationBuckets)
+	rtc.mu.Lock()
+	last := rtc.lastNumGC
+	if ms.NumGC > last {
+		lo := last
+		if ms.NumGC-lo > 256 {
+			lo = ms.NumGC - 256
+		}
+		for i := lo; i < ms.NumGC; i++ {
+			pauses.Observe(float64(ms.PauseNs[i%256]) / 1e9)
+		}
+		rtc.lastNumGC = ms.NumGC
+	}
+	rtc.mu.Unlock()
+
+	r.Gauge(Name("build_info",
+		"go_version", runtime.Version(),
+		"module", modulePath(),
+	), "build metadata as labels, value fixed at 1").Set(1)
+}
+
+var moduleOnce = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		return bi.Main.Path
+	}
+	return "unknown"
+})
+
+func modulePath() string { return moduleOnce() }

@@ -5,29 +5,63 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Span is one timed phase of the pipeline. Ending a span observes its wall
-// duration into the `telemetry_span_seconds{span=...}` histogram, its
-// simulated-clock duration (when set) into `telemetry_span_sim_seconds`,
-// and emits one JSONL event to the registry's sink when one is attached.
+// Span is one timed phase of the pipeline, a node of a request's trace
+// tree: it carries the trace ID of the request it serves, its own random
+// span ID, and its parent's span ID (zero for a root). Ending a span
+// observes its wall duration into the `telemetry_span_seconds{span=...}`
+// histogram, its simulated-clock duration (when set) into
+// `telemetry_span_sim_seconds`, emits one JSONL event to the registry's
+// sink when one is attached, and records the span into the registry's
+// tail-capture buffer so slow or errored request trees survive for
+// /debug/traces.
 //
-// A Span is owned by the goroutine that started it; End must be called
-// exactly once. Spans started from a context carrying another span record
-// it as their parent, so sink events reconstruct the phase tree.
+// A Span is owned by the goroutine that started it; attributes and errors
+// must be set before End, and End must be called exactly once. Spans
+// started from a context carrying another span join its trace with that
+// span as parent; a context carrying a remote parent (a client's
+// traceparent, see ContextWithRemoteParent) starts a local root of the
+// remote trace.
 type Span struct {
 	reg    *Registry
 	name   string
-	id     uint64
-	parent uint64
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	root   bool // local root: finalizes the trace's tail capture on End
 	start  time.Time
 	sim    time.Duration
 	simSet bool
 	ended  bool
+	attrs  []Attr
+	errMsg string
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
 }
 
 type spanCtxKey struct{}
+
+// tracingOn gates the span layer (StartSpan returns a no-op nil span when
+// false). The per-stage nanosecond counters (stage.go) are not gated — they
+// are the always-on layer.
+var tracingOn atomic.Bool
+
+func init() { tracingOn.Store(true) }
+
+// SetTracing enables or disables span tracing process-wide (the overhead
+// kill switch; see the tracing-overhead guard test). Returns the previous
+// setting.
+func SetTracing(on bool) bool { return tracingOn.Swap(on) }
+
+// TracingEnabled reports whether span tracing is on.
+func TracingEnabled() bool { return tracingOn.Load() }
 
 // StartSpan starts a span on the Default registry. The returned context
 // carries the span, parenting any spans started from it.
@@ -35,21 +69,42 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return std.StartSpan(ctx, name)
 }
 
-// StartSpan starts a named span, recording the span in ctx's lineage.
+// StartSpan starts a named span, recording the span in ctx's lineage. With
+// tracing disabled it returns ctx unchanged and a nil span (all Span
+// methods are nil-safe no-ops).
 func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{
-		reg:   r,
-		name:  name,
-		id:    r.spanID.Add(1),
-		start: time.Now(),
-	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
-		s.parent = parent.id
+	if !tracingOn.Load() {
+		return ctx, nil
+	}
+	s := &Span{
+		reg:   r,
+		name:  name,
+		id:    NewSpanID(),
+		start: time.Now(),
+	}
+	switch {
+	case ctxSpan(ctx) != nil:
+		p := ctxSpan(ctx)
+		s.trace = p.trace
+		s.parent = p.id
+	default:
+		if rp, ok := ctx.Value(remoteParentKey{}).(remoteParent); ok {
+			s.trace = rp.trace
+			s.parent = rp.span
+		} else {
+			s.trace = NewTraceID()
+		}
+		s.root = true
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+func ctxSpan(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
 }
 
 // SpanFromContext returns the innermost span carried by ctx, or nil.
@@ -57,24 +112,66 @@ func SpanFromContext(ctx context.Context) *Span {
 	if ctx == nil {
 		return nil
 	}
-	s, _ := ctx.Value(spanCtxKey{}).(*Span)
-	return s
+	return ctxSpan(ctx)
+}
+
+// Trace returns the trace ID this span belongs to (zero for a nil span).
+func (s *Span) Trace() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
+// ID returns the span's own ID (zero for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
 }
 
 // SetSim attaches the simulated-clock duration of the spanned phase (the
 // disk-model time the phase consumed, as opposed to the wall time the
 // simulation took to compute it).
 func (s *Span) SetSim(d time.Duration) {
+	if s == nil {
+		return
+	}
 	s.sim = d
 	s.simSet = true
 }
 
-// Name returns the span name.
-func (s *Span) Name() string { return s.name }
+// SetAttr annotates the span. Must be called by the owning goroutine,
+// before End.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetError marks the span failed. Errored roots are always retained by the
+// tail-capture buffer.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// Name returns the span name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
 
 // End closes the span: wall (and, if set, simulated) duration are observed
-// into the per-span-name histograms and an event goes to the sink. A second
-// End is a no-op.
+// into the per-span-name histograms, an event goes to the sink, and the
+// span record lands in the tail-capture buffer (which, on a root span,
+// decides whether the whole tree is retained). A second End is a no-op.
 func (s *Span) End() {
 	if s == nil || s.ended {
 		return
@@ -93,18 +190,51 @@ func (s *Span) End() {
 			DurationBuckets,
 		).ObserveDuration(s.sim)
 	}
-	s.reg.emitSpan(s, wall)
+	rec := s.record(wall)
+	s.reg.emitSpan(&rec)
+	if tc := s.reg.tail; tc != nil {
+		tc.add(rec, s.root)
+	}
 }
 
-// spanEvent is one JSONL record of the event sink.
-type spanEvent struct {
-	Type    string `json:"type"`
-	Span    string `json:"span"`
-	ID      uint64 `json:"id"`
-	Parent  uint64 `json:"parent,omitempty"`
-	StartNS int64  `json:"start_unix_ns"`
-	WallNS  int64  `json:"wall_ns"`
-	SimNS   int64  `json:"sim_ns,omitempty"`
+// record renders the span's exportable form.
+func (s *Span) record(wall time.Duration) SpanRecord {
+	rec := SpanRecord{
+		Name:        s.name,
+		Trace:       s.trace.String(),
+		ID:          s.id.String(),
+		StartUnixNS: s.start.UnixNano(),
+		WallNS:      int64(wall),
+		Err:         s.errMsg,
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	if s.simSet {
+		rec.SimNS = int64(s.sim)
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	return rec
+}
+
+// SpanRecord is the exportable form of one finished span: the JSONL sink
+// event and the node type of /debug/traces trees. IDs are hex as on the
+// wire; Parent is empty for a trace's root span.
+type SpanRecord struct {
+	Name        string         `json:"span"`
+	Trace       string         `json:"trace"`
+	ID          string         `json:"id"`
+	Parent      string         `json:"parent,omitempty"`
+	StartUnixNS int64          `json:"start_unix_ns"`
+	WallNS      int64          `json:"wall_ns"`
+	SimNS       int64          `json:"sim_ns,omitempty"`
+	Err         string         `json:"error,omitempty"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
 }
 
 // eventSink serializes JSONL writes from concurrent span ends.
@@ -129,25 +259,14 @@ func (r *Registry) SetSink(w io.Writer) {
 // SetSink directs the Default registry's span events to w.
 func SetSink(w io.Writer) { std.SetSink(w) }
 
-func (r *Registry) emitSpan(s *Span, wall time.Duration) {
+func (r *Registry) emitSpan(rec *SpanRecord) {
 	r.mu.RLock()
 	sink := r.sink
 	r.mu.RUnlock()
 	if sink == nil {
 		return
 	}
-	ev := spanEvent{
-		Type:    "span",
-		Span:    s.name,
-		ID:      s.id,
-		Parent:  s.parent,
-		StartNS: s.start.UnixNano(),
-		WallNS:  int64(wall),
-	}
-	if s.simSet {
-		ev.SimNS = int64(s.sim)
-	}
 	sink.mu.Lock()
 	defer sink.mu.Unlock()
-	_ = sink.enc.Encode(ev) // best-effort: a failing sink must not break the pipeline
+	_ = sink.enc.Encode(rec) // best-effort: a failing sink must not break the pipeline
 }

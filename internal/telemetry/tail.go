@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tail capture: full span trees are expensive to keep for every request, so
+// the registry accumulates each live trace's spans in a bounded buffer and,
+// when the trace's root span ends, keeps the tree only if the request is
+// worth debugging — it errored, or its wall time sits at or above the
+// running p99 of root latencies (plus an unconditional warm-up allowance so
+// /debug/traces is never empty on a fresh process). Everything else is
+// dropped on the spot. Retained trees live in a fixed ring; the newest
+// evicts the oldest.
+
+const (
+	tailActiveCap   = 256 // live traces tracked at once; excess traces are not captured
+	tailSpanCap     = 512 // spans kept per trace; later spans are dropped and the tree marked truncated
+	tailRetainedCap = 32  // retained trees in the ring
+	tailWarmup      = 4   // always retain the first N roots (p99 is meaningless until then)
+)
+
+// RetainedTrace is one kept request tree, the element type of /debug/traces.
+type RetainedTrace struct {
+	Trace     string       `json:"trace"`
+	Root      string       `json:"root"`            // root span name
+	WallNS    int64        `json:"wall_ns"`         // root wall duration
+	Err       string       `json:"error,omitempty"` // root error, when failed
+	Reason    string       `json:"reason"`          // "error", "slow" or "warmup"
+	Truncated bool         `json:"truncated,omitempty"`
+	Spans     []SpanRecord `json:"spans"` // all spans of the trace, end order; root last
+}
+
+type activeTrace struct {
+	spans     []SpanRecord
+	truncated bool
+}
+
+// tailCapture is created per Registry and synchronized by its own mutex:
+// span End touches it once per span with short critical sections.
+type tailCapture struct {
+	mu       sync.Mutex
+	active   map[string]*activeTrace
+	retained []RetainedTrace
+	next     int // ring cursor into retained
+	kept     int // total roots retained since process start
+	latency  *Histogram
+}
+
+func newTailCapture() *tailCapture {
+	return &tailCapture{
+		active: make(map[string]*activeTrace),
+		latency: &Histogram{
+			bounds: append([]float64(nil), DurationBuckets...),
+			counts: make([]atomic.Int64, len(DurationBuckets)+1),
+		},
+	}
+}
+
+// add records one finished span. When the span is its trace's local root,
+// the trace is finalized: retained or discarded.
+func (t *tailCapture) add(rec SpanRecord, root bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at, ok := t.active[rec.Trace]
+	if !ok {
+		at = &activeTrace{}
+		if root {
+			// Single-span trace (or tracking was shed): decide on the root
+			// alone, no map entry needed.
+		} else if len(t.active) >= tailActiveCap {
+			return // over budget: stop tracking new traces
+		} else {
+			t.active[rec.Trace] = at
+		}
+	}
+	if len(at.spans) >= tailSpanCap {
+		at.truncated = true
+	} else {
+		at.spans = append(at.spans, rec)
+	}
+	if root {
+		delete(t.active, rec.Trace)
+		t.finish(rec, at)
+	}
+}
+
+// finish applies the retention policy to a completed trace. Caller holds
+// t.mu.
+func (t *tailCapture) finish(root SpanRecord, at *activeTrace) {
+	wall := time.Duration(root.WallNS).Seconds()
+	threshold := t.latency.Snapshot().Quantile(0.99)
+	t.latency.Observe(wall)
+	var reason string
+	switch {
+	case root.Err != "":
+		reason = "error"
+	case t.kept < tailWarmup:
+		reason = "warmup"
+	case wall >= threshold:
+		reason = "slow"
+	default:
+		return
+	}
+	rt := RetainedTrace{
+		Trace:     root.Trace,
+		Root:      root.Name,
+		WallNS:    root.WallNS,
+		Err:       root.Err,
+		Reason:    reason,
+		Truncated: at.truncated,
+		Spans:     at.spans,
+	}
+	if len(t.retained) < tailRetainedCap {
+		t.retained = append(t.retained, rt)
+	} else {
+		t.retained[t.next%tailRetainedCap] = rt
+	}
+	t.next++
+	t.kept++
+}
+
+// TracesView is the /debug/traces JSON payload.
+type TracesView struct {
+	// SlowThresholdNS is the current retention threshold: the p99 of root
+	// span wall durations observed so far.
+	SlowThresholdNS int64 `json:"slow_threshold_ns"`
+	// Kept counts roots retained since process start (the ring holds only
+	// the newest tailRetainedCap of them).
+	Kept int64 `json:"kept_total"`
+	// Traces are the retained trees, oldest root start first.
+	Traces []RetainedTrace `json:"traces"`
+}
+
+// ResetTraces clears the tail-capture state: live traces, the retained
+// ring, and the root-latency histogram behind the p99 threshold (warmup
+// retention starts over). Intended for tests and bench harnesses that need
+// deterministic retention on a shared registry.
+func (r *Registry) ResetTraces() {
+	t := r.tail
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.active = make(map[string]*activeTrace)
+	t.retained = nil
+	t.next = 0
+	t.kept = 0
+	for i := range t.latency.counts {
+		t.latency.counts[i].Store(0)
+	}
+	t.latency.count.Store(0)
+	t.latency.sum.Store(0)
+}
+
+// Traces returns a copy of the retained request trees.
+func (r *Registry) Traces() TracesView {
+	t := r.tail
+	t.mu.Lock()
+	v := TracesView{
+		SlowThresholdNS: int64(t.latency.Snapshot().Quantile(0.99) * float64(time.Second)),
+		Kept:            int64(t.kept),
+		Traces:          make([]RetainedTrace, len(t.retained)),
+	}
+	if len(t.retained) < tailRetainedCap {
+		copy(v.Traces, t.retained)
+	} else {
+		for i := range t.retained {
+			v.Traces[i] = t.retained[(t.next+i)%tailRetainedCap]
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(v.Traces, func(i, j int) bool {
+		return rootStart(v.Traces[i]) < rootStart(v.Traces[j])
+	})
+	return v
+}
+
+func rootStart(rt RetainedTrace) int64 {
+	if n := len(rt.Spans); n > 0 {
+		return rt.Spans[n-1].StartUnixNS
+	}
+	return 0
+}

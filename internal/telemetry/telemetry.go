@@ -228,8 +228,8 @@ type Registry struct {
 	hists    map[string]*Histogram
 	help     map[string]string // metric family base → help text
 
-	sink   *eventSink
-	spanID atomic.Uint64
+	sink *eventSink
+	tail *tailCapture
 }
 
 // NewRegistry creates an empty registry.
@@ -239,6 +239,7 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		help:     make(map[string]string),
+		tail:     newTailCapture(),
 	}
 }
 

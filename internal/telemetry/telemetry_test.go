@@ -144,9 +144,9 @@ func TestSpanParentingAndSink(t *testing.T) {
 	root.End() // second End is a no-op
 
 	dec := json.NewDecoder(&buf)
-	var events []spanEvent
+	var events []SpanRecord
 	for {
-		var ev spanEvent
+		var ev SpanRecord
 		if err := dec.Decode(&ev); err == io.EOF {
 			break
 		} else if err != nil {
@@ -157,11 +157,17 @@ func TestSpanParentingAndSink(t *testing.T) {
 	if len(events) != 2 {
 		t.Fatalf("got %d events, want 2", len(events))
 	}
-	if events[0].Span != "segment.lookup" || events[0].Parent != root.id {
-		t.Fatalf("child event %+v not parented to root %d", events[0], root.id)
+	if events[0].Name != "segment.lookup" || events[0].Parent != root.ID().String() {
+		t.Fatalf("child event %+v not parented to root %s", events[0], root.ID())
 	}
-	if events[1].Span != "store.backup" || events[1].SimNS != int64(250*time.Millisecond) {
+	if events[0].Trace != root.Trace().String() || events[1].Trace != root.Trace().String() {
+		t.Fatalf("events %+v not all in root trace %s", events, root.Trace())
+	}
+	if events[1].Name != "store.backup" || events[1].SimNS != int64(250*time.Millisecond) {
 		t.Fatalf("root event %+v missing sim duration", events[1])
+	}
+	if events[1].Parent != "" {
+		t.Fatalf("root event has parent %q, want none", events[1].Parent)
 	}
 
 	snap := r.Snapshot()

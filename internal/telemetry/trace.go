@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Trace identity: every span belongs to exactly one trace (one client
+// request end to end), identified by a 16-byte trace ID, and carries its own
+// 8-byte span ID plus its parent's. The wire encoding is the W3C Trace
+// Context `traceparent` header, so the loadgen client, the dedupd HTTP
+// layer and any external tooling agree on what a request is called.
+
+// TraceID is a W3C trace-id: 16 random bytes, hex-encoded on the wire.
+type TraceID [16]byte
+
+// SpanID is a W3C parent-id/span-id: 8 random bytes, hex-encoded.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 32-char lowercase hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the 16-char lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			t[i] = byte(a >> (8 * i))
+			t[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return t
+}
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		a := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			s[i] = byte(a >> (8 * i))
+		}
+	}
+	return s
+}
+
+// FormatTraceParent renders the W3C traceparent header value
+// (version 00, sampled flag set): "00-<trace-id>-<parent-id>-01".
+func FormatTraceParent(t TraceID, s SpanID) string {
+	return fmt.Sprintf("00-%s-%s-01", t, s)
+}
+
+// ParseTraceParent parses a W3C traceparent header value. It accepts any
+// version byte (per spec, unknown versions degrade to version-00 parsing of
+// the leading fields) and rejects malformed or all-zero IDs.
+func ParseTraceParent(v string) (TraceID, SpanID, bool) {
+	var t TraceID
+	var s SpanID
+	// "vv-" + 32 hex + "-" + 16 hex + "-" + flags(2 hex)
+	if len(v) < 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return t, s, false
+	}
+	if _, err := hex.Decode(t[:], []byte(v[3:35])); err != nil {
+		return t, s, false
+	}
+	if _, err := hex.Decode(s[:], []byte(v[36:52])); err != nil {
+		return t, s, false
+	}
+	if v[:2] == "ff" || t.IsZero() || s.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return t, s, true
+}
+
+// remoteParent marks a context as continuing a trace started elsewhere (a
+// client that sent traceparent): the next span started from the context
+// becomes the trace's local root, parented to the remote span.
+type remoteParent struct {
+	trace TraceID
+	span  SpanID
+}
+
+type remoteParentKey struct{}
+
+// ContextWithRemoteParent returns a context carrying a remote trace
+// identity. The next StartSpan from it joins trace t as a local root whose
+// parent is the remote span s.
+func ContextWithRemoteParent(ctx context.Context, t TraceID, s SpanID) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, remoteParentKey{}, remoteParent{trace: t, span: s})
+}
+
+// TraceFromContext returns the trace ID the context's innermost span (or
+// remote parent) belongs to, and whether one is present.
+func TraceFromContext(ctx context.Context) (TraceID, bool) {
+	if ctx == nil {
+		return TraceID{}, false
+	}
+	if s, ok := ctx.Value(spanCtxKey{}).(*Span); ok && s != nil {
+		return s.trace, true
+	}
+	if rp, ok := ctx.Value(remoteParentKey{}).(remoteParent); ok {
+		return rp.trace, true
+	}
+	return TraceID{}, false
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	hdr := FormatTraceParent(tid, sid)
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") {
+		t.Fatalf("traceparent %q not in W3C shape", hdr)
+	}
+	gt, gs, ok := ParseTraceParent(hdr)
+	if !ok || gt != tid || gs != sid {
+		t.Fatalf("round trip: got %s/%s ok=%v, want %s/%s", gt, gs, ok, tid, sid)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	valid := FormatTraceParent(NewTraceID(), NewSpanID())
+	for _, bad := range []string{
+		"",
+		"00",
+		"garbage",
+		valid[:54],                          // truncated
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-" + strings.Repeat("0", 32) + "-" + valid[36:52] + "-01", // zero trace id
+		"00-" + valid[3:35] + "-" + strings.Repeat("0", 16) + "-01",  // zero span id
+		"ff" + valid[2:], // forbidden version
+		"00-" + strings.Repeat("zz", 16) + "-" + valid[36:52] + "-01", // non-hex
+	} {
+		if _, _, ok := ParseTraceParent(bad); ok {
+			t.Errorf("ParseTraceParent(%q) accepted, want reject", bad)
+		}
+	}
+	// Unknown (non-ff) versions parse as version-00.
+	if _, _, ok := ParseTraceParent("cc" + valid[2:]); !ok {
+		t.Error("unknown version must degrade to version-00 parsing")
+	}
+}
+
+func TestRemoteParentMakesLocalRoot(t *testing.T) {
+	r := NewRegistry()
+	rtid, rsid := NewTraceID(), NewSpanID()
+	ctx := ContextWithRemoteParent(context.Background(), rtid, rsid)
+	if got, ok := TraceFromContext(ctx); !ok || got != rtid {
+		t.Fatalf("TraceFromContext = %s/%v, want remote trace %s", got, ok, rtid)
+	}
+	ctx, sp := r.StartSpan(ctx, "server.handler")
+	if sp.Trace() != rtid {
+		t.Fatalf("span joined trace %s, want remote %s", sp.Trace(), rtid)
+	}
+	_, child := r.StartSpan(ctx, "server.inner")
+	child.End()
+	sp.End()
+
+	// The local root must finalize the tail capture for its (remote) trace.
+	view := r.Traces()
+	if len(view.Traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(view.Traces))
+	}
+	tr := view.Traces[0]
+	if tr.Trace != rtid.String() || tr.Root != "server.handler" {
+		t.Fatalf("retained trace %+v, want root server.handler of %s", tr, rtid)
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(tr.Spans))
+	}
+	// Root is last (end order); it must carry the remote span as parent.
+	root := tr.Spans[1]
+	if root.Parent != rsid.String() {
+		t.Fatalf("local root parent %q, want remote span %s", root.Parent, rsid)
+	}
+	if tr.Spans[0].Parent != root.ID {
+		t.Fatalf("child parent %q, want local root %s", tr.Spans[0].Parent, root.ID)
+	}
+}
+
+func TestTailCaptureRetention(t *testing.T) {
+	r := NewRegistry()
+	endRoot := func(name string, fail error) TraceID {
+		_, sp := r.StartSpan(context.Background(), name)
+		sp.SetError(fail)
+		sp.End()
+		return sp.Trace()
+	}
+	// Warmup: the first tailWarmup roots are always retained.
+	var warm []TraceID
+	for i := 0; i < tailWarmup; i++ {
+		warm = append(warm, endRoot("req", nil))
+	}
+	view := r.Traces()
+	if len(view.Traces) != tailWarmup {
+		t.Fatalf("retained %d after warmup, want %d", len(view.Traces), tailWarmup)
+	}
+	for i, tr := range view.Traces {
+		if tr.Reason != "warmup" {
+			t.Fatalf("trace %d reason %q, want warmup", i, tr.Reason)
+		}
+	}
+	// Errored roots are always retained, regardless of latency.
+	etid := endRoot("req", errors.New("boom"))
+	found := false
+	for _, tr := range r.Traces().Traces {
+		if tr.Trace == etid.String() {
+			found = true
+			if tr.Reason != "error" || tr.Err != "boom" {
+				t.Fatalf("errored trace retained as %+v", tr)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("errored trace not retained")
+	}
+	// A slow root (beyond any latency seen so far) is retained as "slow".
+	_, slow := r.StartSpan(context.Background(), "req")
+	slow.start = slow.start.Add(-time.Second) // fake a 1s request
+	slow.End()
+	found = false
+	for _, tr := range r.Traces().Traces {
+		if tr.Trace == slow.Trace().String() {
+			found = true
+			if tr.Reason != "slow" {
+				t.Fatalf("slow trace reason %q, want slow", tr.Reason)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("slow trace not retained")
+	}
+	_ = warm
+}
+
+func TestTailCaptureRingBound(t *testing.T) {
+	r := NewRegistry()
+	// Errored roots always retain; overflow the ring.
+	for i := 0; i < tailRetainedCap+10; i++ {
+		_, sp := r.StartSpan(context.Background(), "req")
+		sp.SetError(errors.New("x"))
+		sp.End()
+	}
+	view := r.Traces()
+	if len(view.Traces) != tailRetainedCap {
+		t.Fatalf("ring holds %d, want %d", len(view.Traces), tailRetainedCap)
+	}
+	if view.Kept != int64(tailRetainedCap+10) {
+		t.Fatalf("kept_total = %d, want %d", view.Kept, tailRetainedCap+10)
+	}
+}
+
+func TestSetTracingKillSwitch(t *testing.T) {
+	r := NewRegistry()
+	prev := SetTracing(false)
+	defer SetTracing(prev)
+	ctx, sp := r.StartSpan(context.Background(), "off")
+	if sp != nil {
+		t.Fatal("StartSpan must return a nil span with tracing off")
+	}
+	// All span methods must be nil-safe no-ops.
+	sp.SetAttr("k", "v")
+	sp.SetSim(time.Second)
+	sp.SetError(errors.New("x"))
+	sp.End()
+	if sp.Trace() != (TraceID{}) || sp.ID() != (SpanID{}) || sp.Name() != "" {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("context must not carry a span with tracing off")
+	}
+	if len(r.Traces().Traces) != 0 {
+		t.Fatal("no traces must be captured with tracing off")
+	}
+}
+
+func TestStageClock(t *testing.T) {
+	a := Stage("test_stage_a")
+	if Stage("test_stage_a") != a {
+		t.Fatal("same stage name must return the same clock")
+	}
+	a.Observe(time.Now().Add(-time.Millisecond))
+	a.AddNS(5e6)
+	if got := a.TotalNS(); got < 6e6 {
+		t.Fatalf("stage total %d ns, want >= 6ms", got)
+	}
+	totals := StageTotals()
+	if totals["test_stage_a"] != a.TotalNS() {
+		t.Fatalf("StageTotals = %v, missing test_stage_a", totals)
+	}
+	names := StageNames()
+	found := false
+	for _, n := range names {
+		found = found || n == "test_stage_a"
+	}
+	if !found {
+		t.Fatalf("StageNames() = %v, missing test_stage_a", names)
+	}
+}

@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ingestOnce opens a fresh in-memory store, ingests data once, and returns
+// the wall time of the IngestStream call alone.
+func ingestOnce(t testing.TB, data []byte) time.Duration {
+	t.Helper()
+	store, err := Open(Options{Engine: DeFrag, Alpha: 0.1, ExpectedBytes: 64 << 20, StoreData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close() //nolint:errcheck // test teardown
+	start := time.Now()
+	if _, err := store.IngestStream(context.Background(), "bench/gen0", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// tracingOverheadBound is the documented ceiling on span-tracing overhead:
+// ingest with tracing on must stay within 2× of ingest with tracing off.
+// The real overhead is a handful of spans per request (an allocation, two
+// time.Now calls and a histogram observe each), i.e. far below the bound;
+// 2× leaves room for scheduler noise on shared CI runners while still
+// catching a regression that puts per-chunk work on the span path.
+const tracingOverheadBound = 2.0
+
+// TestTracingOverheadGuard is the perf gate for the observability layer:
+// leaving tracing on may not cost more than tracingOverheadBound× ingest
+// wall time. Stage counters are always on in both arms — they are the
+// documented always-on layer, and this test would catch them growing a lock
+// or an allocation too.
+func TestTracingOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped in -short")
+	}
+	data := randStream(4<<20, 99)
+	minWall := func(on bool) time.Duration {
+		prev := telemetry.SetTracing(on)
+		defer telemetry.SetTracing(prev)
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			if d := ingestOnce(t, data); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	off := minWall(false)
+	on := minWall(true)
+	ratio := float64(on) / float64(off)
+	t.Logf("ingest 4 MiB: tracing off %v, on %v, ratio %.2f (bound %.1f)", off, on, ratio, tracingOverheadBound)
+	if ratio > tracingOverheadBound {
+		t.Fatalf("tracing overhead %.2f× exceeds the documented %.1f× bound (off %v, on %v)",
+			ratio, tracingOverheadBound, off, on)
+	}
+}
+
+// BenchmarkIngestTracing reports ingest throughput with the span layer on
+// and off; `go test -bench IngestTracing -benchmem .` prints the MB/s
+// pair behind the overhead guard.
+func BenchmarkIngestTracing(b *testing.B) {
+	data := randStream(4<<20, 99)
+	for _, on := range []bool{true, false} {
+		b.Run(fmt.Sprintf("tracing=%v", on), func(b *testing.B) {
+			prev := telemetry.SetTracing(on)
+			defer telemetry.SetTracing(prev)
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				ingestOnce(b, data)
+			}
+		})
+	}
+}
