@@ -197,9 +197,11 @@ type Options struct {
 	// MinRun is IDedup's duplicate-run threshold in chunks; ignored by
 	// other engines. 0 uses the engine default (8).
 	MinRun int
-	// Workers > 1 parallelizes the chunk-fingerprinting stage of every
-	// backup across goroutines. Purely a wall-clock optimization of the
-	// pipeline; all results and simulated timings are identical.
+	// Workers controls the chunk-fingerprinting fan-out of every backup:
+	// 0 (the default) sizes the pool to GOMAXPROCS, 1 forces the serial
+	// pipeline, N > 1 uses exactly N goroutines. Purely a wall-clock
+	// optimization of the pipeline; all results and simulated timings are
+	// identical.
 	Workers int
 	// Backend selects where sealed containers physically live: SimBackend
 	// (default, in-memory) or FileBackend (durable directory store).
@@ -434,6 +436,9 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Settle any container persists still draining in the background so the
+	// backend close (manifest checkpoint, WAL fold) sees the final state.
+	s.eng.Containers().WaitSeals()
 	if s.durable() {
 		if err := s.saveBackupsManifest(); err != nil {
 			return err

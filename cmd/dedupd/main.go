@@ -60,9 +60,11 @@ type serverParams struct {
 
 func realMain() error {
 	var (
-		p       serverParams
-		loadgen = flag.Bool("loadgen", false, "run as load-generating client instead of server")
-		lg      loadgenParams
+		p         serverParams
+		loadgen   = flag.Bool("loadgen", false, "run as load-generating client instead of server")
+		lg        loadgenParams
+		wallbench = flag.Bool("wallbench", false, "run the in-process GOMAXPROCS × streams wall-clock ingest sweep and exit")
+		wb        wallbenchParams
 
 		telAddr   = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
 		telEvents = flag.String("telemetry.events", "", "write JSONL span events to this file")
@@ -74,7 +76,7 @@ func realMain() error {
 	flag.StringVar(&p.storeDir, "store.dir", "", "file backend root directory (required for -backend file)")
 	flag.Float64Var(&p.expectedGB, "expected.gb", 1, "expected total ingest in GiB (sizes caches, Bloom filter, index)")
 	flag.BoolVar(&p.storeData, "store.data", true, "store real chunk bytes so restores return content (disable for timing-only runs)")
-	flag.IntVar(&p.workers, "workers", 0, "parallel fingerprinting workers per stream (0 = serial)")
+	flag.IntVar(&p.workers, "workers", 0, "parallel fingerprinting workers per stream (0 = auto/GOMAXPROCS, 1 = serial)")
 	flag.IntVar(&p.tenantInflight, "tenant.inflight", 4, "max concurrent ingests per tenant before 429")
 	flag.IntVar(&p.totalInflight, "max.inflight", 32, "max concurrent ingests server-wide before 429")
 	flag.Float64Var(&p.tenantBWMBps, "tenant.bw.mbps", 0, "per-tenant aggregate upload bandwidth cap in MB/s (0 = unlimited)")
@@ -91,6 +93,15 @@ func realMain() error {
 	flag.StringVar(&lg.sweep, "loadgen.sweep", "", "loadgen: extra ingest-only phases at these stream counts for the stage sweep (e.g. \"1,2,8\")")
 	flag.StringVar(&lg.mode, "loadgen.restore.mode", "pipelined", "loadgen: restore mode to verify with (lru, opt, pipelined, faa)")
 	flag.BoolVar(&lg.skipRestore, "loadgen.norestore", false, "loadgen: skip the restore+verify phase")
+
+	flag.StringVar(&wb.out, "wallbench.out", "BENCH_PR7.json", "wallbench: write the sweep report to this file")
+	flag.StringVar(&wb.procs, "wallbench.procs", "", "wallbench: GOMAXPROCS values to sweep, e.g. \"1,2,8\" (empty = host setting)")
+	flag.StringVar(&wb.streams, "wallbench.streams", "1,2,4,8", "wallbench: stream concurrency values to sweep")
+	flag.IntVar(&wb.tenants, "wallbench.tenants", 8, "wallbench: tenants in the fixed workload every cell ingests")
+	flag.IntVar(&wb.gens, "wallbench.gens", 2, "wallbench: backup generations per tenant")
+	flag.IntVar(&wb.files, "wallbench.files", 8, "wallbench: files per tenant file system")
+	flag.Int64Var(&wb.fileKB, "wallbench.filekb", 128, "wallbench: mean file size in KiB")
+	flag.Float64Var(&wb.floor, "wallbench.floor", 4.0, "wallbench: minimum 8-vs-1-stream wall speedup (enforced only on hosts with >= 8 CPUs)")
 	logLevel := flag.String("log.level", "info", "structured log level: debug, info, warn, error")
 	noTracing := flag.Bool("tracing.off", false, "disable span tracing (stage counters stay on)")
 	flag.Parse()
@@ -106,6 +117,13 @@ func realMain() error {
 	defer ep.Close()
 	if a := ep.Addr(); a != "" {
 		telemetry.Logger().Info("telemetry endpoint up", "url", "http://"+a+"/metrics")
+	}
+	if *wallbench {
+		wb.seed = lg.seed
+		wb.engine = p.engineName
+		wb.alpha = p.alpha
+		wb.workers = p.workers
+		return runWallbench(wb)
 	}
 	if *loadgen {
 		lg.addr = p.addr

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWallbenchSmoke runs the in-process sweep on a tiny workload and checks
+// the report's hard invariants: every cell restore-verifies, dedup outcome
+// (stored bytes) is identical across cells, and the serial/parallel
+// determinism pair matches on both recipes and simulated time.
+func TestWallbenchSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_PR7.json")
+	p := wallbenchParams{
+		out:     out,
+		streams: "1,2",
+		tenants: 2,
+		gens:    2,
+		files:   4,
+		fileKB:  64,
+		seed:    1,
+		floor:   4.0,
+		engine:  "defrag",
+		alpha:   0.1,
+	}
+	if err := runWallbench(p); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep wallReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatal("report did not pass")
+	}
+	if !rep.Determinism.RecipesIdentical || !rep.Determinism.SimIdentical {
+		t.Fatalf("determinism pair diverged: %+v", rep.Determinism)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	stored := rep.Cells[0].StoredBytes
+	for _, c := range rep.Cells {
+		if !c.AllVerified {
+			t.Fatalf("cell %+v failed restore verification", c)
+		}
+		if c.StoredBytes != stored {
+			t.Fatalf("dedup outcome differs across cells: %d vs %d", c.StoredBytes, stored)
+		}
+		if c.IngestBytes == 0 || c.WallSeconds <= 0 {
+			t.Fatalf("cell %+v missing measurements", c)
+		}
+	}
+}

@@ -37,7 +37,7 @@ func realMain() error {
 	var (
 		engineName = flag.String("engine", "defrag", "engine: defrag, ddfs, silo, sparse, idedup")
 		alpha      = flag.Float64("alpha", 0.1, "DeFrag SPL threshold α")
-		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = serial)")
+		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = auto/GOMAXPROCS, 1 = serial)")
 		telAddr    = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
 		telEvents  = flag.String("telemetry.events", "", "write JSONL span events to this file")
 	)

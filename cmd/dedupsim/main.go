@@ -51,7 +51,7 @@ func realMain() error {
 		rCache     = flag.Int("restore.cache", 0, "restore cache capacity in containers (0 = default, 8)")
 		rWorkers   = flag.Int("restore.workers", 1, "prefetch lanes for -restore.mode=pipelined (1 = serial)")
 		catalog    = flag.String("catalog", "", "directory to write recipe catalogs into")
-		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = serial)")
+		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = auto/GOMAXPROCS, 1 = serial)")
 		streams    = flag.Int("streams", 1, "concurrent backup streams per round (>1 switches to a multi-user schedule)")
 		check      = flag.Bool("check", false, "run a consistency check (fsck) at the end")
 		export     = flag.String("export", "", "directory to export the store archive into")

@@ -45,7 +45,7 @@ func realMain() error {
 		csvDir    = flag.String("csvdir", "", "also write each figure as CSV into this directory")
 		jsonOut   = flag.Bool("json", false, "emit a per-generation JSONL trajectory to stdout instead of figure tables")
 		engine    = flag.String("engine", "defrag", "engine for -json trajectories: defrag, ddfs, silo, sparse, idedup")
-		workers   = flag.Int("workers", 0, "parallel fingerprinting workers per backup (0 = serial)")
+		workers   = flag.Int("workers", 0, "parallel fingerprinting workers per backup (0 = auto/GOMAXPROCS, 1 = serial)")
 		msOut     = flag.String("multistream", "", "run the multi-stream scaling benchmark and write JSON to this file (\"-\" = stdout)")
 		streams   = flag.String("streams", "1,2,4,8", "comma-separated concurrency levels for -multistream")
 		rbOut     = flag.String("restorebench", "", "run the restore strategy sweep (LRU/OPT/FAA/pipelined per generation) and write JSON to this file (\"-\" = stdout)")

@@ -30,7 +30,7 @@ type ExperimentConfig struct {
 	// paper's default 0.1. DefaultExperimentConfig sets 0.1.
 	Alpha float64
 	// Workers parallelizes each backup's fingerprinting stage (see
-	// Options.Workers). 0 keeps the serial pipeline.
+	// Options.Workers): 0 = auto (GOMAXPROCS), 1 = serial.
 	Workers int
 	// RestoreCache overrides the restore cache capacity in containers for
 	// experiment restores. 0 keeps the restore package default (8).

@@ -86,13 +86,19 @@ func (b *buffered) fill(want int) int {
 	if b.n-b.off >= want || b.done {
 		return b.n - b.off
 	}
-	// Slide remaining bytes to the front to make room.
+	// Slide remaining bytes to the front to make room. In the common steady
+	// state the window is fully consumed (off == n) and the slide is a pure
+	// index reset with no copy.
 	if b.off > 0 {
-		copy(b.buf, b.buf[b.off:b.n])
-		b.n -= b.off
-		b.off = 0
+		if b.off == b.n {
+			b.off, b.n = 0, 0
+		} else {
+			copy(b.buf, b.buf[b.off:b.n])
+			b.n -= b.off
+			b.off = 0
+		}
 	}
-	for b.n < len(b.buf) {
+	for b.n < len(b.buf) && b.n < want {
 		m, err := b.r.Read(b.buf[b.n:])
 		b.n += m
 		if err != nil {
@@ -100,9 +106,6 @@ func (b *buffered) fill(want int) int {
 			if err != io.EOF {
 				b.err = err
 			}
-			break
-		}
-		if b.n-b.off >= want {
 			break
 		}
 	}

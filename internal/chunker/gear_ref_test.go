@@ -1,0 +1,105 @@
+package chunker
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// gearEnds runs the full streaming Gear chunker (optimized cutpoint +
+// buffered windowing) and returns the exclusive end offset of every chunk.
+func gearEnds(t *testing.T, data []byte, p Params) []int {
+	t.Helper()
+	g, err := NewGear(bytes.NewReader(data), p)
+	if err != nil {
+		t.Fatalf("NewGear: %v", err)
+	}
+	var ends []int
+	pos := 0
+	for {
+		c, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		pos += len(c)
+		ends = append(ends, pos)
+	}
+	if len(ends) > 0 && ends[len(ends)-1] != len(data) {
+		t.Fatalf("chunks cover %d bytes, want %d", ends[len(ends)-1], len(data))
+	}
+	return ends
+}
+
+// TestGearCutpointMatchesReference pins the optimized production cut-point
+// loop to the straight-line reference: identical boundaries on seeded random
+// and shift-edited streams, across a spread of Params (different mask widths,
+// Min < warmWindow, Min == Target, tiny Max windows).
+func TestGearCutpointMatchesReference(t *testing.T) {
+	params := []Params{
+		DefaultParams(),
+		{Min: 512, Target: 4096, Max: 16 * 1024},
+		{Min: 32, Target: 256, Max: 1024},    // Min below the 64-byte warm window
+		{Min: 4096, Target: 4096, Max: 4097}, // degenerate: normal == Min almost always
+		{Min: 1, Target: 2, Max: 64},         // loose mask clamped to 1 bit
+	}
+	rng := rand.New(rand.NewSource(7))
+	base := make([]byte, 1<<20)
+	rng.Read(base)
+
+	streams := map[string][]byte{
+		"random":  base,
+		"lowent":  bytes.Repeat([]byte("abcdefgh"), 1<<17),
+		"shifted": append(append(append([]byte(nil), base[:300]...), []byte("INSERTED-EDIT")...), base[300:]...),
+		"short":   base[:777],
+		"empty":   nil,
+	}
+	for _, p := range params {
+		for name, data := range streams {
+			t.Run(fmt.Sprintf("%d-%d-%d/%s", p.Min, p.Target, p.Max, name), func(t *testing.T) {
+				got := gearEnds(t, data, p)
+				want := boundariesRef(data, p)
+				if len(got) != len(want) {
+					t.Fatalf("chunk count: got %d, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("boundary %d: got %d, want %d", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// goldenBoundaryDigest is the SHA-256 over the little-endian uint64 boundary
+// offsets of a fixed seeded stream under DefaultParams. It freezes the gear
+// table, the mask derivation and the cut-point search: a silent change to any
+// of them (and therefore to every stored recipe) breaks this test.
+const goldenBoundaryDigest = "a17fa8a7bd57fc39c674b09d7626c30efdf4ceffb879dbee49c4fbe90c2995e9"
+
+func TestGearGoldenBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 256*1024)
+	rng.Read(data)
+	ends := gearEnds(t, data, DefaultParams())
+
+	h := sha256.New()
+	var buf [8]byte
+	for _, e := range ends {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e))
+		h.Write(buf[:])
+	}
+	digest := hex.EncodeToString(h.Sum(nil))
+	if digest != goldenBoundaryDigest {
+		t.Fatalf("golden boundary digest changed:\n got  %s\n want %s\nfirst boundaries: %v (%d chunks)",
+			digest, goldenBoundaryDigest, ends[:min(8, len(ends))], len(ends))
+	}
+}

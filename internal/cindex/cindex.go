@@ -244,18 +244,24 @@ func (ix *Index) lookup(dev *disk.Device, fp chunk.Fingerprint) (chunk.Location,
 	ix.lookups.Add(1)
 	b := ix.bucket(fp)
 	sh := ix.shardOf(b)
+	// The stripe lock covers only the RAM state (cache recency, map); the
+	// modeled page read is charged after unlock, so a stream paying a disk
+	// read never holds up other streams' cache hits on the same stripe.
 	sh.mu.Lock()
-	if _, ok := sh.cache.Get(b); ok {
+	_, hit := sh.cache.Get(b)
+	if !hit {
+		sh.cache.Put(b, struct{}{})
+	}
+	loc, ok := sh.m[fp]
+	sh.mu.Unlock()
+	if hit {
 		ix.pageHits.Add(1)
 		telPageHits.Inc()
 	} else {
 		ix.pageReads.Add(1)
 		telPageReads.Inc()
 		dev.AccountRead(ix.pageOff(b), ix.cfg.PageSize)
-		sh.cache.Put(b, struct{}{})
 	}
-	loc, ok := sh.m[fp]
-	sh.mu.Unlock()
 	if !ok {
 		ix.notFound.Add(1)
 	}
@@ -303,19 +309,9 @@ func (ix *Index) lookupBatch(dev *disk.Device, fps []chunk.Fingerprint) []Result
 		idxs := groups[b]
 		sh := ix.shardOf(b)
 		sh.mu.Lock()
-		if _, ok := sh.cache.Get(b); ok {
-			ix.pageHits.Add(int64(len(idxs)))
-			telPageHits.Add(int64(len(idxs)))
-		} else {
-			// One modeled page read serves every fingerprint of this bucket.
-			ix.pageReads.Add(1)
-			telPageReads.Inc()
-			dev.AccountRead(ix.pageOff(b), ix.cfg.PageSize)
+		_, hit := sh.cache.Get(b)
+		if !hit {
 			sh.cache.Put(b, struct{}{})
-			if extra := int64(len(idxs) - 1); extra > 0 {
-				ix.pageHits.Add(extra)
-				telPageHits.Add(extra)
-			}
 		}
 		for _, i := range idxs {
 			loc, ok := sh.m[fps[i]]
@@ -325,6 +321,20 @@ func (ix *Index) lookupBatch(dev *disk.Device, fps []chunk.Fingerprint) []Result
 			}
 		}
 		sh.mu.Unlock()
+		if hit {
+			ix.pageHits.Add(int64(len(idxs)))
+			telPageHits.Add(int64(len(idxs)))
+		} else {
+			// One modeled page read, charged outside the stripe lock, serves
+			// every fingerprint of this bucket.
+			ix.pageReads.Add(1)
+			telPageReads.Inc()
+			dev.AccountRead(ix.pageOff(b), ix.cfg.PageSize)
+			if extra := int64(len(idxs) - 1); extra > 0 {
+				ix.pageHits.Add(extra)
+				telPageHits.Add(extra)
+			}
+		}
 	}
 	return res
 }
@@ -355,11 +365,15 @@ func (ix *Index) insert(dev *disk.Device, fp chunk.Fingerprint, loc chunk.Locati
 	sh.mu.Lock()
 	sh.m[fp] = loc
 	sh.pending++
-	full := sh.pending >= ix.cfg.FlushBatch
-	if full {
-		ix.flushShard(dev, sh)
+	var flushN int
+	if sh.pending >= ix.cfg.FlushBatch {
+		flushN = sh.pending
+		sh.pending = 0
 	}
 	sh.mu.Unlock()
+	if flushN > 0 {
+		ix.chargeFlush(dev, flushN)
+	}
 	ix.inserts.Add(1)
 	telInserts.Inc()
 }
@@ -410,18 +424,21 @@ func (ix *Index) flushAll(dev *disk.Device) {
 	for i := range ix.shards {
 		sh := &ix.shards[i]
 		sh.mu.Lock()
-		if sh.pending > 0 {
-			ix.flushShard(dev, sh)
-		}
+		n := sh.pending
+		sh.pending = 0
 		sh.mu.Unlock()
+		if n > 0 {
+			ix.chargeFlush(dev, n)
+		}
 	}
 }
 
-// flushShard write-backs one shard's buffer as a single batched sequential
-// append: the merge log. Caller holds sh.mu.
-func (ix *Index) flushShard(dev *disk.Device, sh *shard) {
-	dev.AppendHole(int64(sh.pending) * entrySize)
-	sh.pending = 0
+// chargeFlush accounts one batched sequential write-back of n buffered
+// inserts: the merge log. It runs outside the stripe lock — the buffer was
+// already claimed (pending reset to 0) under the lock, so the charge being
+// out from under the mutex only shortens hold times, never double-counts.
+func (ix *Index) chargeFlush(dev *disk.Device, n int) {
+	dev.AppendHole(int64(n) * entrySize)
 	ix.flushes.Add(1)
 	telFlushes.Inc()
 }

@@ -144,6 +144,9 @@ type Store struct {
 	// newest index mappings; the DeFrag rewrite path decrements it to report
 	// container utilization (garbage from superseded copies).
 	liveBytes []int64
+	// pending maps container IDs whose backend persist is still in flight to
+	// the barrier channel closed when it lands (see beginSeal/awaitSeal).
+	pending map[uint32]chan struct{}
 
 	serialW *Writer // lazily created legacy writer behind Store.Write/Flush
 }
@@ -208,24 +211,102 @@ func (s *Store) allocID() uint32 {
 	return id
 }
 
-// seal persists a flushed container to the backend and publishes it into
-// the shadow directory.
-func (s *Store) seal(ctx context.Context, info Info, data []byte) error {
-	t0 := time.Now()
-	err := s.be.Seal(ctx, toBackendInfo(info), data)
-	stageBackendWrite.Observe(t0)
-	if err != nil {
-		return fmt.Errorf("container: seal %d: %w", info.ID, err)
-	}
+// sealResult is the outcome of one background backend persist; data rides
+// along so the writer can recycle its buffer once the backend (which must
+// not retain the slice) is done with it.
+type sealResult struct {
+	err  error
+	data []byte
+}
+
+// beginSeal publishes a flushed container into the shadow directory and
+// kicks off the backend persist in the background, returning a channel that
+// delivers the persist outcome. Publishing immediately keeps Sealed/ReadMeta
+// semantics identical to the old synchronous seal — dedup decisions depend
+// only on the RAM directory — while the backend write happens off the
+// ingest hot path; data-section readers block on the per-container barrier
+// (awaitSeal) until the bytes land. If the persist ultimately fails, the
+// container is unpublished (a directory hole, like a quarantine) and the
+// error surfaces at the writer's next Flush/Finish, aborting its backup
+// exactly as a synchronous seal failure would have.
+func (s *Store) beginSeal(ctx context.Context, info Info, data []byte) chan sealResult {
 	s.mu.Lock()
 	s.sealed[info.ID] = info
 	s.sealedOK[info.ID] = true
 	s.nSealed++
 	s.liveBytes[info.ID] = info.DataFill
+	if s.pending == nil {
+		s.pending = make(map[uint32]chan struct{})
+	}
+	barrier := make(chan struct{})
+	s.pending[info.ID] = barrier
 	s.mu.Unlock()
-	telSealed.Inc()
-	telWrittenBytes.Add(info.DataFill)
-	return nil
+
+	done := make(chan sealResult, 1)
+	// The persist is the store's obligation, not the request's: it is
+	// detached from the caller's cancellation so a drained request cannot
+	// tear out a container that other streams' dedup decisions already saw.
+	pctx := context.WithoutCancel(ctx)
+	go func() {
+		t0 := time.Now()
+		err := s.be.Seal(pctx, toBackendInfo(info), data)
+		stageBackendWrite.Observe(t0)
+		s.mu.Lock()
+		if err != nil {
+			// Unpublish. The Info struct itself is left in place (readers
+			// may hold pointers from info()); sealedOK is what gates access.
+			s.sealedOK[info.ID] = false
+			s.nSealed--
+			s.liveBytes[info.ID] = 0
+		}
+		delete(s.pending, info.ID)
+		close(barrier)
+		s.mu.Unlock()
+		if err != nil {
+			done <- sealResult{err: fmt.Errorf("container: seal %d: %w", info.ID, err)}
+			return
+		}
+		telSealed.Inc()
+		telWrittenBytes.Add(info.DataFill)
+		done <- sealResult{data: data}
+	}()
+	return done
+}
+
+// awaitSeal blocks until container id's in-flight backend persist (if any)
+// has landed — the read-side barrier matching beginSeal.
+func (s *Store) awaitSeal(ctx context.Context, id uint32) error {
+	s.mu.Lock()
+	ch := s.pending[id]
+	s.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WaitSeals blocks until every in-flight backend persist has landed. Store
+// close and full-store verification (fsck) call it so they observe a byte
+// store that matches the directory.
+func (s *Store) WaitSeals() {
+	for {
+		s.mu.Lock()
+		var ch chan struct{}
+		for _, c := range s.pending {
+			ch = c
+			break
+		}
+		s.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		<-ch
+	}
 }
 
 // Adopt loads the backend's sealed containers into an empty store — the
@@ -331,6 +412,13 @@ type Writer struct {
 	meta    []Meta
 	data    []byte // buffered only when the backend stores data
 	hasOpen bool
+
+	// sealCh, when non-nil, is the in-flight backend persist launched by the
+	// previous Flush (depth-1 pipelining: fill container N+1 while N's bytes
+	// drain to the backend). spare holds the data buffer recycled from a
+	// completed persist for the next open().
+	sealCh chan sealResult
+	spare  []byte
 }
 
 // SerialWriter returns the store's shared frontier-mode writer: containers
@@ -366,9 +454,28 @@ func (w *Writer) open() {
 	w.fill = 0
 	w.meta = w.meta[:0]
 	if w.s.StoresData() {
+		if w.data == nil {
+			// The previous buffer is riding with an in-flight persist;
+			// reuse the one recycled from the persist before that, if any.
+			w.data, w.spare = w.spare, nil
+		}
 		w.data = w.data[:0]
 	}
 	w.hasOpen = true
+}
+
+// waitSeal blocks until the writer's in-flight backend persist (if any)
+// completes, reclaiming its data buffer for reuse and surfacing its error.
+func (w *Writer) waitSeal() error {
+	if w.sealCh == nil {
+		return nil
+	}
+	res := <-w.sealCh
+	w.sealCh = nil
+	if res.data != nil {
+		w.spare = res.data
+	}
+	return res.err
 }
 
 // Write appends one chunk to the writer's open container (opening or sealing
@@ -402,14 +509,21 @@ func (w *Writer) Write(ctx context.Context, c chunk.Chunk, segID uint64) (chunk.
 }
 
 // Flush seals the open container: the device is charged for the metadata
-// and data section writes, then the container is persisted to the backend
-// and published in the directory. A writer with no open container (or an
-// empty one) flushes to nothing. Callers flush at end of stream; Write
-// flushes automatically when a container fills.
+// and data section writes, the container is published in the directory, and
+// the backend persist is started in the background (at most one in flight
+// per writer — Flush first waits out the previous persist, so a persist
+// failure aborts the stream one container late at the latest). A writer
+// with no open container (or an empty one) flushes to nothing. Write
+// flushes automatically when a container fills; end-of-stream callers use
+// Finish, which also drains the last persist.
 func (w *Writer) Flush(ctx context.Context) error {
 	if !w.hasOpen || len(w.meta) == 0 {
 		w.hasOpen = false
 		return nil
+	}
+	if err := w.waitSeal(); err != nil {
+		w.hasOpen = false
+		return err
 	}
 	t0 := time.Now()
 	var end int64
@@ -437,7 +551,19 @@ func (w *Writer) Flush(ctx context.Context) error {
 	}
 	w.hasOpen = false
 	stageSeal.Observe(t0) // pre-seal close work only; the backend persist is "backend_write"
-	return w.s.seal(ctx, info, w.data)
+	w.sealCh = w.s.beginSeal(ctx, info, w.data)
+	w.data = nil // buffer now rides with the persist; open() falls back to spare
+	return nil
+}
+
+// Finish seals the writer's open container and waits until every backend
+// persist this writer started has landed — the end-of-stream barrier. After
+// a nil return, all of the stream's containers are durable in the backend.
+func (w *Writer) Finish(ctx context.Context) error {
+	if err := w.Flush(ctx); err != nil {
+		return err
+	}
+	return w.waitSeal()
 }
 
 // ReadMeta is Store.ReadMeta with the disk time charged to the writer's
@@ -449,13 +575,17 @@ func (s *Store) Write(ctx context.Context, c chunk.Chunk, segID uint64) (chunk.L
 	return s.SerialWriter().Write(ctx, c, segID)
 }
 
-// Flush seals the serial writer's open container, if any.
+// Flush seals the serial writer's open container, if any, and waits for its
+// backend persist to land. Engines call this at end of stream or before
+// maintenance (GC, defrag), both of which need the byte store caught up with
+// the directory, so it keeps the drain semantics of the old synchronous
+// seal; the hot-path auto-flush inside Write is what runs asynchronously.
 func (s *Store) Flush(ctx context.Context) error {
 	s.mu.Lock()
 	w := s.serialW
 	s.mu.Unlock()
 	if w != nil {
-		return w.Flush(ctx)
+		return w.Finish(ctx)
 	}
 	return nil
 }
@@ -490,6 +620,9 @@ func (s *Store) DataStart(id uint32) int64 { return s.info(id).DataStart(s.cfg) 
 // validates its length against the directory — a short section is a torn
 // write surfacing (blockstore.ErrCorrupt).
 func (s *Store) fetchData(ctx context.Context, id uint32) ([]byte, error) {
+	if err := s.awaitSeal(ctx, id); err != nil {
+		return nil, err
+	}
 	info := s.info(id)
 	t0 := time.Now()
 	data, err := s.be.ReadData(ctx, id)
@@ -565,6 +698,11 @@ func (s *Store) RangeSpan(ids []uint32) (off, n int64) { return s.rangeSpan(ids)
 // fetchDataRange pulls several containers' data sections from the backend
 // with per-container length validation.
 func (s *Store) fetchDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	for _, id := range ids {
+		if err := s.awaitSeal(ctx, id); err != nil {
+			return nil, err
+		}
+	}
 	t0 := time.Now()
 	out, err := s.be.ReadDataRange(ctx, ids)
 	stageContainerRead.Observe(t0)

@@ -264,12 +264,12 @@ func (e *Engine) backup(ctx context.Context, label string, r io.Reader, clk *dis
 		// container and flush the index outside the cancelled context, so
 		// everything already placed stays referenced (fsck-clean) and only
 		// this backup is lost.
-		if ferr := w.Flush(context.WithoutCancel(ctx)); ferr == nil {
+		if ferr := w.Finish(context.WithoutCancel(ctx)); ferr == nil {
 			sr.FlushIndex()
 		}
 		return nil, stats, err
 	}
-	if err := w.Flush(ctx); err != nil {
+	if err := w.Finish(ctx); err != nil {
 		return nil, stats, err
 	}
 	sr.FlushIndex()

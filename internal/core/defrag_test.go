@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/cindex"
 	"repro/internal/engine/ddfs"
 	"repro/internal/enginetest"
+	"repro/internal/trace"
 )
 
 func testConfig(alpha float64, storeData bool) Config {
@@ -209,6 +211,47 @@ func TestDeterminism(t *testing.T) {
 	u2, r2 := run()
 	if u1 != u2 || r1 != r2 {
 		t.Fatal("engine not deterministic")
+	}
+}
+
+// TestParallelWorkersDeterminism pins the dual-clock contract at the engine
+// level: wall-clock parallelism in the chunk/hash pipeline (Cost.Workers)
+// must not change what the engine does — recipes bit-identical, the same
+// simulated time charged — only how fast the wall clock gets there.
+func TestParallelWorkersDeterminism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // let the parallel path actually engage
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(workers int) []enginetest.Generation {
+		cfg := testConfig(0.1, true)
+		cfg.Cost.Workers = workers
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enginetest.RunGenerations(t, e, enginetest.SmallConfig(29), 3)
+	}
+	serial := run(1)
+	parallel := run(4)
+
+	for g := range serial {
+		ss, ps := serial[g].Stats, parallel[g].Stats
+		if ps.Duration != ss.Duration {
+			t.Fatalf("gen %d: parallel workers changed simulated time: %v vs %v", g, ps.Duration, ss.Duration)
+		}
+		if ps.UniqueBytes != ss.UniqueBytes || ps.RewrittenBytes != ss.RewrittenBytes || ps.Chunks != ss.Chunks {
+			t.Fatalf("gen %d: parallel workers changed dedup outcome: %+v vs %+v", g, ps, ss)
+		}
+		var sb, pb bytes.Buffer
+		if err := trace.Save(&sb, serial[g].Recipe); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Save(&pb, parallel[g].Recipe); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Fatalf("gen %d: recipes not bit-identical between serial and parallel pipelines", g)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/chunk"
@@ -28,11 +29,29 @@ type CostModel struct {
 	// CPUBandwidth is the modeled pipeline rate (bytes/second) of chunking
 	// plus fingerprinting plus in-RAM bookkeeping.
 	CPUBandwidth float64
-	// Workers > 1 fans the fingerprinting stage out across goroutines
-	// (see ParallelPipeline). This accelerates the simulation's own wall
-	// clock; the modeled CPU charge is unchanged — a system that also
-	// parallelizes its modeled CPU raises CPUBandwidth to match.
+	// Workers sets the fingerprinting fan-out (see ParallelPipeline):
+	// 0 picks GOMAXPROCS automatically (the default path), 1 forces the
+	// serial pipeline, and N > 1 uses exactly N workers (clamped to
+	// GOMAXPROCS). Parallelism accelerates the simulation's own wall clock;
+	// the modeled CPU charge is unchanged — a system that also parallelizes
+	// its modeled CPU raises CPUBandwidth to match.
 	Workers int
+}
+
+// effectiveWorkers resolves the Workers knob: 0 = auto (GOMAXPROCS),
+// <= 1 after resolution = serial.
+func (m CostModel) effectiveWorkers() int {
+	w := m.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if g := runtime.GOMAXPROCS(0); w > g {
+		w = g
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DefaultCostModel returns 750 MB/s, calibrated so that a first-generation
@@ -141,12 +160,17 @@ type Adopter interface {
 
 // Pipeline runs the shared front half of a backup — chunking, hashing, CPU
 // charging, segmenting — and hands each completed segment to process. It
-// returns the logical byte count and chunk/segment counts. When
-// cost.Workers > 1 the fingerprinting stage runs on a worker pool
-// (ParallelPipeline); results are identical either way.
+// returns the logical byte count and chunk/segment counts. The
+// fingerprinting stage fans out across cost.Workers goroutines by default
+// (ParallelPipeline; Workers == 1 forces the serial loop); results are
+// bit-identical either way.
 //
 // keepData controls whether chunk bytes are retained into the segments
-// (true when the engine's container backend stores data).
+// (true when the engine's container backend stores data). Chunk Data slices
+// handed to process live in pooled buffers that are recycled as soon as
+// process returns: an engine that retains chunk bytes past its process
+// callback must copy them (every in-tree engine copies into its container
+// writer synchronously).
 //
 // Cancelling ctx stops the pipeline at the next segment boundary with
 // ctx's error; segments already handed to process are fully applied.
@@ -161,8 +185,8 @@ func Pipeline(
 	keepData bool,
 	process func(*segment.Segment) error,
 ) (logicalBytes, chunks, segments int64, err error) {
-	if cost.Workers > 1 {
-		return ParallelPipeline(ctx, r, kind, cp, sp, clock, cost, keepData, cost.Workers, process)
+	if w := cost.effectiveWorkers(); w > 1 {
+		return ParallelPipeline(ctx, r, kind, cp, sp, clock, cost, keepData, w, process)
 	}
 	ck, err := chunker.New(kind, r, cp)
 	if err != nil {
@@ -171,6 +195,16 @@ func Pipeline(
 	sg, err := segment.New(sp)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	// Segment-lifetime arena for chunk bytes: chunks alias this buffer until
+	// the segment holding them is processed, then the whole buffer is reused.
+	// One copy per chunk (chunker window → arena), zero steady-state
+	// allocations; capacity covers the largest possible segment (the
+	// segmenter force-emits at MaxBytes, so a segment never exceeds
+	// MaxBytes-1 plus one maximum-size chunk).
+	var arena []byte
+	if keepData {
+		arena = make([]byte, 0, int(sp.MaxBytes)+cp.Max)
 	}
 	emit := func(seg *segment.Segment) error {
 		if seg == nil {
@@ -181,7 +215,13 @@ func Pipeline(
 		}
 		segments++
 		telSegments.Inc()
-		return process(seg)
+		if err := process(seg); err != nil {
+			return err
+		}
+		// All chunks of seg (everything accumulated since the last emit)
+		// have been consumed; their arena bytes are dead.
+		arena = arena[:0]
+		return nil
 	}
 	for {
 		t0 := time.Now()
@@ -196,7 +236,13 @@ func Pipeline(
 		t1 := time.Now()
 		var c chunk.Chunk
 		if keepData {
-			c = chunk.New(append([]byte(nil), raw...))
+			// The chunker reuses its window; the arena owns the copy. If a
+			// pathological chunk overflows capacity, append reallocates —
+			// earlier chunks keep pointing into the old backing array, so
+			// aliasing stays valid and only the recycling degrades.
+			off := len(arena)
+			arena = append(arena, raw...)
+			c = chunk.New(arena[off:len(arena):len(arena)])
 		} else {
 			c = chunk.New(raw)
 			c.Data = nil

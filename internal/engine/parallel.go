@@ -13,6 +13,11 @@ import (
 	"repro/internal/segment"
 )
 
+// hashFaultHook, when non-nil, is called by hash workers for every chunk
+// they fingerprint and lets tests inject a mid-batch worker failure. It must
+// be set before a pipeline starts and cleared after it finishes.
+var hashFaultHook func(chunk.Chunk) error
+
 // ParallelPipeline is Pipeline with the fingerprinting stage fanned out
 // across worker goroutines (the P-Dedupe idea the paper's venue literature
 // describes: chunking is sequential by nature, hashing is embarrassingly
@@ -20,8 +25,8 @@ import (
 //
 // Structure:
 //
-//	chunker (sequential) → [workers × SHA-256] → ordered merge →
-//	segmenter → process (sequential)
+//	chunker (sequential) → bounded SPMC queue → [workers × SHA-256] →
+//	in-order resequencing → segmenter → process (sequential)
 //
 // The simulated-time accounting is identical to Pipeline — the CPU cost
 // model charges the same bytes; parallelism buys real wall-clock time for
@@ -29,6 +34,11 @@ import (
 // divide the modeled CPU term, which the CostModel caller can express by
 // raising CPUBandwidth). Results are bit-identical to Pipeline for the
 // same input.
+//
+// Chunk bytes flow zero-copy end to end: the producer copies each chunk
+// once from the chunker window into a pooled job buffer, workers and the
+// segment path alias that buffer, and the job is recycled once every chunk
+// in it has passed through a processed segment.
 func ParallelPipeline(
 	ctx context.Context,
 	r io.Reader,
@@ -46,12 +56,13 @@ func ParallelPipeline(
 	}
 	if workers <= 1 {
 		// One lane (or a single-core host): the worker machinery is pure
-		// overhead — run the serial pipeline.
+		// overhead — run the serial pipeline. Workers = 1 means "explicitly
+		// serial" (0 would re-resolve to GOMAXPROCS and recurse).
 		serial := cost
-		serial.Workers = 0
+		serial.Workers = 1
 		return Pipeline(ctx, r, kind, cp, sp, clock, serial, keepData, process)
 	}
-	cost.Workers = 0 // the charge below is already per-chunk; avoid re-dispatch
+	cost.Workers = 1 // the charge below is already per-chunk; avoid re-dispatch
 
 	ck, err := chunker.New(kind, r, cp)
 	if err != nil {
@@ -70,13 +81,16 @@ func ParallelPipeline(
 		data []byte // concatenated chunk bytes
 		ends []int  // end offset of each chunk within data
 		res  []chunk.Chunk
+		err  error // injected worker fault (hashFaultHook)
 		out  chan []chunk.Chunk
 	}
 	// Job buffers (chunk bytes, end offsets, result slices, handoff
 	// channels) are recycled through a pool: steady-state ingest allocates
 	// no per-batch buffers, which matters once several streams run this
-	// pipeline at once. Recycling happens on the consumer side, and only
-	// when !keepData — with keepData the emitted chunks alias job.data.
+	// pipeline at once. Without keepData a job recycles as soon as the
+	// consumer drains it; with keepData the emitted chunks alias job.data,
+	// so drained jobs park on a retire list until the next processed
+	// segment proves every chunk added so far has been consumed.
 	pool := sync.Pool{New: func() any { return &job{out: make(chan []chunk.Chunk, 1)} }}
 	// Bounded queue: the chunker stays ahead of the hashers without
 	// buffering the whole stream.
@@ -84,6 +98,9 @@ func ParallelPipeline(
 	// Order-preserving handoff: each job carries its own result channel;
 	// the consumer reads jobs' channels in submission order.
 	pending := make(chan *job, workers*2)
+	// stop tells the producer the consumer gave up (process error, ctx
+	// cancellation) so it cuts the stream short instead of chunking to EOF.
+	stop := make(chan struct{})
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -95,9 +112,15 @@ func ParallelPipeline(
 				out := j.res[:0]
 				start := 0
 				for _, end := range j.ends {
-					c := chunk.New(j.data[start:end])
+					c := chunk.New(j.data[start:end:end])
 					if !keepData {
 						c.Data = nil
+					}
+					if hashFaultHook != nil {
+						if ferr := hashFaultHook(c); ferr != nil {
+							j.err = ferr
+							break
+						}
 					}
 					out = append(out, c)
 					start = end
@@ -114,6 +137,7 @@ func ParallelPipeline(
 		j := pool.Get().(*job)
 		j.data = j.data[:0]
 		j.ends = j.ends[:0]
+		j.err = nil
 		return j
 	}
 	go func() {
@@ -129,6 +153,15 @@ func ParallelPipeline(
 			cur = getJob()
 		}
 		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				chunkErr = cerr
+				return
+			}
 			t0 := time.Now()
 			raw, cerr := ck.Next()
 			stageChunk.Observe(t0)
@@ -141,7 +174,7 @@ func ParallelPipeline(
 				chunkErr = cerr
 				return
 			}
-			// The chunker reuses its buffer; the job owns a copy.
+			// The chunker reuses its window; the job owns the single copy.
 			cur.data = append(cur.data, raw...)
 			cur.ends = append(cur.ends, len(cur.data))
 			if len(cur.ends) >= batchChunks {
@@ -150,6 +183,7 @@ func ParallelPipeline(
 		}
 	}()
 
+	var retired []*job
 	emit := func(seg *segment.Segment) error {
 		if seg == nil {
 			return nil
@@ -159,19 +193,35 @@ func ParallelPipeline(
 		}
 		segments++
 		telSegments.Inc()
-		return process(seg)
+		if err := process(seg); err != nil {
+			return err
+		}
+		// The processed segment contained every chunk added since the last
+		// emit, so all drained jobs' bytes are dead — recycle them.
+		for _, rj := range retired {
+			pool.Put(rj)
+		}
+		retired = retired[:0]
+		return nil
 	}
 	abort := func(err error) (int64, int64, int64, error) {
-		// Drain the producer so goroutines exit before returning.
+		// Stop the producer, then drain it so all goroutines exit before
+		// returning (no leaks even when the stream is far from EOF).
+		close(stop)
 		go func() {
-			for range pending {
+			for j := range pending {
+				<-j.out
 			}
 		}()
 		wg.Wait()
 		return logicalBytes, chunks, segments, err
 	}
 	for j := range pending {
-		for _, c := range <-j.out {
+		res := <-j.out
+		if j.err != nil {
+			return abort(j.err)
+		}
+		for _, c := range res {
 			cost.ChargeCPU(clock, int64(c.Size))
 			logicalBytes += int64(c.Size)
 			chunks++
@@ -184,6 +234,8 @@ func ParallelPipeline(
 		}
 		if !keepData {
 			pool.Put(j)
+		} else {
+			retired = append(retired, j)
 		}
 	}
 	wg.Wait()

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/chunker"
+	"repro/internal/disk"
+	"repro/internal/segment"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at most
+// base (plus slack for test machinery), failing with a full stack dump on a
+// leak. The resequencing stage must not strand its producer, workers, or
+// drainer no matter how the pipeline exits.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d running, want <= %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestPipelineAllocsPerChunk pins the zero-copy fix on the serial ingest
+// hot path: one pooled arena copy per chunk, no per-chunk allocation. The
+// old code allocated a fresh buffer per chunk (>= 1 alloc/chunk); the arena
+// path amortizes to well under half an allocation per chunk.
+func TestPipelineAllocsPerChunk(t *testing.T) {
+	data := randBytes(4<<20, 11)
+	cost := DefaultCostModel()
+	cost.Workers = 1 // the serial loop is what owns the arena
+	var chunks int64
+	run := func() {
+		var clk disk.Clock
+		var sink int64
+		_, n, _, err := Pipeline(context.Background(),
+			bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
+			segment.DefaultParams(), &clk, cost, true,
+			func(s *segment.Segment) error {
+				for _, c := range s.Chunks {
+					sink += int64(len(c.Data))
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks = n
+	}
+	allocs := testing.AllocsPerRun(3, run)
+	perChunk := allocs / float64(chunks)
+	if perChunk > 0.5 {
+		t.Fatalf("%.2f allocs/chunk (%.0f allocs, %d chunks); the per-chunk copy is back",
+			perChunk, allocs, chunks)
+	}
+}
+
+// TestParallelPipelineHashFault injects a hash-worker failure mid-batch:
+// the error must surface, every segment processed before it must be an
+// in-order prefix of the serial run, and no pipeline goroutine may leak.
+func TestParallelPipelineHashFault(t *testing.T) {
+	forceParallel(t)
+	data := randBytes(8<<20, 12)
+	serial := tracePipeline(t, data, 1, false)
+
+	base := runtime.NumGoroutine()
+	sentinel := errors.New("injected hash fault")
+	var seen atomic.Int64
+	hashFaultHook = func(chunk.Chunk) error {
+		// Fail deep enough into the stream that several batches are in
+		// flight out of order when the fault hits.
+		if seen.Add(1) == 300 {
+			return sentinel
+		}
+		return nil
+	}
+	defer func() { hashFaultHook = nil }()
+
+	cost := DefaultCostModel()
+	cost.Workers = 4
+	var clk disk.Clock
+	var fps []chunk.Fingerprint
+	_, _, _, err := Pipeline(context.Background(),
+		bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
+		segment.DefaultParams(), &clk, cost, false,
+		func(s *segment.Segment) error {
+			for _, c := range s.Chunks {
+				fps = append(fps, c.FP)
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if len(fps) >= len(serial.fps) {
+		t.Fatalf("fault did not cut the stream short (%d chunks processed)", len(fps))
+	}
+	for i, fp := range fps {
+		if fp != serial.fps[i] {
+			t.Fatalf("chunk %d out of order after mid-batch fault", i)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestParallelPipelineCtxCancel cancels the context from inside process
+// while the producer is still far from EOF: the pipeline must return the
+// context error promptly and tear down its producer/workers without leaks.
+func TestParallelPipelineCtxCancel(t *testing.T) {
+	forceParallel(t)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cost := DefaultCostModel()
+	cost.Workers = 4
+	var clk disk.Clock
+	segs := 0
+	_, _, _, err := Pipeline(ctx,
+		bytes.NewReader(randBytes(32<<20, 13)), chunker.KindGear, chunker.DefaultParams(),
+		segment.DefaultParams(), &clk, cost, true,
+		func(*segment.Segment) error {
+			segs++
+			if segs == 2 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if segs < 2 {
+		t.Fatalf("cancelled too early: %d segments", segs)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestParallelPipelineKeepDataRecycled stresses the job-recycling path:
+// with keepData on, job buffers are reused across segments, and the
+// reassembled stream must still be byte-exact (a use-after-recycle would
+// corrupt it or trip the fingerprint check).
+func TestParallelPipelineKeepDataRecycled(t *testing.T) {
+	forceParallel(t)
+	data := randBytes(12<<20, 14)
+	for _, workers := range []int{2, 4} {
+		var rebuilt []byte
+		cost := DefaultCostModel()
+		cost.Workers = workers
+		var clk disk.Clock
+		_, _, _, err := Pipeline(context.Background(),
+			bytes.NewReader(data), chunker.KindGear, chunker.DefaultParams(),
+			segment.DefaultParams(), &clk, cost, true,
+			func(s *segment.Segment) error {
+				for _, c := range s.Chunks {
+					if chunk.Of(c.Data) != c.FP {
+						t.Fatal("fingerprint mismatch: recycled buffer reused too early")
+					}
+					rebuilt = append(rebuilt, c.Data...)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rebuilt, data) {
+			t.Fatalf("workers=%d: recycled pipeline corrupted the stream", workers)
+		}
+	}
+}

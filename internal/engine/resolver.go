@@ -107,13 +107,13 @@ func (sr *StreamResolver) Resolve(c chunk.Chunk, stats *BackupStats) (chunk.Loca
 func (r *Resolver) resolve(c chunk.Chunk, stats *BackupStats, ih cindex.Handle, readMeta func(uint32) []container.Meta) (chunk.Location, bool) {
 	defer stageLookup.Observe(time.Now())
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	// 0. Current-location table (RAM, free): chunks whose newest copy is a
 	// DeFrag rewrite resolve to the linearized placement, never a stale
 	// container-metadata entry.
 	if loc, ok := r.current[c.FP]; ok {
 		stats.CacheHits++
 		telResolverCacheHits.Inc()
+		r.mu.Unlock()
 		return loc, true
 	}
 	// 1. Locality-preserved cache (RAM, free).
@@ -121,14 +121,17 @@ func (r *Resolver) resolve(c chunk.Chunk, stats *BackupStats, ih cindex.Handle, 
 		stats.CacheHits++
 		telResolverCacheHits.Inc()
 		r.lpc.Get(ent.cid) // refresh recency of the containing container
+		r.mu.Unlock()
 		return ent.loc, true
 	}
-	// 2. Summary vector (RAM, free). Negative → definitely new.
+	r.mu.Unlock()
+	// 2. Summary vector (RAM, free, atomic). Negative → definitely new.
 	if !r.filter.MayContain(c.FP) {
 		telResolverBloomNeg.Inc()
 		return chunk.Location{}, false
 	}
-	// 3. Full index on disk (charged).
+	// 3. Full index on disk (charged) — outside the resolver mutex so one
+	// stream's modeled page read never serializes the others' RAM hits.
 	stats.IndexLookups++
 	telResolverLookups.Inc()
 	loc, found := ih.Lookup(c.FP)
@@ -138,18 +141,31 @@ func (r *Resolver) resolve(c chunk.Chunk, stats *BackupStats, ih cindex.Handle, 
 	// 4. Locality-preserved caching: prefetch the whole container's
 	// metadata (charged) so the duplicates that follow in the stream
 	// resolve from RAM.
-	r.maybePrefetch(loc.Container, stats, readMeta)
+	r.prefetch(loc.Container, stats, readMeta)
 	return loc, true
 }
 
-// maybePrefetch pulls a sealed, uncached container's metadata into the LPC.
-// Caller holds r.mu.
-func (r *Resolver) maybePrefetch(cid uint32, stats *BackupStats, readMeta func(uint32) []container.Meta) {
-	if r.store.Sealed(cid) && !r.lpc.Contains(cid) {
-		stats.MetaPrefetches++
-		telResolverPrefetches.Inc()
-		r.insertLPC(cid, readMeta(cid))
+// prefetch pulls a sealed, uncached container's metadata into the LPC. The
+// metadata read — the charged part — happens outside the resolver mutex;
+// the mutex only covers the cache probe and the insert. Two streams racing
+// on the same container may both charge a prefetch (one insert wins), the
+// same way two real controllers would both issue the read; the single-stream
+// decision sequence is unchanged.
+func (r *Resolver) prefetch(cid uint32, stats *BackupStats, readMeta func(uint32) []container.Meta) {
+	r.mu.Lock()
+	cached := r.lpc.Contains(cid)
+	r.mu.Unlock()
+	if cached || !r.store.Sealed(cid) {
+		return
 	}
+	stats.MetaPrefetches++
+	telResolverPrefetches.Inc()
+	metas := readMeta(cid)
+	r.mu.Lock()
+	if !r.lpc.Contains(cid) {
+		r.insertLPC(cid, metas)
+	}
+	r.mu.Unlock()
 }
 
 // Resolution is one ResolveBatch outcome: whether the chunk is a duplicate
@@ -177,8 +193,6 @@ func (sr *StreamResolver) ResolveBatch(chunks []chunk.Chunk, stats *BackupStats)
 
 func (r *Resolver) resolveBatch(chunks []chunk.Chunk, stats *BackupStats, ih cindex.Handle, readMeta func(uint32) []container.Meta) []Resolution {
 	defer stageLookup.Observe(time.Now())
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]Resolution, len(chunks))
 	// memo holds index results fetched ahead of their turn by a same-bucket
 	// group lookup. Entries are only consulted if the chunk still needs the
@@ -186,10 +200,17 @@ func (r *Resolver) resolveBatch(chunks []chunk.Chunk, stats *BackupStats, ih cin
 	// it a free LPC hit, exactly as in the per-chunk path).
 	var memo map[int]cindex.Result
 	for i, c := range chunks {
+		// RAM checks and the (map-reading) lookahead scan run under a short
+		// mutex hold; the charged index page reads and metadata prefetches
+		// below run outside it, so concurrent streams only serialize on the
+		// in-RAM cache state, not on each other's modeled I/O.
+		res, seen := memo[i]
+		r.mu.Lock()
 		if loc, ok := r.current[c.FP]; ok {
 			stats.CacheHits++
 			telResolverCacheHits.Inc()
 			out[i] = Resolution{loc, true}
+			r.mu.Unlock()
 			continue
 		}
 		if ent, ok := r.lpcFPs[c.FP]; ok {
@@ -197,22 +218,20 @@ func (r *Resolver) resolveBatch(chunks []chunk.Chunk, stats *BackupStats, ih cin
 			telResolverCacheHits.Inc()
 			r.lpc.Get(ent.cid)
 			out[i] = Resolution{ent.loc, true}
+			r.mu.Unlock()
 			continue
 		}
-		res, seen := memo[i]
-		if !seen {
-			if !r.filter.MayContain(c.FP) {
-				telResolverBloomNeg.Inc()
-				continue // definitely new
-			}
+		if !seen && !r.filter.MayContain(c.FP) {
+			telResolverBloomNeg.Inc()
+			r.mu.Unlock()
+			continue // definitely new
 		}
-		stats.IndexLookups++
-		telResolverLookups.Inc()
+		var group []int
 		if !seen {
 			// Same-bucket lookahead: gather the later chunks of this batch
 			// that would also reach the index and live on this bucket page.
 			b := ih.Bucket(c.FP)
-			group := []int{i}
+			group = append(group, i)
 			for k := i + 1; k < len(chunks); k++ {
 				if _, done := memo[k]; done {
 					continue
@@ -232,11 +251,16 @@ func (r *Resolver) resolveBatch(chunks []chunk.Chunk, stats *BackupStats, ih cin
 				}
 				group = append(group, k)
 			}
+		}
+		r.mu.Unlock()
+		stats.IndexLookups++
+		telResolverLookups.Inc()
+		if !seen {
 			fps := make([]chunk.Fingerprint, len(group))
 			for gi, k := range group {
 				fps[gi] = chunks[k].FP
 			}
-			batch := ih.LookupBatch(fps)
+			batch := ih.LookupBatch(fps) // charged, outside the mutex
 			if memo == nil {
 				memo = make(map[int]cindex.Result, len(chunks))
 			}
@@ -249,7 +273,7 @@ func (r *Resolver) resolveBatch(chunks []chunk.Chunk, stats *BackupStats, ih cin
 			continue // Bloom false positive → new
 		}
 		out[i] = Resolution{res.Loc, true}
-		r.maybePrefetch(res.Loc.Container, stats, readMeta)
+		r.prefetch(res.Loc.Container, stats, readMeta)
 	}
 	return out
 }
