@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cindex"
 	"repro/internal/core"
@@ -243,7 +244,7 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 	res := &FigureResult{
 		Figure:  "Ablation: restore strategy",
 		Title:   "LRU vs OPT vs FAA vs pipelined restore (final-generation restore)",
-		Columns: []string{"budget_MB", "lru_read_MBps", "lru_creads", "opt_read_MBps", "opt_creads", "faa_read_MBps", "faa_creads", "pipe_read_MBps", "pipe_extents"},
+		Columns: []string{"budget_MB", "lru_read_MBps", "lru_creads", "opt_read_MBps", "opt_creads", "faa_read_MBps", "faa_creads", "pipe_read_MBps", "pipe_extents", "lru_wall_MBps", "pipe_wall_MBps"},
 		Summary: map[string]float64{},
 	}
 	containerMB := ecfg.ContainerCfg.DataCap >> 20
@@ -253,7 +254,15 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 	}
 	for _, budgetMB := range []int64{8, 16, 32, 64, 128} {
 		cap := int(budgetMB / containerMB)
-		lruSt, err := restore.Run(context.Background(), eng.Containers(), last.recipe, restore.Config{CacheContainers: cap}, nil)
+		// Both the serial-LRU baseline and the full pipeline run through
+		// RunPipelined (the LRU row with the serial fetch path, the pipe row
+		// with coalescing, prefetch lanes and the parallel decode pool), so
+		// the wall columns compare the shipped paths. Simulated stats are
+		// decode-pool-invariant (TestDecodeWorkersDeterminism).
+		t0 := time.Now()
+		lruSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe,
+			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyLRU, Workers: 1, DecodeWorkers: 1}, nil)
+		lruWall := time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
@@ -266,8 +275,10 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		t1 := time.Now()
 		pipeSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe,
 			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyOPT, Workers: workers, Coalesce: true, MaxCoalesce: 8}, nil)
+		pipeWall := time.Since(t1)
 		if err != nil {
 			return nil, err
 		}
@@ -281,6 +292,8 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 			fmt.Sprint(faaSt.ContainerReads),
 			metrics.F1(pipeSt.ThroughputMBps()),
 			fmt.Sprint(pipeSt.ExtentReads),
+			metrics.F1(wallMBps(lruSt.Bytes, lruWall)),
+			metrics.F1(wallMBps(pipeSt.Bytes, pipeWall)),
 		})
 		if optSt.ContainerReads > lruSt.ContainerReads {
 			res.Summary["opt_exceeded_lru"] = 1

@@ -214,6 +214,18 @@ type Options struct {
 	// Faults wraps the backend in a deterministic fault injector; see
 	// FaultOptions. Intended for recovery testing.
 	Faults FaultOptions
+	// RestoreCacheBytes attaches a shared sealed-container data cache of
+	// this byte budget to the store: concurrent restores of sibling
+	// generations fetch each hot container from the backend once
+	// (single-flight) instead of once per stream. 0 disables the cache.
+	// Purely a wall-clock/IO optimization — simulated-clock charges,
+	// restored bytes, and all stats are identical with or without it.
+	RestoreCacheBytes int64
+	// WrapBackend, when set, wraps the constructed physical backend
+	// (outermost, above any fault/retry layers) before the engine sees it.
+	// Tests and tooling use it to count or intercept physical operations,
+	// e.g. blockstore.NewCounting to assert single-flight behaviour.
+	WrapBackend func(blockstore.Backend) blockstore.Backend
 }
 
 func (o Options) withDefaults() Options {
@@ -293,6 +305,9 @@ func buildBackend(opts Options) (blockstore.Backend, error) {
 			TornRate:      opts.Faults.TornRate,
 			LatencyRate:   opts.Faults.LatencyRate,
 		}), blockstore.DefaultRetryPolicy())
+	}
+	if opts.WrapBackend != nil {
+		be = opts.WrapBackend(be)
 	}
 	return be, nil
 }
@@ -391,6 +406,9 @@ func Open(opts Options) (*Store, error) {
 	if err := s.adoptExisting(context.Background()); err != nil {
 		be.Close() //nolint:errcheck // surfacing the adoption error
 		return nil, err
+	}
+	if opts.RestoreCacheBytes > 0 {
+		s.eng.Containers().SetDataCache(opts.RestoreCacheBytes)
 	}
 	return s, nil
 }
@@ -696,10 +714,18 @@ type RestoreOptions struct {
 	ChunkCache bool
 	// Verify recomputes chunk fingerprints; requires Options.StoreData.
 	Verify bool
+	// DecodeWorkers sizes the wall-clock verify/decode worker pool of the
+	// restore pipeline: 0 (the default) sizes it to GOMAXPROCS, 1 forces
+	// inline serial decode, N > 1 uses exactly N goroutines. Like
+	// Options.Workers on the ingest side this is purely a wall-clock
+	// optimization — restored bytes, simulated time, and every statistic
+	// are bit-identical across values.
+	DecodeWorkers int
 }
 
-// DefaultRestoreOptions returns the legacy restore shape: an 8-container
-// LRU cache, serial, uncoalesced.
+// DefaultRestoreOptions returns the default restore shape: an 8-container
+// LRU cache, one simulated prefetch lane, uncoalesced — the legacy timing
+// model — with the wall-clock decode pool at its automatic size.
 func DefaultRestoreOptions() RestoreOptions {
 	return RestoreOptions{CacheContainers: restore.DefaultConfig().CacheContainers, Workers: 1}
 }
@@ -715,10 +741,12 @@ func (s *Store) Restore(ctx context.Context, b *Backup, w io.Writer, verify bool
 }
 
 // RestoreWith reconstructs backup b under explicit restore options. The
-// legacy shape (LRU, one worker, no coalescing, no chunk cache) runs the
-// original restore.Run code path; any other shape runs the pipelined
-// engine, whose serial LRU results are bit-identical to Run by
-// construction (pinned in internal/restore's tests).
+// legacy shape (LRU, one worker, no coalescing, no chunk cache, explicit
+// DecodeWorkers == 1) runs the original restore.Run code path; any other
+// shape — including the default DecodeWorkers of 0, which engages the
+// parallel decode pool — runs the pipelined engine, whose serial LRU
+// results are bit-identical to Run by construction (pinned in
+// internal/restore's tests).
 func (s *Store) RestoreWith(ctx context.Context, b *Backup, w io.Writer, opts RestoreOptions) (RestoreStats, error) {
 	ctx, span := telemetry.StartSpan(ctx, "store.restore")
 	defer span.End()
@@ -728,7 +756,8 @@ func (s *Store) RestoreWith(ctx context.Context, b *Backup, w io.Writer, opts Re
 	}
 	var st restore.Stats
 	var err error
-	if opts.Policy == RestoreLRU && opts.Workers <= 1 && !opts.Coalesce && !opts.ChunkCache {
+	if opts.Policy == RestoreLRU && opts.Workers <= 1 && !opts.Coalesce && !opts.ChunkCache &&
+		opts.DecodeWorkers == 1 {
 		cfg := restore.Config{CacheContainers: opts.CacheContainers, Verify: opts.Verify}
 		st, err = restore.Run(ctx, s.eng.Containers(), b.recipe, cfg, w)
 	} else {
@@ -738,6 +767,7 @@ func (s *Store) RestoreWith(ctx context.Context, b *Backup, w io.Writer, opts Re
 			Coalesce:        opts.Coalesce,
 			ChunkCache:      opts.ChunkCache,
 			Verify:          opts.Verify,
+			DecodeWorkers:   opts.DecodeWorkers,
 		}
 		if opts.Policy == RestoreOPT {
 			cfg.Policy = restore.PolicyOPT
@@ -765,6 +795,39 @@ func (s *Store) RestoreFAA(ctx context.Context, b *Backup, w io.Writer, areaByte
 	}
 	span.SetSim(st.Duration)
 	return fromRestoreStats(st), nil
+}
+
+// SetRestoreCacheBudget attaches (or, with bytes <= 0, removes) the shared
+// sealed-container data cache, replacing any existing cache and dropping
+// its residency. See Options.RestoreCacheBytes.
+func (s *Store) SetRestoreCacheBudget(bytes int64) {
+	s.eng.Containers().SetDataCache(bytes)
+}
+
+// RestoreCacheStats reports cumulative behaviour of the shared restore data
+// cache. ok is false when no cache is attached.
+type RestoreCacheStats struct {
+	Hits      uint64 `json:"hits"`      // container bytes served without a backend read
+	Misses    uint64 `json:"misses"`    // backend reads issued
+	Evictions uint64 `json:"evictions"` // containers evicted to hold the byte budget
+	Waits     uint64 `json:"waits"`     // single-flight waits on another stream's load
+	Bytes     int64  `json:"bytes"`     // resident bytes
+	Budget    int64  `json:"budget"`    // configured budget
+	Entries   int    `json:"entries"`   // resident containers
+}
+
+// RestoreCacheStats returns a snapshot of the shared restore data cache, or
+// ok=false when none is attached.
+func (s *Store) RestoreCacheStats() (st RestoreCacheStats, ok bool) {
+	c := s.eng.Containers().DataCache()
+	if c == nil {
+		return RestoreCacheStats{}, false
+	}
+	cs := c.Stats()
+	return RestoreCacheStats{
+		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Waits: cs.Waits,
+		Bytes: cs.Bytes, Budget: cs.Budget, Entries: cs.Entries,
+	}, true
 }
 
 // SimulatedTime returns total simulated time consumed by the store so far.

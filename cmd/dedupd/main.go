@@ -50,6 +50,9 @@ type serverParams struct {
 	expectedGB float64
 	storeData  bool
 	workers    int
+	// restoreCacheMB budgets the shared sealed-container data cache that
+	// single-flights container fetches across concurrent restores (0 = off).
+	restoreCacheMB int64
 
 	tenantInflight int
 	totalInflight  int
@@ -77,6 +80,7 @@ func realMain() error {
 	flag.Float64Var(&p.expectedGB, "expected.gb", 1, "expected total ingest in GiB (sizes caches, Bloom filter, index)")
 	flag.BoolVar(&p.storeData, "store.data", true, "store real chunk bytes so restores return content (disable for timing-only runs)")
 	flag.IntVar(&p.workers, "workers", 0, "parallel fingerprinting workers per stream (0 = auto/GOMAXPROCS, 1 = serial)")
+	flag.Int64Var(&p.restoreCacheMB, "restore.cache.mb", 64, "shared restore container-cache budget in MiB, single-flighted across concurrent restores (0 = off)")
 	flag.IntVar(&p.tenantInflight, "tenant.inflight", 4, "max concurrent ingests per tenant before 429")
 	flag.IntVar(&p.totalInflight, "max.inflight", 32, "max concurrent ingests server-wide before 429")
 	flag.Float64Var(&p.tenantBWMBps, "tenant.bw.mbps", 0, "per-tenant aggregate upload bandwidth cap in MB/s (0 = unlimited)")
@@ -102,6 +106,11 @@ func realMain() error {
 	flag.IntVar(&wb.files, "wallbench.files", 8, "wallbench: files per tenant file system")
 	flag.Int64Var(&wb.fileKB, "wallbench.filekb", 128, "wallbench: mean file size in KiB")
 	flag.Float64Var(&wb.floor, "wallbench.floor", 4.0, "wallbench: minimum 8-vs-1-stream wall speedup (enforced only on hosts with >= 8 CPUs)")
+	flag.BoolVar(&wb.restore, "wallbench.restore", false, "wallbench: sweep restore wall-clock scaling (decode workers × cache budgets) instead of ingest")
+	flag.StringVar(&wb.restoreOut, "wallbench.restore.out", "BENCH_PR8.json", "wallbench: write the restore sweep report to this file")
+	flag.StringVar(&wb.restoreWorkers, "wallbench.restore.workers", "1,2,4,8", "wallbench: restore decode worker counts to sweep")
+	flag.StringVar(&wb.restoreCacheMB, "wallbench.restore.cachemb", "0,64", "wallbench: shared sealed-container cache budgets (MB) to sweep; 0 = cache off")
+	flag.Float64Var(&wb.restoreFloor, "wallbench.restore.floor", 2.0, "wallbench: minimum 8-vs-1-decode-worker restore wall speedup (enforced only on hosts with >= 8 CPUs)")
 	logLevel := flag.String("log.level", "info", "structured log level: debug, info, warn, error")
 	noTracing := flag.Bool("tracing.off", false, "disable span tracing (stage counters stay on)")
 	flag.Parse()
@@ -123,6 +132,9 @@ func realMain() error {
 		wb.engine = p.engineName
 		wb.alpha = p.alpha
 		wb.workers = p.workers
+		if wb.restore {
+			return runWallbenchRestore(wb)
+		}
 		return runWallbench(wb)
 	}
 	if *loadgen {
@@ -142,13 +154,14 @@ func runServer(p serverParams) error {
 		return err
 	}
 	store, err := repro.Open(repro.Options{
-		Engine:        kind,
-		Alpha:         p.alpha,
-		ExpectedBytes: int64(p.expectedGB * (1 << 30)),
-		StoreData:     p.storeData,
-		Workers:       p.workers,
-		Backend:       bkind,
-		Dir:           p.storeDir,
+		Engine:            kind,
+		Alpha:             p.alpha,
+		ExpectedBytes:     int64(p.expectedGB * (1 << 30)),
+		StoreData:         p.storeData,
+		Workers:           p.workers,
+		Backend:           bkind,
+		Dir:               p.storeDir,
+		RestoreCacheBytes: p.restoreCacheMB << 20,
 	})
 	if err != nil {
 		return err

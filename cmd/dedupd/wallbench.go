@@ -33,6 +33,14 @@ type wallbenchParams struct {
 	seed    int64
 	floor   float64 // minimum 8-vs-1-stream wall speedup when enforced
 
+	// Restore sweep (-wallbench.restore): decode workers × shared-cache
+	// budgets restored over the same fixed workload, written to restoreOut.
+	restore        bool
+	restoreOut     string
+	restoreWorkers string // decode worker counts to sweep
+	restoreCacheMB string // shared sealed-container cache budgets in MB
+	restoreFloor   float64
+
 	engine  string
 	alpha   float64
 	workers int

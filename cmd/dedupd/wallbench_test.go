@@ -58,3 +58,69 @@ func TestWallbenchSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestWallbenchRestoreSmoke runs the restore sweep on a tiny workload and
+// checks its hard invariants: every cell hash-verifies its restored content,
+// content digests are identical across all cells, the serial-order
+// determinism pair matches on both content and simulated charges (per-cell
+// simulated time is informational only — concurrent restores contend for the
+// shared simulated disk head by design), and the shared cache actually
+// absorbed fetches in the budgeted cells.
+func TestWallbenchRestoreSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_PR8.json")
+	p := wallbenchParams{
+		restore:        true,
+		restoreOut:     out,
+		restoreWorkers: "1,2",
+		restoreCacheMB: "0,16",
+		restoreFloor:   2.0,
+		tenants:        2,
+		gens:           2,
+		files:          4,
+		fileKB:         64,
+		seed:           1,
+		engine:         "defrag",
+		alpha:          0.1,
+	}
+	if err := runWallbenchRestore(p); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep wallRestoreReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatal("report did not pass")
+	}
+	if !rep.Determinism.ContentIdentical || !rep.Determinism.SimIdentical {
+		t.Fatalf("determinism pair diverged: %+v", rep.Determinism)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	var cachedHits uint64
+	for _, c := range rep.Cells {
+		if !c.AllVerified {
+			t.Fatalf("cell %+v failed hash verification", c)
+		}
+		if c.Digest != rep.Determinism.SerialDigest {
+			t.Fatalf("cell %+v restored different content than the serial baseline", c)
+		}
+		if c.RestoreBytes == 0 || c.WallSeconds <= 0 || c.SimSeconds <= 0 {
+			t.Fatalf("cell %+v missing measurements", c)
+		}
+		if c.CacheMB == 0 && (c.CacheHits != 0 || c.CacheMisses != 0) {
+			t.Fatalf("cache-off cell %+v reported cache traffic", c)
+		}
+		if c.CacheMB > 0 {
+			cachedHits += c.CacheHits + c.CacheWaits
+		}
+	}
+	if cachedHits == 0 {
+		t.Fatal("budgeted cells never hit the shared cache")
+	}
+}

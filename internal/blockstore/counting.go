@@ -1,0 +1,67 @@
+package blockstore
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Counting wraps a Backend and counts its physical operations. It exists to
+// make caching claims testable: the shared container data cache promises
+// "one backend read per hot container no matter how many concurrent
+// restores want it", and only a counter at the backend seam can verify that.
+// All counters are atomic, so a Counting backend is safe under the same
+// concurrency as the backend it wraps.
+//
+// Counting does not forward optional interfaces (Quarantiner), so it is for
+// tests and benchmarks, not for wrapping a production file backend that
+// needs repair support.
+type Counting struct {
+	be Backend
+
+	seals      atomic.Int64
+	dataReads  atomic.Int64 // container data sections fetched (ReadData + ids per ReadDataRange)
+	rangeReads atomic.Int64 // ReadDataRange calls
+}
+
+// NewCounting wraps be with operation counters.
+func NewCounting(be Backend) *Counting { return &Counting{be: be} }
+
+// Seals returns the number of Seal calls.
+func (c *Counting) Seals() int64 { return c.seals.Load() }
+
+// DataSectionReads returns the number of container data sections physically
+// fetched: one per ReadData call plus one per id of every ReadDataRange.
+func (c *Counting) DataSectionReads() int64 { return c.dataReads.Load() }
+
+// RangeReads returns the number of ReadDataRange calls.
+func (c *Counting) RangeReads() int64 { return c.rangeReads.Load() }
+
+// ResetCounts zeroes all counters (between benchmark phases).
+func (c *Counting) ResetCounts() {
+	c.seals.Store(0)
+	c.dataReads.Store(0)
+	c.rangeReads.Store(0)
+}
+
+func (c *Counting) Name() string     { return c.be.Name() }
+func (c *Counting) StoresData() bool { return c.be.StoresData() }
+
+func (c *Counting) Seal(ctx context.Context, info ContainerInfo, data []byte) error {
+	c.seals.Add(1)
+	return c.be.Seal(ctx, info, data)
+}
+
+func (c *Counting) ReadData(ctx context.Context, id uint32) ([]byte, error) {
+	c.dataReads.Add(1)
+	return c.be.ReadData(ctx, id)
+}
+
+func (c *Counting) ReadDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	c.dataReads.Add(int64(len(ids)))
+	c.rangeReads.Add(1)
+	return c.be.ReadDataRange(ctx, ids)
+}
+
+func (c *Counting) List(ctx context.Context) ([]ContainerInfo, error) { return c.be.List(ctx) }
+func (c *Counting) Sync(ctx context.Context) error                    { return c.be.Sync(ctx) }
+func (c *Counting) Close() error                                      { return c.be.Close() }

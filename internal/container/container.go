@@ -149,6 +149,34 @@ type Store struct {
 	pending map[uint32]chan struct{}
 
 	serialW *Writer // lazily created legacy writer behind Store.Write/Flush
+
+	// dcache, when non-nil, is the shared sealed-container data cache every
+	// byte fetch routes through (see datacache.go). Guarded by dcMu so a
+	// budget change can swap it while restores are in flight.
+	dcMu   sync.RWMutex
+	dcache *DataCache
+}
+
+// SetDataCache attaches a shared data cache with the given byte budget,
+// replacing any existing cache (its residency is dropped). budgetBytes <= 0
+// removes the cache entirely. The cache holds bytes only — simulated-clock
+// charges are unaffected — and is only engaged on data-storing backends,
+// where a fetch returns real content worth retaining.
+func (s *Store) SetDataCache(budgetBytes int64) {
+	var c *DataCache
+	if budgetBytes > 0 {
+		c = NewDataCache(budgetBytes)
+	}
+	s.dcMu.Lock()
+	s.dcache = c
+	s.dcMu.Unlock()
+}
+
+// DataCache returns the attached shared data cache, or nil.
+func (s *Store) DataCache() *DataCache {
+	s.dcMu.RLock()
+	defer s.dcMu.RUnlock()
+	return s.dcache
 }
 
 // NewStore creates a container store writing to dev, with bytes held by an
@@ -616,10 +644,33 @@ func (s *Store) DataFill(id uint32) int64 { return s.info(id).DataFill }
 // for container id is [DataStart, DataStart+DataFill).
 func (s *Store) DataStart(id uint32) int64 { return s.info(id).DataStart(s.cfg) }
 
-// fetchData pulls one container's data section from the backend and
+// fetchData pulls one container's data section, consulting the shared data
+// cache when one is attached (immediate release: the bytes stay valid, the
+// entry just becomes evictable right away).
+func (s *Store) fetchData(ctx context.Context, id uint32) ([]byte, error) {
+	data, release, err := s.fetchDataPinned(ctx, id)
+	if release != nil {
+		release()
+	}
+	return data, err
+}
+
+// fetchDataPinned is fetchData returning a pin on the shared cache entry;
+// the caller must invoke release (never nil on success) when its prefetch
+// window no longer needs the container resident.
+func (s *Store) fetchDataPinned(ctx context.Context, id uint32) ([]byte, func(), error) {
+	c := s.DataCache()
+	if c == nil || !s.StoresData() {
+		data, err := s.fetchDataDirect(ctx, id)
+		return data, func() {}, err
+	}
+	return c.Acquire(ctx, id, func() ([]byte, error) { return s.fetchDataDirect(ctx, id) })
+}
+
+// fetchDataDirect pulls one container's data section from the backend and
 // validates its length against the directory — a short section is a torn
 // write surfacing (blockstore.ErrCorrupt).
-func (s *Store) fetchData(ctx context.Context, id uint32) ([]byte, error) {
+func (s *Store) fetchDataDirect(ctx context.Context, id uint32) ([]byte, error) {
 	if err := s.awaitSeal(ctx, id); err != nil {
 		return nil, err
 	}
@@ -695,9 +746,33 @@ func (s *Store) rangeSpan(ids []uint32) (off, n int64) {
 // timing model and tests). ids must be pairwise Adjacent in order.
 func (s *Store) RangeSpan(ids []uint32) (off, n int64) { return s.rangeSpan(ids) }
 
-// fetchDataRange pulls several containers' data sections from the backend
-// with per-container length validation.
+// fetchDataRange pulls several containers' data sections, consulting the
+// shared data cache when one is attached.
 func (s *Store) fetchDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	out, release, err := s.fetchDataRangePinned(ctx, ids)
+	if release != nil {
+		release()
+	}
+	return out, err
+}
+
+// fetchDataRangePinned is fetchDataRange under one combined cache pin: when
+// any container of the extent is missing, the whole extent is loaded with a
+// single backend range read (the same one physical operation the uncached
+// path issues), while containers another stream is already loading are
+// waited on rather than re-read.
+func (s *Store) fetchDataRangePinned(ctx context.Context, ids []uint32) ([][]byte, func(), error) {
+	c := s.DataCache()
+	if c == nil || !s.StoresData() {
+		out, err := s.fetchDataRangeDirect(ctx, ids)
+		return out, func() {}, err
+	}
+	return c.AcquireRange(ctx, ids, func() ([][]byte, error) { return s.fetchDataRangeDirect(ctx, ids) })
+}
+
+// fetchDataRangeDirect pulls several containers' data sections from the
+// backend with per-container length validation.
+func (s *Store) fetchDataRangeDirect(ctx context.Context, ids []uint32) ([][]byte, error) {
 	for _, id := range ids {
 		if err := s.awaitSeal(ctx, id); err != nil {
 			return nil, err
@@ -726,18 +801,34 @@ func (s *Store) fetchDataRange(ctx context.Context, ids []uint32) ([][]byte, err
 // transfer — and returns each container's data section in order. A single
 // id degenerates to exactly ReadData.
 func (s *Store) ReadDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	out, release, err := s.ReadDataRangePinned(ctx, ids)
+	if release != nil {
+		release()
+	}
+	return out, err
+}
+
+// ReadDataRangePinned is ReadDataRange returning a pin on the shared data
+// cache: the fetched containers stay unevictable until the caller invokes
+// release (never nil on success), so a restore's prefetch window cannot be
+// torn out by concurrent streams. Simulated time is charged identically to
+// ReadDataRange whether the bytes came from the cache or the backend.
+func (s *Store) ReadDataRangePinned(ctx context.Context, ids []uint32) ([][]byte, func(), error) {
 	if len(ids) == 1 {
-		data, err := s.ReadData(ctx, ids[0])
+		info := s.info(ids[0])
+		s.dev.AccountRead(info.DataStart(s.cfg), info.DataFill)
+		telDataReads.Inc()
+		data, release, err := s.fetchDataPinned(ctx, ids[0])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return [][]byte{data}, nil
+		return [][]byte{data}, release, nil
 	}
 	off, n := s.rangeSpan(ids)
 	s.dev.AccountRead(off, n)
 	telDataReads.Add(int64(len(ids)))
 	telRangedReads.Inc()
-	return s.fetchDataRange(ctx, ids)
+	return s.fetchDataRangePinned(ctx, ids)
 }
 
 // PeekDataRange materializes the same per-container data sections as
@@ -745,10 +836,20 @@ func (s *Store) ReadDataRange(ctx context.Context, ids []uint32) ([][]byte, erro
 // pipeline charges its extent reads deterministically through
 // AccountDataRange on per-lane clocks and fetches the bytes here.
 func (s *Store) PeekDataRange(ctx context.Context, ids []uint32) ([][]byte, error) {
+	out, release, err := s.PeekDataRangePinned(ctx, ids)
+	if release != nil {
+		release()
+	}
+	return out, err
+}
+
+// PeekDataRangePinned is PeekDataRange returning a shared-cache pin (see
+// ReadDataRangePinned).
+func (s *Store) PeekDataRangePinned(ctx context.Context, ids []uint32) ([][]byte, func(), error) {
 	if len(ids) > 1 {
 		s.rangeSpan(ids) // assert adjacency exactly like the charged path
 	}
-	return s.fetchDataRange(ctx, ids)
+	return s.fetchDataRangePinned(ctx, ids)
 }
 
 // AccountDataRange charges the sequential extent read of ids to clk's view

@@ -1,0 +1,295 @@
+package container
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"repro/internal/lru"
+	"repro/internal/telemetry"
+)
+
+// Telemetry of the shared sealed-container data cache. These are distinct
+// from the per-restore cache counters (restore_cache_*): the shared cache
+// sits below every restore stream of one store, so its hit rate is what
+// decides how often N concurrent restores of sibling generations touch the
+// physical backend at all.
+var (
+	telSharedHits = telemetry.NewCounter("restore_shared_cache_hits_total",
+		"shared container data cache hits (container bytes served without a backend read)")
+	telSharedMisses = telemetry.NewCounter("restore_shared_cache_misses_total",
+		"shared container data cache misses (backend reads issued)")
+	telSharedEvictions = telemetry.NewCounter("restore_shared_cache_evictions_total",
+		"containers evicted from the shared data cache to stay under the byte budget")
+	telSharedWaits = telemetry.NewCounter("restore_shared_cache_waits_total",
+		"single-flight waits: acquisitions that blocked on another stream's in-flight load of the same container")
+	telSharedBytes = telemetry.NewGauge("restore_shared_cache_bytes",
+		"resident bytes in the shared container data cache")
+)
+
+// DataCache is a byte-budgeted, single-flight, ref-counted cache of sealed
+// container data sections, shared by every reader of one Store. It exists
+// for the dedupd multi-tenant restore case: sibling generations of one
+// tenant share most of their containers, so N concurrent restores hitting
+// the same hot container should cost one backend read, not N.
+//
+//   - single-flight: concurrent acquisitions of a loading container block on
+//     the loader's completion instead of issuing duplicate backend reads;
+//   - ref-counted: acquired entries are pinned (unevictable) until every
+//     holder releases them, so the budget can never tear bytes out from
+//     under an active restore's prefetch window;
+//   - byte-budgeted: unpinned entries are evicted in LRU order whenever
+//     resident bytes exceed the budget. Pinned bytes may transiently exceed
+//     it — the budget bounds retention, not concurrency.
+//
+// The cache holds bytes only. Simulated-clock charges (Eq. 1 seeks and
+// transfers) are accounted by Store.ReadData*/AccountDataRange before the
+// bytes are ever consulted, so attaching, resizing, or dropping a DataCache
+// never changes any simulated timing — pinned by
+// TestDataCacheDoesNotChangeSimulatedTime.
+type DataCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	live   map[uint32]*dcEntry
+	idle   *lru.Cache[uint32, *dcEntry] // refs==0 entries, in recency order
+
+	hits, misses, evictions, waits uint64
+}
+
+// dcEntry is one container's residency. ready is closed when the load
+// completes (data or err set, never both); refs counts pins — the loader,
+// waiters, and outstanding release handles.
+type dcEntry struct {
+	data  []byte
+	err   error
+	ready chan struct{}
+	refs  int
+	gone  bool // removed from live (failed load or eviction race)
+}
+
+// NewDataCache creates a cache retaining at most budgetBytes of container
+// data. Panics if budgetBytes <= 0 (a zero budget means "no cache" and is
+// handled by the caller keeping a nil *DataCache).
+func NewDataCache(budgetBytes int64) *DataCache {
+	if budgetBytes <= 0 {
+		panic("container: non-positive data cache budget")
+	}
+	return &DataCache{
+		budget: budgetBytes,
+		live:   make(map[uint32]*dcEntry),
+		idle:   lru.New[uint32, *dcEntry](math.MaxInt32),
+	}
+}
+
+// Budget returns the configured byte budget.
+func (c *DataCache) Budget() int64 { return c.budget }
+
+// DataCacheStats is a point-in-time snapshot of cache behaviour.
+type DataCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Waits counts single-flight waits: acquisitions that found the
+	// container already loading and blocked instead of re-reading it.
+	Waits   uint64 `json:"waits"`
+	Bytes   int64  `json:"bytes"`
+	Budget  int64  `json:"budget"`
+	Entries int    `json:"entries"`
+}
+
+// Stats returns cumulative counters and current residency.
+func (c *DataCache) Stats() DataCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return DataCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Waits: c.waits,
+		Bytes: c.bytes, Budget: c.budget, Entries: len(c.live),
+	}
+}
+
+// Acquire returns container id's data section, loading it via load exactly
+// once across concurrent callers. The returned release must be called when
+// the bytes are no longer needed for prefetch-window pinning; the slice
+// itself stays valid after release (readers must treat it as immutable).
+// A load error is returned to every waiter and the entry is dropped, so the
+// next acquisition retries.
+func (c *DataCache) Acquire(ctx context.Context, id uint32, load func() ([]byte, error)) ([]byte, func(), error) {
+	c.mu.Lock()
+	if e, ok := c.live[id]; ok {
+		c.pinLocked(id, e)
+		c.mu.Unlock()
+		return c.await(ctx, id, e)
+	}
+	e := &dcEntry{ready: make(chan struct{}), refs: 1}
+	c.live[id] = e
+	c.misses++
+	telSharedMisses.Inc()
+	c.mu.Unlock()
+
+	data, err := load()
+	c.mu.Lock()
+	if err != nil {
+		e.err = err
+		e.gone = true
+		delete(c.live, id)
+		close(e.ready)
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+	e.data = data
+	c.bytes += int64(len(data))
+	close(e.ready)
+	c.evictLocked()
+	telSharedBytes.Set(float64(c.bytes))
+	c.mu.Unlock()
+	return data, func() { c.release(id, e) }, nil
+}
+
+// AcquireRange returns the data sections of ids (which the caller has
+// validated as one on-disk-adjacent extent) under one combined pin. Missing
+// containers are loaded with a single load call covering the whole extent —
+// one backend range read, exactly as the uncached path — while containers
+// another stream is already loading are waited on, never re-read: two
+// streams racing over the same extent cost one physical read.
+func (c *DataCache) AcquireRange(ctx context.Context, ids []uint32, load func() ([][]byte, error)) ([][]byte, func(), error) {
+	type slot struct {
+		e     *dcEntry
+		owned bool // this call is responsible for loading it
+	}
+	slots := make([]slot, len(ids))
+	var nOwned int
+	c.mu.Lock()
+	for i, id := range ids {
+		if e, ok := c.live[id]; ok {
+			c.pinLocked(id, e)
+			slots[i] = slot{e: e}
+			continue
+		}
+		e := &dcEntry{ready: make(chan struct{}), refs: 1}
+		c.live[id] = e
+		c.misses++
+		telSharedMisses.Inc()
+		slots[i] = slot{e: e, owned: true}
+		nOwned++
+	}
+	c.mu.Unlock()
+
+	release := func() {
+		for i := range slots {
+			c.release(ids[i], slots[i].e)
+		}
+	}
+	fail := func(err error) ([][]byte, func(), error) {
+		release()
+		return nil, nil, err
+	}
+
+	if nOwned > 0 {
+		// The extent read fetches every id (a strict subset of an adjacent
+		// run need not itself be adjacent); only the owned slots install.
+		datas, err := load()
+		c.mu.Lock()
+		for i := range slots {
+			if !slots[i].owned {
+				continue
+			}
+			e := slots[i].e
+			if err != nil {
+				e.err = err
+				e.gone = true
+				delete(c.live, ids[i])
+			} else {
+				e.data = datas[i]
+				c.bytes += int64(len(datas[i]))
+			}
+			close(e.ready)
+		}
+		if err == nil {
+			c.evictLocked()
+			telSharedBytes.Set(float64(c.bytes))
+		}
+		c.mu.Unlock()
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	out := make([][]byte, len(ids))
+	for i := range slots {
+		e := slots[i].e
+		if !slots[i].owned {
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return fail(ctx.Err())
+			}
+			if e.err != nil {
+				return fail(e.err)
+			}
+		}
+		out[i] = e.data
+	}
+	return out, release, nil
+}
+
+// pinLocked increments an existing entry's refcount, pulling it off the idle
+// list if this is the first pin, and counts the access. Caller holds mu.
+func (c *DataCache) pinLocked(id uint32, e *dcEntry) {
+	if e.refs == 0 {
+		c.idle.Remove(id)
+	}
+	e.refs++
+	select {
+	case <-e.ready:
+		c.hits++
+		telSharedHits.Inc()
+	default:
+		c.waits++
+		telSharedWaits.Inc()
+	}
+}
+
+// await blocks until a pinned entry's load completes, surfacing load errors
+// and honouring ctx cancellation.
+func (c *DataCache) await(ctx context.Context, id uint32, e *dcEntry) ([]byte, func(), error) {
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		c.release(id, e)
+		return nil, nil, ctx.Err()
+	}
+	if e.err != nil {
+		c.release(id, e)
+		return nil, nil, e.err
+	}
+	return e.data, func() { c.release(id, e) }, nil
+}
+
+// release drops one pin; the last release makes the entry evictable.
+func (c *DataCache) release(id uint32, e *dcEntry) {
+	c.mu.Lock()
+	e.refs--
+	if e.refs == 0 && !e.gone && e.err == nil {
+		c.idle.Put(id, e)
+		c.evictLocked()
+		telSharedBytes.Set(float64(c.bytes))
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked pops idle entries in LRU order until resident bytes fit the
+// budget. Caller holds mu.
+func (c *DataCache) evictLocked() {
+	for c.bytes > c.budget {
+		id, e, ok := c.idle.RemoveOldest()
+		if !ok {
+			return // everything else is pinned; budget is transiently exceeded
+		}
+		e.gone = true
+		delete(c.live, id)
+		c.bytes -= int64(len(e.data))
+		c.evictions++
+		telSharedEvictions.Inc()
+	}
+}

@@ -1,0 +1,131 @@
+package restore
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/container"
+	"repro/internal/disk"
+)
+
+// benchStore builds a sealed store holding nChunks chunks of size bytes
+// (chunksPerContainer per container) and the sequential recipe over them.
+func benchStore(b testing.TB, nChunks, size, chunksPerContainer int) (*container.Store, *chunk.Recipe) {
+	var clk disk.Clock
+	s, err := container.NewStore(disk.NewDevice(disk.DefaultModel(), &clk, true),
+		container.Config{DataCap: int64(chunksPerContainer * size), MaxChunks: chunksPerContainer})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &chunk.Recipe{Label: "bench"}
+	for i := 0; i < nChunks; i++ {
+		d := make([]byte, size)
+		for j := range d {
+			d[j] = byte(i*131 + j*7)
+		}
+		loc := mustWrite(s, chunk.New(d), uint64(i))
+		rec.Append(chunk.Of(d), uint32(len(d)), loc)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return s, rec
+}
+
+// BenchmarkDecode measures the decode/verify pool in isolation: stream-order
+// chunk views pushed through push/close, SHA-256 verified by N workers,
+// re-sequenced and discarded. Bytes/op is the verified payload.
+func BenchmarkDecode(b *testing.B) {
+	const nChunks, size = 4096, 1024
+	jobs := make([]decodeJob, nChunks)
+	for i := range jobs {
+		d := make([]byte, size)
+		for j := range d {
+			d[j] = byte(i + j)
+		}
+		jobs[i] = decodeJob{idx: i, fp: chunk.Of(d), size: uint32(size), data: d}
+	}
+	refs := make([]chunk.Ref, nChunks)
+	for i, j := range jobs {
+		refs[i] = chunk.Ref{FP: j.fp, Size: j.size}
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(nChunks * size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := newDecodePipe(workers, true, io.Discard)
+				for k := range jobs {
+					if !p.push(k, &refs[k], jobs[k].data) {
+						b.Fatal("pipe failed early")
+					}
+				}
+				if _, _, err := p.close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestorePipeline measures the full restore path end to end —
+// plan, coalesced fetch, decode pool, resequenced write — at several decode
+// worker counts. Simulated stats are identical across sub-benchmarks
+// (TestDecodeWorkersDeterminism); only wall time moves.
+func BenchmarkRestorePipeline(b *testing.B) {
+	s, rec := benchStore(b, 2048, 1024, 256)
+	for _, dw := range []int{1, 2, 0} {
+		name := fmt.Sprintf("decode=%d", dw)
+		if dw == 0 {
+			name = "decode=auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := PipelineConfig{CacheContainers: 8, Policy: PolicyOPT, Workers: 2,
+				Coalesce: true, MaxCoalesce: 8, Verify: true, DecodeWorkers: dw}
+			b.SetBytes(rec.Bytes())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunPipelined(context.Background(), s, rec, cfg, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreAllocsPerChunk is the zero-copy guard: on the whole-container
+// hot path (sequential recipe, verify on) a restore must stay under 0.5
+// heap allocations per chunk — chunk payloads are views into the fetched
+// container sections (or the chunk-cache arena), never per-chunk copies.
+func TestRestoreAllocsPerChunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow under -short")
+	}
+	const nChunks = 2048
+	s, rec := benchStore(t, nChunks, 512, 256)
+	for _, tc := range []struct {
+		name string
+		cfg  PipelineConfig
+	}{
+		{"serial", PipelineConfig{CacheContainers: 8, Policy: PolicyOPT, Workers: 1, Coalesce: true, MaxCoalesce: 8, Verify: true, DecodeWorkers: 1}},
+		{"decode-pool", PipelineConfig{CacheContainers: 8, Policy: PolicyOPT, Workers: 1, Coalesce: true, MaxCoalesce: 8, Verify: true, DecodeWorkers: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() {
+				if _, err := RunPipelined(context.Background(), s, rec, tc.cfg, io.Discard); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm internal pools once before counting
+			perRun := testing.AllocsPerRun(10, run)
+			if perChunk := perRun / nChunks; perChunk >= 0.5 {
+				t.Fatalf("%.0f allocs/run = %.3f allocs/chunk, want < 0.5 (zero-copy hot path regressed)",
+					perRun, perChunk)
+			}
+		})
+	}
+}

@@ -1,0 +1,176 @@
+package restore
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chunk"
+)
+
+// decodeBatchSize is the number of chunk refs grouped into one decode unit.
+// Batching amortizes channel operations over many chunks so the per-chunk
+// cost of the parallel path stays allocation-free (batches recycle through
+// a pool) and far below one synchronization per chunk.
+const decodeBatchSize = 64
+
+// decodeJob is one chunk awaiting verify/emit. data is a zero-copy view
+// into the fetched container section (or the chunk-cache arena) — never a
+// private copy.
+type decodeJob struct {
+	idx  int // ref index, for error attribution
+	fp   chunk.Fingerprint
+	size uint32
+	data []byte
+}
+
+// decodeBatch is the unit flowing through the pool: the assembler fills it
+// in stream order, one worker verifies it, the resequencer emits it.
+type decodeBatch struct {
+	jobs   []decodeJob
+	done   chan struct{} // closed by the verifying worker
+	err    error         // first verify failure in the batch...
+	errIdx int           // ...at jobs[errIdx]
+}
+
+// decodePipe is the wall-clock decode/verify pool of the restore pipeline:
+// the assembler pushes chunk views in stream order, `workers` goroutines
+// SHA-256-verify whole batches concurrently, and a single resequencer
+// goroutine consumes batches strictly in submission order, writing chunks
+// to the output and stopping at the first in-order error — so the bytes on
+// the wire, the error the caller sees, and the Bytes/Chunks tallies are all
+// bit-identical to the inline serial path. Only wall-clock time changes.
+type decodePipe struct {
+	verify  bool
+	w       io.Writer
+	jobs    chan *decodeBatch // unordered, to the verify workers
+	ordered chan *decodeBatch // submission order, to the resequencer
+	pool    sync.Pool
+	cur     *decodeBatch
+	failed  atomic.Bool // resequencer hit an error; assembler should stop
+
+	writerDone    chan struct{}
+	bytes, chunks int64 // resequencer tallies (in-order, pre-error)
+	werr          error // first in-order verify/write error
+}
+
+func newDecodePipe(workers int, verify bool, w io.Writer) *decodePipe {
+	depth := workers * 4
+	p := &decodePipe{
+		verify:     verify,
+		w:          w,
+		jobs:       make(chan *decodeBatch, depth),
+		ordered:    make(chan *decodeBatch, depth),
+		writerDone: make(chan struct{}),
+	}
+	p.pool.New = func() any {
+		return &decodeBatch{jobs: make([]decodeJob, 0, decodeBatchSize)}
+	}
+	for k := 0; k < workers; k++ {
+		go p.worker()
+	}
+	go p.resequence()
+	return p
+}
+
+// push appends one chunk to the current batch, flushing full batches into
+// the pool. It reports false once the resequencer has failed — the
+// assembler stops producing and close() surfaces the error.
+func (p *decodePipe) push(idx int, ref *chunk.Ref, piece []byte) bool {
+	if p.failed.Load() {
+		return false
+	}
+	if p.cur == nil {
+		p.cur = p.pool.Get().(*decodeBatch)
+	}
+	p.cur.jobs = append(p.cur.jobs, decodeJob{idx: idx, fp: ref.FP, size: ref.Size, data: piece})
+	if len(p.cur.jobs) >= decodeBatchSize {
+		p.submit()
+	}
+	return true
+}
+
+// submit hands the current batch to the pool: ordered first (the
+// resequencer must see submission order), then jobs. Both channels are
+// bounded, so a slow writer or slow workers backpressure the assembler.
+func (p *decodePipe) submit() {
+	b := p.cur
+	p.cur = nil
+	b.done = make(chan struct{})
+	b.err, b.errIdx = nil, 0
+	telDecodeQueueDepth.Observe(float64(len(p.jobs)))
+	p.ordered <- b
+	p.jobs <- b
+}
+
+// close flushes the tail batch, joins the pool, and returns the in-order
+// Bytes/Chunks written plus the first in-order error (nil if none).
+func (p *decodePipe) close() (bytes, chunks int64, err error) {
+	if p.cur != nil && len(p.cur.jobs) > 0 {
+		p.submit()
+	}
+	close(p.jobs)
+	close(p.ordered)
+	<-p.writerDone
+	return p.bytes, p.chunks, p.werr
+}
+
+// worker verifies batches; order does not matter here, the resequencer
+// re-imposes it.
+func (p *decodePipe) worker() {
+	for b := range p.jobs {
+		t0 := time.Now()
+		if p.verify {
+			for k := range b.jobs {
+				j := &b.jobs[k]
+				if got := chunk.Of(j.data); got != j.fp {
+					b.err = fmt.Errorf("restore: chunk %d fingerprint mismatch (%s != %s)",
+						j.idx, got.Short(), j.fp.Short())
+					b.errIdx = k
+					break // chunks past the first bad one are never emitted
+				}
+			}
+		}
+		stageDecode.Observe(t0)
+		close(b.done)
+	}
+}
+
+// resequence consumes batches in submission order, waiting each one's
+// verification, and emits chunks until the first error; everything after is
+// drained (and recycled) without writing.
+func (p *decodePipe) resequence() {
+	defer close(p.writerDone)
+	for b := range p.ordered {
+		<-b.done
+		if p.werr == nil {
+			for k := range b.jobs {
+				if b.err != nil && k == b.errIdx {
+					p.fail(b.err)
+					break
+				}
+				j := &b.jobs[k]
+				if p.w != nil {
+					t1 := time.Now()
+					_, err := p.w.Write(j.data)
+					stageCopy.Observe(t1)
+					if err != nil {
+						p.fail(err)
+						break
+					}
+				}
+				p.bytes += int64(j.size)
+				p.chunks++
+			}
+		}
+		b.jobs = b.jobs[:0]
+		p.pool.Put(b)
+	}
+}
+
+func (p *decodePipe) fail(err error) {
+	p.werr = err
+	p.failed.Store(true)
+}

@@ -1,0 +1,181 @@
+package restore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+// TestDecodeWorkersDeterminism is the tentpole's contract: DecodeWorkers is
+// a wall-clock-only knob. Restored bytes, every Stats field (including the
+// simulated Duration), and the device-level seek/read/byte counters must be
+// bit-identical across decode worker counts and shared-cache budgets, for
+// every pipeline mode — the restore analogue of PR 7's ingest
+// TestParallelWorkersDeterminism.
+func TestDecodeWorkersDeterminism(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  PipelineConfig
+	}{
+		{"lru-serial", PipelineConfig{CacheContainers: 4, Policy: PolicyLRU, Workers: 1, Verify: true}},
+		{"opt-coalesce", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, Coalesce: true, Verify: true}},
+		{"opt-lanes", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 4, Coalesce: true, Verify: true}},
+		{"chunk-cache", PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, ChunkCache: true, Verify: true}},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			type result struct {
+				st   Stats
+				out  []byte
+				seek int64
+				read int64
+			}
+			run := func(decodeWorkers int, cacheBudget int64) result {
+				s := rig(t, true)
+				datas := mkDatas(60, 300)
+				seq := ingest(t, s, "base", datas)
+				frag := interleave(seq, "frag")
+				s.SetDataCache(cacheBudget)
+				cfg := mode.cfg
+				cfg.DecodeWorkers = decodeWorkers
+				var buf bytes.Buffer
+				st, err := RunPipelined(context.Background(), s, frag, cfg, &buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds := s.Device().Stats()
+				return result{st: st, out: buf.Bytes(), seek: ds.Seeks, read: ds.BytesRead}
+			}
+			base := run(1, 0)
+			for _, dw := range []int{0, 2, 8} {
+				for _, budget := range []int64{0, 2048, 1 << 20} {
+					got := run(dw, budget)
+					if got.st != base.st {
+						t.Errorf("decode=%d budget=%d: stats %+v != serial %+v", dw, budget, got.st, base.st)
+					}
+					if !bytes.Equal(got.out, base.out) {
+						t.Errorf("decode=%d budget=%d: restored bytes differ", dw, budget)
+					}
+					if got.seek != base.seek || got.read != base.read {
+						t.Errorf("decode=%d budget=%d: device stats %d/%d != %d/%d",
+							dw, budget, got.seek, got.read, base.seek, base.read)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeWorkersVerifyError pins error semantics: the parallel decode
+// pool must surface the same first-in-stream fingerprint mismatch, with the
+// same in-order partial progress, as the inline serial path.
+func TestDecodeWorkersVerifyError(t *testing.T) {
+	run := func(decodeWorkers int) (Stats, error) {
+		s := rig(t, true)
+		datas := mkDatas(60, 300)
+		rec := ingest(t, s, "bad", datas)
+		rec.Refs[37].FP = chunk.Of([]byte("not the real content"))
+		cfg := PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1, Coalesce: true,
+			Verify: true, DecodeWorkers: decodeWorkers}
+		return RunPipelined(context.Background(), s, rec, cfg, &bytes.Buffer{})
+	}
+	_, serialErr := run(1)
+	if serialErr == nil {
+		t.Fatal("serial path must detect the mismatch")
+	}
+	for _, dw := range []int{2, 8} {
+		_, err := run(dw)
+		if err == nil || err.Error() != serialErr.Error() {
+			t.Fatalf("decode=%d: err %v, want %v", dw, err, serialErr)
+		}
+	}
+}
+
+// failAfterWriter errors once n bytes have been written.
+type failAfterWriter struct {
+	n       int64
+	written int64
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.written += int64(len(p))
+	if w.written > w.n {
+		return 0, errors.New("writer full")
+	}
+	return len(p), nil
+}
+
+func TestDecodeWorkersWriteError(t *testing.T) {
+	run := func(decodeWorkers int) (Stats, error) {
+		s := rig(t, true)
+		datas := mkDatas(40, 300)
+		rec := ingest(t, s, "we", datas)
+		cfg := PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 1,
+			Verify: true, DecodeWorkers: decodeWorkers}
+		return RunPipelined(context.Background(), s, rec, cfg, &failAfterWriter{n: 5000})
+	}
+	stSerial, serialErr := run(1)
+	if serialErr == nil {
+		t.Fatal("serial path must surface the write error")
+	}
+	for _, dw := range []int{2, 8} {
+		st, err := run(dw)
+		if err == nil || err.Error() != serialErr.Error() {
+			t.Fatalf("decode=%d: err %v, want %v", dw, err, serialErr)
+		}
+		if st.Bytes != stSerial.Bytes || st.Chunks != stSerial.Chunks {
+			t.Fatalf("decode=%d: partial progress %d/%d, want %d/%d",
+				dw, st.Bytes, st.Chunks, stSerial.Bytes, stSerial.Chunks)
+		}
+	}
+}
+
+// TestConcurrentRestoresSharedCache drives many concurrent parallel-decode
+// restores of the same recipe over one store with a shared data cache
+// attached, asserting every stream gets byte-identical output. Run under
+// -race this is the pipeline-level concurrency guard for the shared cache.
+func TestConcurrentRestoresSharedCache(t *testing.T) {
+	s := rig(t, true)
+	datas := mkDatas(60, 300)
+	seq := ingest(t, s, "base", datas)
+	frag := interleave(seq, "frag")
+	want := wantBytes(datas, frag, seq)
+	s.SetDataCache(1 << 20)
+
+	const streams = 8
+	var wg sync.WaitGroup
+	outs := make([][]byte, streams)
+	errs := make([]error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			cfg := PipelineConfig{CacheContainers: 4, Policy: PolicyOPT, Workers: 2,
+				Coalesce: true, Verify: true, DecodeWorkers: 4}
+			_, err := RunPipelined(context.Background(), s, frag, cfg, &buf)
+			outs[i], errs[i] = buf.Bytes(), err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < streams; i++ {
+		if errs[i] != nil {
+			t.Fatalf("stream %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(outs[i], want) {
+			t.Fatalf("stream %d: restored bytes differ", i)
+		}
+	}
+	cs := s.DataCache().Stats()
+	if cs.Hits+cs.Waits == 0 {
+		t.Fatalf("shared cache never hit across %d identical streams: %+v", streams, cs)
+	}
+	if cs.Misses > uint64(s.NumContainers()) {
+		t.Fatalf("cache stats %+v: more misses than containers (%d) — single-flight broken",
+			cs, s.NumContainers())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +24,9 @@ var (
 		"container fetches folded into a preceding coalesced extent read (seeks saved)")
 	telPrefetchDepth = telemetry.NewHistogram("restore_prefetch_depth",
 		"extent reads in flight ahead of the restore assembler when a prefetch is scheduled",
+		telemetry.CountBuckets)
+	telDecodeQueueDepth = telemetry.NewHistogram("restore_decode_queue_depth",
+		"verify/decode batches queued ahead of the decode worker pool when a batch is submitted",
 		telemetry.CountBuckets)
 )
 
@@ -52,6 +56,16 @@ type PipelineConfig struct {
 	ChunkCache bool
 	// Verify recomputes chunk fingerprints (requires a data-storing device).
 	Verify bool
+	// DecodeWorkers sizes the wall-clock verify/decode worker pool that
+	// overlaps SHA-256 verification with container fetches, with an in-order
+	// resequencer emitting chunks to the output writer: 0 sizes the pool to
+	// GOMAXPROCS, 1 forces inline serial decode, N > 1 uses exactly N
+	// goroutines. Unlike Workers — which models
+	// simulated prefetch lanes and changes Stats.Duration by design — this
+	// knob is purely a wall-clock optimization: restored bytes, simulated
+	// time, and every Stats field are bit-identical across values (pinned by
+	// TestDecodeWorkersDeterminism).
+	DecodeWorkers int
 }
 
 // DefaultPipelineConfig returns the full read-optimized configuration: an
@@ -116,29 +130,59 @@ func RunPipelined(ctx context.Context, store *container.Store, recipe *chunk.Rec
 	} else {
 		as.whole = make(map[uint32][]byte, cfg.CacheContainers)
 	}
+	if dw := decodeWorkerCount(cfg.DecodeWorkers); dw > 1 {
+		as.emit = newDecodePipe(dw, cfg.Verify, w)
+	}
 
 	master := store.Device().Clock()
 	start := master.Now()
+	var runErr error
 	if cfg.Workers == 1 {
 		// Serial: extent reads charge the store clock at the instant the
-		// assembler needs them, exactly like the legacy path.
-		if err := as.run(func(e *extent) ([][]byte, error) { return store.ReadDataRange(ctx, e.ids) }); err != nil {
-			return stats, err
-		}
+		// assembler needs them, exactly like the legacy path. The pin holds
+		// the extent in the shared data cache across the staging window.
+		runErr = as.run(func(e *extent) ([][]byte, func(), error) {
+			return store.ReadDataRangePinned(ctx, e.ids)
+		})
 	} else {
 		// Parallel: charge every extent to the earliest-free lane in
 		// deterministic schedule order, then run the wall-clock pipeline
 		// with uncharged fetches.
 		chargeLanes(store, plan, cfg.Workers)
-		if err := as.runParallel(ctx); err != nil {
-			return stats, err
+		runErr = as.runParallel(ctx)
+	}
+	if as.emit != nil {
+		// Join the decode pool. A decode/write error happened at an earlier
+		// stream position than any fetch error (fetches fail at the ref
+		// being assembled; the resequencer trails it), so it wins — exactly
+		// the ref at which the serial path would have stopped.
+		bytes, chunks, perr := as.emit.close()
+		stats.Bytes += bytes
+		stats.Chunks += chunks
+		if perr != nil {
+			runErr = perr
 		}
+	}
+	if runErr != nil {
+		return stats, runErr
 	}
 	stats.Duration = master.Now() - start
 	telRestoreBytes.Add(stats.Bytes)
 	telRestoreChunks.Add(stats.Chunks)
 	span.SetSim(stats.Duration)
 	return stats, nil
+}
+
+// decodeWorkerCount resolves the DecodeWorkers knob: 0 = GOMAXPROCS, any
+// explicit count is used as-is. An explicit count above GOMAXPROCS is
+// deliberately NOT clamped — extra goroutines cost little, and honoring the
+// request keeps the pool (and its determinism tests) exercised even on
+// single-core hosts where a clamp would silently fall back to inline decode.
+func decodeWorkerCount(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // chargeLanes assigns each extent read to the lane that frees earliest
@@ -190,13 +234,18 @@ type assembly struct {
 	chunks     map[uint32]map[int64][]byte // chunk-level cache mode: offset → bytes
 	refLocs    map[uint32][]chunk.Location
 	cacheBytes int64
+
+	// emit, when non-nil, routes verify/write through the parallel decode
+	// pool instead of doing it inline; see decodePipe.
+	emit *decodePipe
 }
 
 // run drives the assembler, obtaining each extent's data from fetchExtent
 // the moment its first container is needed. Containers of a coalesced
 // extent that install later wait in a staging buffer bounded by
-// MaxCoalesce.
-func (as *assembly) run(fetchExtent func(e *extent) ([][]byte, error)) error {
+// MaxCoalesce. The release returned with an extent's data pins it in the
+// shared container cache until its last container has been installed.
+func (as *assembly) run(fetchExtent func(e *extent) ([][]byte, func(), error)) error {
 	staged := make(map[uint32][]byte)
 	for i := range as.refs {
 		ref := &as.refs[i]
@@ -205,12 +254,17 @@ func (as *assembly) run(fetchExtent func(e *extent) ([][]byte, error)) error {
 			f := &as.plan.fetches[fx]
 			e := &as.plan.extents[f.extent]
 			if fx == e.lo {
-				datas, err := fetchExtent(e)
+				datas, release, err := fetchExtent(e)
 				if err != nil {
 					return err
 				}
 				for k, cid := range e.ids {
 					staged[cid] = datas[k]
+				}
+				if release != nil {
+					// The cache residency served its purpose the moment the
+					// sections are staged in this restore's own memory.
+					release()
 				}
 			}
 			data, ok := staged[id]
@@ -222,8 +276,14 @@ func (as *assembly) run(fetchExtent func(e *extent) ([][]byte, error)) error {
 		} else {
 			as.stats.CacheHits++
 		}
-		t0 := time.Now()
 		piece := as.piece(id, ref)
+		if as.emit != nil {
+			if !as.emit.push(i, ref, piece) {
+				return nil // resequencer failed; close() surfaces its error
+			}
+			continue
+		}
+		t0 := time.Now()
 		if as.cfg.Verify {
 			if got := chunk.Of(piece); got != ref.FP {
 				return fmt.Errorf("restore: chunk %d fingerprint mismatch (%s != %s)", i, got.Short(), ref.FP.Short())
@@ -260,14 +320,21 @@ func (as *assembly) install(id uint32, data []byte, f *fetchOp) {
 	}
 	if as.cfg.ChunkCache {
 		locs := as.refLocs[id]
+		// One arena allocation per container, sliced into immutable views —
+		// not one copy per chunk. Full-capacity sub-slicing keeps a view
+		// from growing into its neighbour.
+		var total int
+		for _, loc := range locs {
+			total += int(loc.Size)
+		}
+		arena := make([]byte, 0, total)
 		m := make(map[int64][]byte, len(locs))
 		for _, loc := range locs {
-			piece := as.store.Extract(data, loc)
-			cp := make([]byte, len(piece))
-			copy(cp, piece)
-			m[loc.Offset] = cp
-			as.cacheBytes += int64(len(cp))
+			off := len(arena)
+			arena = append(arena, as.store.Extract(data, loc)...)
+			m[loc.Offset] = arena[off:len(arena):len(arena)]
 		}
+		as.cacheBytes += int64(total)
 		as.chunks[id] = m
 		if as.cacheBytes > as.stats.PeakCacheBytes {
 			as.stats.PeakCacheBytes = as.cacheBytes
@@ -299,8 +366,9 @@ func (as *assembly) piece(id uint32, ref *chunk.Ref) []byte {
 // strictly in schedule order through per-job reorder channels.
 func (as *assembly) runParallel(ctx context.Context) error {
 	type fetchResult struct {
-		datas [][]byte
-		err   error
+		datas   [][]byte
+		release func()
+		err     error
 	}
 	type fetchJob struct {
 		ids []uint32
@@ -323,23 +391,29 @@ func (as *assembly) runParallel(ctx context.Context) error {
 	for k := 0; k < as.cfg.Workers; k++ {
 		go func() {
 			for j := range jobs {
-				datas, err := as.store.PeekDataRange(ctx, j.ids)
-				j.out <- fetchResult{datas: datas, err: err}
+				// Pinned fetch: the extent stays resident in the shared data
+				// cache for the whole prefetch window, released by the
+				// assembler once staged (or by the drain on error).
+				datas, release, err := as.store.PeekDataRangePinned(ctx, j.ids)
+				j.out <- fetchResult{datas: datas, release: release, err: err}
 			}
 		}()
 	}
-	err := as.run(func(e *extent) ([][]byte, error) {
+	err := as.run(func(e *extent) ([][]byte, func(), error) {
 		j := <-pending
 		res := <-j.out
 		inFlight.Add(-1)
-		return res.datas, res.err
+		return res.datas, res.release, res.err
 	})
 	if err != nil {
 		// Drain so the scheduler and fetchers can exit; the store outlives
 		// the restore call, so late PeekDataRange calls are harmless.
 		go func() {
 			for j := range pending {
-				<-j.out
+				res := <-j.out
+				if res.release != nil {
+					res.release()
+				}
 			}
 		}()
 	}

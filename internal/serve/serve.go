@@ -398,8 +398,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// restoreOptions parses ?mode=&cache=&workers=&verify= into RestoreOptions.
-// mode faa is handled by the caller (different Store entry point).
+// restoreOptions parses ?mode=&cache=&workers=&decode=&verify= into
+// RestoreOptions. mode faa is handled by the caller (different Store entry
+// point). decode sets the wall-clock-only decode/verify worker count
+// (0 = auto, 1 = inline serial); it never changes the restored bytes or the
+// simulated clock.
 func restoreOptions(r *http.Request, forceVerify bool) (repro.RestoreOptions, string, error) {
 	q := r.URL.Query()
 	mode := q.Get("mode")
@@ -420,6 +423,13 @@ func restoreOptions(r *http.Request, forceVerify bool) (repro.RestoreOptions, st
 			return opts, mode, fmt.Errorf("bad workers %q", ws)
 		}
 		opts.Workers = n
+	}
+	if ds := q.Get("decode"); ds != "" {
+		n, err := strconv.Atoi(ds)
+		if err != nil || n < 0 {
+			return opts, mode, fmt.Errorf("bad decode %q", ds)
+		}
+		opts.DecodeWorkers = n
 	}
 	switch mode {
 	case "", "lru", "faa":
@@ -597,11 +607,15 @@ type StatsView struct {
 	Tenants       map[string]int   `json:"tenantsInflight"`
 	Stages        map[string]int64 `json:"stageNanos"`
 	SLO           SLOView          `json:"slo"`
+	// RestoreCache is the shared sealed-container data cache (nil when no
+	// cache budget is configured): concurrent restores single-flight their
+	// container fetches through it.
+	RestoreCache *repro.RestoreCacheStats `json:"restoreCache,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	telAdminReqs.Inc()
-	writeJSON(w, http.StatusOK, StatsView{
+	view := StatsView{
 		Engine:        s.store.Engine(),
 		Backend:       s.store.BackendName(),
 		Storage:       s.store.Stats(),
@@ -611,5 +625,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tenants:       s.limits.snapshot(),
 		Stages:        telemetry.StageTotals(),
 		SLO:           s.slo.View(),
-	})
+	}
+	if cs, ok := s.store.RestoreCacheStats(); ok {
+		view.RestoreCache = &cs
+	}
+	writeJSON(w, http.StatusOK, view)
 }

@@ -4,9 +4,28 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"time"
 
 	"repro/internal/workload"
 )
+
+// timedRestore runs one RestoreWith and measures its wall-clock duration
+// alongside the (deterministic) simulated stats. The restore sweep routes
+// every mode through the same Store entry point the parallel path uses, so
+// the wall columns reflect the decode pool and shared cache as shipped.
+func timedRestore(store *Store, b *Backup, opts RestoreOptions) (RestoreStats, time.Duration, error) {
+	t0 := time.Now()
+	st, err := store.RestoreWith(context.Background(), b, nil, opts)
+	return st, time.Since(t0), err
+}
+
+// wallMBps converts restored bytes over a measured wall duration to MB/s.
+func wallMBps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
 
 // RestorePoint is one generation of the restore sweep: the same recipe
 // restored through each strategy so the per-generation degradation (and
@@ -38,6 +57,16 @@ type RestorePoint struct {
 
 	// Speedup is pipelined over legacy restore throughput.
 	Speedup float64 `json:"speedup"`
+
+	// Wall-clock throughput per mode (host-dependent; the simulated MBps
+	// columns above are the deterministic paper metrics). The pipelined
+	// column runs with the parallel decode pool on (DecodeWorkers auto).
+	LRUWallMBps  float64 `json:"lru_wall_MBps"`
+	OPTWallMBps  float64 `json:"opt_wall_MBps"`
+	FAAWallMBps  float64 `json:"faa_wall_MBps"`
+	PipeWallMBps float64 `json:"pipe_wall_MBps"`
+	// WallSpeedup is pipelined over legacy wall-clock throughput.
+	WallSpeedup float64 `json:"wall_speedup"`
 }
 
 // RestoreBench is the full restore sweep, serialized to BENCH_PR3.json.
@@ -101,19 +130,21 @@ func RunRestoreBench(cfg ExperimentConfig, kind EngineKind, cacheContainers, wor
 		if err != nil {
 			return nil, err
 		}
-		lru, err := store.RestoreWith(context.Background(), b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreLRU, Workers: 1})
+		lru, lruWall, err := timedRestore(store, b, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreLRU, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
-		opt, err := store.RestoreWith(context.Background(), b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: 1})
+		opt, optWall, err := timedRestore(store, b, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		faa, err := store.RestoreFAA(context.Background(), b, nil, areaBytes, false)
+		faaWall := time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
-		pipe, err := store.RestoreWith(context.Background(), b, nil, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: workers, Coalesce: true})
+		pipe, pipeWall, err := timedRestore(store, b, RestoreOptions{CacheContainers: cacheContainers, Policy: RestoreOPT, Workers: workers, Coalesce: true})
 		if err != nil {
 			return nil, err
 		}
@@ -133,9 +164,16 @@ func RunRestoreBench(cfg ExperimentConfig, kind EngineKind, cacheContainers, wor
 			PipeExtents:   pipe.ExtentReads,
 			PipeCoalesced: pipe.CoalescedContainers,
 			PipeMBps:      pipe.ThroughputMBps(),
+			LRUWallMBps:   wallMBps(lru.Bytes, lruWall),
+			OPTWallMBps:   wallMBps(opt.Bytes, optWall),
+			FAAWallMBps:   wallMBps(faa.Bytes, faaWall),
+			PipeWallMBps:  wallMBps(pipe.Bytes, pipeWall),
 		}
 		if pt.LRUMBps > 0 {
 			pt.Speedup = pt.PipeMBps / pt.LRUMBps
+		}
+		if pt.LRUWallMBps > 0 {
+			pt.WallSpeedup = pt.PipeWallMBps / pt.LRUWallMBps
 		}
 		if pt.OPTReads > pt.LRUReads {
 			bench.OPTNeverWorse = false
