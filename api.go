@@ -814,6 +814,10 @@ type RestoreCacheStats struct {
 	Bytes     int64  `json:"bytes"`     // resident bytes
 	Budget    int64  `json:"budget"`    // configured budget
 	Entries   int    `json:"entries"`   // resident containers
+	// Pinned counts resident containers held by in-flight restores; it must
+	// return to zero between restores — a value that never drains is a
+	// prefetch-window pin leak.
+	Pinned int `json:"pinned"`
 }
 
 // RestoreCacheStats returns a snapshot of the shared restore data cache, or
@@ -826,7 +830,7 @@ func (s *Store) RestoreCacheStats() (st RestoreCacheStats, ok bool) {
 	cs := c.Stats()
 	return RestoreCacheStats{
 		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Waits: cs.Waits,
-		Bytes: cs.Bytes, Budget: cs.Budget, Entries: cs.Entries,
+		Bytes: cs.Bytes, Budget: cs.Budget, Entries: cs.Entries, Pinned: cs.Pinned,
 	}, true
 }
 

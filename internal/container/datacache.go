@@ -2,12 +2,18 @@ package container
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync"
 
 	"repro/internal/lru"
 	"repro/internal/telemetry"
 )
+
+// errLoadPanic is what single-flight waiters (and future acquirers, until a
+// retry succeeds) observe when a loader panicked instead of returning: the
+// wedged entry is dropped and failed rather than left forever un-ready.
+var errLoadPanic = errors.New("container: data cache load panicked")
 
 // Telemetry of the shared sealed-container data cache. These are distinct
 // from the per-restore cache counters (restore_cache_*): the shared cache
@@ -92,19 +98,30 @@ type DataCacheStats struct {
 	Evictions uint64 `json:"evictions"`
 	// Waits counts single-flight waits: acquisitions that found the
 	// container already loading and blocked instead of re-reading it.
-	Waits   uint64 `json:"waits"`
-	Bytes   int64  `json:"bytes"`
-	Budget  int64  `json:"budget"`
-	Entries int    `json:"entries"`
+	Waits  uint64 `json:"waits"`
+	Bytes  int64  `json:"bytes"`
+	Budget int64  `json:"budget"`
+	// Entries is current residency; Pinned of those are held (refs > 0) by
+	// in-flight acquisitions or prefetch windows and cannot be evicted. A
+	// Pinned count that never returns to zero between restores is a pin
+	// leak.
+	Entries int `json:"entries"`
+	Pinned  int `json:"pinned"`
 }
 
 // Stats returns cumulative counters and current residency.
 func (c *DataCache) Stats() DataCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	pinned := 0
+	for _, e := range c.live {
+		if e.refs > 0 {
+			pinned++
+		}
+	}
 	return DataCacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Waits: c.waits,
-		Bytes: c.bytes, Budget: c.budget, Entries: len(c.live),
+		Bytes: c.bytes, Budget: c.budget, Entries: len(c.live), Pinned: pinned,
 	}
 }
 
@@ -127,7 +144,23 @@ func (c *DataCache) Acquire(ctx context.Context, id uint32, load func() ([]byte,
 	telSharedMisses.Inc()
 	c.mu.Unlock()
 
+	// If load panics, fail the entry on the way out so waiters and future
+	// acquirers get an error instead of blocking forever on a channel the
+	// dead loader will never close; the panic itself still propagates.
+	loadReturned := false
+	defer func() {
+		if loadReturned {
+			return
+		}
+		c.mu.Lock()
+		e.err = errLoadPanic
+		e.gone = true
+		delete(c.live, id)
+		close(e.ready)
+		c.mu.Unlock()
+	}()
 	data, err := load()
+	loadReturned = true
 	c.mu.Lock()
 	if err != nil {
 		e.err = err
@@ -185,10 +218,33 @@ func (c *DataCache) AcquireRange(ctx context.Context, ids []uint32, load func() 
 		return nil, nil, err
 	}
 
+	// As in Acquire: a panicking load must not leave the owned entries
+	// forever un-ready — fail and drop them during unwinding, then let the
+	// panic propagate.
+	loadReturned := nOwned == 0
+	defer func() {
+		if loadReturned {
+			return
+		}
+		c.mu.Lock()
+		for i := range slots {
+			if !slots[i].owned {
+				continue
+			}
+			e := slots[i].e
+			e.err = errLoadPanic
+			e.gone = true
+			delete(c.live, ids[i])
+			close(e.ready)
+		}
+		c.mu.Unlock()
+	}()
+
 	if nOwned > 0 {
 		// The extent read fetches every id (a strict subset of an adjacent
 		// run need not itself be adjacent); only the owned slots install.
 		datas, err := load()
+		loadReturned = true
 		c.mu.Lock()
 		for i := range slots {
 			if !slots[i].owned {
@@ -219,10 +275,17 @@ func (c *DataCache) AcquireRange(ctx context.Context, ids []uint32, load func() 
 	for i := range slots {
 		e := slots[i].e
 		if !slots[i].owned {
+			// Prefer ready: if the load already completed, deliver the data
+			// even under a cancelled ctx rather than letting the two-way
+			// select fail spuriously at random.
 			select {
 			case <-e.ready:
-			case <-ctx.Done():
-				return fail(ctx.Err())
+			default:
+				select {
+				case <-e.ready:
+				case <-ctx.Done():
+					return fail(ctx.Err())
+				}
 			}
 			if e.err != nil {
 				return fail(e.err)
@@ -251,13 +314,19 @@ func (c *DataCache) pinLocked(id uint32, e *dcEntry) {
 }
 
 // await blocks until a pinned entry's load completes, surfacing load errors
-// and honouring ctx cancellation.
+// and honouring ctx cancellation. Readiness is checked first so an already
+// loaded entry is delivered even when ctx is also done — a two-way select
+// picks randomly between ready cases and would fail spuriously.
 func (c *DataCache) await(ctx context.Context, id uint32, e *dcEntry) ([]byte, func(), error) {
 	select {
 	case <-e.ready:
-	case <-ctx.Done():
-		c.release(id, e)
-		return nil, nil, ctx.Err()
+	default:
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			c.release(id, e)
+			return nil, nil, ctx.Err()
+		}
 	}
 	if e.err != nil {
 		c.release(id, e)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/blockstore"
 	"repro/internal/chunk"
@@ -140,6 +141,125 @@ func TestDataCacheLoadErrorRetries(t *testing.T) {
 	release()
 	if string(data) != "recovered" {
 		t.Fatalf("data = %q", data)
+	}
+}
+
+// TestDataCacheLoadPanicDoesNotWedge pins the single-flight unwedging
+// contract: a loader that panics must fail the entry (waiters get an error,
+// the next acquisition retries) instead of leaving `ready` forever un-closed
+// with every future Acquire of that id blocked on a dead loader.
+func TestDataCacheLoadPanicDoesNotWedge(t *testing.T) {
+	c := NewDataCache(1 << 20)
+	inLoad := make(chan struct{})
+	proceed := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Acquire(context.Background(), 9, func() ([]byte, error) {
+			close(inLoad)
+			<-proceed
+			panic("loader exploded")
+		})
+	}()
+	<-inLoad
+	// A single-flight waiter blocked on the doomed load must be failed, not
+	// stranded.
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := c.Acquire(context.Background(), 9, func() ([]byte, error) {
+			return nil, errors.New("single-flight violated: second load ran during first")
+		})
+		waiter <- err
+	}()
+	for c.Stats().Waits == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(proceed)
+	if r := <-panicked; r == nil {
+		t.Fatal("loader panic did not propagate to the loading caller")
+	}
+	if err := <-waiter; !errors.Is(err, errLoadPanic) {
+		t.Fatalf("waiter err = %v, want errLoadPanic", err)
+	}
+	// The failed entry must not poison the id: a fresh acquisition reloads.
+	data, release, err := c.Acquire(context.Background(), 9,
+		func() ([]byte, error) { return []byte("recovered"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if string(data) != "recovered" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+// Range flavour of the panic guard: a panicking extent load must fail every
+// owned slot so later acquisitions of those containers retry cleanly.
+func TestDataCacheRangeLoadPanicDoesNotWedge(t *testing.T) {
+	c := NewDataCache(1 << 20)
+	ids := []uint32{1, 2}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("range loader panic did not propagate")
+			}
+		}()
+		c.AcquireRange(context.Background(), ids, func() ([][]byte, error) {
+			panic("range loader exploded")
+		})
+	}()
+	out, release, err := c.AcquireRange(context.Background(), ids, func() ([][]byte, error) {
+		return [][]byte{[]byte("one"), []byte("two")}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out[0]) != "one" || string(out[1]) != "two" {
+		t.Fatalf("out = %q", out)
+	}
+	release()
+}
+
+// TestDataCacheReadyBeatsCancelledContext pins the wait-path select order:
+// when an entry's data is already loaded, acquisition must deliver it even
+// under an already-cancelled context — a two-way select would pick between
+// ready and ctx.Done() at random and fail spuriously about half the time.
+func TestDataCacheReadyBeatsCancelledContext(t *testing.T) {
+	c := NewDataCache(1 << 20)
+	for id, content := range map[uint32]string{5: "five", 6: "six", 7: "seven"} {
+		content := content
+		_, release, err := c.Acquire(context.Background(), id,
+			func() ([]byte, error) { return []byte(content), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Many iterations so a regression to the random two-way select cannot
+	// sneak through by luck.
+	for i := 0; i < 100; i++ {
+		data, release, err := c.Acquire(ctx, 5, func() ([]byte, error) {
+			return nil, errors.New("must not reload a resident entry")
+		})
+		if err != nil {
+			t.Fatalf("iteration %d: err = %v despite resident data", i, err)
+		}
+		if string(data) != "five" {
+			t.Fatalf("data = %q", data)
+		}
+		release()
+		out, release2, err := c.AcquireRange(ctx, []uint32{6, 7}, func() ([][]byte, error) {
+			return nil, errors.New("must not reload resident entries")
+		})
+		if err != nil {
+			t.Fatalf("iteration %d: range err = %v despite resident data", i, err)
+		}
+		if string(out[0]) != "six" || string(out[1]) != "seven" {
+			t.Fatalf("range out = %q", out)
+		}
+		release2()
 	}
 }
 

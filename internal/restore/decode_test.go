@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/chunk"
 )
@@ -131,6 +133,58 @@ func TestDecodeWorkersWriteError(t *testing.T) {
 			t.Fatalf("decode=%d: partial progress %d/%d, want %d/%d",
 				dw, st.Bytes, st.Chunks, stSerial.Bytes, stSerial.Chunks)
 		}
+	}
+}
+
+// TestParallelDecodeFailureReleasesPins is the regression guard for the
+// early-stop pin leak: with Workers > 1 and the decode pool engaged, a
+// verify mismatch or writer error fails the resequencer, push() returns
+// false, and the assembler's run() returns nil without consuming every
+// planned extent — close() surfaces the error. The fetch scheduler must
+// still be drained in that case so the fetcher goroutines exit and every
+// prefetched extent's shared-cache pin is released; before the fix the
+// drain only ran on a non-nil run() error, leaving the scheduler blocked
+// and the prefetched containers pinned in the store's DataCache forever.
+func TestParallelDecodeFailureReleasesPins(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt bool // fingerprint mismatch vs writer error
+	}{
+		{"verify-mismatch", true},
+		{"writer-error", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := rig(t, true)
+			datas := mkDatas(1500, 100)
+			seq := ingest(t, s, "base", datas)
+			frag := interleave(seq, "frag")
+			s.SetDataCache(64 << 20)
+			if tc.corrupt {
+				frag.Refs[1].FP = chunk.Of([]byte("not the real content"))
+			}
+			var w io.Writer = &bytes.Buffer{}
+			if !tc.corrupt {
+				w = &failAfterWriter{n: 300}
+			}
+			cfg := PipelineConfig{CacheContainers: 2, Policy: PolicyOPT, Workers: 8,
+				Verify: true, DecodeWorkers: 4}
+			if _, err := RunPipelined(context.Background(), s, frag, cfg, w); err == nil {
+				t.Fatal("expected the restore to fail")
+			}
+			// The drain releases the remaining prefetched extents
+			// asynchronously; poll the cache for quiescence.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				st := s.DataCache().Stats()
+				if st.Pinned == 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("prefetched pins never released after failed restore: %+v", st)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
 	}
 }
 

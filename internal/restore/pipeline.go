@@ -399,15 +399,22 @@ func (as *assembly) runParallel(ctx context.Context) error {
 			}
 		}()
 	}
+	consumed := 0
 	err := as.run(func(e *extent) ([][]byte, func(), error) {
 		j := <-pending
+		consumed++
 		res := <-j.out
 		inFlight.Add(-1)
 		return res.datas, res.release, res.err
 	})
-	if err != nil {
-		// Drain so the scheduler and fetchers can exit; the store outlives
-		// the restore call, so late PeekDataRange calls are harmless.
+	if consumed < len(as.plan.extents) {
+		// The assembler stopped before consuming every extent — either a
+		// fetch/write error (err != nil) or the decode resequencer failed, in
+		// which case run returns nil and close() surfaces the error. Either
+		// way, drain so the scheduler and fetchers can exit and every
+		// prefetched extent's shared-cache pin is released; the store
+		// outlives the restore call, so late PeekDataRange calls are
+		// harmless.
 		go func() {
 			for j := range pending {
 				res := <-j.out
