@@ -57,7 +57,7 @@ func runDefragVariant(cfg ExperimentConfig, mutate func(*core.Config)) (defragRu
 		logical += st.LogicalBytes
 		lastStats = st
 		if g == cfg.Generations-1 {
-			lastRead, err = restore.Run(context.Background(), eng.Containers(), b.recipe, restore.DefaultConfig(), nil)
+			lastRead, err = restore.Run(context.Background(), eng.Containers(), b.recipe(), restore.DefaultConfig(), nil)
 			if err != nil {
 				return defragRunResult{}, err
 			}
@@ -260,23 +260,23 @@ func RunRestoreAblation(cfg ExperimentConfig) (*FigureResult, error) {
 		// the wall columns compare the shipped paths. Simulated stats are
 		// decode-pool-invariant (TestDecodeWorkersDeterminism).
 		t0 := time.Now()
-		lruSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe,
+		lruSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe(),
 			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyLRU, Workers: 1, DecodeWorkers: 1}, nil)
 		lruWall := time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
-		optSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe,
+		optSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe(),
 			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyOPT, Workers: 1}, nil)
 		if err != nil {
 			return nil, err
 		}
-		faaSt, err := restore.RunFAA(context.Background(), eng.Containers(), last.recipe, restore.FAAConfig{AreaBytes: budgetMB << 20}, nil)
+		faaSt, err := restore.RunFAA(context.Background(), eng.Containers(), last.recipe(), restore.FAAConfig{AreaBytes: budgetMB << 20}, nil)
 		if err != nil {
 			return nil, err
 		}
 		t1 := time.Now()
-		pipeSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe,
+		pipeSt, err := restore.RunPipelined(context.Background(), eng.Containers(), last.recipe(),
 			restore.PipelineConfig{CacheContainers: cap, Policy: restore.PolicyOPT, Workers: workers, Coalesce: true, MaxCoalesce: 8}, nil)
 		pipeWall := time.Since(t1)
 		if err != nil {

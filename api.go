@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockstore"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/engine/sparse"
 	"repro/internal/fsck"
 	"repro/internal/gc"
+	"repro/internal/maintenance"
 	"repro/internal/restore"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -226,6 +228,11 @@ type Options struct {
 	// Tests and tooling use it to count or intercept physical operations,
 	// e.g. blockstore.NewCounting to assert single-flight behaviour.
 	WrapBackend func(blockstore.Backend) blockstore.Backend
+	// Maintenance configures the online maintenance layer (reverse-
+	// rewriting re-dedup and crash-safe container merging); see
+	// MaintenanceOptions. The zero value leaves the layer off (manual
+	// MaintenanceEpoch calls still work on indexed engines).
+	Maintenance MaintenanceOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -258,26 +265,51 @@ type Store struct {
 	logical   int64
 	recipeSeq int
 	closed    bool
+
+	// Maintenance gating (see maint.go). maintMu is the foreground gate:
+	// ingests and restores hold it for read for their whole duration; the
+	// maintenance commit (and the exclusive legacy passes Compact/Repair)
+	// take it for write. maintOpMu serializes whole maintenance operations
+	// against each other. Lock order: maintMu before mu.
+	maintMu     sync.RWMutex
+	maintOpMu   sync.Mutex
+	maintPass   *maintenance.Pass
+	maintLoop   *maintenance.Scheduler
+	maintStatMu sync.Mutex        // guards maintTotal, maintEpochs
+	maintTotal  maintenance.Stats // cumulative across epochs
+	maintEpochs int
 }
 
 // Backup is one ingested stream: its recipe (needed to restore) plus the
-// measured statistics.
+// measured statistics. The recipe pointer is atomic: the maintenance pass
+// installs remapped recipes copy-on-write while restores keep reading the
+// snapshot they started with.
 type Backup struct {
 	Label      string
 	Stats      BackupStats
-	recipe     *chunk.Recipe
+	rec        atomic.Pointer[chunk.Recipe]
 	recipeFile string // file under Dir/recipes (durable backends only)
 }
 
+// newBackup builds a Backup around its recipe.
+func newBackup(label string, stats BackupStats, rec *chunk.Recipe) *Backup {
+	b := &Backup{Label: label, Stats: stats}
+	b.rec.Store(rec)
+	return b
+}
+
+// recipe returns the backup's current recipe snapshot.
+func (b *Backup) recipe() *chunk.Recipe { return b.rec.Load() }
+
 // Fragments returns the number of placement fragments of the backup —
 // the N of the paper's Eq. 1.
-func (b *Backup) Fragments() int { return b.recipe.Fragments() }
+func (b *Backup) Fragments() int { return b.recipe().Fragments() }
 
 // Chunks returns the number of chunk references in the backup's recipe.
-func (b *Backup) Chunks() int { return b.recipe.Len() }
+func (b *Backup) Chunks() int { return b.recipe().Len() }
 
 // WriteRecipe serializes the backup's recipe (see internal/trace format).
-func (b *Backup) WriteRecipe(w io.Writer) error { return trace.Save(w, b.recipe) }
+func (b *Backup) WriteRecipe(w io.Writer) error { return trace.Save(w, b.recipe()) }
 
 // buildBackend constructs the physical backend selected by opts, layering
 // the fault injector and retry wrapper when faults are configured.
@@ -410,6 +442,12 @@ func Open(opts Options) (*Store, error) {
 	if opts.RestoreCacheBytes > 0 {
 		s.eng.Containers().SetDataCache(opts.RestoreCacheBytes)
 	}
+	if opts.Maintenance.Enabled {
+		if err := s.initMaintenance(); err != nil {
+			be.Close() //nolint:errcheck // surfacing the construction error
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -449,11 +487,20 @@ func (s *Store) BackendName() string { return s.be.Name() }
 // the Store.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	// Stop the maintenance scheduler first: an epoch in flight is cancelled
+	// and drained, so nothing races the backend close below. (Cannot hold
+	// s.mu here — the epoch itself needs it to commit.)
+	if s.maintLoop != nil {
+		s.maintLoop.Stop()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	// Settle any container persists still draining in the background so the
 	// backend close (manifest checkpoint, WAL fold) sees the final state.
 	s.eng.Containers().WaitSeals()
@@ -504,7 +551,7 @@ func (s *Store) persistBackup(b *Backup) error {
 	name := fmt.Sprintf("%06d.recipe", s.recipeSeq)
 	s.recipeSeq++
 	var buf bytes.Buffer
-	if err := trace.Save(&buf, b.recipe); err != nil {
+	if err := trace.Save(&buf, b.recipe()); err != nil {
 		return err
 	}
 	if err := blockstore.WriteFileAtomic(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
@@ -537,7 +584,8 @@ func (s *Store) loadBackups() error {
 		if err != nil {
 			return fmt.Errorf("repro: recipe %s: %w", e.Recipe, err)
 		}
-		b := &Backup{Label: e.Label, Stats: e.Stats, recipe: rec, recipeFile: e.Recipe}
+		b := newBackup(e.Label, e.Stats, rec)
+		b.recipeFile = e.Recipe
 		s.backups = append(s.backups, b)
 		s.logical += e.Stats.LogicalBytes
 		var seq int
@@ -557,12 +605,14 @@ func (s *Store) Backup(ctx context.Context, label string, r io.Reader) (*Backup,
 	ctx, span := telemetry.StartSpan(ctx, "store.backup")
 	defer span.End()
 	telBackups.Inc()
+	s.maintMu.RLock()
+	defer s.maintMu.RUnlock()
 	rec, st, err := s.eng.Backup(ctx, label, r)
 	if err != nil {
 		return nil, err
 	}
 	span.SetSim(st.Duration)
-	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
+	b := newBackup(label, fromEngineStats(st), rec)
 	if err := s.commitBackup(b); err != nil {
 		return b, fmt.Errorf("repro: persisting backup %q: %w", label, err)
 	}
@@ -602,6 +652,8 @@ type StreamInput struct {
 func (s *Store) BackupStreams(ctx context.Context, inputs []StreamInput, concurrency int) ([]*Backup, BackupStats, error) {
 	ctx, span := telemetry.StartSpan(ctx, "store.backup_streams")
 	defer span.End()
+	s.maintMu.RLock()
+	defer s.maintMu.RUnlock()
 	streams := make([]engine.Stream, len(inputs))
 	for i, in := range inputs {
 		streams[i] = engine.Stream{Label: in.Label, R: in.Stream}
@@ -614,7 +666,7 @@ func (s *Store) BackupStreams(ctx context.Context, inputs []StreamInput, concurr
 			continue
 		}
 		telBackups.Inc()
-		b := &Backup{Label: inputs[i].Label, Stats: fromEngineStats(results[i].Stats), recipe: results[i].Recipe}
+		b := newBackup(inputs[i].Label, fromEngineStats(results[i].Stats), results[i].Recipe)
 		backups = append(backups, b)
 		if perr := s.commitBackup(b); perr != nil && err == nil {
 			err = fmt.Errorf("repro: persisting backup %q: %w", b.Label, perr)
@@ -646,12 +698,14 @@ func (s *Store) FindBackup(label string) *Backup {
 }
 
 // Forget drops a backup from the retained set. Its chunks stay on disk
-// until a later Compact finds them unreferenced (dedup stores cannot free
-// shared chunks eagerly — that is what retention-aware garbage collection
-// is for). Returns false if no backup has the label.
-func (s *Store) Forget(label string) bool {
+// until a later Compact or maintenance merge finds them unreferenced
+// (dedup stores cannot free shared chunks eagerly — that is what
+// retention-aware garbage collection is for). The result reports whether
+// the label existed and how much physical garbage the store now carries,
+// so callers can decide whether a compaction pass is worth scheduling.
+func (s *Store) Forget(label string) ForgetResult {
+	found := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i, b := range s.backups {
 		if b.Label == label {
 			s.backups = append(s.backups[:i:i], s.backups[i+1:]...)
@@ -662,10 +716,18 @@ func (s *Store) Forget(label string) bool {
 				}
 				s.saveBackupsManifest() //nolint:errcheck // next successful save repairs it
 			}
-			return true
+			found = true
+			break
 		}
 	}
-	return false
+	s.mu.Unlock()
+	res := ForgetResult{Found: found}
+	res.StoredBytes, res.DeadBytes = s.deadScan()
+	if res.StoredBytes > 0 {
+		res.DeadFraction = float64(res.DeadBytes) / float64(res.StoredBytes)
+		res.CompactRecommended = res.DeadFraction >= compactRecommendThreshold
+	}
+	return res
 }
 
 // RestorePolicy selects the restore cache replacement policy.
@@ -751,6 +813,8 @@ func (s *Store) RestoreWith(ctx context.Context, b *Backup, w io.Writer, opts Re
 	ctx, span := telemetry.StartSpan(ctx, "store.restore")
 	defer span.End()
 	telRestores.Inc()
+	s.maintMu.RLock()
+	defer s.maintMu.RUnlock()
 	if opts.CacheContainers <= 0 {
 		opts.CacheContainers = restore.DefaultConfig().CacheContainers
 	}
@@ -759,7 +823,7 @@ func (s *Store) RestoreWith(ctx context.Context, b *Backup, w io.Writer, opts Re
 	if opts.Policy == RestoreLRU && opts.Workers <= 1 && !opts.Coalesce && !opts.ChunkCache &&
 		opts.DecodeWorkers == 1 {
 		cfg := restore.Config{CacheContainers: opts.CacheContainers, Verify: opts.Verify}
-		st, err = restore.Run(ctx, s.eng.Containers(), b.recipe, cfg, w)
+		st, err = restore.Run(ctx, s.eng.Containers(), b.recipe(), cfg, w)
 	} else {
 		cfg := restore.PipelineConfig{
 			CacheContainers: opts.CacheContainers,
@@ -772,7 +836,7 @@ func (s *Store) RestoreWith(ctx context.Context, b *Backup, w io.Writer, opts Re
 		if opts.Policy == RestoreOPT {
 			cfg.Policy = restore.PolicyOPT
 		}
-		st, err = restore.RunPipelined(ctx, s.eng.Containers(), b.recipe, cfg, w)
+		st, err = restore.RunPipelined(ctx, s.eng.Containers(), b.recipe(), cfg, w)
 	}
 	if err != nil {
 		return RestoreStats{}, err
@@ -789,7 +853,9 @@ func (s *Store) RestoreFAA(ctx context.Context, b *Backup, w io.Writer, areaByte
 	ctx, span := telemetry.StartSpan(ctx, "store.restore")
 	defer span.End()
 	telRestores.Inc()
-	st, err := restore.RunFAA(ctx, s.eng.Containers(), b.recipe, restore.FAAConfig{AreaBytes: areaBytes, Verify: verify}, w)
+	s.maintMu.RLock()
+	defer s.maintMu.RUnlock()
+	st, err := restore.RunFAA(ctx, s.eng.Containers(), b.recipe(), restore.FAAConfig{AreaBytes: areaBytes, Verify: verify}, w)
 	if err != nil {
 		return RestoreStats{}, err
 	}
@@ -870,7 +936,15 @@ func (s *Store) Compact(ctx context.Context, threshold float64) (CompactStats, e
 	ctx, span := telemetry.StartSpan(ctx, "store.compact")
 	defer span.End()
 	telCompacts.Inc()
-	type indexed interface{ Index() *cindex.Index }
+	// Compact is a maintenance operation and keeps the legacy fully-
+	// exclusive contract: it serializes against maintenance epochs
+	// (maintOpMu) and excludes all foreground streams for its whole run —
+	// its chunk moves go through the store frontier writer, which cannot
+	// tolerate concurrent reserve-mode writers.
+	s.maintOpMu.Lock()
+	defer s.maintOpMu.Unlock()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	eng, ok := s.eng.(indexed)
 	if !ok {
 		return CompactStats{}, fmt.Errorf("repro: engine %s does not support compaction", s.eng.Name())
@@ -909,6 +983,8 @@ func (r CheckReport) OK() bool { return len(r.Problems) == 0 }
 // all referenced chunk content and requires Options.StoreData. Check
 // charges no simulated time.
 func (s *Store) Check(ctx context.Context, verifyData bool) (CheckReport, error) {
+	s.maintMu.RLock()
+	defer s.maintMu.RUnlock()
 	var index *cindex.Index
 	if eng, ok := s.eng.(interface{ Index() *cindex.Index }); ok {
 		index = eng.Index()
@@ -949,6 +1025,10 @@ type RepairReport struct {
 // backups that referenced them are dropped from the retained set and
 // reported. After a successful Repair, Check is clean.
 func (s *Store) Repair(ctx context.Context, verifyData bool) (RepairReport, error) {
+	s.maintOpMu.Lock()
+	defer s.maintOpMu.Unlock()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	var drop fsck.IndexDropper
 	if d, ok := s.eng.(fsck.IndexDropper); ok {
 		drop = d
@@ -994,7 +1074,7 @@ func (s *Store) snapshotRecipes() []*chunk.Recipe {
 	defer s.mu.RUnlock()
 	recipes := make([]*chunk.Recipe, len(s.backups))
 	for i, b := range s.backups {
-		recipes[i] = b.recipe
+		recipes[i] = b.recipe()
 	}
 	return recipes
 }

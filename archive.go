@@ -18,11 +18,11 @@ import (
 // it carries placement metadata only (timing experiments can resume, but
 // content restores cannot).
 func (s *Store) Export(ctx context.Context, dir string) error {
-	recipes := make([]*chunk.Recipe, len(s.backups))
-	for i, b := range s.backups {
-		recipes[i] = b.recipe
-	}
-	return archive.Export(ctx, dir, s.eng.Containers(), recipes)
+	// Export is a foreground reader: hold maintenance out so the container
+	// set cannot shift (merges drop containers) mid-walk.
+	s.maintMu.RLock()
+	defer s.maintMu.RUnlock()
+	return archive.Export(ctx, dir, s.eng.Containers(), s.snapshotRecipes())
 }
 
 // Archive is a read-only store loaded from an exported directory: its
@@ -42,7 +42,7 @@ func OpenArchive(ctx context.Context, dir string) (*Archive, error) {
 	}
 	a := &Archive{store: store}
 	for _, rec := range recipes {
-		a.backups = append(a.backups, &Backup{Label: rec.Label, recipe: rec})
+		a.backups = append(a.backups, newBackup(rec.Label, BackupStats{}, rec))
 	}
 	return a, nil
 }
@@ -56,7 +56,7 @@ func (a *Archive) Backups() []*Backup { return a.backups }
 func (a *Archive) Restore(ctx context.Context, b *Backup, w io.Writer, verify bool) (RestoreStats, error) {
 	cfg := restore.DefaultConfig()
 	cfg.Verify = verify
-	st, err := restore.Run(ctx, a.store, b.recipe, cfg, w)
+	st, err := restore.Run(ctx, a.store, b.recipe(), cfg, w)
 	if err != nil {
 		return RestoreStats{}, err
 	}
@@ -67,7 +67,7 @@ func (a *Archive) Restore(ctx context.Context, b *Backup, w io.Writer, verify bo
 func (a *Archive) Check(ctx context.Context, verifyData bool) (CheckReport, error) {
 	recipes := make([]*chunk.Recipe, len(a.backups))
 	for i, b := range a.backups {
-		recipes[i] = b.recipe
+		recipes[i] = b.recipe()
 	}
 	rep, err := fsck.Check(ctx, a.store, nil, recipes, verifyData)
 	if err != nil {

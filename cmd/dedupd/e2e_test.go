@@ -17,6 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/workload"
 )
 
 // The e2e tests below need a real dedupd process so they can kill it
@@ -248,6 +249,103 @@ func TestE2EKillMidIngest(t *testing.T) {
 	<-uploadErr  // connection dies with the server; error content irrelevant
 
 	reopenAndAudit(t, dir, map[string][]byte{"gen-complete": done})
+}
+
+// postMaintenance asks the server for one maintenance epoch. A transport
+// error is returned as-is: when a crash point is armed the process dies
+// mid-request and the dead connection is the expected signal.
+func postMaintenance(p *dedupdProc) error {
+	resp, err := http.Post(p.url("/v1/maintenance"), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck // status is the signal
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("maintenance: status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// TestE2EKillMidMerge arms a blockstore crash point and drives the online
+// maintenance layer until an epoch reaches the crash-safe container drop,
+// at which instant the process exits uncleanly — after the merge intent is
+// durable but before (merge-intent) or halfway through (merge-files) the
+// destructive file deletes. Reopening must replay the WAL to a fsck-clean
+// store with every committed backup restoring bit-identically: the drop
+// commit ordering (recipes stop referencing victims durably before the
+// intent) is what makes any crash instant safe.
+func TestE2EKillMidMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	for _, point := range []string{"merge-intent", "merge-files"} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			p := startDedupd(t, dir,
+				"-alpha", "0.3", // more DeFrag rewrites → more superseded copies to merge
+				"-crash.point", point,
+				"-maintenance.util", "0.95",
+				"-maintenance.fill", "0.95",
+				"-maintenance.sparse", "0.9",
+				"-maintenance.batch", "64",
+			)
+
+			// Mutating generations of one synthetic file system: dedup plus
+			// DeFrag rewrites leave older containers partly superseded, which
+			// is what maintenance merges away.
+			cfg := workload.DefaultConfig(99)
+			cfg.NumFiles = 8
+			cfg.MeanFileSize = 384 << 10
+			sched, err := workload.NewSingle(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[string][]byte)
+			upload := func() {
+				t.Helper()
+				bk := sched.Next()
+				data, err := io.ReadAll(bk.Stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := uploadBackup(p, bk.Label, data); err != nil {
+					t.Fatal(err)
+				}
+				want[bk.Label] = data
+			}
+			for i := 0; i < 4; i++ {
+				upload()
+			}
+
+			// Keep alternating epochs and fresh generations until one epoch
+			// selects victims and walks into the armed crash point. The POST
+			// dying on a broken connection is the success signal.
+			crashed := false
+			for round := 0; round < 10 && !crashed; round++ {
+				if err := postMaintenance(p); err != nil {
+					crashed = true
+					break
+				}
+				upload()
+			}
+			if !crashed {
+				t.Fatal("no maintenance epoch reached a container drop; crash point never fired")
+			}
+			waited := make(chan struct{})
+			go func() {
+				p.cmd.Wait() //nolint:errcheck // crash is the point
+				close(waited)
+			}()
+			select {
+			case <-waited:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("server did not exit after crash point %s", point)
+			}
+
+			reopenAndAudit(t, dir, want)
+		})
+	}
 }
 
 // TestE2ECrashAfterIngest exercises the deterministic -crash.after

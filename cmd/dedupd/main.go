@@ -10,8 +10,8 @@
 //	dedupd -addr 127.0.0.1:8080 -engine defrag -backend file -store.dir /tmp/st
 //
 // Endpoints: POST /v1/backups/{label}, GET /v1/backups[/{label}[/restore]],
-// DELETE /v1/backups/{label}, POST /v1/compact|check|repair, GET /v1/stats,
-// GET /healthz. See README "Serving".
+// DELETE /v1/backups/{label}, POST /v1/compact|check|repair|maintenance,
+// GET /v1/stats, GET /healthz. See README "Serving".
 //
 // SIGINT/SIGTERM triggers a graceful drain: new requests get 503, in-flight
 // ingests are cancelled at a segment boundary (the store stays fsck-clean),
@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/blockstore"
 	"repro/internal/cli"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
@@ -59,6 +60,12 @@ type serverParams struct {
 	tenantBWMBps   float64
 	drainTimeout   time.Duration
 	crashAfter     int
+	// crashPoint arms a named blockstore crash point (see
+	// internal/blockstore): the process exits uncleanly the next time the
+	// backend passes it. Crash-recovery testing only.
+	crashPoint string
+
+	maint repro.MaintenanceOptions
 }
 
 func realMain() error {
@@ -86,6 +93,14 @@ func realMain() error {
 	flag.Float64Var(&p.tenantBWMBps, "tenant.bw.mbps", 0, "per-tenant aggregate upload bandwidth cap in MB/s (0 = unlimited)")
 	flag.DurationVar(&p.drainTimeout, "drain.timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	flag.IntVar(&p.crashAfter, "crash.after", 0, "exit without closing the store after N committed ingests (crash-recovery testing, like dedupsim's)")
+	flag.StringVar(&p.crashPoint, "crash.point", "", "arm a named blockstore crash point (merge-intent, merge-files); the process exits uncleanly when the backend passes it (crash-recovery testing)")
+	flag.BoolVar(&p.maint.Enabled, "maintenance.enabled", false, "start the online maintenance layer (reverse-rewriting re-dedup + container merge) with the store")
+	flag.DurationVar(&p.maint.Interval, "maintenance.interval", 0, "background maintenance epoch period (0 = on-demand only, via POST /v1/maintenance)")
+	flag.Float64Var(&p.maint.UtilThreshold, "maintenance.util", 0, "merge sealed containers with live fraction below this (0 = default 0.5)")
+	flag.Float64Var(&p.maint.FillThreshold, "maintenance.fill", 0, "reverse-remap from containers filled below this fraction (0 = default 0.5)")
+	flag.Float64Var(&p.maint.SparseThreshold, "maintenance.sparse", 0, "merge containers the latest backup uses below this fraction (0 = default 0.25)")
+	flag.IntVar(&p.maint.MaxBatch, "maintenance.batch", 0, "max containers merged per maintenance epoch (0 = default 8)")
+	flag.Float64Var(&p.maint.ThrottleMBps, "maintenance.throttle.mbps", 0, "wall-clock pacing of maintenance data movement in MB/s (0 = unthrottled)")
 
 	flag.IntVar(&lg.tenants, "loadgen.tenants", 4, "loadgen: concurrent tenant streams")
 	flag.IntVar(&lg.gens, "loadgen.gens", 3, "loadgen: backup generations per tenant")
@@ -153,6 +168,10 @@ func runServer(p serverParams) error {
 	if err != nil {
 		return err
 	}
+	if p.crashPoint != "" {
+		blockstore.SetCrashPoint(p.crashPoint)
+		telemetry.Logger().Warn("crash point armed", "point", p.crashPoint)
+	}
 	store, err := repro.Open(repro.Options{
 		Engine:            kind,
 		Alpha:             p.alpha,
@@ -162,6 +181,7 @@ func runServer(p serverParams) error {
 		Backend:           bkind,
 		Dir:               p.storeDir,
 		RestoreCacheBytes: p.restoreCacheMB << 20,
+		Maintenance:       p.maint,
 	})
 	if err != nil {
 		return err

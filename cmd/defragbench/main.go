@@ -15,6 +15,7 @@
 //	defragbench -json > bench.jsonl    # one JSONL record per generation
 //	defragbench -multistream BENCH_PR2.json   # multi-stream scaling sweep
 //	defragbench -restorebench BENCH_PR3.json  # restore strategy sweep (LRU/OPT/FAA/pipelined)
+//	defragbench -maintbench BENCH_PR9.json    # online maintenance restore-of-latest curve
 package main
 
 import (
@@ -49,6 +50,7 @@ func realMain() error {
 		msOut     = flag.String("multistream", "", "run the multi-stream scaling benchmark and write JSON to this file (\"-\" = stdout)")
 		streams   = flag.String("streams", "1,2,4,8", "comma-separated concurrency levels for -multistream")
 		rbOut     = flag.String("restorebench", "", "run the restore strategy sweep (LRU/OPT/FAA/pipelined per generation) and write JSON to this file (\"-\" = stdout)")
+		mbOut     = flag.String("maintbench", "", "run the maintenance benchmark (restore-of-latest vs generation, with and without the online pass) and write JSON to this file (\"-\" = stdout)")
 		rWorkers  = flag.Int("restore.workers", 8, "prefetch lanes for the pipelined restore (-restorebench and -json restores)")
 		rCache    = flag.Int("restore.cache", 0, "restore cache capacity in containers (0 = restore default, 8)")
 		telAddr   = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
@@ -77,6 +79,9 @@ func realMain() error {
 
 	if *rbOut != "" {
 		return emitRestoreBench(cfg, *engine, *rCache, *rWorkers, *rbOut)
+	}
+	if *mbOut != "" {
+		return emitMaintBench(cfg, *mbOut)
 	}
 	if *msOut != "" {
 		return emitMultiStream(cfg, *engine, *streams, *msOut)
@@ -124,6 +129,27 @@ func emitRestoreBench(cfg repro.ExperimentConfig, engineName string, cache, work
 		w = f
 	}
 	return repro.WriteRestoreBenchJSON(w, bench)
+}
+
+// emitMaintBench runs the maintenance benchmark — the same mutating
+// workload ingested into a maintained and an unmaintained DeFrag store,
+// restore-of-latest measured every generation — and writes the JSON result
+// (BENCH_PR9.json's format) to out.
+func emitMaintBench(cfg repro.ExperimentConfig, out string) error {
+	bench, err := repro.RunMaintBench(cfg, repro.MaintenanceOptions{})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return repro.WriteMaintBenchJSON(w, bench)
 }
 
 // emitMultiStream runs the multi-stream scaling benchmark — the same

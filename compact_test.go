@@ -95,10 +95,10 @@ func TestForgetEnablesReclaim(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !s.Forget("g00") || !s.Forget("g01") || !s.Forget("g02") {
+	if !s.Forget("g00").Found || !s.Forget("g01").Found || !s.Forget("g02").Found {
 		t.Fatal("Forget failed")
 	}
-	if s.Forget("g00") {
+	if s.Forget("g00").Found {
 		t.Fatal("double Forget should report absence")
 	}
 	if len(s.Backups()) != 3 {

@@ -244,7 +244,7 @@ func TestForgetCompactCheckOnDataStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	datas := ingestGens(t, s, 55, 5)
-	if !s.Forget("gen00") && !s.Forget(s.Backups()[0].Label) {
+	if !s.Forget("gen00").Found && !s.Forget(s.Backups()[0].Label).Found {
 		t.Fatal("Forget failed")
 	}
 	want := datas[1:]

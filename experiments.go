@@ -158,7 +158,7 @@ func ingest(eng engine.Engine, sched workload.Schedule) (engine.BackupStats, *Ba
 	if err != nil {
 		return engine.BackupStats{}, nil, err
 	}
-	return st, &Backup{Label: b.Label, Stats: fromEngineStats(st), recipe: rec}, nil
+	return st, newBackup(b.Label, fromEngineStats(st), rec), nil
 }
 
 // RunFigure2 regenerates the paper's Fig. 2: the degradation of DDFS-Like

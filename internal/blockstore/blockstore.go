@@ -92,6 +92,17 @@ type Quarantiner interface {
 	Quarantine(ctx context.Context, id uint32, reason string) error
 }
 
+// Dropper is implemented by backends that can atomically remove a batch of
+// containers whose live chunks were first copied elsewhere (container
+// merge). Unlike Quarantine the bytes are reclaimed, not preserved. On
+// durable backends the whole batch commits through one fsync'd intent
+// record: either the drop never happened (every id still listed and
+// readable) or it completes — by the call itself, or by WAL roll-forward
+// when a crashed process reopens the store mid-deletion.
+type Dropper interface {
+	Drop(ctx context.Context, ids []uint32, reason string) error
+}
+
 // transientErr marks an error as transient: the operation may succeed if
 // retried (see WithRetry).
 type transientErr struct{ err error }
@@ -129,6 +140,10 @@ var ErrClosed = errors.New("blockstore: backend closed")
 // ErrNoQuarantine is returned when repair needs to quarantine a container
 // but the backend cannot.
 var ErrNoQuarantine = errors.New("blockstore: backend does not support quarantine")
+
+// ErrNoDrop is returned when a container merge needs to reclaim containers
+// but the backend cannot drop them atomically.
+var ErrNoDrop = errors.New("blockstore: backend does not support drop")
 
 // ReadDataRangeNaive implements ReadDataRange by looping ReadData — the
 // correct (if uncoalesced) fallback shared by backend implementations.

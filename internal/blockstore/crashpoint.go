@@ -1,0 +1,44 @@
+package blockstore
+
+import (
+	"os"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Crash points let recovery tests kill the process at precisely the worst
+// moments of a multi-step durable operation — between an intent record's
+// fsync and the destructive work it authorizes, or halfway through that
+// work. They model a SIGKILL: the process exits immediately, with no
+// manifest checkpoint, WAL fold, or deferred cleanup. Production code never
+// arms them; the dedupd e2e crash tests do, via a flag on the re-exec'd
+// child.
+const (
+	// CrashMergeIntent fires after a container-merge intent record is
+	// durably in the WAL but before any victim file is deleted.
+	CrashMergeIntent = "merge-intent"
+	// CrashMergeFiles fires after the first victim's files are deleted,
+	// mid-way through the merge's destructive phase.
+	CrashMergeFiles = "merge-files"
+)
+
+var armedCrashPoint atomic.Pointer[string]
+
+// SetCrashPoint arms one named crash point ("" disarms). The next time the
+// backend passes that point the process exits without cleanup.
+func SetCrashPoint(name string) {
+	if name == "" {
+		armedCrashPoint.Store(nil)
+		return
+	}
+	armedCrashPoint.Store(&name)
+}
+
+// maybeCrash exits the process if the named point is armed.
+func maybeCrash(name string) {
+	if p := armedCrashPoint.Load(); p != nil && *p == name {
+		telemetry.Logger().Warn("simulating crash at point", "point", name)
+		os.Exit(0)
+	}
+}

@@ -75,15 +75,20 @@ type manifestEntry struct {
 	End      int64  `json:"end"`
 }
 
-// walRecord is one fsync'd line in wal.jsonl. Op is "seal" (default) or
-// "drop" (quarantine tombstone).
+// walRecord is one fsync'd line in wal.jsonl. Op is "seal" (default),
+// "drop" (quarantine tombstone), or "merge" — a container-merge intent
+// whose Victims are reclaimed as a unit. A durable merge record is the
+// commit point of the drop: replay rolls it forward (table entries removed,
+// remaining files deleted) even if the process died mid-deletion.
 type walRecord struct {
-	Seq      uint64 `json:"seq"`
-	Op       string `json:"op,omitempty"`
-	ID       uint32 `json:"id"`
-	Start    int64  `json:"start"`
-	DataFill int64  `json:"dataFill"`
-	End      int64  `json:"end"`
+	Seq      uint64   `json:"seq"`
+	Op       string   `json:"op,omitempty"`
+	ID       uint32   `json:"id"`
+	Start    int64    `json:"start"`
+	DataFill int64    `json:"dataFill"`
+	End      int64    `json:"end"`
+	Victims  []uint32 `json:"victims,omitempty"`
+	Reason   string   `json:"reason,omitempty"`
 }
 
 // OpenFile opens (or initialises) a directory-backed store rooted at dir.
@@ -98,6 +103,15 @@ func OpenFile(dir string, storesData bool) (*File, error) {
 	f := &File{dir: dir, storesData: storesData, infos: make(map[uint32]ContainerInfo)}
 	f.quiet = sync.NewCond(&f.mu)
 
+	// The WAL is scanned before the manifest is materialised: a "merge"
+	// intent past the checkpoint means its victims' files may already be
+	// gone, so their manifest entries (and earlier seal records) must not be
+	// loaded at all.
+	recs, err := f.scanWAL()
+	if err != nil {
+		return nil, err
+	}
+
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	switch {
 	case err == nil:
@@ -111,22 +125,56 @@ func OpenFile(dir string, storesData bool) (*File, error) {
 		f.storesData = m.StoresData
 		f.checkpoint = m.Checkpoint
 		f.walSeq = m.Checkpoint
+
+		// dropped[id] = latest WAL sequence past the checkpoint at which the
+		// container was dropped or merged away.
+		dropped := make(map[uint32]uint64)
+		for _, rec := range recs {
+			if rec.Seq <= f.checkpoint {
+				continue
+			}
+			switch rec.Op {
+			case "drop":
+				dropped[rec.ID] = rec.Seq
+			case "merge":
+				for _, id := range rec.Victims {
+					dropped[id] = rec.Seq
+				}
+			}
+		}
 		for _, e := range m.Containers {
+			if _, gone := dropped[e.ID]; gone {
+				continue
+			}
 			info, err := f.loadInfo(e.ID, e.Start, e.DataFill, e.End)
 			if err != nil {
 				return nil, err
 			}
 			f.infos[e.ID] = info
 		}
+		if err := f.replayWAL(recs, dropped); err != nil {
+			return nil, err
+		}
 	case errors.Is(err, fs.ErrNotExist):
-		// fresh store
+		// fresh store: replay everything the WAL holds
+		dropped := make(map[uint32]uint64)
+		for _, rec := range recs {
+			switch rec.Op {
+			case "drop":
+				dropped[rec.ID] = rec.Seq
+			case "merge":
+				for _, id := range rec.Victims {
+					dropped[id] = rec.Seq
+				}
+			}
+		}
+		if err := f.replayWAL(recs, dropped); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, err
 	}
 
-	if err := f.replayWAL(); err != nil {
-		return nil, err
-	}
 	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -135,21 +183,22 @@ func OpenFile(dir string, storesData bool) (*File, error) {
 	return f, nil
 }
 
-// replayWAL applies wal.jsonl records newer than the manifest checkpoint.
-// A torn final line (crash mid-append) is ignored; anything torn *before*
-// a complete line means real corruption and is reported.
-func (f *File) replayWAL() error {
+// scanWAL decodes wal.jsonl into records without applying them. A torn
+// final line (crash mid-append) is ignored; anything torn *before* a
+// complete line means real corruption and is reported.
+func (f *File) scanWAL() ([]walRecord, error) {
 	walPath := filepath.Join(f.dir, walName)
 	wf, err := os.Open(walPath)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil
+		return nil, nil
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer wf.Close()
 	sc := bufio.NewScanner(wf)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var recs []walRecord
 	var torn bool
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -162,25 +211,59 @@ func (f *File) replayWAL() error {
 			continue
 		}
 		if torn {
-			return Corruptf("file backend: wal record after torn line")
+			return nil, Corruptf("file backend: wal record after torn line")
 		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// replayWAL applies records newer than the manifest checkpoint. dropped
+// maps container IDs to the sequence of the record that removed them: a
+// seal superseded by a later drop/merge is skipped entirely (its files may
+// no longer exist), and a merge intent is rolled forward — the remaining
+// victim files are deleted, making a crash at any point of Drop idempotent.
+func (f *File) replayWAL(recs []walRecord, dropped map[uint32]uint64) error {
+	for _, rec := range recs {
 		if rec.Seq <= f.checkpoint {
 			continue // already folded into the manifest
 		}
 		if rec.Seq > f.walSeq {
 			f.walSeq = rec.Seq
 		}
-		if rec.Op == "drop" {
+		switch rec.Op {
+		case "drop":
 			delete(f.infos, rec.ID)
-			continue
+		case "merge":
+			for _, id := range rec.Victims {
+				delete(f.infos, id)
+				if err := f.removeContainerFiles(id); err != nil {
+					return err
+				}
+			}
+		default: // seal
+			if dseq, gone := dropped[rec.ID]; gone && dseq > rec.Seq {
+				continue
+			}
+			info, err := f.loadInfo(rec.ID, rec.Start, rec.DataFill, rec.End)
+			if err != nil {
+				return err
+			}
+			f.infos[rec.ID] = info
 		}
-		info, err := f.loadInfo(rec.ID, rec.Start, rec.DataFill, rec.End)
-		if err != nil {
+	}
+	return nil
+}
+
+// removeContainerFiles deletes a container's meta/data files, tolerating
+// files already gone (merge roll-forward re-runs after a crash).
+func (f *File) removeContainerFiles(id uint32) error {
+	for _, p := range []string{f.metaPath(id), f.dataPath(id)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
-		f.infos[rec.ID] = info
 	}
-	return sc.Err()
+	return nil
 }
 
 // loadInfo materialises a container table entry, parsing its fsync'd
@@ -405,6 +488,59 @@ func (f *File) Close() error {
 	}
 	f.closed = true
 	return err
+}
+
+// Drop reclaims a batch of merged-away containers. The commit point is one
+// fsync'd WAL "merge" intent record: before it lands, the drop never
+// happened and every victim stays listed and readable; after it lands the
+// drop is guaranteed to complete — the victims' files are deleted and the
+// manifest checkpointed by this call, or by WAL roll-forward when a crashed
+// process reopens the store (see replayWAL). Callers must have copied any
+// still-live chunks out of the victims first.
+func (f *File) Drop(ctx context.Context, ids []uint32, reason string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.quiesceLocked()
+	for _, id := range ids {
+		if _, ok := f.infos[id]; !ok {
+			return fmt.Errorf("file backend: drop: container %d not sealed", id)
+		}
+	}
+	f.walSeq++
+	rec := walRecord{Seq: f.walSeq, Op: "merge", Victims: ids, Reason: reason}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := f.wal.Write(line); err != nil {
+		return err
+	}
+	if err := f.wal.Sync(); err != nil {
+		return err
+	}
+	// The intent is durable: from here the drop completes, by us now or by
+	// roll-forward on the next open.
+	maybeCrash(CrashMergeIntent)
+	for i, id := range ids {
+		delete(f.infos, id)
+		if err := f.removeContainerFiles(id); err != nil {
+			return err
+		}
+		if i == 0 {
+			maybeCrash(CrashMergeFiles)
+		}
+	}
+	return f.syncLocked()
 }
 
 // Quarantine moves a container's files into quarantine/ alongside a reason

@@ -123,3 +123,14 @@ func (r *Retry) Quarantine(ctx context.Context, id uint32, reason string) error 
 	}
 	return ErrNoQuarantine
 }
+
+// Drop passes through when the inner backend supports it. It is not
+// retried: the inner Drop either failed before its intent record (nothing
+// happened, the maintenance pass will reclaim the batch next epoch) or the
+// intent is durable and recovery completes it.
+func (r *Retry) Drop(ctx context.Context, ids []uint32, reason string) error {
+	if d, ok := r.inner.(Dropper); ok {
+		return d.Drop(ctx, ids, reason)
+	}
+	return ErrNoDrop
+}

@@ -122,6 +122,30 @@ func (s *Sim) Quarantine(ctx context.Context, id uint32, reason string) error {
 	return nil
 }
 
+// Drop removes a batch of merged-away containers from the live set. The
+// in-memory store needs no intent record: map deletes are atomic under the
+// lock and nothing survives a crash anyway.
+func (s *Sim) Drop(ctx context.Context, ids []uint32, reason string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, id := range ids {
+		if _, ok := s.infos[id]; !ok {
+			return fmt.Errorf("sim backend: drop: container %d not sealed", id)
+		}
+	}
+	for _, id := range ids {
+		delete(s.infos, id)
+		delete(s.data, id)
+	}
+	return nil
+}
+
 func cloneInfo(info ContainerInfo) ContainerInfo {
 	out := info
 	out.Entries = make([]ChunkMeta, len(info.Entries))

@@ -80,6 +80,8 @@ var (
 		"coalesced multi-container sequential data reads (restore extent fetches)")
 	telQuarantined = telemetry.NewCounter("container_quarantined_total",
 		"containers quarantined by repair")
+	telDropped = telemetry.NewCounter("container_dropped_total",
+		"containers dropped after a merge reclaimed them")
 )
 
 // Config sizes the container geometry.
@@ -400,6 +402,55 @@ func (s *Store) Quarantine(ctx context.Context, id uint32, reason string) error 
 	s.sealed[id] = Info{ID: id}
 	s.mu.Unlock()
 	telQuarantined.Inc()
+	return nil
+}
+
+// Drop removes a batch of merged-away containers from the live directory
+// and asks the backend to reclaim their bytes atomically (one durable
+// intent record on the file backend — see blockstore.Dropper). The IDs
+// become unsealed holes exactly like quarantined ones: Sealed turns false
+// and reads panic, so the caller must first have repointed every index
+// entry and recipe reference at the surviving copies. The maintenance
+// container-merge path is the only caller.
+func (s *Store) Drop(ctx context.Context, ids []uint32, reason string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	d, ok := s.be.(blockstore.Dropper)
+	if !ok {
+		return blockstore.ErrNoDrop
+	}
+	s.mu.Lock()
+	for _, id := range ids {
+		if int(id) >= len(s.sealed) || !s.sealedOK[id] {
+			s.mu.Unlock()
+			return fmt.Errorf("container: drop: id %d not sealed", id)
+		}
+	}
+	s.mu.Unlock()
+	// Settle any in-flight persists of the victims so the backend sees them.
+	for _, id := range ids {
+		if err := s.awaitSeal(ctx, id); err != nil {
+			return err
+		}
+	}
+	if err := d.Drop(ctx, ids, reason); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	for _, id := range ids {
+		s.sealedOK[id] = false
+		s.nSealed--
+		s.liveBytes[id] = 0
+		s.sealed[id] = Info{ID: id}
+	}
+	s.mu.Unlock()
+	if c := s.DataCache(); c != nil {
+		for _, id := range ids {
+			c.Invalidate(id)
+		}
+	}
+	telDropped.Add(int64(len(ids)))
 	return nil
 }
 
@@ -919,6 +970,43 @@ func (s *Store) MarkDead(id uint32, n int64) {
 			telDeadBytes.Add(n)
 		}
 	}
+}
+
+// LiveBytes returns the data bytes of container id not yet superseded
+// (checker/maintenance bookkeeping; 0 for unsealed holes).
+func (s *Store) LiveBytes(id uint32) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.sealed) || !s.sealedOK[id] {
+		return 0
+	}
+	return s.liveBytes[id]
+}
+
+// LiveFraction returns the live fraction of container id's data section —
+// the per-container utilization the maintenance policies select victims by.
+// Empty or unsealed containers report 1 (nothing reclaimable).
+func (s *Store) LiveFraction(id uint32) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.sealed) || !s.sealedOK[id] || s.sealed[id].DataFill == 0 {
+		return 1
+	}
+	return float64(s.liveBytes[id]) / float64(s.sealed[id].DataFill)
+}
+
+// DeadBytes returns the total superseded bytes across sealed containers —
+// the reclaimable garbage a compaction pass would free.
+func (s *Store) DeadBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dead int64
+	for i := range s.sealed {
+		if s.sealedOK[i] {
+			dead += s.sealed[i].DataFill - s.liveBytes[i]
+		}
+	}
+	return dead
 }
 
 // Utilization returns the fraction of stored data bytes still live across

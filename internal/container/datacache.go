@@ -335,6 +335,34 @@ func (c *DataCache) await(ctx context.Context, id uint32, e *dcEntry) ([]byte, f
 	return e.data, func() { c.release(id, e) }, nil
 }
 
+// Invalidate discards container id's residency, if any. A pinned entry is
+// marked gone instead of freed: holders keep their (immutable) bytes and
+// the final release discards the entry rather than re-idling it. The store
+// calls this when a container is dropped or quarantined, so the cache never
+// serves bytes for an id the directory no longer seals. A still-loading
+// entry is left alone — its load will fail against the vanished container
+// and the error path already drops it.
+func (c *DataCache) Invalidate(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.live[id]
+	if !ok {
+		return
+	}
+	select {
+	case <-e.ready:
+	default:
+		return
+	}
+	if e.refs == 0 {
+		c.idle.Remove(id)
+	}
+	e.gone = true
+	delete(c.live, id)
+	c.bytes -= int64(len(e.data))
+	telSharedBytes.Set(float64(c.bytes))
+}
+
 // release drops one pin; the last release makes the entry evictable.
 func (c *DataCache) release(id uint32, e *dcEntry) {
 	c.mu.Lock()

@@ -93,6 +93,9 @@ func Collect(ctx context.Context, store *container.Store, index *cindex.Index, r
 	}
 	lastID := uint32(n - 1)
 	for id := uint32(0); id < uint32(n); id++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if !store.Sealed(id) {
 			continue // quarantined or never sealed: nothing to scan
 		}
@@ -112,7 +115,18 @@ func Collect(ctx context.Context, store *container.Store, index *cindex.Index, r
 	// surviving locality is preserved. Reading the container data section
 	// and writing the moved chunks both charge the clock.
 	moved := make(map[copyKey]chunk.Location, 1024)
+	var aborted error
 	for id := uint32(0); id <= lastID; id++ {
+		if err := ctx.Err(); err != nil {
+			// Abort between containers, but fall through to the seal,
+			// index-flush and recipe-patch tail below: chunks already moved
+			// must become durable and every structure that names them must
+			// agree before we surface the cancellation, so a cancelled
+			// Collect leaves the store exactly as consistent as a completed
+			// one (just with fewer containers processed).
+			aborted = err
+			break
+		}
 		if !collect[id] {
 			continue
 		}
@@ -164,7 +178,9 @@ func Collect(ctx context.Context, store *container.Store, index *cindex.Index, r
 		store.MarkDead(id, total)
 		res.ContainersCollected++
 	}
-	if err := store.Flush(ctx); err != nil {
+	// Seal outside the request context: the moves above must land even
+	// when the abort reason is a cancelled ctx.
+	if err := store.Flush(context.WithoutCancel(ctx)); err != nil {
 		return res, fmt.Errorf("gc: sealing moved chunks: %w", err)
 	}
 	index.Flush()
@@ -179,5 +195,5 @@ func Collect(ctx context.Context, store *container.Store, index *cindex.Index, r
 			}
 		}
 	}
-	return res, nil
+	return res, aborted
 }

@@ -3,6 +3,7 @@ package gc
 import (
 	"bytes"
 	"context"
+	"sync"
 	"testing"
 
 	"repro/internal/chunk"
@@ -187,4 +188,168 @@ func mustWrite(s *container.Store, c chunk.Chunk, seg uint64) chunk.Location {
 		panic(err)
 	}
 	return loc
+}
+
+func TestZeroRecipesCollectsNonAuthoritative(t *testing.T) {
+	// No retained recipes at all: only index-authoritative copies survive.
+	s, ix := rig(t, true)
+	fpKeep, locKeep := put(s, ix, bytes.Repeat([]byte{4}, 900), 1)
+	cDead := chunk.New(bytes.Repeat([]byte{5}, 900))
+	mustWrite(s, cDead, 1) // never indexed: garbage from birth
+	s.Flush(context.Background())
+
+	res, err := Collect(context.Background(), s, ix, nil, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCollected != 1 || res.ChunksMoved != 1 {
+		t.Fatalf("zero-recipe collect: %+v", res)
+	}
+	if res.RecipeRefsPatched != 0 {
+		t.Fatalf("patched recipe refs with no recipes: %+v", res)
+	}
+	loc, ok := ix.Peek(fpKeep)
+	if !ok || loc == locKeep {
+		t.Fatalf("authoritative copy not repointed: %v", loc)
+	}
+	if got, err := s.ReadChunk(context.Background(), loc); err != nil || !bytes.Equal(got, bytes.Repeat([]byte{4}, 900)) {
+		t.Fatalf("moved authoritative copy unreadable: %v", err)
+	}
+}
+
+func TestAllDeadStoreReclaimsEverything(t *testing.T) {
+	// Every copy superseded and no retention: collection moves nothing and
+	// reclaims every byte.
+	s, ix := rig(t, true)
+	var fps []chunk.Fingerprint
+	for i := 0; i < 4; i++ {
+		fp, _ := put(s, ix, bytes.Repeat([]byte{byte(i + 1)}, 900), 1)
+		fps = append(fps, fp)
+	}
+	s.Flush(context.Background())
+	for _, fp := range fps {
+		ix.Delete(fp)
+	}
+	res, err := Collect(context.Background(), s, ix, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunksMoved != 0 {
+		t.Fatalf("all-dead store moved chunks: %+v", res)
+	}
+	if res.ContainersCollected == 0 || res.BytesReclaimed != 4*900 {
+		t.Fatalf("all-dead store not fully reclaimed: %+v", res)
+	}
+}
+
+func TestThresholdBoundaries(t *testing.T) {
+	// Threshold 0 collects nothing (live/total is never negative);
+	// threshold 1 collects exactly the containers carrying any garbage.
+	build := func() (*container.Store, *cindex.Index, *chunk.Recipe) {
+		s, ix := rig(t, true)
+		var rec chunk.Recipe
+		fp, loc := put(s, ix, bytes.Repeat([]byte{1}, 900), 1)
+		rec.Append(fp, 900, loc)
+		mustWrite(s, chunk.New(bytes.Repeat([]byte{2}, 900)), 1) // garbage
+		s.Flush(context.Background())
+		// Container 1: fully live.
+		fp2, loc2 := put(s, ix, bytes.Repeat([]byte{3}, 900), 2)
+		rec.Append(fp2, 900, loc2)
+		s.Flush(context.Background())
+		return s, ix, &rec
+	}
+
+	s, ix, rec := build()
+	res, err := Collect(context.Background(), s, ix, []*chunk.Recipe{rec}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCollected != 0 {
+		t.Fatalf("threshold 0 must collect nothing: %+v", res)
+	}
+
+	s, ix, rec = build()
+	res, err = Collect(context.Background(), s, ix, []*chunk.Recipe{rec}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCollected != 1 {
+		t.Fatalf("threshold 1 must collect exactly the half-dead container: %+v", res)
+	}
+	for i, want := range [][]byte{bytes.Repeat([]byte{1}, 900), bytes.Repeat([]byte{3}, 900)} {
+		got, err := s.ReadChunk(context.Background(), rec.Refs[i].Loc)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("ref %d unreadable after boundary collect: %v", i, err)
+		}
+	}
+}
+
+// cancelAfter is a context whose Err starts reporting Canceled after the
+// n-th check — a deterministic way to abort Collect mid-pass.
+type cancelAfter struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	after int
+}
+
+func (c *cancelAfter) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestCancellationMidCollect(t *testing.T) {
+	// Cancel after the selection pass plus one moved container: Collect
+	// must surface the cancellation AND leave the store fully consistent —
+	// moved chunks sealed, index flushed, recipes patched for what moved.
+	s, ix := rig(t, true)
+	var rec chunk.Recipe
+	var wants [][]byte
+	for i := 0; i < 3; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 900)
+		fp, loc := put(s, ix, data, uint64(i+1))
+		rec.Append(fp, 900, loc)
+		wants = append(wants, data)
+		mustWrite(s, chunk.New(bytes.Repeat([]byte{0xAA, byte(i)}, 450)), uint64(i+1)) // garbage
+		s.Flush(context.Background())
+	}
+
+	// Budget: one Err check per slot in the selection pass, then one loop
+	// check plus one backend read for the first moved container; the next
+	// loop-boundary check aborts.
+	n := s.Slots()
+	ctx := &cancelAfter{Context: context.Background(), after: n + 2}
+	res, err := Collect(ctx, s, ix, []*chunk.Recipe{&rec}, 0.9)
+	if err == nil {
+		t.Fatal("cancelled collect must return an error")
+	}
+	if res.ContainersCollected == 0 || res.ContainersCollected >= 3 {
+		t.Fatalf("cancellation should stop partway: %+v", res)
+	}
+	// Everything must still restore bit-exactly, moved or not.
+	for i := range rec.Refs {
+		got, rerr := s.ReadChunk(context.Background(), rec.Refs[i].Loc)
+		if rerr != nil || !bytes.Equal(got, wants[i]) {
+			t.Fatalf("ref %d unreadable after cancelled collect: %v", i, rerr)
+		}
+	}
+	// Index agrees with the moved copies.
+	for i := range rec.Refs {
+		if loc, ok := ix.Peek(rec.Refs[i].FP); !ok || loc != rec.Refs[i].Loc {
+			t.Fatalf("index/recipe disagree after cancelled collect: %v vs %v", loc, rec.Refs[i].Loc)
+		}
+	}
+	// A second, uncancelled pass finishes the job.
+	res2, err := Collect(context.Background(), s, ix, []*chunk.Recipe{&rec}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCollected+res2.ContainersCollected < 3 {
+		t.Fatalf("resumed collect left work behind: %+v then %+v", res, res2)
+	}
 }

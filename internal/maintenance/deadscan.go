@@ -1,0 +1,40 @@
+package maintenance
+
+import (
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/container"
+)
+
+// DeadScan reports the sealed containers' total data bytes and the subset
+// still live by the maintenance liveness rule: a copy counts as live when a
+// retained recipe pins its exact location or the chunk index names it as
+// the chunk's current copy. total-live is the garbage a merge or compaction
+// pass could reclaim. The scan is in-memory metadata only — no simulated
+// time is charged.
+func DeadScan(cs *container.Store, ix *cindex.Index, recipes []*chunk.Recipe) (total, live int64) {
+	pinned := make(map[copyKey]struct{}, 1024)
+	for _, r := range recipes {
+		for i := range r.Refs {
+			loc := r.Refs[i].Loc
+			pinned[copyKey{loc.Container, loc.Offset}] = struct{}{}
+		}
+	}
+	n := uint32(cs.Slots())
+	for id := uint32(0); id < n; id++ {
+		if !cs.Sealed(id) {
+			continue
+		}
+		total += cs.DataFill(id)
+		for _, m := range cs.PeekMeta(id) {
+			if _, ok := pinned[copyKey{id, m.Offset}]; ok {
+				live += int64(m.Size)
+				continue
+			}
+			if loc, ok := ix.Peek(m.FP); ok && loc.Container == id && loc.Offset == m.Offset {
+				live += int64(m.Size)
+			}
+		}
+	}
+	return total, live
+}

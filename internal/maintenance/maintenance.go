@@ -1,0 +1,708 @@
+// Package maintenance is the online maintenance layer of the store: a
+// background pass that runs hybrid out-of-line deduplication under live
+// traffic, in the spirit of RevDedup (Ng & Lee, arXiv:1302.0621) and the
+// hybrid inline/out-of-line designs surveyed in arXiv:1405.5661.
+//
+// The inline engines (DeFrag et al.) keep ingest fast and the newest backup
+// reasonably sequential; what they cannot do inline is claw back the
+// fragmentation and garbage that accumulates in *old* containers as
+// generations pile up. The maintenance pass does that out of line, one
+// bounded epoch at a time:
+//
+//  1. Reverse remap ("reverse rewriting"): scan retained recipes oldest
+//     first; references into low-fill or low-utilization sealed containers
+//     whose chunks also exist in newer containers (the chunk index points at
+//     a newer copy) are rewritten to the newer copy. Old generations absorb
+//     the delinearization; the shared copies migrate forward in time —
+//     exactly RevDedup's shift of fragmentation onto the backups least
+//     likely to be restored.
+//  2. Container merge: containers whose remaining live fraction is below a
+//     threshold, or that the latest generation touches only sparsely, are
+//     merged — their live chunks are copied into fresh dense containers
+//     (ordered by the latest recipe, so the newest backup's read path
+//     becomes more sequential), the index is repointed, every retained
+//     recipe is remapped copy-on-write, and the emptied victims are dropped
+//     through the crash-safe blockstore merge intent (blockstore.Dropper).
+//
+// Epochs are incremental: all scanning, copying and remap preparation runs
+// concurrently with foreground ingest and restore traffic; only the final
+// victim-drop commit runs under the store's exclusive gate, and the commit
+// re-validates victim liveness there, so foreground streams that raced the
+// scan are never broken. Data movement is paced by a wall-clock token-bucket
+// throttle and charged to the simulated clock as a maintenance lane,
+// mirroring how concurrent ingest lanes are priced.
+package maintenance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/container"
+	"repro/internal/disk"
+	"repro/internal/telemetry"
+)
+
+// Telemetry: the maintenance_* surface on /metrics.
+var (
+	telEpochs = telemetry.NewCounter("maintenance_epochs_total",
+		"maintenance epochs completed")
+	telRemapped = telemetry.NewCounter("maintenance_refs_remapped_total",
+		"recipe references rewritten to newer chunk copies (reverse remap)")
+	telMerged = telemetry.NewCounter("maintenance_containers_merged_total",
+		"containers merged away and dropped")
+	telMoved = telemetry.NewCounter("maintenance_chunks_moved_total",
+		"live chunks copied into fresh containers by merges")
+	telMovedBytes = telemetry.NewCounter("maintenance_bytes_moved_total",
+		"chunk bytes copied into fresh containers by merges")
+	telReclaimed = telemetry.NewCounter("maintenance_bytes_reclaimed_total",
+		"container data bytes reclaimed by merges")
+	telSkipped = telemetry.NewCounter("maintenance_victims_skipped_total",
+		"merge victims abandoned at commit because foreground traffic re-pinned them")
+)
+
+// RecipeStore is the pass's window onto the retained backups. Snapshot
+// returns the current recipes oldest-first; the pass treats them as
+// immutable. Replace installs remapped copies (matched by Label) atomically
+// and durably — concurrent restores keep whatever snapshot they started
+// with (both the old and new references resolve until the epoch's drop
+// commit, which the Gate serializes against them).
+type RecipeStore interface {
+	Snapshot() []*chunk.Recipe
+	Replace(ctx context.Context, updated []*chunk.Recipe) error
+}
+
+// Gate serializes the epoch's drop commit against foreground streams: fn
+// runs while no ingest or restore is in flight, and new ones wait until it
+// returns. Everything else the pass does runs outside the gate.
+type Gate interface {
+	Exclusive(fn func() error) error
+}
+
+// IndexDropper purges engine state derived from one container — leftover
+// chunk-index entries and locality-preserved cache metadata — before the
+// container is dropped. It matches the engines' fsck repair hook.
+type IndexDropper interface {
+	DropFromIndex(cid uint32) int
+}
+
+// Config wires a Pass to one store's subsystems and sets its policy knobs.
+type Config struct {
+	Containers *container.Store
+	Index      *cindex.Index
+	Recipes    RecipeStore
+	Gate       Gate
+	// Dropper, when set, purges per-container engine caches at commit.
+	Dropper IndexDropper
+	// Clock is the store's master simulated clock. Each epoch charges its
+	// I/O to a private lane starting at the master reading and advances the
+	// master on completion, like a concurrent ingest lane.
+	Clock *disk.Clock
+
+	// UtilThreshold: sealed containers whose live fraction (recipe pins plus
+	// index-authoritative copies) is below this are merge victims, and
+	// containers below it by the store's superseded-bytes accounting are
+	// reverse-remap candidates. Default 0.5.
+	UtilThreshold float64
+	// FillThreshold: containers whose data section is filled below this
+	// fraction of capacity (stream tails) are reverse-remap candidates too.
+	// Default 0.5.
+	FillThreshold float64
+	// SparseThreshold: containers the latest generation references for less
+	// than this fraction of their data are merged so the newest backup's
+	// reads consolidate, even if older generations keep them mostly live.
+	// Default 0.25.
+	SparseThreshold float64
+	// MaxBatch bounds the victims merged per epoch (incremental compaction).
+	// Default 8.
+	MaxBatch int
+	// ThrottleMBps paces merge data movement in wall-clock MB/s through a
+	// token bucket. 0 disables pacing.
+	ThrottleMBps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.UtilThreshold == 0 {
+		c.UtilThreshold = 0.5
+	}
+	if c.FillThreshold == 0 {
+		c.FillThreshold = 0.5
+	}
+	if c.SparseThreshold == 0 {
+		c.SparseThreshold = 0.25
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Containers == nil || c.Index == nil || c.Recipes == nil || c.Gate == nil {
+		return fmt.Errorf("maintenance: Containers, Index, Recipes and Gate are required")
+	}
+	for _, t := range []float64{c.UtilThreshold, c.FillThreshold, c.SparseThreshold} {
+		if t < 0 || t > 1 {
+			return fmt.Errorf("maintenance: thresholds must be in [0,1], got %v", t)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes one epoch (or, accumulated, a pass's lifetime).
+type Stats struct {
+	RecipesScanned   int     `json:"recipesScanned"`
+	RefsRemapped     int64   `json:"refsRemapped"` // reverse-remap rewrites to newer copies
+	ContainersMerged int     `json:"containersMerged"`
+	ChunksMoved      int64   `json:"chunksMoved"`
+	BytesMoved       int64   `json:"bytesMoved"`
+	BytesReclaimed   int64   `json:"bytesReclaimed"` // victim data bytes freed by drops
+	RefsPatched      int64   `json:"refsPatched"`    // recipe refs repointed at moved copies
+	VictimsSkipped   int     `json:"victimsSkipped"` // victims re-pinned by racing traffic
+	SimSeconds       float64 `json:"simSeconds"`     // simulated lane time charged
+}
+
+func (s *Stats) add(o Stats) {
+	s.RecipesScanned += o.RecipesScanned
+	s.RefsRemapped += o.RefsRemapped
+	s.ContainersMerged += o.ContainersMerged
+	s.ChunksMoved += o.ChunksMoved
+	s.BytesMoved += o.BytesMoved
+	s.BytesReclaimed += o.BytesReclaimed
+	s.RefsPatched += o.RefsPatched
+	s.VictimsSkipped += o.VictimsSkipped
+	s.SimSeconds += o.SimSeconds
+}
+
+// Add accumulates o into s (cumulative pass statistics).
+func (s *Stats) Add(o Stats) { s.add(o) }
+
+// Pass is the reusable epoch runner. One Pass serves one store; RunEpoch is
+// not safe for concurrent use with itself (the store serializes maintenance
+// operations), but is safe against concurrent foreground traffic.
+type Pass struct {
+	cfg      Config
+	throttle *Throttle
+}
+
+// New validates cfg and builds a Pass.
+func New(cfg Config) (*Pass, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Pass{cfg: cfg, throttle: NewThrottle(cfg.ThrottleMBps * 1e6)}, nil
+}
+
+// copyKey identifies one physical chunk copy.
+type copyKey struct {
+	container uint32
+	offset    int64
+}
+
+// liveCopy is one chunk copy that must survive a merge.
+type liveCopy struct {
+	meta          container.Meta
+	authoritative bool // the chunk index points at this copy
+}
+
+// RunEpoch executes one maintenance epoch: reverse remap, victim selection,
+// merge copy, and the gated drop commit. It returns the epoch's statistics;
+// an epoch that finds nothing to do returns zero Stats and nil error.
+func (p *Pass) RunEpoch(ctx context.Context) (Stats, error) {
+	_, span := telemetry.StartSpan(ctx, "maintenance.epoch")
+	defer span.End()
+
+	var lane disk.Clock
+	master := p.cfg.Clock
+	if master != nil {
+		lane.Advance(master.Now())
+	}
+	laneStart := lane.Now()
+
+	var st Stats
+	if err := p.reverseRemap(ctx, &st); err != nil {
+		return st, err
+	}
+	if err := p.merge(ctx, &lane, &st); err != nil {
+		return st, err
+	}
+
+	st.SimSeconds = (lane.Now() - laneStart).Seconds()
+	span.SetSim(lane.Now() - laneStart)
+	if master != nil {
+		if d := lane.Now() - master.Now(); d > 0 {
+			master.Advance(d)
+		}
+	}
+	telEpochs.Inc()
+	telRemapped.Add(st.RefsRemapped)
+	telMerged.Add(int64(st.ContainersMerged))
+	telMoved.Add(st.ChunksMoved)
+	telMovedBytes.Add(st.BytesMoved)
+	telReclaimed.Add(st.BytesReclaimed)
+	telSkipped.Add(int64(st.VictimsSkipped))
+	return st, nil
+}
+
+// remapCandidate reports whether container id is worth reverse-remapping
+// away from: a stream tail (low fill) or a container rewrites have already
+// hollowed out (low utilization by the superseded-bytes accounting).
+func (p *Pass) remapCandidate(id uint32) bool {
+	cs := p.cfg.Containers
+	if !cs.Sealed(id) {
+		return false
+	}
+	if fill := cs.DataFill(id); fill > 0 &&
+		float64(fill) < p.cfg.FillThreshold*float64(cs.Config().DataCap) {
+		return true
+	}
+	return cs.LiveFraction(id) < p.cfg.UtilThreshold
+}
+
+// reverseRemap rewrites old generations' references into candidate
+// containers to point at newer copies of the same chunks, oldest recipe
+// first. The rewrite is pure metadata: copy-on-write recipes are installed
+// through the RecipeStore, and the abandoned old copies lose their pins so
+// a later merge can reclaim their containers.
+func (p *Pass) reverseRemap(ctx context.Context, st *Stats) error {
+	cs, ix := p.cfg.Containers, p.cfg.Index
+	recipes := p.cfg.Recipes.Snapshot()
+	st.RecipesScanned = len(recipes)
+	candidate := make(map[uint32]bool)
+	var updated []*chunk.Recipe
+	for _, r := range recipes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var out *chunk.Recipe
+		for i := range r.Refs {
+			ref := &r.Refs[i]
+			cid := ref.Loc.Container
+			ok, seen := candidate[cid]
+			if !seen {
+				ok = p.remapCandidate(cid)
+				candidate[cid] = ok
+			}
+			if !ok {
+				continue
+			}
+			loc, found := ix.Peek(ref.FP)
+			// Only migrate forward: a strictly newer sealed copy of the
+			// same chunk. Same-container hits and unsealed targets stay.
+			if !found || loc.Container <= cid || loc.Size != ref.Size || !cs.Sealed(loc.Container) {
+				continue
+			}
+			if out == nil {
+				out = &chunk.Recipe{Label: r.Label, Refs: append([]chunk.Ref(nil), r.Refs...)}
+			}
+			out.Refs[i].Loc = loc
+			st.RefsRemapped++
+		}
+		if out != nil {
+			updated = append(updated, out)
+		}
+	}
+	if len(updated) == 0 {
+		return nil
+	}
+	return p.cfg.Recipes.Replace(ctx, updated)
+}
+
+// scanLiveness computes, per sealed container, the gc-liveness of each copy
+// (recipe-pinned or index-authoritative) plus how many bytes the latest
+// retained recipe references in it.
+func (p *Pass) scanLiveness(recipes []*chunk.Recipe) (live map[uint32][]liveCopy, liveBytes, latestBytes map[uint32]int64) {
+	cs, ix := p.cfg.Containers, p.cfg.Index
+	pinned := make(map[copyKey]struct{}, 1024)
+	for _, r := range recipes {
+		for i := range r.Refs {
+			loc := r.Refs[i].Loc
+			pinned[copyKey{loc.Container, loc.Offset}] = struct{}{}
+		}
+	}
+	latestBytes = make(map[uint32]int64)
+	if len(recipes) > 0 {
+		latest := recipes[len(recipes)-1]
+		seen := make(map[copyKey]struct{}, latest.Len())
+		for i := range latest.Refs {
+			loc := latest.Refs[i].Loc
+			key := copyKey{loc.Container, loc.Offset}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			latestBytes[loc.Container] += int64(loc.Size)
+		}
+	}
+	live = make(map[uint32][]liveCopy)
+	liveBytes = make(map[uint32]int64)
+	n := uint32(cs.Slots())
+	for id := uint32(0); id < n; id++ {
+		if !cs.Sealed(id) {
+			continue
+		}
+		for _, m := range cs.PeekMeta(id) {
+			_, isPinned := pinned[copyKey{id, m.Offset}]
+			idxLoc, inIndex := ix.Peek(m.FP)
+			authoritative := inIndex && idxLoc.Container == id && idxLoc.Offset == m.Offset
+			if !isPinned && !authoritative {
+				continue
+			}
+			live[id] = append(live[id], liveCopy{meta: m, authoritative: authoritative})
+			liveBytes[id] += int64(m.Size)
+		}
+	}
+	return live, liveBytes, latestBytes
+}
+
+// selectVictims picks up to MaxBatch sealed containers to merge away,
+// lowest live fraction first: hollowed-out containers (live fraction below
+// UtilThreshold) and containers the latest generation only grazes
+// (referenced, but for less than SparseThreshold of their data).
+func (p *Pass) selectVictims(liveBytes, latestBytes map[uint32]int64) []uint32 {
+	cs := p.cfg.Containers
+	type cand struct {
+		id   uint32
+		frac float64
+	}
+	var cands []cand
+	n := uint32(cs.Slots())
+	for id := uint32(0); id < n; id++ {
+		if !cs.Sealed(id) {
+			continue
+		}
+		total := cs.DataFill(id)
+		if total == 0 {
+			continue
+		}
+		frac := float64(liveBytes[id]) / float64(total)
+		latestFrac := float64(latestBytes[id]) / float64(total)
+		hollow := frac < p.cfg.UtilThreshold
+		sparse := latestBytes[id] > 0 && latestFrac < p.cfg.SparseThreshold
+		if !hollow && !sparse {
+			continue
+		}
+		cands = append(cands, cand{id, frac})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].frac != cands[j].frac {
+			return cands[i].frac < cands[j].frac
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > p.cfg.MaxBatch {
+		cands = cands[:p.cfg.MaxBatch]
+	}
+	ids := make([]uint32, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// merge runs the container-merge half of the epoch: copy the victims' live
+// chunks into fresh containers (latest-recipe order first, so the newest
+// backup linearizes), repoint the index, remap every recipe, and commit the
+// crash-safe drop under the gate.
+func (p *Pass) merge(ctx context.Context, lane *disk.Clock, st *Stats) error {
+	cs, ix := p.cfg.Containers, p.cfg.Index
+	recipes := p.cfg.Recipes.Snapshot()
+	live, liveBytes, latestBytes := p.scanLiveness(recipes)
+	victims := p.selectVictims(liveBytes, latestBytes)
+	if len(victims) == 0 {
+		return nil
+	}
+	victimSet := make(map[uint32]bool, len(victims))
+	for _, id := range victims {
+		victimSet[id] = true
+	}
+
+	// Order the copies: chunks the latest generation references come first,
+	// in recipe order — the merge's whole point is that the newest backup's
+	// read path lands in dense, sequential containers. Remaining live
+	// copies follow in (container, offset) order, preserving what locality
+	// they had.
+	type moveItem struct {
+		id uint32
+		c  liveCopy
+	}
+	var order []moveItem
+	queued := make(map[copyKey]struct{}, 256)
+	if len(recipes) > 0 {
+		latest := recipes[len(recipes)-1]
+		byKey := make(map[copyKey]liveCopy, 256)
+		for _, id := range victims {
+			for _, lc := range live[id] {
+				byKey[copyKey{id, lc.meta.Offset}] = lc
+			}
+		}
+		for i := range latest.Refs {
+			loc := latest.Refs[i].Loc
+			if !victimSet[loc.Container] {
+				continue
+			}
+			key := copyKey{loc.Container, loc.Offset}
+			if _, dup := queued[key]; dup {
+				continue
+			}
+			if lc, ok := byKey[key]; ok {
+				queued[key] = struct{}{}
+				order = append(order, moveItem{loc.Container, lc})
+			}
+		}
+	}
+	for _, id := range victims {
+		for _, lc := range live[id] {
+			key := copyKey{id, lc.meta.Offset}
+			if _, dup := queued[key]; dup {
+				continue
+			}
+			queued[key] = struct{}{}
+			order = append(order, moveItem{id, lc})
+		}
+	}
+
+	// Copy live chunks out through a reserve-mode writer on the maintenance
+	// lane. Victim data sections are fetched once each and the reads are
+	// charged to the lane; the wall-clock throttle paces the byte movement.
+	w := cs.NewWriter(lane)
+	data := make(map[uint32][]byte, len(victims))
+	moved := make(map[copyKey]chunk.Location, len(order))
+	for _, it := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m := it.c.meta
+		if err := p.throttle.Wait(ctx, int64(m.Size)); err != nil {
+			return err
+		}
+		buf, ok := data[it.id]
+		if !ok {
+			var err error
+			buf, err = cs.PeekData(ctx, it.id)
+			if err != nil {
+				return fmt.Errorf("maintenance: reading victim container %d: %w", it.id, err)
+			}
+			cs.AccountDataRange([]uint32{it.id}, lane)
+			data[it.id] = buf
+		}
+		var c chunk.Chunk
+		if cs.StoresData() {
+			old := chunk.Location{Container: it.id, Segment: m.Segment, Offset: m.Offset, Size: m.Size}
+			c = chunk.Chunk{FP: m.FP, Size: m.Size, Data: cs.Extract(buf, old)}
+		} else {
+			c = chunk.Meta(m.FP, m.Size)
+		}
+		newLoc, err := w.Write(ctx, c, m.Segment)
+		if err != nil {
+			return fmt.Errorf("maintenance: moving chunk out of container %d: %w", it.id, err)
+		}
+		moved[copyKey{it.id, m.Offset}] = newLoc
+		st.ChunksMoved++
+		st.BytesMoved += int64(m.Size)
+	}
+	if err := w.Finish(ctx); err != nil {
+		return fmt.Errorf("maintenance: sealing merged containers: %w", err)
+	}
+
+	// Repoint the index at the moved authoritative copies, then durably
+	// remap every retained recipe BEFORE the drop commit: from here on both
+	// the old and new copies are valid, so a crash at any point leaves an
+	// fsck-clean store.
+	for _, it := range order {
+		if !it.c.authoritative {
+			continue
+		}
+		newLoc, ok := moved[copyKey{it.id, it.c.meta.Offset}]
+		if !ok {
+			continue
+		}
+		ix.Update(it.c.meta.FP, newLoc)
+	}
+	ix.Flush()
+	if err := p.remapRecipes(ctx, moved, nil, st); err != nil {
+		return err
+	}
+
+	// Commit under the gate: no foreground stream is in flight. Re-validate
+	// every victim — an ingest that raced the scan may have committed a
+	// recipe pinning a victim copy the scan called dead (e.g. through a
+	// locality-preserved cache hit). Pinned-but-moved refs are remapped
+	// here; refs to copies that never moved force the victim to survive.
+	return p.cfg.Gate.Exclusive(func() error {
+		keep := p.revalidate(ctx, victimSet, moved, st)
+		if len(keep) == 0 {
+			return nil
+		}
+		if p.cfg.Dropper != nil {
+			for _, id := range keep {
+				p.cfg.Dropper.DropFromIndex(id)
+			}
+		}
+		var reclaimed int64
+		for _, id := range keep {
+			reclaimed += cs.DataFill(id)
+		}
+		if err := cs.Drop(ctx, keep, "maintenance merge"); err != nil {
+			return fmt.Errorf("maintenance: dropping merged containers: %w", err)
+		}
+		st.ContainersMerged += len(keep)
+		st.BytesReclaimed += reclaimed
+		return nil
+	})
+}
+
+// revalidate runs inside the gate: it remaps any recipe references that
+// still land in victim containers (possible when foreground traffic
+// committed between the scan and the gate) and returns the victims that are
+// safe to drop. A victim still referenced by a copy that was not moved is
+// kept alive and skipped this epoch.
+func (p *Pass) revalidate(ctx context.Context, victimSet map[uint32]bool, moved map[copyKey]chunk.Location, st *Stats) []uint32 {
+	cs, ix := p.cfg.Containers, p.cfg.Index
+	unsafe := make(map[uint32]bool)
+	recipes := p.cfg.Recipes.Snapshot()
+	var updated []*chunk.Recipe
+	for _, r := range recipes {
+		var out *chunk.Recipe
+		for i := range r.Refs {
+			ref := &r.Refs[i]
+			if !victimSet[ref.Loc.Container] {
+				continue
+			}
+			newLoc, ok := moved[copyKey{ref.Loc.Container, ref.Loc.Offset}]
+			if !ok {
+				// A copy the scan called dead got pinned: try the index's
+				// current copy, else the victim must survive.
+				idxLoc, found := ix.Peek(ref.FP)
+				if found && idxLoc.Size == ref.Size && !victimSet[idxLoc.Container] && cs.Sealed(idxLoc.Container) {
+					newLoc, ok = idxLoc, true
+				}
+			}
+			if !ok {
+				unsafe[ref.Loc.Container] = true
+				continue
+			}
+			if out == nil {
+				out = &chunk.Recipe{Label: r.Label, Refs: append([]chunk.Ref(nil), r.Refs...)}
+			}
+			out.Refs[i].Loc = newLoc
+			st.RefsPatched++
+		}
+		if out != nil {
+			updated = append(updated, out)
+		}
+	}
+	if len(updated) > 0 {
+		if err := p.cfg.Recipes.Replace(ctx, updated); err != nil {
+			// Without the durable remap the drop is not safe; keep every
+			// victim and let a later epoch retry.
+			telemetry.Logger().Warn("maintenance: remap commit failed; skipping drop", "err", err)
+			for id := range victimSet {
+				unsafe[id] = true
+			}
+		}
+	}
+	var keep []uint32
+	for id := range victimSet {
+		if unsafe[id] {
+			st.VictimsSkipped++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	return keep
+}
+
+// remapRecipes rewrites retained recipes copy-on-write so references to
+// moved copies (and any extra explicit rewrites) point at the new
+// locations, then installs them through the RecipeStore.
+func (p *Pass) remapRecipes(ctx context.Context, moved map[copyKey]chunk.Location, extra map[copyKey]chunk.Location, st *Stats) error {
+	recipes := p.cfg.Recipes.Snapshot()
+	var updated []*chunk.Recipe
+	for _, r := range recipes {
+		var out *chunk.Recipe
+		for i := range r.Refs {
+			ref := &r.Refs[i]
+			key := copyKey{ref.Loc.Container, ref.Loc.Offset}
+			newLoc, ok := moved[key]
+			if !ok && extra != nil {
+				newLoc, ok = extra[key]
+			}
+			if !ok {
+				continue
+			}
+			if out == nil {
+				out = &chunk.Recipe{Label: r.Label, Refs: append([]chunk.Ref(nil), r.Refs...)}
+			}
+			out.Refs[i].Loc = newLoc
+			st.RefsPatched++
+		}
+		if out != nil {
+			updated = append(updated, out)
+		}
+	}
+	if len(updated) == 0 {
+		return nil
+	}
+	return p.cfg.Recipes.Replace(ctx, updated)
+}
+
+// Throttle is a wall-clock token bucket pacing maintenance byte movement so
+// the pass cannot starve foreground traffic of real I/O and CPU.
+type Throttle struct {
+	bytesPerSec float64
+	mu          chan struct{} // 1-buffered: the bucket's mutex
+	tokens      float64
+	last        time.Time
+}
+
+// NewThrottle builds a throttle admitting bytesPerSec bytes per wall-clock
+// second (burst of one second's worth). bytesPerSec <= 0 disables pacing.
+func NewThrottle(bytesPerSec float64) *Throttle {
+	t := &Throttle{bytesPerSec: bytesPerSec, mu: make(chan struct{}, 1)}
+	t.mu <- struct{}{}
+	return t
+}
+
+// Wait blocks until n bytes of budget are available (or ctx is done).
+func (t *Throttle) Wait(ctx context.Context, n int64) error {
+	if t.bytesPerSec <= 0 || n <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-t.mu:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { t.mu <- struct{}{} }()
+	now := time.Now()
+	if t.last.IsZero() {
+		t.last = now
+		t.tokens = t.bytesPerSec // one-second burst to start
+	}
+	t.tokens += now.Sub(t.last).Seconds() * t.bytesPerSec
+	if t.tokens > t.bytesPerSec {
+		t.tokens = t.bytesPerSec
+	}
+	t.last = now
+	if t.tokens >= float64(n) {
+		t.tokens -= float64(n)
+		return nil
+	}
+	deficit := float64(n) - t.tokens
+	t.tokens = 0
+	wait := time.Duration(deficit / t.bytesPerSec * float64(time.Second))
+	select {
+	case <-time.After(wait):
+		t.last = time.Now()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,461 @@
+package maintenance
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/cindex"
+	"repro/internal/container"
+	"repro/internal/disk"
+)
+
+// rig builds a store + index pair over one clock (mirrors gc's test rig).
+func rig(t *testing.T, storeData bool) (*container.Store, *cindex.Index, *disk.Clock) {
+	t.Helper()
+	var clk disk.Clock
+	s, err := container.NewStore(disk.NewDevice(disk.DefaultModel(), &clk, storeData),
+		container.Config{DataCap: 2048, MaxChunks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := cindex.New(disk.NewDevice(disk.DefaultModel(), &clk, false), cindex.DefaultConfig(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ix, &clk
+}
+
+func mustWrite(t *testing.T, s *container.Store, c chunk.Chunk, seg uint64) chunk.Location {
+	t.Helper()
+	loc, err := s.Write(context.Background(), c, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loc
+}
+
+func put(t *testing.T, s *container.Store, ix *cindex.Index, data []byte, seg uint64) (chunk.Fingerprint, chunk.Location) {
+	t.Helper()
+	c := chunk.New(data)
+	loc := mustWrite(t, s, c, seg)
+	ix.Insert(c.FP, loc)
+	return c.FP, loc
+}
+
+// fakeRecipes is an in-memory RecipeStore.
+type fakeRecipes struct {
+	mu       sync.Mutex
+	recipes  []*chunk.Recipe
+	replaces int
+}
+
+func (f *fakeRecipes) Snapshot() []*chunk.Recipe {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*chunk.Recipe(nil), f.recipes...)
+}
+
+func (f *fakeRecipes) Replace(ctx context.Context, updated []*chunk.Recipe) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.replaces++
+	for _, u := range updated {
+		for i, r := range f.recipes {
+			if r.Label == u.Label {
+				f.recipes[i] = u
+			}
+		}
+	}
+	return nil
+}
+
+func (f *fakeRecipes) add(r *chunk.Recipe) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recipes = append(f.recipes, r)
+}
+
+func (f *fakeRecipes) byLabel(label string) *chunk.Recipe {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.recipes {
+		if r.Label == label {
+			return r
+		}
+	}
+	return nil
+}
+
+// plainGate runs fn directly, optionally after a hook (the "raced ingest").
+type plainGate struct {
+	before func()
+}
+
+func (g *plainGate) Exclusive(fn func() error) error {
+	if g.before != nil {
+		g.before()
+	}
+	return fn()
+}
+
+func passFor(t *testing.T, s *container.Store, ix *cindex.Index, clk *disk.Clock, rs RecipeStore, gate Gate, mut func(*Config)) *Pass {
+	t.Helper()
+	cfg := Config{Containers: s, Index: ix, Recipes: rs, Gate: gate, Clock: clk}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	s, ix, clk := rig(t, false)
+	rs := &fakeRecipes{}
+	if _, err := New(Config{Containers: s, Index: ix, Recipes: rs, Gate: &plainGate{}, Clock: clk, UtilThreshold: 1.5}); err == nil {
+		t.Fatal("out-of-range threshold must fail")
+	}
+}
+
+func TestEmptyStoreEpochNoop(t *testing.T) {
+	s, ix, clk := rig(t, false)
+	p := passFor(t, s, ix, clk, &fakeRecipes{}, &plainGate{}, nil)
+	st, err := p.RunEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RefsRemapped != 0 || st.ContainersMerged != 0 {
+		t.Fatalf("empty epoch did work: %+v", st)
+	}
+}
+
+func TestReverseRemapMovesOldGenerationsForward(t *testing.T) {
+	s, ix, clk := rig(t, true)
+	rs := &fakeRecipes{}
+
+	// Gen 0: chunk A alone in container 0 (a low-fill stream tail).
+	dataA := bytes.Repeat([]byte{1}, 900)
+	fpA, locA0 := put(t, s, ix, dataA, 1)
+	s.Flush(context.Background())
+	gen0 := &chunk.Recipe{Label: "gen0"}
+	gen0.Append(fpA, 900, locA0)
+	rs.add(gen0)
+
+	// Gen 1: a newer copy of A (a DeFrag rewrite) plus a new chunk B fill
+	// container 1 past the remap-candidacy thresholds.
+	cA := chunk.New(dataA)
+	locA1 := mustWrite(t, s, cA, 2)
+	ix.Update(fpA, locA1)
+	s.MarkDead(locA0.Container, int64(locA0.Size))
+	fpB, locB := put(t, s, ix, bytes.Repeat([]byte{2}, 900), 2)
+	s.Flush(context.Background())
+	gen1 := &chunk.Recipe{Label: "gen1"}
+	gen1.Append(fpA, 900, locA1)
+	gen1.Append(fpB, 900, locB)
+	rs.add(gen1)
+
+	p := passFor(t, s, ix, clk, rs, &plainGate{}, nil)
+	st, err := p.RunEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RefsRemapped != 1 {
+		t.Fatalf("remapped %d refs, want 1 (gen0's A -> container 1): %+v", st.RefsRemapped, st)
+	}
+	got := rs.byLabel("gen0").Refs[0].Loc
+	if got.Container != locA1.Container || got.Offset != locA1.Offset {
+		t.Fatalf("gen0 ref = %+v, want the newer copy %+v", got, locA1)
+	}
+	// With gen0's pin gone, container 0 is fully dead and the merge phase
+	// of the same epoch must have reclaimed it.
+	if st.ContainersMerged != 1 {
+		t.Fatalf("dead container not merged: %+v", st)
+	}
+	if s.Sealed(locA0.Container) {
+		t.Fatal("victim container still sealed after drop")
+	}
+	// Every retained recipe must read back bit-exactly.
+	for _, want := range []struct {
+		label string
+		data  [][]byte
+	}{{"gen0", [][]byte{dataA}}, {"gen1", [][]byte{dataA, bytes.Repeat([]byte{2}, 900)}}} {
+		r := rs.byLabel(want.label)
+		for i := range r.Refs {
+			b, err := s.ReadChunk(context.Background(), r.Refs[i].Loc)
+			if err != nil {
+				t.Fatalf("%s ref %d: %v", want.label, i, err)
+			}
+			if !bytes.Equal(b, want.data[i]) {
+				t.Fatalf("%s ref %d corrupted after maintenance", want.label, i)
+			}
+		}
+	}
+}
+
+func TestMergeConsolidatesLiveChunksAndDrops(t *testing.T) {
+	s, ix, clk := rig(t, true)
+	rs := &fakeRecipes{}
+
+	// Container 0: live chunk Y (500B, pinned) + dead chunk X (1000B, never
+	// indexed): live fraction 1/3 < 0.5, a merge victim.
+	dataX := bytes.Repeat([]byte{9}, 1000)
+	cX := chunk.New(dataX)
+	mustWrite(t, s, cX, 1)
+	dataY := bytes.Repeat([]byte{7}, 500)
+	fpY, locY := put(t, s, ix, dataY, 1)
+	s.Flush(context.Background())
+
+	gen := &chunk.Recipe{Label: "gen0"}
+	gen.Append(fpY, 500, locY)
+	rs.add(gen)
+
+	p := passFor(t, s, ix, clk, rs, &plainGate{}, nil)
+	st, err := p.RunEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ContainersMerged != 1 || st.ChunksMoved != 1 || st.BytesMoved != 500 {
+		t.Fatalf("merge stats: %+v", st)
+	}
+	if st.BytesReclaimed != 1500 {
+		t.Fatalf("reclaimed %d bytes, want the victim's 1500B data fill", st.BytesReclaimed)
+	}
+	if s.Sealed(locY.Container) {
+		t.Fatal("victim still sealed")
+	}
+	newLoc := rs.byLabel("gen0").Refs[0].Loc
+	if newLoc.Container == locY.Container {
+		t.Fatal("recipe still references the victim")
+	}
+	if got, err := s.ReadChunk(context.Background(), newLoc); err != nil || !bytes.Equal(got, dataY) {
+		t.Fatalf("moved chunk unreadable: %v", err)
+	}
+	// The index must agree with the recipe.
+	if loc, ok := ix.Peek(fpY); !ok || loc != newLoc {
+		t.Fatalf("index %v disagrees with recipe %v", loc, newLoc)
+	}
+	if st.SimSeconds <= 0 {
+		t.Fatalf("merge charged no simulated time: %+v", st)
+	}
+}
+
+func TestGateRevalidateRemapsRacedPins(t *testing.T) {
+	// A recipe committed between the scan and the gate pins a victim copy
+	// that WAS moved: the commit remaps it through the moved map and the
+	// drop still proceeds.
+	s, ix, clk := rig(t, true)
+	rs := &fakeRecipes{}
+
+	dataX := bytes.Repeat([]byte{9}, 1000)
+	mustWrite(t, s, chunk.New(dataX), 1) // dead filler
+	dataY := bytes.Repeat([]byte{7}, 500)
+	fpY, locY := put(t, s, ix, dataY, 1)
+	s.Flush(context.Background())
+	gen := &chunk.Recipe{Label: "gen0"}
+	gen.Append(fpY, 500, locY)
+	rs.add(gen)
+
+	gate := &plainGate{before: func() {
+		raced := &chunk.Recipe{Label: "raced"}
+		raced.Append(fpY, 500, locY) // stale location from an LPC hit
+		rs.add(raced)
+	}}
+	p := passFor(t, s, ix, clk, rs, gate, nil)
+	st, err := p.RunEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ContainersMerged != 1 || st.VictimsSkipped != 0 {
+		t.Fatalf("raced-but-moved pin must not block the drop: %+v", st)
+	}
+	loc := rs.byLabel("raced").Refs[0].Loc
+	if loc.Container == locY.Container {
+		t.Fatal("raced recipe still points at the dropped victim")
+	}
+	if got, err := s.ReadChunk(context.Background(), loc); err != nil || !bytes.Equal(got, dataY) {
+		t.Fatalf("raced recipe unreadable after commit: %v", err)
+	}
+}
+
+func TestGateRevalidateSkipsRepinnedVictim(t *testing.T) {
+	// A recipe committed between the scan and the gate pins a victim copy
+	// the scan called dead (not moved, not in the index): the victim must
+	// survive the epoch untouched.
+	s, ix, clk := rig(t, true)
+	rs := &fakeRecipes{}
+
+	dataX := bytes.Repeat([]byte{9}, 1000)
+	cX := chunk.New(dataX)
+	locX := mustWrite(t, s, cX, 1) // dead at scan time: never indexed
+	dataY := bytes.Repeat([]byte{7}, 500)
+	fpY, locY := put(t, s, ix, dataY, 1)
+	s.Flush(context.Background())
+	gen := &chunk.Recipe{Label: "gen0"}
+	gen.Append(fpY, 500, locY)
+	rs.add(gen)
+
+	gate := &plainGate{before: func() {
+		raced := &chunk.Recipe{Label: "raced"}
+		raced.Append(cX.FP, 1000, locX)
+		rs.add(raced)
+	}}
+	p := passFor(t, s, ix, clk, rs, gate, nil)
+	st, err := p.RunEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ContainersMerged != 0 || st.VictimsSkipped != 1 {
+		t.Fatalf("repinned victim must be skipped: %+v", st)
+	}
+	if !s.Sealed(locX.Container) {
+		t.Fatal("skipped victim was dropped anyway")
+	}
+	if got, err := s.ReadChunk(context.Background(), locX); err != nil || !bytes.Equal(got, dataX) {
+		t.Fatalf("repinned chunk unreadable: %v", err)
+	}
+	// The pinned-and-moved chunk Y is still fine through its new location.
+	loc := rs.byLabel("gen0").Refs[0].Loc
+	if got, err := s.ReadChunk(context.Background(), loc); err != nil || !bytes.Equal(got, dataY) {
+		t.Fatalf("moved chunk unreadable: %v", err)
+	}
+}
+
+func TestSparseLatestConsolidation(t *testing.T) {
+	// Containers the latest generation touches only sparsely are merged
+	// even when older generations keep them fully live.
+	s, ix, clk := rig(t, true)
+	rs := &fakeRecipes{}
+
+	// Container 0: four 500B chunks, all pinned by gen0.
+	var fps []chunk.Fingerprint
+	var locs []chunk.Location
+	gen0 := &chunk.Recipe{Label: "gen0"}
+	for i := 0; i < 4; i++ {
+		fp, loc := put(t, s, ix, bytes.Repeat([]byte{byte(i + 1)}, 500), 1)
+		fps, locs = append(fps, fp), append(locs, loc)
+		gen0.Append(fp, 500, loc)
+	}
+	s.Flush(context.Background())
+	rs.add(gen0)
+	// Latest generation references just one of the four (20% < 25%).
+	gen1 := &chunk.Recipe{Label: "gen1"}
+	gen1.Append(fps[2], 500, locs[2])
+	rs.add(gen1)
+
+	p := passFor(t, s, ix, clk, rs, &plainGate{}, func(c *Config) {
+		c.UtilThreshold = 0.1   // fully live: only the sparse rule can fire
+		c.SparseThreshold = 0.3 // latest touches 1/4 = 0.25 of the data
+	})
+	st, err := p.RunEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ContainersMerged != 1 {
+		t.Fatalf("sparsely-read container not consolidated: %+v", st)
+	}
+	if st.ChunksMoved != 4 {
+		t.Fatalf("moved %d chunks, want all 4 live copies", st.ChunksMoved)
+	}
+	// The latest generation's chunk must come first in the new layout.
+	want := rs.byLabel("gen1").Refs[0].Loc
+	for _, r := range rs.byLabel("gen0").Refs {
+		if r.Loc.Container == want.Container && r.Loc.Offset < want.Offset {
+			t.Fatalf("latest generation's chunk not copied first: gen1 at %+v, gen0 has %+v", want, r.Loc)
+		}
+	}
+	for i, r := range rs.byLabel("gen0").Refs {
+		got, err := s.ReadChunk(context.Background(), r.Loc)
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 500)) {
+			t.Fatalf("gen0 chunk %d corrupted after consolidation: %v", i, err)
+		}
+	}
+}
+
+func TestEpochCancellation(t *testing.T) {
+	s, ix, clk := rig(t, true)
+	rs := &fakeRecipes{}
+	mustWrite(t, s, chunk.New(bytes.Repeat([]byte{9}, 1000)), 1)
+	fpY, locY := put(t, s, ix, bytes.Repeat([]byte{7}, 500), 1)
+	s.Flush(context.Background())
+	gen := &chunk.Recipe{Label: "gen0"}
+	gen.Append(fpY, 500, locY)
+	rs.add(gen)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := passFor(t, s, ix, clk, rs, &plainGate{}, nil)
+	if _, err := p.RunEpoch(ctx); err == nil {
+		t.Fatal("cancelled epoch must fail")
+	}
+	// Nothing was dropped; the store is intact.
+	if !s.Sealed(locY.Container) {
+		t.Fatal("cancelled epoch dropped a container")
+	}
+}
+
+func TestThrottleUnlimitedAndCancel(t *testing.T) {
+	th := NewThrottle(0)
+	if err := th.Wait(context.Background(), 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	th = NewThrottle(10) // 10 B/s: the second wait would take ~10s
+	if err := th.Wait(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := th.Wait(ctx, 100); err == nil {
+		t.Fatal("throttled wait must respect cancellation")
+	}
+}
+
+func TestSchedulerTriggerAndStop(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	sched := NewScheduler(0, func(ctx context.Context) (Stats, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return Stats{RecipesScanned: 1}, nil
+	})
+	st, err := sched.Trigger(context.Background())
+	if err != nil || st.RecipesScanned != 1 {
+		t.Fatalf("trigger: %v %+v", err, st)
+	}
+	sched.Stop()
+	sched.Stop() // idempotent
+	if _, err := sched.Trigger(context.Background()); err == nil {
+		t.Fatal("trigger after stop must fail")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if runs != 1 {
+		t.Fatalf("runs = %d, want 1", runs)
+	}
+}
+
+func TestSchedulerInterval(t *testing.T) {
+	ran := make(chan struct{}, 8)
+	sched := NewScheduler(5*time.Millisecond, func(ctx context.Context) (Stats, error) {
+		select {
+		case ran <- struct{}{}:
+		default:
+		}
+		return Stats{}, nil
+	})
+	defer sched.Stop()
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("interval scheduler never fired")
+	}
+}

@@ -1,0 +1,96 @@
+package maintenance
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Scheduler drives a Pass in the background at a fixed wall-clock interval,
+// with a manual trigger for operator-initiated epochs (POST /v1/maintenance).
+// Epochs never overlap: the scheduler is the only goroutine calling run.
+type Scheduler struct {
+	run      func(ctx context.Context) (Stats, error)
+	interval time.Duration
+
+	trigger chan chan epochResult
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+type epochResult struct {
+	stats Stats
+	err   error
+}
+
+// NewScheduler starts a background scheduler invoking run every interval
+// (interval <= 0 disables the timer; only Trigger fires epochs then).
+func NewScheduler(interval time.Duration, run func(ctx context.Context) (Stats, error)) *Scheduler {
+	s := &Scheduler{
+		run:      run,
+		interval: interval,
+		trigger:  make(chan chan epochResult),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	var tick <-chan time.Time
+	if s.interval > 0 {
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-s.stop
+		cancel()
+	}()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick:
+			if _, err := s.run(ctx); err != nil && ctx.Err() == nil {
+				telemetry.Logger().Warn("maintenance: scheduled epoch failed", "err", err)
+			}
+		case reply := <-s.trigger:
+			st, err := s.run(ctx)
+			reply <- epochResult{st, err}
+		}
+	}
+}
+
+// Trigger runs one epoch now (queued behind any epoch in flight) and waits
+// for its result. It fails once the scheduler has stopped.
+func (s *Scheduler) Trigger(ctx context.Context) (Stats, error) {
+	reply := make(chan epochResult, 1)
+	select {
+	case s.trigger <- reply:
+	case <-s.stop:
+		return Stats{}, context.Canceled
+	case <-ctx.Done():
+		return Stats{}, ctx.Err()
+	}
+	select {
+	case r := <-reply:
+		return r.stats, r.err
+	case <-s.done:
+		return Stats{}, context.Canceled
+	}
+}
+
+// Stop cancels any epoch in flight and waits for the scheduler goroutine to
+// exit. Safe to call more than once.
+func (s *Scheduler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

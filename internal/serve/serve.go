@@ -34,10 +34,12 @@
 // multi-stream ingest path via Store.IngestStream, each as its own
 // simulated-clock lane.
 //
-// Maintenance operations (forget/compact/repair) take the session manager's
-// exclusive gate: they wait for in-flight ingests and restores to finish and
-// hold new ones out while they run, because they rewrite recipes and drop
-// containers that concurrent streams may touch.
+// Maintenance is gated inside the Store itself: foreground streams hold the
+// store's maintenance lock for read, the legacy exclusive passes (compact,
+// repair) take it for write for their whole run, and the incremental
+// maintenance epochs (POST /v1/maintenance, or the background scheduler)
+// run concurrently with traffic and exclude it only for their short
+// remap-and-drop commit.
 //
 // Shutdown drains: new work is refused with 503, in-flight ingest contexts
 // are cancelled so engines abort at the next segment boundary (the
@@ -123,7 +125,6 @@ type Server struct {
 	base     context.Context // cancelled by Shutdown: aborts in-flight ingests
 	cancel   context.CancelFunc
 	wg       sync.WaitGroup // in-flight request handlers
-	maint    sync.RWMutex   // stream ops hold R; maintenance ops hold W
 	limits   *limiter
 	slo      *sloTracker
 	mu       sync.Mutex
@@ -150,6 +151,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/backups", s.handleList)
 	mux.HandleFunc("GET /v1/backups/{$}", s.handleList)
 	mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	mux.HandleFunc("POST /v1/maintenance", s.handleMaintenance)
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -364,8 +366,6 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.wg.Done()
-	s.maint.RLock()
-	defer s.maint.RUnlock()
 
 	sctx, span := startRequestSpan(w, r, "serve.ingest", lbl, ten)
 	defer span.End()
@@ -482,8 +482,6 @@ func (s *Server) restore(w http.ResponseWriter, r *http.Request, lbl string) {
 		return
 	}
 	defer s.wg.Done()
-	s.maint.RLock()
-	defer s.maint.RUnlock()
 	b := s.store.FindBackup(lbl)
 	if b == nil {
 		httpError(w, http.StatusNotFound, "no backup %q", lbl)
@@ -531,16 +529,15 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// exclusive runs fn under the maintenance gate: it waits out in-flight
-// streams and blocks new ones for the duration.
-func (s *Server) exclusive(w http.ResponseWriter, fn func() (any, error)) {
+// admin runs one administrative operation. Gating against concurrent
+// streams is the Store's business now: Compact and Repair exclude
+// everything for their whole run, maintenance epochs only for their commit.
+func (s *Server) admin(w http.ResponseWriter, fn func() (any, error)) {
 	telAdminReqs.Inc()
 	if !s.enter(w) {
 		return
 	}
 	defer s.wg.Done()
-	s.maint.Lock()
-	defer s.maint.Unlock()
 	v, err := fn()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
@@ -551,11 +548,31 @@ func (s *Server) exclusive(w http.ResponseWriter, fn func() (any, error)) {
 
 func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
 	lbl := label(r)
-	s.exclusive(w, func() (any, error) {
-		if !s.store.Forget(lbl) {
-			return nil, fmt.Errorf("no backup %q", lbl)
+	telAdminReqs.Inc()
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	res := s.store.Forget(lbl)
+	if !res.Found {
+		httpError(w, http.StatusNotFound, "no backup %q", lbl)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Forgotten string `json:"forgotten"`
+		repro.ForgetResult
+	}{lbl, res})
+}
+
+// handleMaintenance runs one maintenance epoch (reverse remap + container
+// merge) and returns its statistics. Safe under live traffic.
+func (s *Server) handleMaintenance(w http.ResponseWriter, r *http.Request) {
+	s.admin(w, func() (any, error) {
+		st, err := s.store.MaintenanceEpoch(r.Context())
+		if err != nil {
+			return nil, err
 		}
-		return map[string]string{"forgotten": lbl}, nil
+		return st, nil
 	})
 }
 
@@ -569,7 +586,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		}
 		threshold = v
 	}
-	s.exclusive(w, func() (any, error) {
+	s.admin(w, func() (any, error) {
 		return s.store.Compact(context.Background(), threshold)
 	})
 }
@@ -581,14 +598,14 @@ func verifyParam(r *http.Request) bool {
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	verify := verifyParam(r)
-	s.exclusive(w, func() (any, error) {
+	s.admin(w, func() (any, error) {
 		return s.store.Check(context.Background(), verify)
 	})
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	verify := verifyParam(r)
-	s.exclusive(w, func() (any, error) {
+	s.admin(w, func() (any, error) {
 		return s.store.Repair(context.Background(), verify)
 	})
 }
@@ -611,6 +628,9 @@ type StatsView struct {
 	// cache budget is configured): concurrent restores single-flight their
 	// container fetches through it.
 	RestoreCache *repro.RestoreCacheStats `json:"restoreCache,omitempty"`
+	// Maintenance is the online maintenance layer's cumulative counters
+	// plus the store's current dead-byte accounting.
+	Maintenance repro.MaintenanceReport `json:"maintenance"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -629,5 +649,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if cs, ok := s.store.RestoreCacheStats(); ok {
 		view.RestoreCache = &cs
 	}
+	view.Maintenance = s.store.MaintenanceReport()
 	writeJSON(w, http.StatusOK, view)
 }

@@ -29,7 +29,7 @@ type LayoutInfo struct {
 
 // Layout analyzes the backup's placement profile.
 func (b *Backup) Layout() LayoutInfo {
-	l := analysis.Analyze(b.recipe)
+	l := analysis.Analyze(b.recipe())
 	return LayoutInfo{
 		Chunks:            l.Chunks,
 		Bytes:             l.Bytes,
@@ -88,7 +88,7 @@ func RunLayoutAnalysis(cfg ExperimentConfig) (*FigureResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return analysis.Analyze(b.recipe), nil
+		return analysis.Analyze(b.recipe()), nil
 	}
 
 	var lastDD, lastDE *analysis.Layout

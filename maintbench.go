@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// MaintPoint is one generation of the maintenance benchmark: the latest
+// backup restored from two stores that ingested the identical stream, one
+// left alone and one running a maintenance epoch after every generation.
+type MaintPoint struct {
+	Gen   int    `json:"gen"` // 1-based generation number
+	Label string `json:"label"`
+	Bytes int64  `json:"bytes"`
+
+	// Baseline store: no maintenance.
+	BaseMBps  float64 `json:"base_MBps"` // simulated restore throughput of the latest backup
+	BaseReads int64   `json:"base_reads"`
+
+	// Maintained store: one epoch after each generation.
+	MaintMBps  float64 `json:"maint_MBps"`
+	MaintReads int64   `json:"maint_reads"`
+
+	// Gain is maintained over baseline restore throughput (>1 = faster).
+	Gain float64 `json:"gain"`
+
+	// Epoch counters for the pass that ran after this generation.
+	RefsRemapped     int64 `json:"refs_remapped"`
+	ContainersMerged int   `json:"containers_merged"`
+	BytesReclaimed   int64 `json:"bytes_reclaimed"`
+}
+
+// MaintBench is the full maintenance benchmark, serialized to
+// BENCH_PR9.json: the restore-of-latest throughput curve with and without
+// the online maintenance pass, plus the end-state integrity verdicts.
+type MaintBench struct {
+	Engine      string             `json:"engine"`
+	Generations int                `json:"generations"`
+	Alpha       float64            `json:"alpha"`
+	Options     MaintenanceOptions `json:"maintenance"`
+	Points      []MaintPoint       `json:"points"`
+
+	// Final-generation headline: the paper-style payoff of reverse
+	// rewriting is the latest backup's restore speed late in the chain.
+	FinalBaseMBps  float64 `json:"final_base_MBps"`
+	FinalMaintMBps float64 `json:"final_maint_MBps"`
+	FinalGain      float64 `json:"final_gain"`
+
+	TotalRefsRemapped     int64 `json:"total_refs_remapped"`
+	TotalContainersMerged int   `json:"total_containers_merged"`
+	TotalBytesReclaimed   int64 `json:"total_bytes_reclaimed"`
+
+	// VerifiedBitIdentical is true when every generation restored from the
+	// maintained store matched the SHA-256 pinned at ingest; FsckClean is
+	// the maintained store's full data-verify check after all epochs.
+	VerifiedBitIdentical bool `json:"verified_bit_identical"`
+	FsckClean            bool `json:"fsck_clean"`
+}
+
+// maintBenchRestore measures a serial LRU restore of b — the most
+// locality-sensitive strategy, so container-layout improvements show
+// directly in the simulated throughput.
+func maintBenchRestore(s *Store, b *Backup) (RestoreStats, error) {
+	return s.RestoreWith(context.Background(), b, nil, RestoreOptions{Policy: RestoreLRU, Workers: 1})
+}
+
+// RunMaintBench ingests the same seeded mutating workload into two DeFrag
+// stores and lets only one of them run maintenance epochs between
+// generations. After every generation it restores the latest backup from
+// both and records the simulated throughput, so the output is the
+// restore-of-latest curve with and without the pass. At the end every
+// generation is restored from the maintained store and compared against the
+// SHA-256 digest pinned at ingest, and the store is fsck'd with full data
+// verification — the benchmark refuses to report a gain that was bought
+// with correctness.
+func RunMaintBench(cfg ExperimentConfig, mo MaintenanceOptions) (*MaintBench, error) {
+	cfg = cfg.withDefaults()
+	if mo.UtilThreshold == 0 {
+		mo.UtilThreshold = 0.6
+	}
+	if mo.SparseThreshold == 0 {
+		mo.SparseThreshold = 0.5
+	}
+	if mo.MaxBatch == 0 {
+		mo.MaxBatch = 16
+	}
+	open := func() (*Store, error) {
+		return Open(Options{
+			Engine:        DeFrag,
+			Alpha:         cfg.Alpha,
+			StoreData:     true,
+			ExpectedBytes: cfg.perGenBytes() * int64(cfg.Generations),
+			Workers:       cfg.Workers,
+			Maintenance:   mo,
+		})
+	}
+	base, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer base.Close() //nolint:errcheck // bench teardown
+	maint, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer maint.Close() //nolint:errcheck // bench teardown
+
+	sched, err := workload.NewSingle(cfg.workloadConfig())
+	if err != nil {
+		return nil, err
+	}
+	bench := &MaintBench{
+		Engine:      DeFrag.String(),
+		Generations: cfg.Generations,
+		Alpha:       cfg.Alpha,
+		Options:     mo,
+	}
+	ctx := context.Background()
+	var digests [][32]byte
+	var labels []string
+	for g := 0; g < cfg.Generations; g++ {
+		bk := sched.Next()
+		data, err := io.ReadAll(bk.Stream)
+		if err != nil {
+			return nil, err
+		}
+		digests = append(digests, sha256.Sum256(data))
+		labels = append(labels, bk.Label)
+		bb, err := base.Backup(ctx, bk.Label, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		mb, err := maint.Backup(ctx, bk.Label, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		ep, err := maint.MaintenanceEpoch(ctx)
+		if err != nil {
+			return nil, err
+		}
+
+		bst, err := maintBenchRestore(base, bb)
+		if err != nil {
+			return nil, err
+		}
+		mst, err := maintBenchRestore(maint, mb)
+		if err != nil {
+			return nil, err
+		}
+		pt := MaintPoint{
+			Gen:              g + 1,
+			Label:            bk.Label,
+			Bytes:            bst.Bytes,
+			BaseMBps:         bst.ThroughputMBps(),
+			BaseReads:        bst.ContainerReads,
+			MaintMBps:        mst.ThroughputMBps(),
+			MaintReads:       mst.ContainerReads,
+			RefsRemapped:     ep.RefsRemapped,
+			ContainersMerged: ep.ContainersMerged,
+			BytesReclaimed:   ep.BytesReclaimed,
+		}
+		if pt.BaseMBps > 0 {
+			pt.Gain = pt.MaintMBps / pt.BaseMBps
+		}
+		bench.Points = append(bench.Points, pt)
+		bench.TotalRefsRemapped += ep.RefsRemapped
+		bench.TotalContainersMerged += ep.ContainersMerged
+		bench.TotalBytesReclaimed += ep.BytesReclaimed
+		if g == cfg.Generations-1 {
+			bench.FinalBaseMBps = pt.BaseMBps
+			bench.FinalMaintMBps = pt.MaintMBps
+			bench.FinalGain = pt.Gain
+		}
+	}
+
+	// Integrity: every generation from the maintained store, bit-identical
+	// to what was ingested, and a full data-verify fsck.
+	bench.VerifiedBitIdentical = true
+	for i, b := range maint.Backups() {
+		h := sha256.New()
+		if _, err := maint.Restore(ctx, b, h, true); err != nil {
+			return nil, fmt.Errorf("maintbench: restoring %s after epochs: %w", b.Label, err)
+		}
+		if b.Label != labels[i] || !bytes.Equal(h.Sum(nil), digests[i][:]) {
+			bench.VerifiedBitIdentical = false
+		}
+	}
+	rep, err := maint.Check(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	bench.FsckClean = rep.OK()
+	return bench, nil
+}
+
+// WriteMaintBenchJSON serializes the benchmark result as indented JSON.
+func WriteMaintBenchJSON(w io.Writer, b *MaintBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

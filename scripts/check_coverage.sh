@@ -30,6 +30,7 @@ declare -A floors=(
   [repro/internal/fsck]=40
   [repro/internal/gc]=85
   [repro/internal/lru]=85
+  [repro/internal/maintenance]=75
   [repro/internal/metrics]=88
   [repro/internal/minhash]=90
   [repro/internal/restore]=85

@@ -31,6 +31,8 @@ func (s *Store) IngestStream(ctx context.Context, label string, r io.Reader) (*B
 	ctx, span := telemetry.StartSpan(ctx, "store.ingest_stream")
 	defer span.End()
 	telBackups.Inc()
+	s.maintMu.RLock()
+	defer s.maintMu.RUnlock()
 
 	sb, ok := s.eng.(engine.StreamBackupper)
 	if !ok {
@@ -45,7 +47,7 @@ func (s *Store) IngestStream(ctx context.Context, label string, r io.Reader) (*B
 		return nil, err
 	}
 	span.SetSim(st.Duration)
-	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
+	b := newBackup(label, fromEngineStats(st), rec)
 
 	// Commit under the store lock: retained-set bookkeeping, durable
 	// persistence, and the master-clock advance are one atomic step, so
@@ -76,7 +78,7 @@ func (s *Store) ingestSerial(ctx context.Context, label string, r io.Reader) (*B
 	if err != nil {
 		return nil, err
 	}
-	b := &Backup{Label: label, Stats: fromEngineStats(st), recipe: rec}
+	b := newBackup(label, fromEngineStats(st), rec)
 	if err := s.commitBackup(b); err != nil {
 		return b, fmt.Errorf("repro: persisting backup %q: %w", label, err)
 	}
