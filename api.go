@@ -233,6 +233,27 @@ type Options struct {
 	// MaintenanceOptions. The zero value leaves the layer off (manual
 	// MaintenanceEpoch calls still work on indexed engines).
 	Maintenance MaintenanceOptions
+	// Filter configures the HPDedup-style prioritized inline filter on the
+	// DeFrag engine (ignored by the others): streams whose duplicates do
+	// not cluster are demoted to write-through ingest and re-deduplicated
+	// out of line by the maintenance pass. Zero value = off.
+	Filter FilterOptions
+}
+
+// FilterOptions is the public surface of engine.FilterConfig; see that type
+// for the decision model. Zero thresholds take the engine defaults.
+type FilterOptions struct {
+	// Enabled turns the prioritized inline filter on (DeFrag only).
+	Enabled bool
+	// Probation is the chunks observed per stream before the verdict.
+	Probation int
+	// MinDupFraction spills streams with fewer duplicates than this share.
+	MinDupFraction float64
+	// MinClusterScore spills streams whose duplicate locality is below this.
+	MinClusterScore float64
+	// RecencyContainers is how far behind the write head (in containers) a
+	// duplicate may resolve and still count as clustered.
+	RecencyContainers int
 }
 
 func (o Options) withDefaults() Options {
@@ -365,6 +386,13 @@ func Open(opts Options) (*Store, error) {
 		cfg.Alpha = opts.Alpha
 		cfg.StoreData = opts.StoreData
 		cfg.Backend = be
+		cfg.Filter = engine.FilterConfig{
+			Enabled:           opts.Filter.Enabled,
+			Probation:         opts.Filter.Probation,
+			MinDupFraction:    opts.Filter.MinDupFraction,
+			MinClusterScore:   opts.Filter.MinClusterScore,
+			RecencyContainers: opts.Filter.RecencyContainers,
+		}
 		var e *core.Engine
 		if e, err = core.New(cfg); err == nil {
 			s.eng = e
@@ -910,6 +938,8 @@ type StoreStats struct {
 	Containers       int     // sealed containers
 	Utilization      float64 // live fraction of stored bytes (rewrites create garbage)
 	CompressionRatio float64 // logical / stored
+	SpilledBytes     int64   // filter write-through bytes across retained backups
+	SpilledStreams   int     // retained backups the inline filter demoted to spill
 }
 
 // CompactStats summarizes one garbage-collection pass (see Compact).
@@ -1084,6 +1114,14 @@ func (s *Store) Stats() StoreStats {
 	stored := s.eng.Containers().StoredBytes()
 	s.mu.RLock()
 	logical := s.logical
+	var spilledBytes int64
+	var spilledStreams int
+	for _, b := range s.backups {
+		spilledBytes += b.Stats.SpilledBytes
+		if b.Stats.FilterSpilled {
+			spilledStreams++
+		}
+	}
 	s.mu.RUnlock()
 	cr := 0.0
 	if stored > 0 {
@@ -1095,5 +1133,7 @@ func (s *Store) Stats() StoreStats {
 		Containers:       s.eng.Containers().NumContainers(),
 		Utilization:      s.eng.Containers().Utilization(),
 		CompressionRatio: cr,
+		SpilledBytes:     spilledBytes,
+		SpilledStreams:   spilledStreams,
 	}
 }

@@ -348,6 +348,86 @@ func TestE2EKillMidMerge(t *testing.T) {
 	}
 }
 
+// dispersedOf reorders base at 32 KiB granularity with unique blocks
+// interleaved: against a store already holding newer history, its
+// duplicates resolve far behind the write head, so the inline filter
+// demotes the stream to write-through spill.
+func dispersedOf(base []byte, salt byte) []byte {
+	const block = 32 << 10
+	var out bytes.Buffer
+	n := len(base) / block
+	for i := 0; i < n; i++ {
+		j := (i*7 + 3) % n
+		out.Write(base[j*block : (j+1)*block])
+		if i%4 == 0 {
+			fresh := make([]byte, block)
+			for k := range fresh {
+				fresh[k] = byte(i*131+k*17) ^ salt
+			}
+			out.Write(fresh)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestE2EKillDuringFilteredMaintenance is the crash story for the
+// prioritized-filter pipeline: a server running with the inline filter on
+// ingests streams the filter spills, survives one full out-of-line re-dedup
+// epoch, and then takes SIGKILL while another maintenance epoch is in
+// flight. No drain, no Close — reopening must be fsck-clean with every
+// committed backup (including the spilled-then-rededuped one) restoring
+// bit-identically.
+func TestE2EKillDuringFilteredMaintenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	p := startDedupd(t, dir,
+		"-filter",
+		"-filter.probation", "64",
+		"-maintenance.util", "0.95",
+	)
+
+	want := make(map[string][]byte)
+	base := seededData(20, 512<<10)
+	want["base"] = base
+	if err := uploadBackup(p, "base", base); err != nil {
+		t.Fatal(err)
+	}
+	// Unique history pushes the write head past base's containers, so the
+	// dispersed copy's duplicates score as cold.
+	for i := 0; i < 3; i++ {
+		label := fmt.Sprintf("fill-%d", i)
+		want[label] = seededData(int64(21+i), 512<<10)
+		if err := uploadBackup(p, label, want[label]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want["dispersed"] = dispersedOf(base, 0x5A)
+	if err := uploadBackup(p, "dispersed", want["dispersed"]); err != nil {
+		t.Fatal(err)
+	}
+
+	// One epoch completes cleanly: the spilled refs re-dedup onto the
+	// authoritative copies while the server is live.
+	if err := postMaintenance(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the process while a second epoch is in flight. Whether the kill
+	// lands before, during, or after the epoch's work is deliberately racy —
+	// every instant must be recoverable.
+	maintDone := make(chan error, 1)
+	go func() { maintDone <- postMaintenance(p) }()
+	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait() //nolint:errcheck // killed on purpose
+	<-maintDone  // connection outcome irrelevant
+
+	reopenAndAudit(t, dir, want)
+}
+
 // TestE2ECrashAfterIngest exercises the deterministic -crash.after
 // machinery: the server exits without closing the store immediately after
 // the Nth ingest commits, so the WAL's last record is a live container. Both

@@ -29,6 +29,7 @@ type loadgenParams struct {
 	files       int
 	fileKB      int64
 	seed        int64
+	scenario    string
 	out         string
 	stagesOut   string
 	sweep       string
@@ -71,13 +72,14 @@ type loadgenSummary struct {
 }
 
 type loadgenConfig struct {
-	Addr    string `json:"addr"`
-	Tenants int    `json:"tenants"`
-	Gens    int    `json:"gens"`
-	Files   int    `json:"files"`
-	FileKB  int64  `json:"fileKB"`
-	Seed    int64  `json:"seed"`
-	Mode    string `json:"restoreMode"`
+	Addr     string `json:"addr"`
+	Tenants  int    `json:"tenants"`
+	Gens     int    `json:"gens"`
+	Files    int    `json:"files"`
+	FileKB   int64  `json:"fileKB"`
+	Seed     int64  `json:"seed"`
+	Scenario string `json:"scenario,omitempty"`
+	Mode     string `json:"restoreMode"`
 }
 
 type loadgenReport struct {
@@ -169,7 +171,8 @@ func runLoadgen(p loadgenParams) error {
 	rep := loadgenReport{}
 	rep.Config = loadgenConfig{
 		Addr: p.addr, Tenants: p.tenants, Gens: p.gens,
-		Files: p.files, FileKB: p.fileKB, Seed: p.seed, Mode: p.mode,
+		Files: p.files, FileKB: p.fileKB, Seed: p.seed,
+		Scenario: p.scenario, Mode: p.mode,
 	}
 	rep.Summary.AllVerified = true
 	stages.Config = rep.Config
@@ -436,16 +439,41 @@ func traceRetained(client *http.Client, base, trace string) (bool, error) {
 	return false, nil
 }
 
+// tenantSchedule builds one tenant's stream schedule from the configured
+// scenario. "mixed" rotates tenants across backup, primary and workspace so
+// one run exercises all three against the same store; each tenant gets an
+// independently derived seed either way.
+func tenantSchedule(id int, p loadgenParams) (workload.Schedule, error) {
+	name := p.scenario
+	if strings.EqualFold(name, "mixed") {
+		all := workload.AllScenarios()
+		name = all[id%len(all)].String()
+	}
+	sc, err := workload.ParseScenario(name)
+	if err != nil {
+		return nil, err
+	}
+	seed := p.seed*1000003 + int64(id)*7919
+	if sc == workload.ScenarioBackup {
+		cfg := workload.DefaultConfig(seed)
+		cfg.NumFiles = p.files
+		cfg.MeanFileSize = p.fileKB << 10
+		return workload.NewSingle(cfg)
+	}
+	return workload.NewScenario(sc, workload.ScenarioParams{
+		Seed:           seed,
+		Users:          1,
+		BytesPerStream: int64(p.files) * (p.fileKB << 10),
+	})
+}
+
 // ingest uploads this tenant's generations sequentially (tenants run
 // concurrently with each other). A 429 is retried after the server's
 // Retry-After hint; every retry is counted into the trajectory. Failed
 // uploads are recorded as failed ops (status + error + trace) and the run
 // moves on — one bad generation shouldn't hide the rest of the trajectory.
 func (tr *tenantRun) ingest(client *http.Client, base string, p loadgenParams) error {
-	cfg := workload.DefaultConfig(p.seed*1000003 + int64(tr.id)*7919)
-	cfg.NumFiles = p.files
-	cfg.MeanFileSize = p.fileKB << 10
-	sched, err := workload.NewSingle(cfg)
+	sched, err := tenantSchedule(tr.id, p)
 	if err != nil {
 		return err
 	}

@@ -65,7 +65,8 @@ type serverParams struct {
 	// backend passes it. Crash-recovery testing only.
 	crashPoint string
 
-	maint repro.MaintenanceOptions
+	maint  repro.MaintenanceOptions
+	filter repro.FilterOptions
 }
 
 func realMain() error {
@@ -101,12 +102,17 @@ func realMain() error {
 	flag.Float64Var(&p.maint.SparseThreshold, "maintenance.sparse", 0, "merge containers the latest backup uses below this fraction (0 = default 0.25)")
 	flag.IntVar(&p.maint.MaxBatch, "maintenance.batch", 0, "max containers merged per maintenance epoch (0 = default 8)")
 	flag.Float64Var(&p.maint.ThrottleMBps, "maintenance.throttle.mbps", 0, "wall-clock pacing of maintenance data movement in MB/s (0 = unthrottled)")
+	flag.BoolVar(&p.filter.Enabled, "filter", false, "enable the prioritized inline filter (DeFrag): poorly clustered streams write through, maintenance re-dedups the spill")
+	flag.IntVar(&p.filter.Probation, "filter.probation", 0, "chunks observed per stream before the filter verdict (0 = default 256)")
+	flag.Float64Var(&p.filter.MinDupFraction, "filter.mindup", 0, "spill streams with a duplicate share below this (0 = default 0.05)")
+	flag.Float64Var(&p.filter.MinClusterScore, "filter.mincluster", 0, "spill streams with a clustered-duplicate share below this (0 = default 0.5)")
 
 	flag.IntVar(&lg.tenants, "loadgen.tenants", 4, "loadgen: concurrent tenant streams")
 	flag.IntVar(&lg.gens, "loadgen.gens", 3, "loadgen: backup generations per tenant")
 	flag.IntVar(&lg.files, "loadgen.files", 16, "loadgen: files per tenant file system")
 	flag.Int64Var(&lg.fileKB, "loadgen.filekb", 256, "loadgen: mean file size in KiB")
 	flag.Int64Var(&lg.seed, "seed", 1, "loadgen: workload seed")
+	flag.StringVar(&lg.scenario, "loadgen.scenario", "backup", "loadgen: per-tenant workload scenario: backup, primary, workspace, or mixed (rotate tenants across all three)")
 	flag.StringVar(&lg.out, "loadgen.out", "BENCH_PR5.json", "loadgen: write the run trajectory to this file")
 	flag.StringVar(&lg.stagesOut, "loadgen.stages.out", "BENCH_PR6.json", "loadgen: write the per-stage time breakdown to this file")
 	flag.StringVar(&lg.sweep, "loadgen.sweep", "", "loadgen: extra ingest-only phases at these stream counts for the stage sweep (e.g. \"1,2,8\")")
@@ -182,6 +188,7 @@ func runServer(p serverParams) error {
 		Dir:               p.storeDir,
 		RestoreCacheBytes: p.restoreCacheMB << 20,
 		Maintenance:       p.maint,
+		Filter:            p.filter,
 	})
 	if err != nil {
 		return err

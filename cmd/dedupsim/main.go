@@ -12,6 +12,8 @@
 //	dedupsim -engine defrag -alpha 0.2 -restore
 //	dedupsim -engine defrag -verify            # end-to-end content verification
 //	dedupsim -catalog /tmp/catalog             # save recipes for later analysis
+//	dedupsim -scenario primary -filter -gens 16   # primary volumes through the inline filter
+//	dedupsim -scenario workspace -streams 4       # tenant workspace trees, 4 tenants
 //
 // Durable-store workflow (see README "Durability & backends"):
 //
@@ -53,6 +55,8 @@ func realMain() error {
 		catalog    = flag.String("catalog", "", "directory to write recipe catalogs into")
 		workers    = flag.Int("workers", 0, "parallel fingerprinting workers (0 = auto/GOMAXPROCS, 1 = serial)")
 		streams    = flag.Int("streams", 1, "concurrent backup streams per round (>1 switches to a multi-user schedule)")
+		scenario   = flag.String("scenario", "backup", "workload scenario: backup (multi-generation file sets), primary (hot/cold block volumes), workspace (tenant directory trees)")
+		filterOn   = flag.Bool("filter", false, "enable the prioritized inline filter (DeFrag): poorly clustered streams write through and are re-deduped by maintenance")
 		check      = flag.Bool("check", false, "run a consistency check (fsck) at the end")
 		export     = flag.String("export", "", "directory to export the store archive into")
 		backend    = flag.String("backend", "sim", "storage backend: sim (in-memory) or file (durable directory store)")
@@ -76,7 +80,7 @@ func realMain() error {
 	if a := ep.Addr(); a != "" {
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", a)
 	}
-	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *streams, *check, *export, *rMode, *rCache, *rWorkers,
+	if err := run(params{*engineName, *gens, *files, *fileKB, *alpha, *seed, *doRestore, *verify, *catalog, *workers, *streams, *scenario, *filterOn, *check, *export, *rMode, *rCache, *rWorkers,
 		*backend, *storeDir, *faultSeed, *faultTrans, *faultTorn, *fsckOnly, *repair, *crashAfter}); err != nil {
 		return err
 	}
@@ -99,6 +103,8 @@ type params struct {
 	catalog    string
 	workers    int
 	streams    int
+	scenario   string
+	filterOn   bool
 	check      bool
 	export     string
 
@@ -166,6 +172,10 @@ func run(p params) error {
 	if p.streams > 1 {
 		nstreams = int64(p.streams)
 	}
+	sc, err := workload.ParseScenario(p.scenario)
+	if err != nil {
+		return err
+	}
 	store, err := repro.Open(repro.Options{
 		Engine:          kind,
 		Alpha:           alpha,
@@ -173,6 +183,7 @@ func run(p params) error {
 		StoreData:       verify,
 		TrackEfficiency: true,
 		Workers:         p.workers,
+		Filter:          repro.FilterOptions{Enabled: p.filterOn},
 		Backend:         bkind,
 		Dir:             p.storeDir,
 		Faults: repro.FaultOptions{
@@ -188,10 +199,25 @@ func run(p params) error {
 	if p.fsckOnly {
 		return runFsck(ctx, p, store)
 	}
-	if p.streams > 1 {
+	if p.streams > 1 && sc == workload.ScenarioBackup {
 		return runStreams(ctx, p, store, wcfg)
 	}
-	sched, err := workload.NewSingle(wcfg)
+	var sched workload.Schedule
+	if sc == workload.ScenarioBackup {
+		sched, err = workload.NewSingle(wcfg)
+	} else {
+		// Scenario streams are sized from the same -files/-filekb knobs:
+		// one backup approximates the whole synthetic file set.
+		users := p.streams
+		if users < 1 {
+			users = 1
+		}
+		sched, err = workload.NewScenario(sc, workload.ScenarioParams{
+			Seed:           seed,
+			Users:          users,
+			BytesPerStream: int64(files) * (fileKB << 10),
+		})
+	}
 	if err != nil {
 		return err
 	}

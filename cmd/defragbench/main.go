@@ -16,6 +16,7 @@
 //	defragbench -multistream BENCH_PR2.json   # multi-stream scaling sweep
 //	defragbench -restorebench BENCH_PR3.json  # restore strategy sweep (LRU/OPT/FAA/pipelined)
 //	defragbench -maintbench BENCH_PR9.json    # online maintenance restore-of-latest curve
+//	defragbench -scenariobench BENCH_PR10.json # cross-scenario table + filter ablation
 package main
 
 import (
@@ -51,6 +52,9 @@ func realMain() error {
 		streams   = flag.String("streams", "1,2,4,8", "comma-separated concurrency levels for -multistream")
 		rbOut     = flag.String("restorebench", "", "run the restore strategy sweep (LRU/OPT/FAA/pipelined per generation) and write JSON to this file (\"-\" = stdout)")
 		mbOut     = flag.String("maintbench", "", "run the maintenance benchmark (restore-of-latest vs generation, with and without the online pass) and write JSON to this file (\"-\" = stdout)")
+		sbOut     = flag.String("scenariobench", "", "run the cross-scenario benchmark (backup/primary/workspace table plus the primary inline-filter ablation) and write JSON to this file (\"-\" = stdout)")
+		sbRounds  = flag.Int("scenario.rounds", 0, "backups per stream for -scenariobench (0 = default 4)")
+		sbBytes   = flag.Int64("scenario.bytes", 0, "approximate bytes per backup for -scenariobench (0 = default 4 MiB)")
 		rWorkers  = flag.Int("restore.workers", 8, "prefetch lanes for the pipelined restore (-restorebench and -json restores)")
 		rCache    = flag.Int("restore.cache", 0, "restore cache capacity in containers (0 = restore default, 8)")
 		telAddr   = flag.String("telemetry.addr", "", "serve live /metrics, /debug/snapshot and /debug/pprof on this address")
@@ -79,6 +83,14 @@ func realMain() error {
 
 	if *rbOut != "" {
 		return emitRestoreBench(cfg, *engine, *rCache, *rWorkers, *rbOut)
+	}
+	if *sbOut != "" {
+		return emitScenarioBench(repro.ScenarioBenchConfig{
+			Seed:           *seed,
+			Users:          *users,
+			Rounds:         *sbRounds,
+			BytesPerStream: *sbBytes,
+		}, *sbOut)
 	}
 	if *mbOut != "" {
 		return emitMaintBench(cfg, *mbOut)
@@ -150,6 +162,27 @@ func emitMaintBench(cfg repro.ExperimentConfig, out string) error {
 		w = f
 	}
 	return repro.WriteMaintBenchJSON(w, bench)
+}
+
+// emitScenarioBench runs the cross-scenario benchmark — one seeded run per
+// scenario (backup, primary, workspace) through a DeFrag store, every
+// restore hash-verified, plus the primary-storage filter-vs-baseline
+// ablation — and writes the JSON result (BENCH_PR10.json's format) to out.
+func emitScenarioBench(cfg repro.ScenarioBenchConfig, out string) error {
+	bench, err := repro.RunScenarioBench(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return repro.WriteScenarioBenchJSON(w, bench)
 }
 
 // emitMultiStream runs the multi-stream scaling benchmark — the same

@@ -55,6 +55,8 @@ var (
 		telemetry.Name("defrag_decision_total", "decision", "rewrite"), "")
 	telDecisionUnique = telemetry.NewCounter(
 		telemetry.Name("defrag_decision_total", "decision", "unique"), "")
+	telDecisionSpill = telemetry.NewCounter(
+		telemetry.Name("defrag_decision_total", "decision", "spill"), "")
 	telSPL = telemetry.NewHistogram("defrag_spl_ratio",
 		"spatial locality level SPL(m,k) of duplicate groups (paper Eq. 2); the rewrite threshold is α",
 		telemetry.RatioBuckets)
@@ -111,6 +113,12 @@ type Config struct {
 	// Backend supplies the physical container store. nil selects the
 	// in-memory backend matching StoreData (the historical behavior).
 	Backend blockstore.Backend
+	// Filter is the HPDedup-style prioritized inline filter: streams whose
+	// duplicates do not cluster are demoted to write-through (spill) ingest
+	// and re-deduplicated out of line by the maintenance pass. The zero
+	// value disables it — every stream dedups inline, the historical
+	// behavior.
+	Filter engine.FilterConfig
 }
 
 // DefaultConfig mirrors ddfs.DefaultConfig with the paper's α = 0.1.
@@ -249,6 +257,7 @@ func (e *Engine) backup(ctx context.Context, label string, r io.Reader, clk *dis
 		w = e.store.NewWriter(clk)
 	}
 	sr := e.resolver.Stream(clk, w)
+	flt := engine.NewFilter(e.cfg.Filter)
 	start := timing.Now()
 	ctx, span := telemetry.StartSpan(ctx, "defrag.backup")
 	defer span.End()
@@ -257,7 +266,7 @@ func (e *Engine) backup(ctx context.Context, label string, r io.Reader, clk *dis
 		ctx, r, e.cfg.Chunker, e.cfg.ChunkParams, e.cfg.SegParams,
 		timing, e.cfg.Cost, e.store.StoresData(),
 		func(seg *segment.Segment) error {
-			return e.processSegment(ctx, seg, recipe, &stats, timing, w, sr)
+			return e.processSegment(ctx, seg, recipe, &stats, timing, w, sr, flt)
 		})
 	if err != nil {
 		// Leave the store consistent even on cancellation: seal the open
@@ -277,6 +286,7 @@ func (e *Engine) backup(ctx context.Context, label string, r io.Reader, clk *dis
 	stats.LogicalBytes = logical
 	stats.Chunks = chunks
 	stats.Segments = segs
+	stats.FilterSpilled = flt.Spilling()
 	stats.Duration = timing.Now() - start
 	span.SetSim(stats.Duration)
 	return recipe, stats, nil
@@ -291,7 +301,12 @@ type resolution struct {
 // processSegment runs the three DeFrag phases over one segment. ctx carries
 // the backup-level telemetry span; each phase is traced under it. timing is
 // the clock the stream charges (the engine clock on the serial path).
-func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats, timing *disk.Clock, w *container.Writer, sr *engine.StreamResolver) error {
+func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats, timing *disk.Clock, w *container.Writer, sr *engine.StreamResolver, flt *engine.Filter) error {
+	// A stream the filter has demoted skips the charged identify/measure
+	// phases entirely and writes through.
+	if flt.Spilling() {
+		return e.spillSegment(ctx, seg, recipe, stats, w, sr)
+	}
 	segID := e.segSeq.Add(1)
 	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
 
@@ -303,8 +318,10 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 	_, identSpan := telemetry.StartSpan(ctx, "defrag.identify")
 	batch := sr.ResolveBatch(seg.Chunks, stats)
 	res := make([]resolution, len(seg.Chunks))
+	head := uint32(e.store.Slots())
 	for i := range batch {
 		res[i] = resolution{loc: batch[i].Loc, dup: batch[i].Dup}
+		flt.Observe(res[i].dup, res[i].loc, head)
 	}
 	identSpan.SetSim(timing.Now() - identStart)
 	identSpan.End()
@@ -406,6 +423,54 @@ func (e *Engine) processSegment(ctx context.Context, seg *segment.Segment, recip
 	placeSpan.SetSim(timing.Now() - placeStart)
 	placeSpan.End()
 
+	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
+	return nil
+}
+
+// spillSegment is the write-through path for streams the inline filter has
+// demoted: no charged index lookups, no metadata prefetches, no SPL
+// measurement. Chunks the Bloom filter clears as definitely-new register in
+// the index as usual; probable duplicates are written again without touching
+// the index — the earlier copy stays authoritative, so the maintenance
+// pass's re-dedup step (maintenance.Config.Rededup) can later remap this
+// stream's recipe onto it and reclaim the spilled container space.
+func (e *Engine) spillSegment(ctx context.Context, seg *segment.Segment, recipe *chunk.Recipe, stats *engine.BackupStats, w *container.Writer, sr *engine.StreamResolver) error {
+	segID := e.segSeq.Add(1)
+	segOracleDup := engine.ObserveSegment(e.oracle, seg, stats)
+	var removedInSeg int64
+	writtenHere := make(map[chunk.Fingerprint]chunk.Location, len(seg.Chunks))
+	for _, c := range seg.Chunks {
+		if loc, again := writtenHere[c.FP]; again {
+			// Repeated within this segment: the copy just written is local
+			// and free to reference.
+			stats.DedupedBytes += int64(c.Size)
+			stats.DedupedChunks++
+			telDecisionDedup.Inc()
+			removedInSeg += int64(c.Size)
+			recipe.Append(c.FP, c.Size, loc)
+			continue
+		}
+		loc, werr := w.Write(ctx, c, segID)
+		if werr != nil {
+			return werr
+		}
+		writtenHere[c.FP] = loc
+		if !sr.MightContain(c.FP) {
+			// Definitely new: register so future streams (and this one) can
+			// still dedup against it.
+			sr.RegisterNew(c.FP, loc)
+			stats.UniqueBytes += int64(c.Size)
+			stats.UniqueChunks++
+			telDecisionUnique.Inc()
+		} else {
+			// Probable duplicate: written through, index untouched.
+			stats.SpilledBytes += int64(c.Size)
+			stats.SpilledChunks++
+			telDecisionSpill.Inc()
+			engine.AccountSpill(int64(c.Size))
+		}
+		recipe.Append(c.FP, c.Size, loc)
+	}
 	engine.AccountPartialSegment(e.oracle, seg, segOracleDup, removedInSeg, stats)
 	return nil
 }

@@ -78,6 +78,9 @@ type BackupStats struct {
 	RewrittenBytes  int64 // redundant bytes deliberately written anyway
 	RewrittenChunks int64
 	MissedDupBytes  int64 // redundant bytes the engine failed to detect (SiLo)
+	SpilledBytes    int64 // probable-duplicate bytes written through by the inline filter
+	SpilledChunks   int64
+	FilterSpilled   bool // the stream was demoted to spill (write-through) mode
 
 	Duration time.Duration // simulated time consumed by this backup
 

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+// feed pushes n observations with the given dup/location shape and returns
+// the filter afterwards.
+func feed(f *Filter, n int, dup bool, container, head uint32) {
+	for i := 0; i < n; i++ {
+		f.Observe(dup, chunk.Location{Container: container}, head)
+	}
+}
+
+func TestFilterNilIsInline(t *testing.T) {
+	var f *Filter
+	f.Observe(true, chunk.Location{}, 0) // must not panic
+	if f.Spilling() {
+		t.Fatal("nil filter must never spill")
+	}
+	if NewFilter(FilterConfig{}) != nil {
+		t.Fatal("disabled config must yield nil filter")
+	}
+}
+
+func TestFilterNoVerdictDuringProbation(t *testing.T) {
+	f := NewFilter(FilterConfig{Enabled: true, Probation: 10})
+	feed(f, 9, false, 0, 100) // all unique, but probation not over
+	if f.Spilling() {
+		t.Fatal("verdict before probation ends")
+	}
+	f.Observe(false, chunk.Location{}, 100)
+	if !f.Spilling() {
+		t.Fatal("all-unique stream must spill once probation closes")
+	}
+}
+
+func TestFilterLowDupFractionSpills(t *testing.T) {
+	f := NewFilter(FilterConfig{Enabled: true, Probation: 100, MinDupFraction: 0.05, RecencyContainers: 4})
+	feed(f, 2, true, 99, 100) // 2% dups, and even recent ones
+	feed(f, 98, false, 0, 100)
+	if !f.Spilling() {
+		t.Fatal("2% dup fraction below the 5% bar must spill")
+	}
+}
+
+func TestFilterRecentDuplicatesStayInline(t *testing.T) {
+	f := NewFilter(FilterConfig{Enabled: true, Probation: 100, RecencyContainers: 4})
+	// Half the chunks are duplicates resolving 0–3 containers behind head.
+	for i := 0; i < 50; i++ {
+		f.Observe(true, chunk.Location{Container: uint32(97 + i%4)}, 100)
+	}
+	feed(f, 50, false, 0, 100)
+	if f.Spilling() {
+		t.Fatal("well-clustered duplicates must dedup inline")
+	}
+}
+
+func TestFilterDispersedDuplicatesSpill(t *testing.T) {
+	f := NewFilter(FilterConfig{Enabled: true, Probation: 100, RecencyContainers: 4})
+	// Same dup fraction, but the copies live far behind the write head.
+	for i := 0; i < 50; i++ {
+		f.Observe(true, chunk.Location{Container: uint32(i % 20)}, 100)
+	}
+	feed(f, 50, false, 0, 100)
+	if !f.Spilling() {
+		t.Fatal("dispersed duplicates must spill to out-of-line re-dedup")
+	}
+}
+
+func TestFilterClusterScoreIsAFraction(t *testing.T) {
+	// 60% of dups recent with MinClusterScore 0.5 → inline; 40% → spill.
+	mk := func(recent, far int) *Filter {
+		f := NewFilter(FilterConfig{Enabled: true, Probation: 100, RecencyContainers: 4, MinClusterScore: 0.5})
+		feed(f, recent, true, 98, 100)
+		feed(f, far, true, 1, 100)
+		feed(f, 100-recent-far, false, 0, 100)
+		return f
+	}
+	if mk(30, 20).Spilling() {
+		t.Fatal("60% clustered should stay inline at a 50% bar")
+	}
+	if !mk(20, 30).Spilling() {
+		t.Fatal("40% clustered should spill at a 50% bar")
+	}
+}
+
+func TestFilterVerdictIsSticky(t *testing.T) {
+	f := NewFilter(FilterConfig{Enabled: true, Probation: 10, RecencyContainers: 4})
+	feed(f, 10, true, 1, 100) // dispersed → spill
+	if !f.Spilling() {
+		t.Fatal("expected spill verdict")
+	}
+	// Post-verdict observations (spill path never calls Observe, but the
+	// contract is that extra calls cannot flip the verdict).
+	feed(f, 1000, true, 99, 100)
+	if !f.Spilling() {
+		t.Fatal("verdict flipped after decision")
+	}
+}
+
+func TestFilterDefaults(t *testing.T) {
+	cfg := FilterConfig{Enabled: true}.withDefaults()
+	if cfg.Probation != 256 || cfg.MinDupFraction != 0.05 ||
+		cfg.MinClusterScore != 0.5 || cfg.RecencyContainers != 4 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

@@ -376,5 +376,13 @@ func (sr *StreamResolver) FlushIndex() { sr.ih.Flush() }
 // Writer returns the container writer this stream resolver is bound to.
 func (sr *StreamResolver) Writer() *container.Writer { return sr.w }
 
+// MightContain is the Bloom filter's verdict for fp: false means the chunk
+// is definitely new. The check is RAM-resident and charges nothing — it is
+// what lets a spilled stream classify chunks without touching the on-disk
+// index (see engine.FilterConfig).
+func (sr *StreamResolver) MightContain(fp chunk.Fingerprint) bool {
+	return sr.r.filter.MayContain(fp)
+}
+
 // Index exposes the underlying chunk index.
 func (r *Resolver) Index() *cindex.Index { return r.index }

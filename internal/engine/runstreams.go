@@ -155,6 +155,9 @@ func mergeStats(results []StreamResult) BackupStats {
 		m.RewrittenBytes += s.RewrittenBytes
 		m.RewrittenChunks += s.RewrittenChunks
 		m.MissedDupBytes += s.MissedDupBytes
+		m.SpilledBytes += s.SpilledBytes
+		m.SpilledChunks += s.SpilledChunks
+		m.FilterSpilled = m.FilterSpilled || s.FilterSpilled
 		m.OracleRedundantBytes += s.OracleRedundantBytes
 		m.PartialRedundantBytes += s.PartialRedundantBytes
 		m.RemovedInPartialBytes += s.RemovedInPartialBytes

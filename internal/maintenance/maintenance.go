@@ -62,6 +62,8 @@ var (
 		"container data bytes reclaimed by merges")
 	telSkipped = telemetry.NewCounter("maintenance_victims_skipped_total",
 		"merge victims abandoned at commit because foreground traffic re-pinned them")
+	telRededuped = telemetry.NewCounter("maintenance_refs_rededuped_total",
+		"spilled write-through recipe references remapped back onto index-authoritative copies")
 )
 
 // RecipeStore is the pass's window onto the retained backups. Snapshot
@@ -122,6 +124,14 @@ type Config struct {
 	// ThrottleMBps paces merge data movement in wall-clock MB/s through a
 	// token bucket. 0 disables pacing.
 	ThrottleMBps float64
+	// Rededup enables the out-of-line re-dedup step for spilled streams:
+	// recipe references pointing at a chunk copy written *after* the copy
+	// the index considers authoritative (only the inline filter's
+	// write-through path produces those) are remapped back onto the
+	// authoritative copy, so the spilled containers go dead and the merge
+	// machinery reclaims them. The Store enables this whenever maintenance
+	// runs; it is a no-op for stores that never spill.
+	Rededup bool
 }
 
 func (c Config) withDefaults() Config {
@@ -155,7 +165,8 @@ func (c Config) validate() error {
 // Stats summarizes one epoch (or, accumulated, a pass's lifetime).
 type Stats struct {
 	RecipesScanned   int     `json:"recipesScanned"`
-	RefsRemapped     int64   `json:"refsRemapped"` // reverse-remap rewrites to newer copies
+	RefsRemapped     int64   `json:"refsRemapped"`  // reverse-remap rewrites to newer copies
+	RefsRededuped    int64   `json:"refsRededuped"` // spilled refs remapped onto authoritative copies
 	ContainersMerged int     `json:"containersMerged"`
 	ChunksMoved      int64   `json:"chunksMoved"`
 	BytesMoved       int64   `json:"bytesMoved"`
@@ -168,6 +179,7 @@ type Stats struct {
 func (s *Stats) add(o Stats) {
 	s.RecipesScanned += o.RecipesScanned
 	s.RefsRemapped += o.RefsRemapped
+	s.RefsRededuped += o.RefsRededuped
 	s.ContainersMerged += o.ContainersMerged
 	s.ChunksMoved += o.ChunksMoved
 	s.BytesMoved += o.BytesMoved
@@ -224,6 +236,11 @@ func (p *Pass) RunEpoch(ctx context.Context) (Stats, error) {
 	laneStart := lane.Now()
 
 	var st Stats
+	if p.cfg.Rededup {
+		if err := p.rededupSpill(ctx, &st); err != nil {
+			return st, err
+		}
+	}
 	if err := p.reverseRemap(ctx, &st); err != nil {
 		return st, err
 	}
@@ -240,6 +257,7 @@ func (p *Pass) RunEpoch(ctx context.Context) (Stats, error) {
 	}
 	telEpochs.Inc()
 	telRemapped.Add(st.RefsRemapped)
+	telRededuped.Add(st.RefsRededuped)
 	telMerged.Add(int64(st.ContainersMerged))
 	telMoved.Add(st.ChunksMoved)
 	telMovedBytes.Add(st.BytesMoved)
@@ -301,6 +319,62 @@ func (p *Pass) reverseRemap(ctx context.Context, st *Stats) error {
 			}
 			out.Refs[i].Loc = loc
 			st.RefsRemapped++
+		}
+		if out != nil {
+			updated = append(updated, out)
+		}
+	}
+	if len(updated) == 0 {
+		return nil
+	}
+	return p.cfg.Recipes.Replace(ctx, updated)
+}
+
+// rededupSpill is the out-of-line half of the inline filter's bargain
+// (HPDedup, arXiv 1702.08153): spilled streams wrote their probable
+// duplicates through without consulting the on-disk index, leaving the
+// earlier copy authoritative. This step scans every retained recipe for
+// references whose chunk the index locates at a *strictly older* sealed
+// container — only the write-through path produces that inversion, since
+// inline dedup references the authoritative copy and rewrites repoint the
+// index forward — and remaps them back onto the authoritative copy. The
+// abandoned spilled copies lose their only pins, their containers go dead,
+// and the ordinary merge/drop machinery reclaims the space.
+//
+// Like reverseRemap, the remap itself is pure metadata and safe outside the
+// gate: the target copy is index-authoritative, so gc-liveness keeps it
+// resident, and any drop that might race this epoch revalidates under the
+// exclusive gate before committing.
+func (p *Pass) rededupSpill(ctx context.Context, st *Stats) error {
+	cs, ix := p.cfg.Containers, p.cfg.Index
+	recipes := p.cfg.Recipes.Snapshot()
+	if st.RecipesScanned == 0 {
+		st.RecipesScanned = len(recipes)
+	}
+	var updated []*chunk.Recipe
+	for _, r := range recipes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var out *chunk.Recipe
+		for i := range r.Refs {
+			ref := &r.Refs[i]
+			loc, found := ix.Peek(ref.FP)
+			if !found || loc.Size != ref.Size || !cs.Sealed(loc.Container) {
+				continue
+			}
+			// Strictly-older means an earlier container, or an earlier
+			// offset of the same container (a short-distance spill whose
+			// authoritative copy landed in the same open container).
+			if loc.Container > ref.Loc.Container ||
+				(loc.Container == ref.Loc.Container && loc.Offset >= ref.Loc.Offset) {
+				continue
+			}
+			if out == nil {
+				out = &chunk.Recipe{Label: r.Label, Refs: append([]chunk.Ref(nil), r.Refs...)}
+			}
+			out.Refs[i].Loc = loc
+			st.RefsRededuped++
 		}
 		if out != nil {
 			updated = append(updated, out)

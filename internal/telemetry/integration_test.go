@@ -59,7 +59,7 @@ func TestDecisionCountersSumToChunks(t *testing.T) {
 		t.Errorf("dedup_chunks_processed_total = %d, engine reported %d chunks", processed, chunks)
 	}
 	var decisions int64
-	for _, d := range []string{"dedup", "rewrite", "unique"} {
+	for _, d := range []string{"dedup", "rewrite", "unique", "spill"} {
 		decisions += snap.Counters[telemetry.Name("defrag_decision_total", "decision", d)]
 	}
 	if decisions != chunks {

@@ -1,0 +1,208 @@
+// Deterministic seekable byte streams for the scenario generators.
+//
+// The backup scenario's xorshift extents (workload.go) predate this file and
+// are pinned by golden transcripts; the primary and workspace scenarios use
+// the ChaCha20 keystream below instead. A keystream has two properties the
+// scenarios need that ad-hoc PRNG chains lack:
+//
+//   - Seekable: byte k is byte k%64 of block k/64, so a reader can generate
+//     any extent of a logical object without producing the prefix. Duplicate
+//     regions regenerate bit-identically from (seed, offset) alone.
+//   - Forkable: streams are keyed by SHA-256(label ‖ seed), so every file,
+//     volume, and tenant derives an independent stream from one root seed.
+//     Adding a stream never perturbs the bytes of an existing one.
+//
+// The construction follows kubo's testutils deterministic randomness (seed
+// hashed to a ChaCha20 key, zero nonce); the cipher core is implemented here
+// because the repo carries no external dependencies. This is load generation,
+// not cryptography: 20 rounds of ChaCha are simply a cheap, well-distributed,
+// position-addressable hash.
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math/bits"
+)
+
+// DetRand is one deterministic byte stream: an unbounded, seekable sequence
+// fully determined by the (seed, label) pair given to NewDetRand. The zero
+// nonce/stream position convention means equal keys yield equal bytes at
+// equal offsets, on any platform and under any GOMAXPROCS.
+//
+// A DetRand caches one 64-byte block and is not safe for concurrent use;
+// construction is cheap (one SHA-256), so give each reader its own.
+type DetRand struct {
+	key  [8]uint32
+	idx  uint64 // block number held in buf, valid when have
+	have bool
+	buf  [64]byte
+}
+
+// NewDetRand derives an independent stream from a root seed and a label.
+// Distinct labels (or seeds) give computationally unrelated streams.
+func NewDetRand(seed int64, label string) *DetRand {
+	h := sha256.New()
+	io.WriteString(h, label)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	var sum = h.Sum(nil)
+	d := &DetRand{}
+	for i := range d.key {
+		d.key[i] = binary.LittleEndian.Uint32(sum[i*4:])
+	}
+	return d
+}
+
+// DeriveSeed folds (seed, label, n) into a new 64-bit seed. The scenario
+// generators use it to fork per-stream, per-file, and per-round seeds from
+// one root so that each object's bytes are independent of how many siblings
+// exist — the fan-out fix: stream i's content depends only on (root, i).
+func DeriveSeed(seed int64, label string, n int64) int64 {
+	h := sha256.New()
+	io.WriteString(h, label)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(b[8:], uint64(n))
+	h.Write(b[:])
+	sum := h.Sum(nil)
+	return int64(binary.LittleEndian.Uint64(sum[:8]))
+}
+
+// FillAt writes the stream bytes for absolute offsets [off, off+len(p)).
+func (d *DetRand) FillAt(p []byte, off int64) {
+	for len(p) > 0 {
+		blk := uint64(off) / 64
+		k := int(uint64(off) % 64)
+		if !d.have || d.idx != blk {
+			chachaBlock(&d.key, blk, &d.buf)
+			d.idx, d.have = blk, true
+		}
+		n := copy(p, d.buf[k:])
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// quarterRound is the ChaCha quarter-round on four state words.
+func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d = bits.RotateLeft32(d^a, 16)
+	c += d
+	b = bits.RotateLeft32(b^c, 12)
+	a += b
+	d = bits.RotateLeft32(d^a, 8)
+	c += d
+	b = bits.RotateLeft32(b^c, 7)
+	return a, b, c, d
+}
+
+// chachaBlock produces keystream block counter into out: the original
+// ChaCha20 block function with a 64-bit counter and zero nonce.
+func chachaBlock(key *[8]uint32, counter uint64, out *[64]byte) {
+	var s [16]uint32
+	s[0], s[1], s[2], s[3] = 0x61707865, 0x3320646e, 0x79622d32, 0x6b206574
+	copy(s[4:12], key[:])
+	s[12] = uint32(counter)
+	s[13] = uint32(counter >> 32)
+	// s[14], s[15]: zero nonce.
+	x := s
+	for i := 0; i < 10; i++ {
+		// Column rounds.
+		x[0], x[4], x[8], x[12] = quarterRound(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = quarterRound(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = quarterRound(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = quarterRound(x[3], x[7], x[11], x[15])
+		// Diagonal rounds.
+		x[0], x[5], x[10], x[15] = quarterRound(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = quarterRound(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = quarterRound(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = quarterRound(x[3], x[4], x[9], x[14])
+	}
+	for i := range x {
+		binary.LittleEndian.PutUint32(out[i*4:], x[i]+s[i])
+	}
+}
+
+// detFile is one logical file of a scenario stream: a stable header identity
+// plus a deterministic body keyed by (seed, version). Bumping version models
+// an edit — the whole body re-keys, which is the right granularity for the
+// workspace scenario's package installs and source saves.
+type detFile struct {
+	id      uint64
+	seed    int64
+	version int64
+	size    int64
+}
+
+// detStream reads a sequence of detFiles in the backup-stream framing the
+// chunker already understands: a 64-byte header per file, then the body.
+type detStream struct {
+	files []detFile
+	fi    int
+	off   int64 // offset within the current unit (header or body)
+	hdr   [64]byte
+	inHdr bool
+	init  bool
+	det   *DetRand
+}
+
+// newDetStream builds the reader. It copies files so callers may reuse and
+// mutate their slice after streaming begins.
+func newDetStream(files []detFile) *detStream {
+	return &detStream{files: append([]detFile(nil), files...)}
+}
+
+// detStreamSize is the exact byte length of the framed stream.
+func detStreamSize(files []detFile) int64 {
+	n := int64(len(files)) * 64
+	for _, f := range files {
+		n += f.size
+	}
+	return n
+}
+
+func (r *detStream) Read(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		if r.fi >= len(r.files) {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, io.EOF
+		}
+		f := &r.files[r.fi]
+		if !r.init {
+			r.hdr = headerFor(f.id, f.size)
+			r.inHdr, r.off, r.init = true, 0, true
+			r.det = NewDetRand(DeriveSeed(f.seed, "detfile", f.version), "body")
+		}
+		if r.inHdr {
+			n := copy(p[total:], r.hdr[r.off:])
+			r.off += int64(n)
+			total += n
+			if r.off == int64(len(r.hdr)) {
+				r.inHdr, r.off = false, 0
+				if f.size == 0 {
+					r.fi++
+					r.init = false
+				}
+			}
+			continue
+		}
+		n := int64(len(p) - total)
+		if remain := f.size - r.off; n > remain {
+			n = remain
+		}
+		r.det.FillAt(p[total:total+int(n)], r.off)
+		r.off += n
+		total += int(n)
+		if r.off == f.size {
+			r.fi++
+			r.init = false
+		}
+	}
+	return total, nil
+}

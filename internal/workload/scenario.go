@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scenario selects one of the workload families the store is exercised
+// against. The backup scenario is the paper's original generational shape;
+// primary and workspace open the two new workloads (see primary.go and
+// workspace.go).
+type Scenario int
+
+const (
+	ScenarioBackup Scenario = iota
+	ScenarioPrimary
+	ScenarioWorkspace
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioBackup:
+		return "backup"
+	case ScenarioPrimary:
+		return "primary"
+	case ScenarioWorkspace:
+		return "workspace"
+	}
+	return "unknown"
+}
+
+// ParseScenario maps a CLI/API name to a Scenario.
+func ParseScenario(name string) (Scenario, error) {
+	switch strings.ToLower(name) {
+	case "backup", "":
+		return ScenarioBackup, nil
+	case "primary":
+		return ScenarioPrimary, nil
+	case "workspace":
+		return ScenarioWorkspace, nil
+	}
+	return 0, fmt.Errorf("workload: unknown scenario %q (backup, primary, workspace)", name)
+}
+
+// AllScenarios lists every scenario, in the order benches report them.
+func AllScenarios() []Scenario {
+	return []Scenario{ScenarioBackup, ScenarioPrimary, ScenarioWorkspace}
+}
+
+// ScenarioParams scales a scenario without exposing each family's full
+// config: Users is the stream/volume/tenant fan-out and BytesPerStream the
+// approximate bytes one Next() emits. Zero fields take scenario defaults.
+type ScenarioParams struct {
+	Seed           int64
+	Users          int
+	BytesPerStream int64
+}
+
+// NewScenario builds the Schedule for one scenario. All three families fork
+// every per-stream seed from Params.Seed, so equal params reproduce equal
+// bytes regardless of host, GOMAXPROCS, or sibling stream count.
+func NewScenario(sc Scenario, p ScenarioParams) (Schedule, error) {
+	switch sc {
+	case ScenarioBackup:
+		cfg := DefaultConfig(p.Seed)
+		if p.BytesPerStream > 0 {
+			cfg.NumFiles = 16
+			cfg.MeanFileSize = p.BytesPerStream / int64(cfg.NumFiles)
+			if cfg.MeanFileSize < 4<<10 {
+				cfg.MeanFileSize = 4 << 10
+			}
+		}
+		if p.Users > 1 {
+			cfg.SharedFraction = 0.25
+			return NewMultiUser(p.Users, cfg)
+		}
+		return NewSingle(cfg)
+	case ScenarioPrimary:
+		cfg := DefaultPrimaryConfig(p.Seed)
+		if p.Users > 0 {
+			cfg.Streams = p.Users
+		}
+		if p.BytesPerStream > 0 {
+			cfg.StreamBytes = p.BytesPerStream
+		}
+		return NewPrimary(cfg)
+	case ScenarioWorkspace:
+		cfg := DefaultWorkspaceConfig(p.Seed)
+		if p.Users > 0 {
+			cfg.Tenants = p.Users
+		}
+		if p.BytesPerStream > 0 {
+			// Size the registry packages so one tenant's tree lands near the
+			// requested scale; sources follow at ~1/8 the package size.
+			per := p.BytesPerStream / int64(cfg.WorkspacesPerTenant*cfg.PackagesPerWorkspace)
+			if per < 4<<10 {
+				per = 4 << 10
+			}
+			cfg.MeanPackageSize = per
+			cfg.MeanSrcFileSize = per / 8
+			if cfg.MeanSrcFileSize < 2<<10 {
+				cfg.MeanSrcFileSize = 2 << 10
+			}
+		}
+		return NewWorkspace(cfg)
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %d", sc)
+}

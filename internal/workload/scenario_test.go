@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden digests")
+
+func goldenParams() ScenarioParams {
+	return ScenarioParams{Seed: 7, Users: 2, BytesPerStream: 1 << 20}
+}
+
+// digestSchedule drains n streams from a fresh schedule and returns the
+// SHA-256 of each, labeled.
+func digestSchedule(t *testing.T, sc Scenario, p ScenarioParams, n int) []string {
+	t.Helper()
+	sched, err := NewScenario(sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		bk := sched.Next()
+		sum := sha256.Sum256(readAll(t, bk.Stream))
+		out = append(out, fmt.Sprintf("%s %s %s", sc, bk.Label, hex.EncodeToString(sum[:])))
+	}
+	return out
+}
+
+// TestScenarioGoldenDigests pins every scenario's exact bytes: the SHA-256
+// of the first six streams of a fixed configuration is checked into
+// testdata. Any change to the generators that alters stream bytes — however
+// subtle — fails here. Regenerate deliberately with -update.
+func TestScenarioGoldenDigests(t *testing.T) {
+	var got []string
+	for _, sc := range AllScenarios() {
+		got = append(got, digestSchedule(t, sc, goldenParams(), 6)...)
+	}
+	path := filepath.Join("testdata", "scenario_digests.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden digests (run `go test -run GoldenDigests -update ./internal/workload` to create): %v", err)
+	}
+	var want []string
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("digest count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("digest %d drifted:\n  got  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScenarioDeterministicAcrossGOMAXPROCS regenerates the golden streams
+// under different GOMAXPROCS settings, with the per-scenario generation
+// itself running on concurrent goroutines, and requires bit-identical
+// digests: seeded generators must not read anything scheduler-dependent.
+func TestScenarioDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() map[Scenario][]string {
+		out := make(map[Scenario][]string)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, sc := range AllScenarios() {
+			wg.Add(1)
+			go func(sc Scenario) {
+				defer wg.Done()
+				d := digestSchedule(t, sc, goldenParams(), 6)
+				mu.Lock()
+				out[sc] = d
+				mu.Unlock()
+			}(sc)
+		}
+		wg.Wait()
+		return out
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	one := run()
+	runtime.GOMAXPROCS(8)
+	eight := run()
+	for _, sc := range AllScenarios() {
+		for i := range one[sc] {
+			if one[sc][i] != eight[sc][i] {
+				t.Fatalf("%s stream %d differs between GOMAXPROCS=1 and 8", sc, i)
+			}
+		}
+	}
+}
+
+// TestPrimaryVolumeIndependentOfSiblingCount pins the forked-seed contract:
+// a volume's bytes depend only on (seed, volume id, round and its own
+// clustered/dispersed role), never on how many sibling volumes the config
+// fans out to. Volume 0 is clustered under both Streams=2 and Streams=3, so
+// its streams must be bit-identical across the two configs.
+func TestPrimaryVolumeIndependentOfSiblingCount(t *testing.T) {
+	stream0 := func(streams int) []byte {
+		p, err := NewPrimary(PrimaryConfig{Seed: 11, Streams: streams, StreamBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last []byte
+		for r := 0; r < 2; r++ { // two rounds deep: history must fork identically too
+			bk := p.Next() // volume 0 leads every round
+			last = readAll(t, bk.Stream)
+			for i := 1; i < streams; i++ {
+				p.Next() // drain siblings
+			}
+		}
+		return last
+	}
+	if !bytes.Equal(stream0(2), stream0(3)) {
+		t.Fatal("volume 0 round 1 bytes depend on sibling count")
+	}
+}
+
+// TestWorkspaceTenantIndependentOfTenantCount is the same contract for the
+// workspace generator: tenant 0's trees must not shift when tenants join.
+func TestWorkspaceTenantIndependentOfTenantCount(t *testing.T) {
+	tenant0 := func(tenants int) []byte {
+		w, err := NewWorkspace(WorkspaceConfig{Seed: 11, Tenants: tenants, WorkspacesPerTenant: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last []byte
+		for r := 0; r < 2; r++ {
+			bk := w.Next()
+			last = readAll(t, bk.Stream)
+			for i := 1; i < tenants; i++ {
+				w.Next()
+			}
+		}
+		return last
+	}
+	if !bytes.Equal(tenant0(2), tenant0(4)) {
+		t.Fatal("tenant 0 round 1 bytes depend on tenant count")
+	}
+}
+
+// TestWorkspaceCrossTenantSharing verifies the workload actually produces
+// the cross-tenant redundancy the scenario exists to stress: distinct
+// tenants resolve popular packages to identical (seed, version) content.
+func TestWorkspaceCrossTenantSharing(t *testing.T) {
+	w, err := NewWorkspace(WorkspaceConfig{Seed: 3, Tenants: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := func(tn int) map[wsDep]bool {
+		set := make(map[wsDep]bool)
+		for _, ws := range w.tenants[tn] {
+			for _, d := range ws.deps {
+				set[d] = true
+			}
+		}
+		return set
+	}
+	d0 := deps(0)
+	shared := 0
+	for d := range deps(1) {
+		if d0[d] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("tenants 0 and 1 share no packages; workspace scenario would have no cross-tenant dedup")
+	}
+}
+
+// TestStreamCallCountDoesNotPerturbLaterGenerations pins the satellite fix:
+// FS.Stream with ShuffleOrder must not consume the mutation RNG, so an
+// extra Stream() call (a retry, a probe) leaves every later generation's
+// bytes unchanged.
+func TestStreamCallCountDoesNotPerturbLaterGenerations(t *testing.T) {
+	cfg := tinyConfig(21)
+	cfg.ShuffleOrder = true
+
+	digest := func(extraStreams int) [32]byte {
+		fs, err := NewFS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1+extraStreams; i++ {
+			readAll(t, fs.Stream())
+		}
+		fs.Mutate()
+		return sha256.Sum256(readAll(t, fs.Stream()))
+	}
+	if digest(0) != digest(3) {
+		t.Fatal("extra Stream() calls perturbed the post-Mutate generation")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Scenario
+		ok   bool
+	}{
+		{"backup", ScenarioBackup, true},
+		{"", ScenarioBackup, true},
+		{"primary", ScenarioPrimary, true},
+		{"workspace", ScenarioWorkspace, true},
+		{"Primary", ScenarioPrimary, true},
+		{"nope", 0, false},
+	} {
+		sc, err := ParseScenario(tc.in)
+		if tc.ok && (err != nil || sc != tc.want) {
+			t.Errorf("ParseScenario(%q) = %v, %v; want %v", tc.in, sc, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseScenario(%q) should fail", tc.in)
+		}
+	}
+}
+
+func TestScenarioSchedulesSatisfyContract(t *testing.T) {
+	for _, sc := range AllScenarios() {
+		sched, err := NewScenario(sc, goldenParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			bk := sched.Next()
+			if bk.Label == "" {
+				t.Fatalf("%s stream %d: empty label", sc, i)
+			}
+			n := int64(len(readAll(t, bk.Stream)))
+			if n == 0 {
+				t.Fatalf("%s %s: empty stream", sc, bk.Label)
+			}
+			if bk.Size > 0 && n != bk.Size {
+				t.Fatalf("%s %s: stream length %d != announced size %d", sc, bk.Label, n, bk.Size)
+			}
+		}
+	}
+}

@@ -125,6 +125,11 @@ type FS struct {
 	files  []*file
 	nextID uint64
 	gen    int
+	// streamSeq counts Stream() calls within the current generation. It
+	// keys the ShuffleOrder permutation (with cfg.Seed and gen) so that
+	// streaming never consumes fs.rng: opening an extra stream must not
+	// perturb the bytes of any later mutation or stream.
+	streamSeq int
 }
 
 // NewFS builds the generation-0 file system.
@@ -167,6 +172,7 @@ func (fs *FS) LogicalSize() int64 {
 // Mutate advances the file system by one generation of churn.
 func (fs *FS) Mutate() {
 	fs.gen++
+	fs.streamSeq = 0
 	// Edit a fraction of files; a generation always touches at least one
 	// file (a backup with zero change is not a generation worth modeling).
 	nMod := fs.roundFrac(float64(len(fs.files)) * fs.cfg.ModifyFraction)
@@ -303,8 +309,14 @@ func (fs *FS) Stream() io.Reader {
 		files[i] = &file{id: f.id, extents: append([]extent(nil), f.extents...)}
 	}
 	if fs.cfg.ShuffleOrder {
-		fs.rng.Shuffle(len(files), func(i, j int) { files[i], files[j] = files[j], files[i] })
+		// The permutation is keyed by (seed, generation, stream ordinal),
+		// not drawn from fs.rng: repeated Stream() calls still emit fresh
+		// orders, but a stream can never perturb mutation randomness or the
+		// bytes of sibling streams (the fan-out determinism contract).
+		shuf := rand.New(rand.NewSource(DeriveSeed(fs.cfg.Seed, "stream-shuffle", int64(fs.gen)<<20|int64(fs.streamSeq))))
+		shuf.Shuffle(len(files), func(i, j int) { files[i], files[j] = files[j], files[i] })
 	}
+	fs.streamSeq++
 	return &streamReader{files: files}
 }
 

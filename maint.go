@@ -38,6 +38,12 @@ type MaintenanceOptions struct {
 	MaxBatch int
 	// ThrottleMBps paces maintenance data movement (wall clock). 0 = off.
 	ThrottleMBps float64
+	// NoRededup disables the out-of-line re-dedup of spilled (write-through)
+	// stream references. By default every epoch remaps spilled copies back
+	// onto their index-authoritative originals so the inline filter's
+	// deferred duplicates are reclaimed; stores that never spill pay nothing
+	// for the scan. See Options.Filter.
+	NoRededup bool
 }
 
 // MaintenanceStats mirrors one epoch's (or the cumulative) maintenance
@@ -45,6 +51,7 @@ type MaintenanceOptions struct {
 type MaintenanceStats struct {
 	RecipesScanned   int     `json:"recipesScanned"`
 	RefsRemapped     int64   `json:"refsRemapped"`
+	RefsRededuped    int64   `json:"refsRededuped"`
 	ContainersMerged int     `json:"containersMerged"`
 	ChunksMoved      int64   `json:"chunksMoved"`
 	BytesMoved       int64   `json:"bytesMoved"`
@@ -58,6 +65,7 @@ func fromMaintStats(st maintenance.Stats) MaintenanceStats {
 	return MaintenanceStats{
 		RecipesScanned:   st.RecipesScanned,
 		RefsRemapped:     st.RefsRemapped,
+		RefsRededuped:    st.RefsRededuped,
 		ContainersMerged: st.ContainersMerged,
 		ChunksMoved:      st.ChunksMoved,
 		BytesMoved:       st.BytesMoved,
@@ -180,6 +188,7 @@ func (s *Store) maintenancePass() (*maintenance.Pass, error) {
 		SparseThreshold: m.SparseThreshold,
 		MaxBatch:        m.MaxBatch,
 		ThrottleMBps:    m.ThrottleMBps,
+		Rededup:         !m.NoRededup,
 	}
 	if d, ok := s.eng.(maintenance.IndexDropper); ok {
 		cfg.Dropper = d

@@ -1,0 +1,286 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// ScenarioBenchConfig sizes the cross-scenario benchmark: every scenario
+// (backup, primary, workspace) replays the same seeded shape — Users streams
+// by Rounds windows of roughly BytesPerStream each — into a fresh DeFrag
+// store, so the per-scenario rows of BENCH_PR10.json are directly
+// comparable.
+type ScenarioBenchConfig struct {
+	Seed           int64
+	Users          int   // streams / volumes / tenants per scenario (default 4)
+	Rounds         int   // backups per stream (default 4)
+	BytesPerStream int64 // approximate bytes per backup (default 4 MiB)
+	// FilterEpochs bounds the maintenance epochs run after the primary
+	// filter-vs-baseline pair before measuring the recovered dedup ratio
+	// (default 8).
+	FilterEpochs int
+}
+
+func (c ScenarioBenchConfig) withDefaults() ScenarioBenchConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Users <= 0 {
+		c.Users = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.BytesPerStream <= 0 {
+		c.BytesPerStream = 4 << 20
+	}
+	if c.FilterEpochs <= 0 {
+		c.FilterEpochs = 8
+	}
+	return c
+}
+
+// ScenarioPoint is one scenario's row of the comparable table.
+type ScenarioPoint struct {
+	Scenario       string  `json:"scenario"`
+	Backups        int     `json:"backups"`
+	LogicalBytes   int64   `json:"logical_bytes"`
+	StoredBytes    int64   `json:"stored_bytes"`
+	DedupRatio     float64 `json:"dedup_ratio"`
+	IngestSimMBps  float64 `json:"ingest_sim_mbps"`
+	IngestWallMBps float64 `json:"ingest_wall_mbps"`
+	RestoreSimMBps float64 `json:"restore_sim_mbps"`
+	// Verified is true only if every restored stream hashed identical to
+	// its ingested bytes and the final fsck found nothing.
+	Verified bool `json:"verified"`
+}
+
+// PrimaryFilterPoint is the filter-vs-dedup-everything comparison on the
+// primary scenario: same seeded streams, one store with the prioritized
+// inline filter, one without, both followed by maintenance epochs. The
+// filter earns its keep iff ingest gets faster while the post-maintenance
+// dedup ratio holds. Both ratios are logical over live stored bytes (see
+// liveDedupRatio).
+type PrimaryFilterPoint struct {
+	BaselineIngestSimMBps float64 `json:"baseline_ingest_sim_mbps"`
+	FilterIngestSimMBps   float64 `json:"filter_ingest_sim_mbps"`
+	IngestSpeedup         float64 `json:"ingest_speedup"`
+	BaselineDedupRatio    float64 `json:"baseline_dedup_ratio"`
+	FilterDedupRatio      float64 `json:"filter_dedup_ratio"`
+	SpilledStreams        int     `json:"spilled_streams"`
+	SpilledBytes          int64   `json:"spilled_bytes"`
+	RefsRededuped         int64   `json:"refs_rededuped"`
+	Epochs                int     `json:"epochs"`
+	Verified              bool    `json:"verified"`
+}
+
+// ScenarioBench is the full result, serialized to BENCH_PR10.json.
+type ScenarioBench struct {
+	Seed          int64              `json:"seed"`
+	Users         int                `json:"users"`
+	Rounds        int                `json:"rounds"`
+	Scenarios     []ScenarioPoint    `json:"scenarios"`
+	PrimaryFilter PrimaryFilterPoint `json:"primary_filter"`
+}
+
+// scenarioRun holds one store's measured ingest plus the pinned digests.
+type scenarioRun struct {
+	store     *Store
+	digests   map[string][32]byte
+	logical   int64
+	simIngest time.Duration
+	wall      time.Duration
+	backups   int
+}
+
+// ingestScenario replays the seeded schedule into a fresh store, pinning
+// every stream's SHA-256 at ingest time.
+func ingestScenario(ctx context.Context, sc workload.Scenario, cfg ScenarioBenchConfig, opts Options) (*scenarioRun, error) {
+	total := int64(cfg.Users*cfg.Rounds) * cfg.BytesPerStream * 2
+	opts.Engine = DeFrag
+	opts.StoreData = true
+	if opts.ExpectedBytes == 0 {
+		opts.ExpectedBytes = total
+	}
+	st, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := workload.NewScenario(sc, workload.ScenarioParams{
+		Seed: cfg.Seed, Users: cfg.Users, BytesPerStream: cfg.BytesPerStream,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := &scenarioRun{store: st, digests: make(map[string][32]byte)}
+	wallStart := time.Now()
+	for i := 0; i < cfg.Users*cfg.Rounds; i++ {
+		bk := sched.Next()
+		h := sha256.New()
+		b, err := st.Backup(ctx, bk.Label, io.TeeReader(bk.Stream, h))
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", sc, bk.Label, err)
+		}
+		run.digests[bk.Label] = [32]byte(h.Sum(nil))
+		run.logical += b.Stats.LogicalBytes
+		run.simIngest += b.Stats.Duration
+		run.backups++
+	}
+	run.wall = time.Since(wallStart)
+	return run, nil
+}
+
+// verifyRestores restores every retained backup (serial LRU, the comparable
+// default) and checks it byte-identical to the ingested stream. It returns
+// the restore throughput and whether everything verified, including a final
+// data-verifying fsck.
+func verifyRestores(ctx context.Context, run *scenarioRun) (simMBps float64, verified bool, err error) {
+	var bytesTotal int64
+	var simTotal time.Duration
+	verified = true
+	for _, b := range run.store.Backups() {
+		h := sha256.New()
+		rs, rerr := run.store.RestoreWith(ctx, b, h, RestoreOptions{Policy: RestoreLRU, Workers: 1})
+		if rerr != nil {
+			return 0, false, fmt.Errorf("restore %s: %w", b.Label, rerr)
+		}
+		want := run.digests[b.Label]
+		if !bytes.Equal(h.Sum(nil), want[:]) {
+			verified = false
+		}
+		bytesTotal += rs.Bytes
+		simTotal += rs.Duration
+	}
+	rep, cerr := run.store.Check(ctx, true)
+	if cerr != nil || !rep.OK() {
+		verified = false
+	}
+	if sec := simTotal.Seconds(); sec > 0 {
+		simMBps = float64(bytesTotal) / sec / 1e6
+	}
+	return simMBps, verified, nil
+}
+
+// liveDedupRatio is logical bytes over live stored bytes: stored minus the
+// garbage a compaction pass could reclaim at any time (abandoned spill
+// copies after re-dedup, superseded rewrite copies). Both ablation stores
+// are measured identically, so neither side gets credit for garbage.
+func liveDedupRatio(s *Store) float64 {
+	ss := s.Stats()
+	rep := s.MaintenanceReport()
+	live := rep.StoredBytes - rep.DeadBytes
+	if live <= 0 {
+		return ss.CompressionRatio
+	}
+	return float64(ss.LogicalBytes) / float64(live)
+}
+
+func mbps(n int64, d time.Duration) float64 {
+	if sec := d.Seconds(); sec > 0 {
+		return float64(n) / sec / 1e6
+	}
+	return 0
+}
+
+// RunScenarioBench ingests the three scenarios from one seeded run and emits
+// the comparable table, plus the primary-storage filter ablation.
+func RunScenarioBench(cfg ScenarioBenchConfig) (*ScenarioBench, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	bench := &ScenarioBench{Seed: cfg.Seed, Users: cfg.Users, Rounds: cfg.Rounds}
+
+	for _, sc := range workload.AllScenarios() {
+		run, err := ingestScenario(ctx, sc, cfg, Options{})
+		if err != nil {
+			return nil, err
+		}
+		restMBps, verified, err := verifyRestores(ctx, run)
+		if err != nil {
+			return nil, err
+		}
+		ss := run.store.Stats()
+		bench.Scenarios = append(bench.Scenarios, ScenarioPoint{
+			Scenario:       sc.String(),
+			Backups:        run.backups,
+			LogicalBytes:   run.logical,
+			StoredBytes:    ss.StoredBytes,
+			DedupRatio:     ss.CompressionRatio,
+			IngestSimMBps:  mbps(run.logical, run.simIngest),
+			IngestWallMBps: mbps(run.logical, run.wall),
+			RestoreSimMBps: restMBps,
+			Verified:       verified,
+		})
+	}
+
+	// The ablation: identical primary streams, filter on vs. off, then
+	// maintenance re-dedups the spill before the ratio comparison. Both
+	// stores get the same aggressive merge threshold so each side's dead
+	// bytes (spill copies here, superseded rewrites there) are reclaimed
+	// before the ratios are compared.
+	maint := MaintenanceOptions{UtilThreshold: 0.85}
+	baseline, err := ingestScenario(ctx, workload.ScenarioPrimary, cfg, Options{Maintenance: maint})
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := ingestScenario(ctx, workload.ScenarioPrimary, cfg, Options{
+		Filter:      FilterOptions{Enabled: true},
+		Maintenance: maint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pf := PrimaryFilterPoint{
+		BaselineIngestSimMBps: mbps(baseline.logical, baseline.simIngest),
+		FilterIngestSimMBps:   mbps(filtered.logical, filtered.simIngest),
+	}
+	if pf.BaselineIngestSimMBps > 0 {
+		pf.IngestSpeedup = pf.FilterIngestSimMBps / pf.BaselineIngestSimMBps
+	}
+	fs := filtered.store.Stats()
+	pf.SpilledStreams = fs.SpilledStreams
+	pf.SpilledBytes = fs.SpilledBytes
+	for _, run := range []*scenarioRun{baseline, filtered} {
+		for i := 0; i < cfg.FilterEpochs; i++ {
+			ms, merr := run.store.MaintenanceEpoch(ctx)
+			if merr != nil {
+				return nil, merr
+			}
+			if run == filtered {
+				pf.RefsRededuped += ms.RefsRededuped
+				pf.Epochs++
+			}
+			if ms.RefsRededuped == 0 && ms.RefsRemapped == 0 && ms.ContainersMerged == 0 {
+				break
+			}
+		}
+	}
+	pf.BaselineDedupRatio = liveDedupRatio(baseline.store)
+	pf.FilterDedupRatio = liveDedupRatio(filtered.store)
+	// Restores after maintenance prove the remapped recipes still
+	// reconstruct the spilled streams bit-identically.
+	_, bVerified, err := verifyRestores(ctx, baseline)
+	if err != nil {
+		return nil, err
+	}
+	_, fVerified, err := verifyRestores(ctx, filtered)
+	if err != nil {
+		return nil, err
+	}
+	pf.Verified = bVerified && fVerified
+	bench.PrimaryFilter = pf
+	return bench, nil
+}
+
+// WriteScenarioBenchJSON serializes the benchmark as indented JSON.
+func WriteScenarioBenchJSON(w io.Writer, b *ScenarioBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

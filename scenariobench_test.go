@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestScenarioBenchAcceptance runs the cross-scenario harness at its default
+// (CI) configuration and asserts the PR's acceptance bar end to end: every
+// scenario row reports a sane dedup ratio with all restores hash-verified,
+// and the prioritized inline filter beats dedup-everything on primary
+// ingest throughput at an equal-or-better live dedup ratio.
+func TestScenarioBenchAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario bench takes seconds")
+	}
+	b, err := RunScenarioBench(ScenarioBenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(b.Scenarios) != 3 {
+		t.Fatalf("expected 3 scenario rows, got %d", len(b.Scenarios))
+	}
+	seen := map[string]bool{}
+	for _, p := range b.Scenarios {
+		seen[p.Scenario] = true
+		if !p.Verified {
+			t.Errorf("%s: restores not verified", p.Scenario)
+		}
+		if p.DedupRatio < 1.0 {
+			t.Errorf("%s: dedup ratio %.3f < 1", p.Scenario, p.DedupRatio)
+		}
+		if p.IngestSimMBps <= 0 || p.RestoreSimMBps <= 0 {
+			t.Errorf("%s: non-positive throughput %+v", p.Scenario, p)
+		}
+		if p.LogicalBytes <= 0 || p.StoredBytes <= 0 || p.Backups <= 0 {
+			t.Errorf("%s: degenerate sizes %+v", p.Scenario, p)
+		}
+	}
+	for _, name := range []string{"backup", "primary", "workspace"} {
+		if !seen[name] {
+			t.Errorf("scenario %s missing from table", name)
+		}
+	}
+
+	pf := b.PrimaryFilter
+	if pf.BaselineIngestSimMBps == 0 || pf.FilterIngestSimMBps == 0 {
+		t.Fatalf("primary_filter ablation missing or degenerate: %+v", pf)
+	}
+	if !pf.Verified {
+		t.Error("filter ablation restores not verified")
+	}
+	if pf.SpilledStreams == 0 || pf.SpilledBytes == 0 {
+		t.Errorf("filter never spilled on the primary workload: %+v", pf)
+	}
+	if pf.RefsRededuped == 0 {
+		t.Errorf("out-of-line re-dedup reclaimed nothing: %+v", pf)
+	}
+	// The acceptance criterion proper: faster ingest at equal-or-better
+	// dedup. A hair of float slack on the ratio; none on throughput.
+	if pf.FilterIngestSimMBps < pf.BaselineIngestSimMBps {
+		t.Errorf("filter ingest %.2f MB/s slower than baseline %.2f MB/s",
+			pf.FilterIngestSimMBps, pf.BaselineIngestSimMBps)
+	}
+	if pf.FilterDedupRatio < pf.BaselineDedupRatio*0.999 {
+		t.Errorf("filter dedup ratio %.4f below baseline %.4f",
+			pf.FilterDedupRatio, pf.BaselineDedupRatio)
+	}
+
+	// The JSON artifact CI uploads must round-trip.
+	var buf bytes.Buffer
+	if err := WriteScenarioBenchJSON(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	var back ScenarioBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_PR10.json does not round-trip: %v", err)
+	}
+	if len(back.Scenarios) != len(b.Scenarios) ||
+		back.PrimaryFilter.FilterIngestSimMBps != pf.FilterIngestSimMBps {
+		t.Fatal("JSON round-trip dropped fields")
+	}
+}

@@ -20,6 +20,9 @@ type BackupStats struct {
 	RewrittenBytes  int64 // redundant bytes deliberately written (DeFrag)
 	RewrittenChunks int64
 	MissedDupBytes  int64 // redundancy the engine failed to detect (SiLo)
+	SpilledBytes    int64 // probable duplicates written through by the inline filter
+	SpilledChunks   int64
+	FilterSpilled   bool // the inline filter demoted this stream to write-through
 
 	Duration time.Duration
 
@@ -59,7 +62,9 @@ func (s BackupStats) Efficiency() float64 {
 }
 
 // WrittenBytes returns the physical bytes this backup added.
-func (s BackupStats) WrittenBytes() int64 { return s.UniqueBytes + s.RewrittenBytes }
+func (s BackupStats) WrittenBytes() int64 {
+	return s.UniqueBytes + s.RewrittenBytes + s.SpilledBytes
+}
 
 func fromEngineStats(st engine.BackupStats) BackupStats {
 	return BackupStats{
@@ -73,6 +78,9 @@ func fromEngineStats(st engine.BackupStats) BackupStats {
 		RewrittenBytes:  st.RewrittenBytes,
 		RewrittenChunks: st.RewrittenChunks,
 		MissedDupBytes:  st.MissedDupBytes,
+		SpilledBytes:    st.SpilledBytes,
+		SpilledChunks:   st.SpilledChunks,
+		FilterSpilled:   st.FilterSpilled,
 
 		Duration: st.Duration,
 
